@@ -1,0 +1,95 @@
+//! ANN-style kd-tree (paper §V-B2): "ANN … uses upper and lower bound of
+//! each dimension and select[s] the dimension with maximum difference.
+//! Then it takes the average of the lower and upper values of that
+//! dimension to compute median." Midpoint splits degrade badly on
+//! co-located data (the paper measured depth 109 vs FLANN's 32 on the
+//! Daya Bay dataset); the reproduction includes ANN's sliding-midpoint
+//! rescue and a depth cap.
+
+use panda_core::{Neighbor, PointSet, QueryCounters, Result};
+
+use crate::simple_tree::{Heuristic, SimpleKdTree, SimpleTreeStats};
+
+/// Single-threaded kd-tree with ANN's split heuristics.
+#[derive(Clone, Debug)]
+pub struct AnnLikeTree {
+    inner: SimpleKdTree,
+}
+
+impl AnnLikeTree {
+    /// Build (single-threaded).
+    pub fn build(points: &PointSet) -> Result<Self> {
+        Ok(Self { inner: SimpleKdTree::build(points, Heuristic::AnnLike)? })
+    }
+
+    /// `k` nearest neighbors (exact).
+    pub fn query(&self, q: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.inner.query(q, k)
+    }
+
+    /// `k` nearest neighbors with traversal counters.
+    pub fn query_counted(
+        &self,
+        q: &[f32],
+        k: usize,
+        counters: &mut QueryCounters,
+    ) -> Result<Vec<Neighbor>> {
+        self.inner.query_counted(q, k, counters)
+    }
+
+    /// Batched queries. The paper did **not** parallelize ANN ("the code
+    /// uses many global variables … making the code unsuitable for
+    /// parallelization"), so only a sequential batch is offered.
+    pub fn query_batch(
+        &self,
+        queries: &PointSet,
+        k: usize,
+    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
+        self.inner.query_batch(queries, k, false)
+    }
+
+    /// Tree statistics (depth, node counts, build work).
+    pub fn stats(&self) -> &SimpleTreeStats {
+        self.inner.stats()
+    }
+
+    /// Indexed point count.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForce;
+    use crate::tests_support::random_ps;
+
+    #[test]
+    fn exact_vs_brute_force() {
+        let ps = random_ps(3000, 3, 1);
+        let tree = AnnLikeTree::build(&ps).unwrap();
+        let bf = BruteForce::new(&ps);
+        let qs = random_ps(25, 3, 2);
+        for i in 0..qs.len() {
+            let a: Vec<f32> =
+                tree.query(qs.point(i), 7).unwrap().iter().map(|n| n.dist_sq).collect();
+            let b: Vec<f32> =
+                bf.query(qs.point(i), 7).unwrap().iter().map(|n| n.dist_sq).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bucket_of_one_means_many_nodes() {
+        let ps = random_ps(2000, 3, 3);
+        let tree = AnnLikeTree::build(&ps).unwrap();
+        // bucket size 1 → roughly one leaf per point
+        assert!(tree.stats().leaves > 1000, "leaves {}", tree.stats().leaves);
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact brute-force KNN — the ground truth.
+//!
+//! Scans every point per query. Offers points in ascending id order, so
+//! distance ties resolve identically to PANDA's strict-`<` heap rule —
+//! which is what lets the test suite compare results bit-for-bit.
+
+use panda_core::{KnnHeap, Neighbor, PandaError, PointSet, Result};
+use rayon::prelude::*;
+
+/// Brute-force scanner over a point set.
+#[derive(Clone, Debug)]
+pub struct BruteForce<'a> {
+    points: &'a PointSet,
+}
+
+impl<'a> BruteForce<'a> {
+    /// Wrap a point set (no preprocessing — that is the point).
+    pub fn new(points: &'a PointSet) -> Self {
+        Self { points }
+    }
+
+    /// `k` nearest neighbors of `q`, ascending distance.
+    pub fn query(&self, q: &[f32], k: usize) -> Result<Vec<Neighbor>> {
+        self.query_radius(q, k, f32::INFINITY)
+    }
+
+    /// `k` nearest neighbors strictly within `radius`.
+    pub fn query_radius(&self, q: &[f32], k: usize, radius: f32) -> Result<Vec<Neighbor>> {
+        if k == 0 {
+            return Err(PandaError::ZeroK);
+        }
+        if q.len() != self.points.dims() {
+            return Err(PandaError::DimsMismatch {
+                expected: self.points.dims(),
+                got: q.len(),
+            });
+        }
+        let r_sq = if radius.is_finite() { radius * radius } else { f32::INFINITY };
+        let mut heap = KnnHeap::with_radius_sq(k, r_sq);
+        for i in 0..self.points.len() {
+            heap.offer(self.points.dist_sq_to(q, i), self.points.id(i));
+        }
+        Ok(heap.into_sorted())
+    }
+
+    /// Batched queries, optionally rayon-parallel over queries.
+    pub fn query_batch(
+        &self,
+        queries: &PointSet,
+        k: usize,
+        parallel: bool,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        if queries.dims() != self.points.dims() {
+            return Err(PandaError::DimsMismatch {
+                expected: self.points.dims(),
+                got: queries.dims(),
+            });
+        }
+        if parallel {
+            (0..queries.len())
+                .into_par_iter()
+                .map(|i| self.query(queries.point(i), k))
+                .collect()
+        } else {
+            (0..queries.len()).map(|i| self.query(queries.point(i), k)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> PointSet {
+        PointSet::from_coords(1, (0..n).map(|i| i as f32).collect()).unwrap()
+    }
+
+    #[test]
+    fn finds_the_closest() {
+        let ps = grid_1d(100);
+        let bf = BruteForce::new(&ps);
+        let r = bf.query(&[42.3], 3).unwrap();
+        let ids: Vec<u64> = r.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![42, 43, 41]);
+    }
+
+    #[test]
+    fn radius_limits() {
+        let ps = grid_1d(100);
+        let bf = BruteForce::new(&ps);
+        let r = bf.query_radius(&[50.0], 10, 1.5).unwrap();
+        // strictly within 1.5 of 50: 49, 50, 51
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ps = crate::tests_support::random_ps(2000, 3, 1);
+        let qs = crate::tests_support::random_ps(50, 3, 2);
+        let bf = BruteForce::new(&ps);
+        let a = bf.query_batch(&qs, 5, false).unwrap();
+        let b = bf.query_batch(&qs, 5, true).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let dx: Vec<(u64, f32)> = x.iter().map(|n| (n.id, n.dist_sq)).collect();
+            let dy: Vec<(u64, f32)> = y.iter().map(|n| (n.id, n.dist_sq)).collect();
+            assert_eq!(dx, dy);
+        }
+    }
+
+    #[test]
+    fn validates() {
+        let ps = grid_1d(10);
+        let bf = BruteForce::new(&ps);
+        assert!(matches!(bf.query(&[0.0], 0), Err(PandaError::ZeroK)));
+        assert!(matches!(bf.query(&[0.0, 0.0], 1), Err(PandaError::DimsMismatch { .. })));
+    }
+}

@@ -1,0 +1,70 @@
+//! Construction benchmarks: PANDA local tree vs the FLANN-like and
+//! ANN-like baselines, across datasets and strategies (real wall-clock,
+//! small sizes — the figure-scale comparisons live in the bin harnesses).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_baselines::{AnnLikeTree, FlannLikeTree};
+use panda_core::config::{SplitDimStrategy, SplitValueStrategy};
+use panda_core::{LocalKdTree, TreeConfig};
+use panda_data::{cosmology::CosmologyParams, Dataset};
+
+fn bench_vs_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction_vs_baselines");
+    g.sample_size(10);
+    let points = Dataset::CosmoThin.generate(4e-4, 7); // 20k points
+    g.bench_function("panda", |b| {
+        b.iter(|| black_box(LocalKdTree::build(&points, &TreeConfig::default()).unwrap()))
+    });
+    g.bench_function("flann_like", |b| {
+        b.iter(|| black_box(FlannLikeTree::build(&points).unwrap()))
+    });
+    g.bench_function("ann_like", |b| {
+        b.iter(|| black_box(AnnLikeTree::build(&points).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction_strategies");
+    g.sample_size(10);
+    let points =
+        panda_data::cosmology::generate(20_000, &CosmologyParams::default(), 9);
+    for (name, dim, val) in [
+        (
+            "variance+hist",
+            SplitDimStrategy::MaxVariance { sample: 1024 },
+            SplitValueStrategy::SampledHistogram { samples: 1024 },
+        ),
+        (
+            "extent+hist",
+            SplitDimStrategy::MaxExtent,
+            SplitValueStrategy::SampledHistogram { samples: 1024 },
+        ),
+        (
+            "variance+exact",
+            SplitDimStrategy::MaxVariance { sample: 1024 },
+            SplitValueStrategy::ExactMedian,
+        ),
+    ] {
+        let cfg = TreeConfig { split_dim: dim, split_value: val, ..TreeConfig::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(LocalKdTree::build(&points, cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction_sizes");
+    g.sample_size(10);
+    for n in [10_000usize, 40_000] {
+        let points = panda_data::uniform::generate(n, 3, 1.0, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, ps| {
+            b.iter(|| black_box(LocalKdTree::build(ps, &TreeConfig::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vs_baselines, bench_strategies, bench_sizes);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Micro-kernels: packed-bucket distance scan, bounded heap, histogram
+//! binning (binary vs sub-interval), partition.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::config::HistScan;
+use panda_core::hist::SampledHistogram;
+use panda_core::local_tree::PackedLeaves;
+use panda_core::partition::partition_in_place;
+use panda_core::{KnnHeap, PointSet};
+
+fn bench_distance_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bucket_distances");
+    for dims in [3usize, 10, 15] {
+        let mut pl = PackedLeaves::new(dims);
+        let n_buckets = 256;
+        for b in 0..n_buckets {
+            pl.push_leaf(32, |i, d| ((b * 31 + i * 7 + d) % 97) as f32, |i| i as u64);
+        }
+        let q: Vec<f32> = (0..dims).map(|d| d as f32).collect();
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::new("packed", dims), &dims, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0f32;
+                for b in 0..n_buckets {
+                    pl.distances(b * 32, 32, black_box(&q), &mut out);
+                    acc += out[0];
+                }
+                black_box(acc)
+            })
+        });
+        // strided AoS scan for contrast (what the baselines do)
+        let ps = PointSet::from_coords(
+            dims,
+            (0..n_buckets * 32 * dims).map(|i| (i % 97) as f32).collect(),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("strided", dims), &dims, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..ps.len() {
+                    acc += ps.dist_sq_to(black_box(&q), i);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096u64)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 10000) as f32)
+        .collect();
+    for k in [5usize, 32] {
+        c.bench_function(&format!("knn_heap_offer_k{k}"), |b| {
+            b.iter(|| {
+                let mut h = KnnHeap::new(k);
+                for (i, &v) in values.iter().enumerate() {
+                    h.offer(black_box(v), i as u64);
+                }
+                black_box(h.bound_sq())
+            })
+        });
+    }
+}
+
+fn bench_hist(c: &mut Criterion) {
+    let samples: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+    let hist = SampledHistogram::from_samples(samples);
+    let values: Vec<f32> =
+        (0..65_536u64).map(|i| ((i.wrapping_mul(40503)) % 1024) as f32 + 0.5).collect();
+    let mut counts = vec![0u64; hist.n_bins()];
+    let mut g = c.benchmark_group("hist_binning");
+    for (name, scan) in [("binary", HistScan::Binary), ("sub_interval", HistScan::SubInterval)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                counts.iter_mut().for_each(|x| *x = 0);
+                hist.count_into(black_box(values.iter().copied()), &mut counts, scan);
+                black_box(counts[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let values: Vec<f32> =
+        (0..65_536u64).map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f32).collect();
+    let ps = PointSet::from_coords(1, values).unwrap();
+    c.bench_function("partition_in_place_64k", |b| {
+        b.iter(|| {
+            let mut idx: Vec<u32> = (0..ps.len() as u32).collect();
+            black_box(partition_in_place(&ps, &mut idx, 0, 500.0))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_distance_kernel, bench_heap, bench_hist, bench_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Query benchmarks: PANDA vs baselines vs brute force, k sweep, bound
+//! modes (real wall-clock, single thread).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_baselines::{AnnLikeTree, BruteForce, FlannLikeTree};
+use panda_core::config::BoundMode;
+use panda_core::{KnnHeap, LocalKdTree, QueryCounters, QueryWorkspace, TreeConfig};
+use panda_data::{queries_from, Dataset};
+
+fn setup() -> (panda_core::PointSet, panda_core::PointSet) {
+    let points = Dataset::CosmoThin.generate(4e-4, 11); // 20k points
+    let queries = queries_from(&points, 256, 0.01, 12);
+    (points, queries)
+}
+
+fn bench_vs_baselines(c: &mut Criterion) {
+    let (points, queries) = setup();
+    let panda = LocalKdTree::build(&points, &TreeConfig::default()).unwrap();
+    let flann = FlannLikeTree::build(&points).unwrap();
+    let ann = AnnLikeTree::build(&points).unwrap();
+    let brute = BruteForce::new(&points);
+
+    let mut g = c.benchmark_group("query_vs_baselines");
+    g.sample_size(20);
+    g.bench_function("panda", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..queries.len() {
+                acc += panda.query(queries.point(i), 5).unwrap()[0].dist_sq;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("flann_like", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..queries.len() {
+                acc += flann.query(queries.point(i), 5).unwrap()[0].dist_sq;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("ann_like", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..queries.len() {
+                acc += ann.query(queries.point(i), 5).unwrap()[0].dist_sq;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("brute_force", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..queries.len().min(32) {
+                acc += brute.query(queries.point(i), 5).unwrap()[0].dist_sq;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let (points, queries) = setup();
+    let tree = LocalKdTree::build(&points, &TreeConfig::default()).unwrap();
+    let mut g = c.benchmark_group("query_k_sweep");
+    g.sample_size(20);
+    for k in [1usize, 5, 20, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..queries.len() {
+                    acc += tree.query(queries.point(i), k).unwrap()[0].dist_sq;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bound_modes(c: &mut Criterion) {
+    let (points, queries) = setup();
+    let tree = LocalKdTree::build(&points, &TreeConfig::default()).unwrap();
+    let mut g = c.benchmark_group("query_bound_modes");
+    g.sample_size(20);
+    for (name, mode) in [("exact", BoundMode::Exact), ("paper_scalar", BoundMode::PaperScalar)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ws = QueryWorkspace::new();
+                let mut counters = QueryCounters::default();
+                let mut acc = 0usize;
+                for i in 0..queries.len() {
+                    let mut heap = KnnHeap::new(5);
+                    tree.query_into(queries.point(i), &mut heap, mode, &mut ws, &mut counters);
+                    acc += heap.len();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vs_baselines, bench_k_sweep, bench_bound_modes);
+criterion_main!(benches);

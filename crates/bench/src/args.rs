@@ -1,0 +1,130 @@
+//! Minimal CLI flag parsing shared by the figure binaries.
+//!
+//! Hand-rolled on purpose: the offline dependency set has no argument
+//! parser, and the harness needs only `--flag value` pairs and `--switch`
+//! booleans.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit token stream (tests).
+    pub fn parse(tokens: impl Iterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut tokens = tokens.peekable();
+        while let Some(t) = tokens.next() {
+            if let Some(name) = t.strip_prefix("--") {
+                match tokens.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.insert(name.to_string(), tokens.next().expect("peeked"));
+                    }
+                    _ => switches.push(name.to_string()),
+                }
+            } else {
+                eprintln!("warning: ignoring stray argument {t:?}");
+            }
+        }
+        Self { flags, switches }
+    }
+
+    /// `--name value` as f64, or `default`.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name value` as usize, or `default`.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name value` as u64, or `default`.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `--name value` as string.
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Bare `--name` switch present?
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Dataset scale factor (`--scale`, default 1e-3 of the paper sizes).
+    pub fn scale(&self) -> f64 {
+        self.f64("scale", 1e-3)
+    }
+
+    /// Rank cap (`--max-ranks`, default 64).
+    pub fn max_ranks(&self) -> usize {
+        self.usize("max-ranks", 64)
+    }
+
+    /// RNG seed (`--seed`, default 42).
+    pub fn seed(&self) -> u64 {
+        self.u64("seed", 42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn flags_and_switches() {
+        let a = args("--scale 0.01 --full --ranks 8 --csv out.csv");
+        assert_eq!(a.scale(), 0.01);
+        assert_eq!(a.usize("ranks", 4), 8);
+        assert!(a.switch("full"));
+        assert!(!a.switch("quick"));
+        assert_eq!(a.string("csv", ""), "out.csv");
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args("");
+        assert_eq!(a.scale(), 1e-3);
+        assert_eq!(a.max_ranks(), 64);
+        assert_eq!(a.seed(), 42);
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = args("--verbose");
+        assert!(a.switch("verbose"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn bad_number_panics() {
+        let a = args("--scale banana");
+        let _ = a.scale();
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation — leaf bucket size (§III-A1: "Empirically, we found that a
+//! bucket size of 32 gave the best performance").
+//!
+//! Larger buckets shrink the tree (cheaper construction, fewer node
+//! visits) but make every visited leaf an exhaustive scan; smaller
+//! buckets do the opposite. The sweep reports modeled construction and
+//! query times at 24 Edison threads, plus the raw traversal counters
+//! driving them.
+
+use panda_bench::table::{f, Table};
+use panda_bench::Args;
+use panda_comm::MachineProfile;
+use panda_core::knn::KnnIndex;
+use panda_core::TreeConfig;
+use panda_data::{queries_from, Dataset};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+    let cost = MachineProfile::EdisonNode.cost_model();
+
+    let points = Dataset::CosmoThin.generate(scale, seed);
+    let queries = queries_from(&points, (points.len() / 10).max(512), 0.01, seed + 1);
+    println!(
+        "Bucket-size ablation — cosmo_thin ({} pts, {} queries, k=5)\n",
+        points.len(),
+        queries.len()
+    );
+
+    let mut table = Table::new(&[
+        "Bucket",
+        "Constr model(s)",
+        "Query model(s)",
+        "Total(s)",
+        "Nodes visited",
+        "Points scanned",
+        "Tree depth",
+    ]);
+    let mut best = (0usize, f64::INFINITY);
+    for bucket in [4usize, 8, 16, 32, 64, 128, 256] {
+        let cfg = TreeConfig { threads: 24, ..TreeConfig::default() }.with_bucket_size(bucket);
+        let index = KnnIndex::build(&points, &cfg).expect("build");
+        let (_r, counters) = index.query_batch(&queries, 5).expect("query");
+        let c = index.tree().modeled_build_at(&cost, 24, false).total();
+        let q = index.modeled_query_time_at(&counters, &cost, 24, false);
+        if q < best.1 {
+            best = (bucket, q);
+        }
+        table.row(&[
+            bucket.to_string(),
+            f(c, 4),
+            f(q, 4),
+            f(c + q, 4),
+            counters.nodes_visited.to_string(),
+            counters.points_scanned.to_string(),
+            index.tree().stats().max_depth.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nbest query-time bucket: {} (paper: 32)", best.0);
+}

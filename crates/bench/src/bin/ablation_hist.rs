@@ -1,0 +1,78 @@
+//! Ablation — histogram binning kernel (§III-A1: the sub-interval SIMD
+//! scan beats binary search by up to 42% during local construction).
+//!
+//! Two measurements:
+//! 1. real wall-clock of the two binning kernels on this host (the
+//!    microbenchmark behind the cost-model constants);
+//! 2. real + modeled local-tree construction time under each kernel.
+
+use std::time::Instant;
+
+use panda_bench::table::{f, Table};
+use panda_bench::Args;
+use panda_comm::MachineProfile;
+use panda_core::config::HistScan;
+use panda_core::hist::SampledHistogram;
+use panda_core::knn::KnnIndex;
+use panda_core::TreeConfig;
+use panda_data::Dataset;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+    let cost = MachineProfile::EdisonNode.cost_model();
+
+    // --- kernel microbenchmark ------------------------------------------
+    let samples: Vec<f32> = (0..1024).map(|i| (i as f32).sqrt() * 31.0).collect();
+    let hist = SampledHistogram::from_samples(samples);
+    let values: Vec<f32> =
+        (0..2_000_000u64).map(|i| ((i.wrapping_mul(2654435761)) % 32768) as f32 / 32.0).collect();
+    let mut counts = vec![0u64; hist.n_bins()];
+    let mut times = [0.0f64; 2];
+    for (slot, scan) in [(0, HistScan::Binary), (1, HistScan::SubInterval)] {
+        counts.iter_mut().for_each(|c| *c = 0);
+        hist.count_into(values.iter().copied(), &mut counts, scan); // warm
+        let t0 = Instant::now();
+        counts.iter_mut().for_each(|c| *c = 0);
+        hist.count_into(values.iter().copied(), &mut counts, scan);
+        times[slot] = t0.elapsed().as_secs_f64();
+    }
+    println!("binning kernel, {} values over 1024 sampled boundaries:", values.len());
+    println!("  binary search : {:.4}s ({:.1} ns/pt)", times[0], times[0] / values.len() as f64 * 1e9);
+    println!("  sub-interval  : {:.4}s ({:.1} ns/pt)", times[1], times[1] / values.len() as f64 * 1e9);
+    println!(
+        "  sub-interval scan is {:+.0}% vs binary search on THIS host for UNIFORM probes\n\
+         \x20 (paper, 2013 Ivy Bridge: scan wins by up to 42%. The winner is context-\n\
+         \x20 dependent: the scan is branch-free and vectorizes, binary search wins when\n\
+         \x20 its branches predict — e.g. the partially-sorted segments of a real build,\n\
+         \x20 measured below. The Edison cost model encodes the paper's relationship.)\n",
+        100.0 * (times[0] / times[1] - 1.0)
+    );
+
+    // --- end-to-end construction under each kernel ----------------------
+    let points = Dataset::CosmoThin.generate(scale, seed);
+    println!("local construction, cosmo_thin ({} pts):", points.len());
+    let mut table = Table::new(&["Kernel", "Real build(s)", "Model build(s) @24T"]);
+    let mut real = [0.0f64; 2];
+    for (slot, scan) in [(0, HistScan::Binary), (1, HistScan::SubInterval)] {
+        let cfg = TreeConfig {
+            threads: 24,
+            hist_scan: scan,
+            // force the sampled-histogram path for most of the tree so
+            // the kernel difference is visible
+            exact_median_below: 256,
+            ..TreeConfig::default()
+        };
+        let t0 = Instant::now();
+        let index = KnnIndex::build(&points, &cfg).expect("build");
+        real[slot] = t0.elapsed().as_secs_f64();
+        let model = index.tree().modeled_build_at(&cost, 24, false).total();
+        table.row(&[format!("{scan:?}"), f(real[slot], 3), f(model, 4)]);
+    }
+    table.print();
+    println!(
+        "\nreal construction speedup from the sub-interval scan: {:.1}%",
+        100.0 * (1.0 - real[1] / real[0])
+    );
+}

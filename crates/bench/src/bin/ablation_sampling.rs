@@ -1,0 +1,103 @@
+//! Ablation — sampling budgets (§III-A1's `m = 256` global samples per
+//! rank and 1024 local samples) and the data-parallel cut-over factor
+//! (`threads × 10`).
+//!
+//! More samples buy better medians (balance) at histogram-assembly cost;
+//! the paper's choices sit where balance stops improving. The cut-over
+//! factor trades breadth-first level overhead against tail imbalance of
+//! the subtree schedule.
+
+use panda_bench::runner::{run_distributed, RunConfig};
+use panda_bench::table::{f, Table};
+use panda_bench::Args;
+use panda_comm::MachineProfile;
+use panda_core::config::{SplitValueStrategy, TreeConfig};
+use panda_core::knn::KnnIndex;
+use panda_data::{queries_from, Dataset};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+
+    // ---- global samples per rank → load balance -------------------------
+    let points = Dataset::CosmoMedium.generate(scale, seed);
+    let queries = queries_from(&points, 512, 0.01, seed + 1);
+    println!(
+        "Global sampling ablation — cosmo_medium ({} pts, 16 ranks)\n",
+        points.len()
+    );
+    let mut table =
+        Table::new(&["Samples/rank", "Max load imbalance", "Constr model(s)", "Query model(s)"]);
+    for m in [16usize, 64, 256, 1024] {
+        let mut cfg = RunConfig::edison(16);
+        cfg.dist.global_samples_per_rank = m;
+        let metrics = run_distributed(&points, &queries, &cfg, false);
+        table.row(&[
+            m.to_string(),
+            f(metrics.max_load_imbalance, 3),
+            f(metrics.construct_s, 4),
+            f(metrics.query_s, 4),
+        ]);
+    }
+    table.print();
+    println!("(paper uses 256/rank; balance should plateau near there)\n");
+
+    // ---- local histogram samples ----------------------------------------
+    let cost = MachineProfile::EdisonNode.cost_model();
+    let thin = Dataset::CosmoThin.generate(scale, seed);
+    let tq = queries_from(&thin, (thin.len() / 10).max(512), 0.01, seed + 2);
+    println!("Local sampling ablation — cosmo_thin ({} pts)\n", thin.len());
+    let mut table = Table::new(&[
+        "Samples",
+        "Constr model(s)",
+        "Query model(s)",
+        "Tree depth",
+        "Mean leaf fill",
+    ]);
+    for samples in [64usize, 256, 1024, 4096] {
+        let cfg = TreeConfig {
+            threads: 24,
+            split_value: SplitValueStrategy::SampledHistogram { samples },
+            exact_median_below: 64,
+            ..TreeConfig::default()
+        };
+        let index = KnnIndex::build(&thin, &cfg).expect("build");
+        let (_r, counters) = index.query_batch(&tq, 5).expect("query");
+        table.row(&[
+            samples.to_string(),
+            f(index.tree().modeled_build_at(&cost, 24, false).total(), 4),
+            f(index.modeled_query_time_at(&counters, &cost, 24, false), 4),
+            index.tree().stats().max_depth.to_string(),
+            f(index.tree().stats().mean_leaf_fill, 1),
+        ]);
+    }
+    table.print();
+    println!("(paper uses 1024 for the local tree)\n");
+
+    // ---- data-parallel cut-over factor ----------------------------------
+    println!("Data-parallel cut-over ablation — cosmo_thin\n");
+    let mut table = Table::new(&[
+        "Factor",
+        "DP levels",
+        "Subtrees",
+        "Constr model(s)",
+    ]);
+    for factor in [1usize, 4, 10, 40] {
+        let cfg = TreeConfig {
+            threads: 24,
+            data_parallel_factor: factor,
+            ..TreeConfig::default()
+        };
+        let index = KnnIndex::build(&thin, &cfg).expect("build");
+        let stats = index.tree().stats();
+        table.row(&[
+            factor.to_string(),
+            stats.phases.dp_levels.to_string(),
+            stats.phases.subtrees.len().to_string(),
+            f(index.tree().modeled_build_at(&cost, 24, false).total(), 4),
+        ]);
+    }
+    table.print();
+    println!("(paper switches to thread-parallel subtrees at threads × 10 segments)");
+}

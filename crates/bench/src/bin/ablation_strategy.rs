@@ -1,0 +1,83 @@
+//! Ablation — distributed strategy (1) vs (2) (§III-A).
+//!
+//! Strategy (1): per-rank local trees, no redistribution; every query
+//! goes to every rank; `P·k` candidates cross the network per query.
+//! Strategy (2), PANDA: global kd-tree; each query visits its owner plus
+//! the few ranks within `r'`. The paper's introduction argues (2) wins on
+//! network traffic and per-query work; this harness quantifies it.
+
+use panda_baselines::LocalTreesKnn;
+use panda_bench::runner::{run_distributed, RunConfig};
+use panda_bench::table::{bytes, f, Table};
+use panda_bench::Args;
+use panda_comm::{run_cluster, total_stats, ClusterConfig, MachineProfile};
+use panda_core::TreeConfig;
+use panda_data::{queries_from, scatter, Dataset};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+
+    let points = Dataset::CosmoThin.generate(scale, seed);
+    let queries = queries_from(&points, (points.len() / 20).max(256), 0.01, seed + 1);
+    let k = 5;
+    println!(
+        "Strategy ablation — cosmo_thin ({} pts, {} queries, k={k})\n",
+        points.len(),
+        queries.len()
+    );
+
+    let mut table = Table::new(&[
+        "P",
+        "Strategy",
+        "Query model(s)",
+        "Bytes/query",
+        "Candidates/query",
+        "Ranks touched/query",
+    ]);
+
+    for p in [4usize, 16, 64] {
+        // --- strategy (2): PANDA global tree ---------------------------
+        let cfg = RunConfig::edison(p);
+        let m = run_distributed(&points, &queries, &cfg, false);
+        let nq = queries.len() as f64;
+        table.row(&[
+            p.to_string(),
+            "global tree (PANDA)".into(),
+            f(m.query_s, 4),
+            bytes((m.comm_query.total_bytes() as f64 / nq) as u64),
+            f(m.remote.remote_neighbors_received as f64 / nq + k as f64, 1),
+            f(1.0 + m.remote.avg_remote_fanout(), 2),
+        ]);
+
+        // --- strategy (1): local trees everywhere -----------------------
+        let cost = MachineProfile::EdisonNode.cost_model().with_threads(24);
+        let cluster = ClusterConfig::new(p).with_cost(cost);
+        let outcomes = run_cluster(&cluster, |comm| {
+            let mine = scatter(&points, comm.rank(), comm.size());
+            let cfg = TreeConfig { threads: 24, ..TreeConfig::default() };
+            let engine = LocalTreesKnn::build(comm, &mine, &cfg).expect("build");
+            comm.barrier();
+            let t0 = comm.now();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let (_res, stats, _c) = engine.query(comm, &myq, k).expect("query");
+            comm.barrier();
+            (comm.now() - t0, stats)
+        });
+        let t_query = outcomes.iter().map(|o| o.result.0).fold(0.0, f64::max);
+        let comm_stats = total_stats(&outcomes);
+        let candidates: u64 = outcomes.iter().map(|o| o.result.1.candidates_merged).sum();
+        table.row(&[
+            p.to_string(),
+            "local trees (strategy 1)".into(),
+            f(t_query, 4),
+            bytes((comm_stats.total_bytes() as f64 / nq) as u64),
+            f(candidates as f64 / nq, 1),
+            p.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\npaper §I: strategy (1) computes and transfers P*k neighbors per query and");
+    println!("throws away all but k; the global tree touches O(1) ranks per query instead.");
+}

@@ -1,0 +1,41 @@
+//! Host calibration of the cost-model constants.
+//!
+//! Re-measures the per-operation costs the simulator uses (distance
+//! kernel, heap, histogram binning, partition) and prints a
+//! `ComputeCosts` literal for the `Laptop` profile, next to the built-in
+//! defaults. Run with `--release`; debug numbers are meaningless.
+
+use panda_bench::calibrate;
+use panda_bench::table::{f, Table};
+use panda_comm::{ComputeCosts, MachineProfile};
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("warning: calibrating a debug build — run with --release");
+    }
+    let cal = calibrate::run();
+    let laptop = MachineProfile::Laptop.cost_model().ops;
+
+    println!("per-operation costs measured on this host (ns):\n");
+    let mut t = Table::new(&["op", "measured", "laptop profile", "ratio"]);
+    let rows: [(&str, f64, f64); 5] = [
+        ("dist (pt·dim)", cal.dist, laptop.dist),
+        ("heap offer", cal.heap_op, laptop.heap_op),
+        ("hist binary", cal.hist_binary, laptop.hist_binary),
+        ("hist scan", cal.hist_scan, laptop.hist_scan),
+        ("partition", cal.partition, laptop.partition),
+    ];
+    for (name, measured, profile) in rows {
+        t.row(&[
+            name.to_string(),
+            f(measured * 1e9, 2),
+            f(profile * 1e9, 2),
+            f(measured / profile, 2),
+        ]);
+    }
+    t.print();
+
+    println!("\nscan vs binary advantage: {:.0}%", 100.0 * (1.0 - cal.hist_scan / cal.hist_binary));
+    println!("\nComputeCosts literal for cost.rs (Laptop profile):\n");
+    println!("{}", calibrate::render(&cal, &ComputeCosts::ivy_bridge()));
+}

@@ -1,0 +1,53 @@
+//! Figure 5(a) — weak scaling on the cosmology datasets.
+//!
+//! Paper: ~250 M particles per node on 96 / 768 / 6144 cores (a 64×
+//! span); total runtime grows only 2.2× (construction) and 1.5×
+//! (querying). Reproduction: fixed `--per-rank` points per rank (default
+//! 250M × scale), ranks 1 → 64, times normalized to the smallest run.
+
+use panda_bench::runner::{run_distributed, RunConfig};
+use panda_bench::table::{f, Table};
+use panda_bench::Args;
+use panda_data::cosmology::{self, CosmologyParams};
+use panda_data::queries_from;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+    let per_rank = args.usize("per-rank", ((250_000_000.0 * scale) as usize).max(2000));
+
+    println!("Fig 5(a) — weak scaling, cosmology, {per_rank} points/rank");
+    println!("paper: 64x more cores -> 2.2x (constr) / 1.5x (query) total time\n");
+
+    let mut table = Table::new(&[
+        "Ranks",
+        "Points",
+        "Constr(s)",
+        "Constr norm",
+        "Query(s)",
+        "Query norm",
+    ]);
+    let mut base_c = 0.0;
+    let mut base_q = 0.0;
+    for (step, ranks) in [1usize, 4, 16, 64].into_iter().enumerate() {
+        let n = per_rank * ranks;
+        let points = cosmology::generate(n, &CosmologyParams::default(), seed);
+        let queries = queries_from(&points, (n / 10).max(64), 0.01, seed + 1);
+        let cfg = RunConfig::edison(ranks);
+        let m = run_distributed(&points, &queries, &cfg, false);
+        if step == 0 {
+            base_c = m.construct_s;
+            base_q = m.query_s;
+        }
+        table.row(&[
+            ranks.to_string(),
+            n.to_string(),
+            f(m.construct_s, 3),
+            f(m.construct_s / base_c, 2),
+            f(m.query_s, 3),
+            f(m.query_s / base_q, 2),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,161 @@
+//! Host microbenchmarks for the cost-model constants.
+//!
+//! The simulated cluster converts counted operations to virtual seconds
+//! through `panda_comm::ComputeCosts`. The defaults were derived from
+//! these microbenchmarks; `panda-bench --bin calibrate` re-runs them on
+//! the current host and prints a `ComputeCosts` literal plus the ratio to
+//! the built-in laptop profile.
+
+use std::time::Instant;
+
+use panda_comm::ComputeCosts;
+use panda_core::config::HistScan;
+use panda_core::hist::SampledHistogram;
+use panda_core::local_tree::PackedLeaves;
+use panda_core::KnnHeap;
+
+/// Measured per-op costs (seconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Calibration {
+    /// Per (point·dim) packed-bucket distance.
+    pub dist: f64,
+    /// Per heap offer.
+    pub heap_op: f64,
+    /// Per point binned, binary search.
+    pub hist_binary: f64,
+    /// Per point binned, sub-interval scan.
+    pub hist_scan: f64,
+    /// Per point partitioned.
+    pub partition: f64,
+}
+
+fn time(mut f: impl FnMut()) -> f64 {
+    // warmup
+    f();
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Run the microbenchmarks (takes well under a second each).
+pub fn run() -> Calibration {
+    let mut cal = Calibration::default();
+    let mut sink = 0.0f32;
+
+    // Packed-bucket distance kernel: 3-D, 32-point buckets.
+    {
+        let dims = 3;
+        let n_buckets = 2000usize;
+        let mut pl = PackedLeaves::new(dims);
+        for b in 0..n_buckets {
+            pl.push_leaf(32, |i, d| (b * 32 + i * dims + d) as f32 * 0.001, |i| i as u64);
+        }
+        let q = [1.0f32, 2.0, 3.0];
+        let mut out = Vec::new();
+        let reps = 20;
+        let secs = time(|| {
+            for _ in 0..reps {
+                for b in 0..n_buckets {
+                    pl.distances(b * 32, 32, &q, &mut out);
+                    sink += out[0];
+                }
+            }
+        });
+        cal.dist = secs / (reps * n_buckets * 32 * dims) as f64;
+    }
+
+    // Heap offers.
+    {
+        let reps = 200_000usize;
+        let secs = time(|| {
+            let mut h = KnnHeap::new(8);
+            for i in 0..reps {
+                h.offer((i % 1000) as f32 * 0.5, i as u64);
+            }
+            sink += h.bound_sq();
+        });
+        cal.heap_op = secs / reps as f64;
+    }
+
+    // Histogram binning, both kernels, 1024 boundaries.
+    {
+        let samples: Vec<f32> = (0..1024).map(|i| i as f32).collect();
+        let hist = SampledHistogram::from_samples(samples);
+        let values: Vec<f32> = (0..100_000).map(|i| (i % 1024) as f32 + 0.5).collect();
+        for (scan, slot) in [(HistScan::Binary, 0), (HistScan::SubInterval, 1)] {
+            let mut counts = vec![0u64; hist.n_bins()];
+            let secs = time(|| {
+                counts.iter_mut().for_each(|c| *c = 0);
+                hist.count_into(values.iter().copied(), &mut counts, scan);
+            });
+            let per = secs / values.len() as f64;
+            if slot == 0 {
+                cal.hist_binary = per;
+            } else {
+                cal.hist_scan = per;
+            }
+        }
+    }
+
+    // Partition.
+    {
+        let values: Vec<f32> =
+            (0..200_000u64).map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f32).collect();
+        let ps = panda_core::PointSet::from_coords(1, values).unwrap();
+        let secs = time(|| {
+            let mut idx: Vec<u32> = (0..ps.len() as u32).collect();
+            let l = panda_core::partition::partition_in_place(&ps, &mut idx, 0, 500.0);
+            sink += l as f32;
+        });
+        cal.partition = secs / ps.len() as f64;
+    }
+
+    std::hint::black_box(sink);
+    cal
+}
+
+/// Render a `ComputeCosts` literal with measured values substituted where
+/// available and defaults elsewhere.
+pub fn render(cal: &Calibration, base: &ComputeCosts) -> String {
+    format!(
+        "ComputeCosts {{\n    dist: {:.3e},\n    node_visit: {:.3e},\n    heap_op: {:.3e},\n    \
+         hist_binary: {:.3e},\n    hist_scan: {:.3e},\n    partition: {:.3e},\n    pack: {:.3e},\n    \
+         variance: {:.3e},\n    sample: {:.3e},\n    owner_level: {:.3e},\n    merge: {:.3e},\n}}",
+        cal.dist,
+        base.node_visit,
+        cal.heap_op,
+        cal.hist_binary,
+        cal.hist_scan,
+        cal.partition,
+        base.pack,
+        base.variance,
+        base.sample,
+        base.owner_level,
+        base.merge,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_runs_and_is_sane() {
+        let cal = run();
+        // All measured costs positive and within 3 orders of magnitude of
+        // the defaults (debug builds are slow; this is a smoke bound).
+        assert!(cal.dist > 0.0 && cal.dist < 1e-6);
+        assert!(cal.heap_op > 0.0 && cal.heap_op < 1e-5);
+        assert!(cal.hist_binary > 0.0);
+        assert!(cal.hist_scan > 0.0);
+        assert!(cal.partition > 0.0 && cal.partition < 1e-5);
+    }
+
+    #[test]
+    fn render_is_valid_looking() {
+        let cal = run();
+        let s = render(&cal, &ComputeCosts::ivy_bridge());
+        assert!(s.contains("dist:"));
+        assert!(s.contains("hist_scan:"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Aligned console tables + optional CSV dumps for the figure binaries.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple right-aligned table with a header row.
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", c, w = widths[0]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Write as CSV (no quoting — harness cells never contain commas).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// `format!`-free float formatting helpers used across harnesses.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Human-readable count (1.1B, 68.7M, ...).
+pub fn count(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.1}B", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Human-readable bytes.
+pub fn bytes(n: u64) -> String {
+    if n >= 1 << 30 {
+        format!("{:.2}GiB", n as f64 / (1u64 << 30) as f64)
+    } else if n >= 1 << 20 {
+        format!("{:.2}MiB", n as f64 / (1u64 << 20) as f64)
+    } else if n >= 1 << 10 {
+        format!("{:.1}KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // right-aligned numbers share the final column
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        let path = std::env::temp_dir().join(format!("panda-tbl-{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn humanized_counts() {
+        assert_eq!(count(1_100_000_000), "1.1B");
+        assert_eq!(count(68_700_000), "68.7M");
+        assert_eq!(count(50_000), "50K");
+        assert_eq!(count(999), "999");
+        assert_eq!(bytes(2048), "2.0KiB");
+        assert_eq!(bytes(3 << 20), "3.00MiB");
+    }
+
+    #[test]
+    fn f_formats() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 1), "10.0");
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-rank virtual time.
+//!
+//! Each rank advances its own clock: compute sections add modeled compute
+//! seconds, message receipt synchronizes the receiver forward to the
+//! sender's send time plus transfer cost, and collectives synchronize the
+//! whole group. Because every advance is derived from deterministic
+//! operation counts, simulated timings are reproducible run-to-run.
+
+/// Immutable snapshot of a rank's virtual clock, returned to the driver
+/// when a cluster run finishes (see [`crate::RankOutcome`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClockSummary {
+    /// Current virtual time in seconds since the rank started.
+    pub now: f64,
+    /// Seconds attributed to computation.
+    pub compute: f64,
+    /// Seconds attributed to communication transfer costs.
+    pub comm: f64,
+    /// Seconds spent waiting on peers (synchronization skew).
+    pub wait: f64,
+}
+
+/// A rank-local virtual clock (LogP-style accounting).
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: f64,
+    compute: f64,
+    comm: f64,
+    wait: f64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (seconds).
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt` seconds of computation. `dt` must be finite and
+    /// non-negative; negative or NaN advances indicate a cost-model bug and
+    /// panic in debug builds (clamped to zero in release).
+    #[inline]
+    pub fn advance_compute(&mut self, dt: f64) {
+        debug_assert!(dt.is_finite() && dt >= 0.0, "bad compute advance: {dt}");
+        let dt = dt.max(0.0);
+        self.now += dt;
+        self.compute += dt;
+    }
+
+    /// Advance by `dt` seconds of communication (transfer/overhead cost).
+    #[inline]
+    pub fn advance_comm(&mut self, dt: f64) {
+        debug_assert!(dt.is_finite() && dt >= 0.0, "bad comm advance: {dt}");
+        let dt = dt.max(0.0);
+        self.now += dt;
+        self.comm += dt;
+    }
+
+    /// Synchronize forward to absolute virtual time `t` (no-op if `t` is in
+    /// the past). The skipped interval is accounted as waiting.
+    #[inline]
+    pub fn sync_to(&mut self, t: f64) {
+        if t > self.now {
+            self.wait += t - self.now;
+            self.now = t;
+        }
+    }
+
+    /// Snapshot the clock.
+    pub fn summary(&self) -> ClockSummary {
+        ClockSummary {
+            now: self.now,
+            compute: self.compute,
+            comm: self.comm,
+            wait: self.wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.summary(), ClockSummary::default());
+    }
+
+    #[test]
+    fn compute_and_comm_accumulate_separately() {
+        let mut c = VirtualClock::new();
+        c.advance_compute(1.5);
+        c.advance_comm(0.5);
+        c.advance_compute(1.0);
+        let s = c.summary();
+        assert_eq!(s.now, 3.0);
+        assert_eq!(s.compute, 2.5);
+        assert_eq!(s.comm, 0.5);
+        assert_eq!(s.wait, 0.0);
+    }
+
+    #[test]
+    fn sync_forward_counts_wait() {
+        let mut c = VirtualClock::new();
+        c.advance_compute(1.0);
+        c.sync_to(4.0);
+        let s = c.summary();
+        assert_eq!(s.now, 4.0);
+        assert_eq!(s.wait, 3.0);
+    }
+
+    #[test]
+    fn sync_backward_is_noop() {
+        let mut c = VirtualClock::new();
+        c.advance_compute(5.0);
+        c.sync_to(2.0);
+        assert_eq!(c.now(), 5.0);
+        assert_eq!(c.summary().wait, 0.0);
+    }
+
+    #[test]
+    fn monotonic_under_any_sequence() {
+        let mut c = VirtualClock::new();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            match i % 3 {
+                0 => c.advance_compute(0.1),
+                1 => c.advance_comm(0.01),
+                _ => c.sync_to(prev - 1.0), // backward sync: no-op
+            }
+            assert!(c.now() >= prev);
+            prev = c.now();
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "bad compute advance")]
+    fn negative_advance_panics_in_debug() {
+        VirtualClock::new().advance_compute(-1.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Cost model mapping counted work and message bytes to virtual seconds.
+//!
+//! The simulated cluster executes the real algorithm on real data; only the
+//! conversion *(operation counts, bytes) → seconds* is modeled. Three layers:
+//!
+//! * [`NetworkCosts`] — LogP-style `α + β·bytes` per message, log-tree
+//!   collectives (Cray-Aries-shaped defaults).
+//! * [`ThreadModel`] — intra-rank thread scaling: Amdahl CPU term plus a
+//!   memory-concurrency term that reproduces the paper's observation that
+//!   querying is memory-bound (8.8–12.2× on 24 cores, another 1.5–1.7× from
+//!   SMT) while construction scales near-linearly (17–20×).
+//! * [`ComputeCosts`] — per-operation costs (distance FLOPs, node visits,
+//!   histogram binning, partitioning, packing...). Defaults are derived
+//!   from microbenchmarks (`panda-bench --bin calibrate`) and scaled per
+//!   machine profile.
+//!
+//! Presets: [`MachineProfile::EdisonNode`] (2×12-core Xeon E5-2695v2,
+//! DDR3-1866, Aries), [`MachineProfile::KnlNode`] (68-core Xeon Phi,
+//! MCDRAM), [`MachineProfile::Laptop`] (host-calibrated).
+
+/// Per-message/byte network costs (LogP-ish).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkCosts {
+    /// One-way message latency in seconds (the LogP `L + 2o` lump).
+    pub alpha: f64,
+    /// Seconds per byte (inverse injection bandwidth per rank).
+    pub beta: f64,
+    /// CPU-side overhead charged to the sender per message (LogP `o`).
+    pub send_overhead: f64,
+}
+
+impl NetworkCosts {
+    /// Transfer cost for a single point-to-point message of `bytes`.
+    #[inline]
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Cost of a log-tree collective over `group` ranks moving `bytes`
+    /// through the bottleneck rank.
+    #[inline]
+    pub fn collective(&self, group: usize, bytes: u64) -> f64 {
+        let stages = log2_ceil(group.max(1)) as f64;
+        self.alpha * stages + self.beta * bytes as f64
+    }
+}
+
+/// `ceil(log2(n))` for `n ≥ 1`; 0 for `n ≤ 1`.
+#[inline]
+pub fn log2_ceil(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Intra-rank thread scaling model.
+///
+/// Two regimes, taking the max:
+///
+/// * CPU: `cpu_seconds / amdahl_speedup(threads)`;
+/// * Memory: `bytes / achieved_bandwidth(threads, smt)` where achieved
+///   bandwidth grows linearly with thread count (`bw_per_thread`) up to a
+///   concurrency-limited fraction of socket peak — a higher fraction with
+///   SMT, which is exactly the effect the paper reports for querying.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThreadModel {
+    /// Modeled physical threads per rank.
+    pub threads: usize,
+    /// Whether SMT (2 logical threads per core) is modeled.
+    pub smt: bool,
+    /// Amdahl serial fraction for parallelized compute sections.
+    pub amdahl_serial: f64,
+    /// Memory bandwidth one thread can extract (bytes/s), latency-bound.
+    pub bw_per_thread: f64,
+    /// Socket peak memory bandwidth (bytes/s).
+    pub peak_bw: f64,
+    /// Fraction of peak achievable without SMT (outstanding-miss limited).
+    pub util_nosmt: f64,
+    /// Fraction of peak achievable with SMT.
+    pub util_smt: f64,
+    /// Per-logical-thread bandwidth scale when SMT siblings share a core.
+    pub smt_per_thread_scale: f64,
+    /// Small CPU-side speedup from SMT (superscalar slack).
+    pub smt_cpu_gain: f64,
+}
+
+impl ThreadModel {
+    /// Amdahl speedup at `t` threads with this model's serial fraction.
+    #[inline]
+    pub fn amdahl_speedup(&self, t: usize) -> f64 {
+        let t = t.max(1) as f64;
+        t / (1.0 + self.amdahl_serial * (t - 1.0))
+    }
+
+    /// Achieved memory bandwidth (bytes/s) at the configured thread count.
+    pub fn achieved_bandwidth(&self) -> f64 {
+        self.achieved_bandwidth_at(self.threads, self.smt)
+    }
+
+    /// Achieved memory bandwidth for an explicit `(threads, smt)` point —
+    /// used by the single-node scaling benches to sweep thread counts.
+    pub fn achieved_bandwidth_at(&self, threads: usize, smt: bool) -> f64 {
+        let threads = threads.max(1) as f64;
+        let (logical, per_thread, util) = if smt {
+            (threads * 2.0, self.bw_per_thread * self.smt_per_thread_scale, self.util_smt)
+        } else {
+            (threads, self.bw_per_thread, self.util_nosmt)
+        };
+        (logical * per_thread).min(self.peak_bw * util)
+    }
+
+    /// Modeled wall seconds for a parallel section that costs
+    /// `cpu_seconds` on one thread and streams `mem_bytes` from memory.
+    pub fn parallel_time(&self, cpu_seconds: f64, mem_bytes: f64) -> f64 {
+        self.parallel_time_at(cpu_seconds, mem_bytes, self.threads, self.smt)
+    }
+
+    /// As [`Self::parallel_time`] for an explicit `(threads, smt)` point.
+    pub fn parallel_time_at(
+        &self,
+        cpu_seconds: f64,
+        mem_bytes: f64,
+        threads: usize,
+        smt: bool,
+    ) -> f64 {
+        let cpu_gain = if smt { self.smt_cpu_gain } else { 1.0 };
+        let t_cpu = cpu_seconds / (self.amdahl_speedup(threads) * cpu_gain);
+        let t_mem = mem_bytes / self.achieved_bandwidth_at(threads, smt);
+        t_cpu.max(t_mem)
+    }
+}
+
+/// Per-operation compute costs in seconds (single thread).
+///
+/// Each field corresponds to one instrumented inner loop of the PANDA
+/// algorithm; the algorithm reports *counts* and the model converts them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeCosts {
+    /// Per (point · dimension) in a packed-bucket distance scan (vectorized).
+    pub dist: f64,
+    /// Per internal tree node visited during traversal.
+    pub node_visit: f64,
+    /// Per bounded-heap push/replace.
+    pub heap_op: f64,
+    /// Per point binned into the sampled histogram via binary search.
+    pub hist_binary: f64,
+    /// Per point binned via the sub-interval SIMD scan (paper §III-A1).
+    pub hist_scan: f64,
+    /// Per point compared/moved during an index partition.
+    pub partition: f64,
+    /// Per coordinate copied during SIMD packing.
+    pub pack: f64,
+    /// Per (sample · dimension) during variance estimation.
+    pub variance: f64,
+    /// Per point drawn when sampling.
+    pub sample: f64,
+    /// Per global-tree level per query during owner lookup.
+    pub owner_level: f64,
+    /// Per candidate considered during the final top-k merge.
+    pub merge: f64,
+}
+
+impl ComputeCosts {
+    /// Uniformly scale all per-op costs (used to derive slow-core profiles).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            dist: self.dist * factor,
+            node_visit: self.node_visit * factor,
+            heap_op: self.heap_op * factor,
+            hist_binary: self.hist_binary * factor,
+            hist_scan: self.hist_scan * factor,
+            partition: self.partition * factor,
+            pack: self.pack * factor,
+            variance: self.variance * factor,
+            sample: self.sample * factor,
+            owner_level: self.owner_level * factor,
+            merge: self.merge * factor,
+        }
+    }
+
+    /// Baseline per-op costs for a ~2.4 GHz Ivy Bridge core (Edison),
+    /// cross-checked against the `calibrate` microbenchmarks.
+    pub fn ivy_bridge() -> Self {
+        Self {
+            dist: 0.35e-9,
+            node_visit: 6.0e-9,
+            heap_op: 12.0e-9,
+            hist_binary: 14.0e-9,
+            hist_scan: 8.0e-9,
+            partition: 4.0e-9,
+            pack: 0.9e-9,
+            variance: 1.6e-9,
+            sample: 4.0e-9,
+            owner_level: 5.0e-9,
+            merge: 15.0e-9,
+        }
+    }
+}
+
+/// Named machine presets for the experiments in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineProfile {
+    /// Edison Cray XC30 compute node: 2×12-core Xeon E5-2695v2 @2.4 GHz,
+    /// 64 GB DDR3-1866, Aries interconnect (§IV-A of the paper).
+    EdisonNode,
+    /// Intel Xeon Phi (Knights Landing) node: 68 cores @1.4 GHz, MCDRAM
+    /// (§V-D of the paper).
+    KnlNode,
+    /// The host this reproduction runs on (constants refreshed by
+    /// `panda-bench --bin calibrate`).
+    Laptop,
+}
+
+impl MachineProfile {
+    /// Build the full cost model for this profile.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            MachineProfile::EdisonNode => CostModel {
+                net: NetworkCosts { alpha: 1.4e-6, beta: 1.0 / 10.0e9, send_overhead: 0.3e-6 },
+                thread: ThreadModel {
+                    threads: 24,
+                    smt: false,
+                    amdahl_serial: 0.012,
+                    bw_per_thread: 4.5e9,
+                    peak_bw: 85.0e9,
+                    util_nosmt: 0.52,
+                    util_smt: 0.78,
+                    smt_per_thread_scale: 0.65,
+                    smt_cpu_gain: 1.08,
+                },
+                ops: ComputeCosts::ivy_bridge(),
+            },
+            MachineProfile::KnlNode => CostModel {
+                net: NetworkCosts { alpha: 1.6e-6, beta: 1.0 / 12.0e9, send_overhead: 0.4e-6 },
+                thread: ThreadModel {
+                    threads: 68,
+                    smt: true,
+                    amdahl_serial: 0.004,
+                    // Silvermont-class cores extract little memory-level
+                    // parallelism each; even with MCDRAM the *irregular*
+                    // access of tree traversal lands well under peak
+                    // (calibrated against the paper's Fig. 8(a) KNL
+                    // vs Titan Z ratios of 1.7–3.1×).
+                    bw_per_thread: 1.4e9,
+                    peak_bw: 380.0e9,
+                    util_nosmt: 0.22,
+                    util_smt: 0.34,
+                    smt_per_thread_scale: 0.70,
+                    smt_cpu_gain: 1.25,
+                },
+                // Slower scalar core (~1.4 GHz, in-order-ish front end) but
+                // wide AVX-512 vectors: scalar-dominated ops cost ~2.1×,
+                // the vector distance kernel is slightly cheaper.
+                ops: {
+                    let mut c = ComputeCosts::ivy_bridge().scaled(2.1);
+                    c.dist = 0.28e-9;
+                    c.pack = 0.8e-9;
+                    c
+                },
+            },
+            MachineProfile::Laptop => CostModel {
+                net: NetworkCosts { alpha: 0.8e-6, beta: 1.0 / 16.0e9, send_overhead: 0.2e-6 },
+                thread: ThreadModel {
+                    threads: 2,
+                    smt: false,
+                    amdahl_serial: 0.015,
+                    bw_per_thread: 6.0e9,
+                    peak_bw: 30.0e9,
+                    util_nosmt: 0.60,
+                    util_smt: 0.80,
+                    smt_per_thread_scale: 0.65,
+                    smt_cpu_gain: 1.08,
+                },
+                ops: ComputeCosts::ivy_bridge().scaled(0.8),
+            },
+        }
+    }
+}
+
+/// Complete cost model: network + threads + per-op compute costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Network (inter-rank) costs.
+    pub net: NetworkCosts,
+    /// Intra-rank thread scaling model.
+    pub thread: ThreadModel,
+    /// Per-operation compute costs.
+    pub ops: ComputeCosts,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        MachineProfile::EdisonNode.cost_model()
+    }
+}
+
+impl CostModel {
+    /// Model with a different per-rank thread count (used for sweeps).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.thread.threads = threads.max(1);
+        self
+    }
+
+    /// Model with SMT toggled.
+    pub fn with_smt(mut self, smt: bool) -> Self {
+        self.thread.smt = smt;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn p2p_cost_is_affine_in_bytes() {
+        let n = NetworkCosts { alpha: 1e-6, beta: 1e-9, send_overhead: 0.0 };
+        assert!((n.p2p(0) - 1e-6).abs() < 1e-15);
+        assert!((n.p2p(1000) - (1e-6 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collective_cost_grows_logarithmically() {
+        let n = NetworkCosts { alpha: 1e-6, beta: 0.0, send_overhead: 0.0 };
+        assert_eq!(n.collective(1, 0), 0.0);
+        assert!((n.collective(8, 0) - 3e-6).abs() < 1e-15);
+        assert!(n.collective(1024, 0) > n.collective(8, 0));
+    }
+
+    #[test]
+    fn edison_construction_scaling_matches_paper_band() {
+        // Paper Fig. 6(a): 17–20× construction speedup on 24 cores.
+        let m = MachineProfile::EdisonNode.cost_model().thread;
+        let s = m.amdahl_speedup(24);
+        assert!((17.0..=21.0).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn edison_query_scaling_matches_paper_band() {
+        // Paper Fig. 6(b): 8.8–12.2× query speedup on 24 cores (memory
+        // bound), with a further 1.5–1.7× from SMT on 3-D data.
+        let m = MachineProfile::EdisonNode.cost_model().thread;
+        // Memory-dominated section: cpu small, bytes large.
+        let t1 = m.parallel_time_at(1e-3, 1.0e9, 1, false);
+        let t24 = m.parallel_time_at(1e-3, 1.0e9, 24, false);
+        let s = t1 / t24;
+        assert!((8.0..=13.0).contains(&s), "24-core query speedup {s}");
+        let t24smt = m.parallel_time_at(1e-3, 1.0e9, 24, true);
+        let g = t24 / t24smt;
+        assert!((1.3..=1.8).contains(&g), "SMT gain {g}");
+    }
+
+    #[test]
+    fn bandwidth_is_monotonic_in_threads() {
+        let m = MachineProfile::EdisonNode.cost_model().thread;
+        let mut prev = 0.0;
+        for t in 1..=24 {
+            let bw = m.achieved_bandwidth_at(t, false);
+            assert!(bw >= prev);
+            prev = bw;
+        }
+        assert!(prev <= m.peak_bw);
+    }
+
+    #[test]
+    fn parallel_time_monotonic_in_work() {
+        let m = MachineProfile::EdisonNode.cost_model().thread;
+        assert!(m.parallel_time(2.0, 0.0) > m.parallel_time(1.0, 0.0));
+        assert!(m.parallel_time(0.0, 2e9) > m.parallel_time(0.0, 1e9));
+        assert!(m.parallel_time(0.0, 0.0) == 0.0);
+    }
+
+    #[test]
+    fn hist_scan_is_cheaper_than_binary() {
+        // §III-A1: the sub-interval scan beats binary search by up to 42%.
+        for p in [MachineProfile::EdisonNode, MachineProfile::KnlNode, MachineProfile::Laptop] {
+            let ops = p.cost_model().ops;
+            assert!(ops.hist_scan < ops.hist_binary, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_costs_scale_every_field() {
+        let c = ComputeCosts::ivy_bridge();
+        let d = c.scaled(2.0);
+        assert!((d.dist - 2.0 * c.dist).abs() < 1e-18);
+        assert!((d.merge - 2.0 * c.merge).abs() < 1e-18);
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let e = MachineProfile::EdisonNode.cost_model();
+        let k = MachineProfile::KnlNode.cost_model();
+        assert_ne!(e.thread.threads, k.thread.threads);
+        assert!(k.thread.peak_bw > e.thread.peak_bw); // MCDRAM
+    }
+
+    #[test]
+    fn with_threads_and_smt_builders() {
+        let m = CostModel::default().with_threads(7).with_smt(true);
+        assert_eq!(m.thread.threads, 7);
+        assert!(m.thread.smt);
+        assert_eq!(CostModel::default().with_threads(0).thread.threads, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Sub-communicators over contiguous rank ranges.
+//!
+//! PANDA's global kd-tree construction recursively halves the set of ranks;
+//! at every level each half runs its own collectives *concurrently* with
+//! the other half. A [`Group`] scopes collectives to a contiguous world-rank
+//! range `lo..hi` and keeps an independent collective sequence number per
+//! range so concurrent groups can never cross-match messages.
+
+use crate::comm::{Comm, Tag};
+
+/// Collective operation kinds (encoded in the collective tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum CollKind {
+    Barrier = 0,
+    Broadcast = 1,
+    Gather = 2,
+    /// Also carries the reduce/scan collectives (they are allgather-based).
+    AllGather = 3,
+    AllToAllV = 4,
+}
+
+/// A borrowed view of a [`Comm`] restricted to world ranks `lo..hi`.
+///
+/// All rank arguments and return positions are *relative* to the group
+/// (`0..size()`); [`Group::world_rank`] converts back.
+pub struct Group<'a> {
+    pub(crate) comm: &'a mut Comm,
+    lo: usize,
+    hi: usize,
+}
+
+impl<'a> Group<'a> {
+    pub(crate) fn new(comm: &'a mut Comm, lo: usize, hi: usize) -> Self {
+        assert!(lo < hi && hi <= comm.size(), "invalid group range {lo}..{hi}");
+        let r = comm.rank();
+        assert!(
+            (lo..hi).contains(&r),
+            "rank {r} is not a member of group {lo}..{hi}"
+        );
+        Self { comm, lo, hi }
+    }
+
+    /// Number of ranks in the group.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// This rank's index relative to the group.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.comm.rank() - self.lo
+    }
+
+    /// First world rank of the group.
+    #[inline]
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// One past the last world rank of the group.
+    #[inline]
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Convert a group-relative rank to a world rank.
+    #[inline]
+    pub fn world_rank(&self, rel: usize) -> usize {
+        debug_assert!(rel < self.size());
+        self.lo + rel
+    }
+
+    /// Underlying communicator (for clock/cost access inside collectives).
+    #[inline]
+    pub fn comm(&mut self) -> &mut Comm {
+        self.comm
+    }
+
+    /// Allocate the tag for the next collective of `kind` in this group.
+    ///
+    /// Layout (bit 63 = collective flag):
+    /// `[63: flag][47..63: lo][31..47: hi][4..31: seq][0..4: kind]`.
+    /// `lo`/`hi` disambiguate concurrent sibling groups; `seq` (per range,
+    /// wrapping at 2^27) disambiguates successive collectives; `kind`
+    /// catches SPMD divergence bugs (a barrier meeting a broadcast).
+    pub(crate) fn coll_tag(&mut self, kind: CollKind) -> Tag {
+        assert!(self.lo < (1 << 16) && self.hi <= (1 << 16), "group range too large for tag encoding");
+        let seq = self.comm.coll_seq.entry((self.lo, self.hi)).or_insert(0);
+        let s = *seq & ((1 << 27) - 1);
+        *seq = seq.wrapping_add(1);
+        (1 << 63)
+            | ((self.lo as u64) << 47)
+            | ((self.hi as u64) << 31)
+            | (s << 4)
+            | kind as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_cluster, ClusterConfig};
+
+    #[test]
+    fn group_geometry() {
+        let cfg = ClusterConfig::new(6);
+        let out = run_cluster(&cfg, |c| {
+            let r = c.rank();
+            let (lo, hi) = if r < 2 { (0, 2) } else { (2, 6) };
+            let g = c.group(lo, hi);
+            (g.size(), g.rank(), g.world_rank(g.rank()))
+        });
+        assert_eq!(out[0].result, (2, 0, 0));
+        assert_eq!(out[1].result, (2, 1, 1));
+        assert_eq!(out[2].result, (4, 0, 2));
+        assert_eq!(out[5].result, (4, 3, 5));
+    }
+
+    #[test]
+    fn sibling_groups_run_collectives_concurrently() {
+        // Two halves each allreduce independently; results must not mix.
+        let cfg = ClusterConfig::new(8);
+        let out = run_cluster(&cfg, |c| {
+            let half = c.size() / 2;
+            let (lo, hi) = if c.rank() < half { (0, half) } else { (half, c.size()) };
+            let mut g = c.group(lo, hi);
+            g.allreduce_u64(1, crate::collectives::ReduceOp::Sum)
+        });
+        assert!(out.iter().all(|o| o.result == 4));
+    }
+
+    #[test]
+    fn nested_regrouping_like_global_tree_build() {
+        // Recursively halve 8 ranks; at each level sum ranks within group.
+        let cfg = ClusterConfig::new(8);
+        let out = run_cluster(&cfg, |c| {
+            let mut lo = 0;
+            let mut hi = c.size();
+            let mut sums = Vec::new();
+            while hi - lo > 1 {
+                let v = c.rank() as u64;
+                let s = {
+                    let mut g = c.group(lo, hi);
+                    g.allreduce_u64(v, crate::collectives::ReduceOp::Sum)
+                };
+                sums.push(s);
+                let mid = lo + (hi - lo) / 2;
+                if c.rank() < mid {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            sums
+        });
+        assert_eq!(out[0].result, vec![28, 6, 1]); // 0..8, 0..4, 0..2
+        assert_eq!(out[7].result, vec![28, 22, 13]); // 0..8, 4..8, 6..8
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn non_member_group_panics() {
+        let cfg = ClusterConfig::new(2);
+        run_cluster(&cfg, |c| {
+            if c.rank() == 0 {
+                let _ = c.group(1, 2); // rank 0 is not in 1..2
+            } else {
+                let _ = c.group(1, 2);
+            }
+        });
+    }
+}

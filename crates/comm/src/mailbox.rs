@@ -1,0 +1,122 @@
+//! Message envelopes and per-rank pending stores.
+//!
+//! Every rank owns one unbounded MPSC inbox. Messages that arrive while the
+//! rank is waiting for a *different* `(src, tag)` pair are parked in a
+//! [`PendingStore`] so that tag matching never loses or reorders messages
+//! (FIFO per `(src, tag)` stream, matching MPI's non-overtaking guarantee).
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// A message in flight: payload plus simulation metadata.
+pub(crate) struct Envelope {
+    /// World rank of the sender.
+    pub src: usize,
+    /// User or collective tag.
+    pub tag: u64,
+    /// Sender's virtual clock when the message was posted.
+    pub vtime: f64,
+    /// Modeled payload size in bytes.
+    pub bytes: u64,
+    /// The actual value (moved, not serialized — we are in-process).
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Holds messages that arrived before a matching receive was posted.
+#[derive(Default)]
+pub(crate) struct PendingStore {
+    queues: HashMap<(usize, u64), VecDeque<Envelope>>,
+    len: usize,
+}
+
+impl PendingStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park an envelope.
+    pub fn push(&mut self, env: Envelope) {
+        self.queues.entry((env.src, env.tag)).or_default().push_back(env);
+        self.len += 1;
+    }
+
+    /// Oldest parked envelope from `src` with `tag`, if any.
+    pub fn pop(&mut self, src: usize, tag: u64) -> Option<Envelope> {
+        let q = self.queues.get_mut(&(src, tag))?;
+        let env = q.pop_front();
+        if env.is_some() {
+            self.len -= 1;
+        }
+        if q.is_empty() {
+            self.queues.remove(&(src, tag));
+        }
+        env
+    }
+
+    /// Oldest parked envelope with `tag` from *any* source. Scans the key
+    /// set — fine because the number of distinct live `(src, tag)` pairs is
+    /// small (bounded by ranks × active tags). Picks the lowest source rank
+    /// for determinism.
+    pub fn pop_any(&mut self, tag: u64) -> Option<Envelope> {
+        let src = self
+            .queues
+            .keys()
+            .filter(|(_, t)| *t == tag)
+            .map(|(s, _)| *s)
+            .min()?;
+        self.pop(src, tag)
+    }
+
+    /// Number of parked envelopes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: u64, val: u32) -> Envelope {
+        Envelope { src, tag, vtime: 0.0, bytes: 4, payload: Box::new(vec![val]) }
+    }
+
+    fn val(e: Envelope) -> u32 {
+        e.payload.downcast::<Vec<u32>>().unwrap()[0]
+    }
+
+    #[test]
+    fn fifo_per_stream() {
+        let mut p = PendingStore::new();
+        p.push(env(1, 7, 10));
+        p.push(env(1, 7, 11));
+        p.push(env(2, 7, 20));
+        assert_eq!(p.len(), 3);
+        assert_eq!(val(p.pop(1, 7).unwrap()), 10);
+        assert_eq!(val(p.pop(1, 7).unwrap()), 11);
+        assert!(p.pop(1, 7).is_none());
+        assert_eq!(val(p.pop(2, 7).unwrap()), 20);
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn tags_do_not_cross_match() {
+        let mut p = PendingStore::new();
+        p.push(env(1, 7, 10));
+        assert!(p.pop(1, 8).is_none());
+        assert!(p.pop(2, 7).is_none());
+        assert_eq!(val(p.pop(1, 7).unwrap()), 10);
+    }
+
+    #[test]
+    fn pop_any_prefers_lowest_source() {
+        let mut p = PendingStore::new();
+        p.push(env(5, 9, 50));
+        p.push(env(2, 9, 20));
+        p.push(env(2, 3, 99));
+        assert_eq!(val(p.pop_any(9).unwrap()), 20);
+        assert_eq!(val(p.pop_any(9).unwrap()), 50);
+        assert!(p.pop_any(9).is_none());
+        assert_eq!(p.len(), 1); // the tag-3 message is untouched
+    }
+}

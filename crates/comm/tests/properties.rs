@@ -1,0 +1,142 @@
+//! Property-based tests of the collective semantics: conservation,
+//! ordering, agreement, and virtual-time laws under arbitrary payloads
+//! and rank counts.
+
+use proptest::prelude::*;
+
+use panda_comm::{run_cluster, ClusterConfig, ReduceOp};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// alltoallv conserves multisets and routes to the right lanes.
+    #[test]
+    fn alltoallv_conserves(
+        ranks in 1usize..6,
+        lens in proptest::collection::vec(0usize..17, 36),
+    ) {
+        let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
+            let me = comm.rank();
+            let p = comm.size();
+            // send lens[me*p + j] values tagged (me, j) to rank j
+            let sends: Vec<Vec<u64>> = (0..p)
+                .map(|j| {
+                    let n = lens[(me * p + j) % lens.len()];
+                    (0..n).map(|x| ((me as u64) << 32) | ((j as u64) << 16) | x as u64).collect()
+                })
+                .collect();
+            let sent: usize = sends.iter().map(Vec::len).sum();
+            let recvd = comm.world().alltoallv(sends);
+            // every received value must be addressed to me, from the lane's rank
+            for (src, lane) in recvd.iter().enumerate() {
+                for &v in lane {
+                    assert_eq!((v >> 32) as usize, src);
+                    assert_eq!(((v >> 16) & 0xFFFF) as usize, me);
+                }
+            }
+            (sent, recvd.iter().map(Vec::len).sum::<usize>())
+        });
+        let sent: usize = out.iter().map(|o| o.result.0).sum();
+        let recvd: usize = out.iter().map(|o| o.result.1).sum();
+        prop_assert_eq!(sent, recvd);
+    }
+
+    /// All reduction ops agree with a serial fold, on every rank.
+    #[test]
+    fn allreduce_agrees_with_serial(
+        ranks in 1usize..7,
+        values in proptest::collection::vec(0u64..1_000_000, 8),
+    ) {
+        let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
+            let v = values[comm.rank() % values.len()];
+            let s = comm.world().allreduce_u64(v, ReduceOp::Sum);
+            let mn = comm.world().allreduce_u64(v, ReduceOp::Min);
+            let mx = comm.world().allreduce_u64(v, ReduceOp::Max);
+            (v, s, mn, mx)
+        });
+        let contributions: Vec<u64> = out.iter().map(|o| o.result.0).collect();
+        let sum: u64 = contributions.iter().sum();
+        let min = *contributions.iter().min().unwrap();
+        let max = *contributions.iter().max().unwrap();
+        for o in &out {
+            prop_assert_eq!(o.result.1, sum);
+            prop_assert_eq!(o.result.2, min);
+            prop_assert_eq!(o.result.3, max);
+        }
+    }
+
+    /// Vector allreduce equals element-wise serial sums and agrees across
+    /// ranks (the global-histogram correctness requirement).
+    #[test]
+    fn allreduce_vec_elementwise(
+        ranks in 1usize..6,
+        len in 1usize..50,
+    ) {
+        let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
+            let v: Vec<u64> = (0..len).map(|i| (comm.rank() * 1000 + i) as u64).collect();
+            comm.world().allreduce_vec_u64(v, ReduceOp::Sum)
+        });
+        let expect: Vec<u64> = (0..len)
+            .map(|i| (0..ranks).map(|r| (r * 1000 + i) as u64).sum())
+            .collect();
+        for o in &out {
+            prop_assert_eq!(&o.result, &expect);
+        }
+    }
+
+    /// Exclusive scan: rank r's result is the sum of contributions of
+    /// ranks < r.
+    #[test]
+    fn exscan_prefix_law(
+        ranks in 1usize..7,
+        values in proptest::collection::vec(0u64..1000, 8),
+    ) {
+        let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
+            let v = values[comm.rank() % values.len()];
+            (v, comm.world().exscan_sum_u64(v))
+        });
+        let mut prefix = 0u64;
+        for o in &out {
+            prop_assert_eq!(o.result.1, prefix);
+            prefix += o.result.0;
+        }
+    }
+
+    /// Virtual clocks never run backwards, and a barrier equalizes them.
+    #[test]
+    fn clock_laws(
+        ranks in 1usize..6,
+        works in proptest::collection::vec(0u64..100, 8),
+    ) {
+        let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
+            let t0 = comm.now();
+            comm.work_serial(works[comm.rank() % works.len()] as f64 * 1e-6);
+            let t1 = comm.now();
+            assert!(t1 >= t0);
+            comm.barrier();
+            comm.now()
+        });
+        let t = out[0].result;
+        for o in &out {
+            prop_assert!((o.result - t).abs() < 1e-12, "clocks diverged after barrier");
+        }
+    }
+
+    /// Broadcast delivers the root's exact payload everywhere, whatever
+    /// the root.
+    #[test]
+    fn broadcast_from_any_root(
+        ranks in 1usize..6,
+        root_sel in 0usize..6,
+        payload in proptest::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
+            let root = root_sel % comm.size();
+            let data = (comm.rank() == root).then(|| payload.clone());
+            comm.world().broadcast(root, data)
+        });
+        for o in &out {
+            prop_assert_eq!(&o.result, &payload);
+        }
+    }
+}

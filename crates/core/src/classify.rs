@@ -1,0 +1,247 @@
+//! KNN classification and regression on top of neighbor lists (§V-C).
+//!
+//! The paper reports 87% accuracy classifying the Daya Bay dataset into 3
+//! physics-event classes with majority voting, and names distance-weighted
+//! voting as future work — both are provided here.
+
+use std::collections::HashMap;
+
+use crate::heap::Neighbor;
+
+/// Majority vote over the neighbors' labels. Ties are broken by the
+/// smaller summed distance of the tied class, then by the smaller label —
+/// fully deterministic.
+///
+/// Returns `None` for an empty neighbor list.
+pub fn majority_vote(neighbors: &[Neighbor], label_of: impl Fn(u64) -> u32) -> Option<u32> {
+    if neighbors.is_empty() {
+        return None;
+    }
+    // (count, total squared distance) per label
+    let mut tally: HashMap<u32, (usize, f64)> = HashMap::new();
+    for n in neighbors {
+        let e = tally.entry(label_of(n.id)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += n.dist_sq as f64;
+    }
+    tally
+        .into_iter()
+        .min_by(|(la, (ca, da)), (lb, (cb, db))| {
+            cb.cmp(ca) // more votes first
+                .then(da.partial_cmp(db).expect("finite distances")) // closer class wins ties
+                .then(la.cmp(lb)) // label as final tie-break
+        })
+        .map(|(label, _)| label)
+}
+
+/// Distance-weighted vote: each neighbor contributes `1/(dist² + eps)`
+/// (the "spatial weighting of the k-neighbors" the paper's §V-C proposes
+/// as a refinement). Returns `None` for an empty neighbor list.
+pub fn weighted_vote(
+    neighbors: &[Neighbor],
+    label_of: impl Fn(u64) -> u32,
+    eps: f32,
+) -> Option<u32> {
+    if neighbors.is_empty() {
+        return None;
+    }
+    let mut tally: HashMap<u32, f64> = HashMap::new();
+    for n in neighbors {
+        *tally.entry(label_of(n.id)).or_insert(0.0) += 1.0 / (n.dist_sq as f64 + eps as f64);
+    }
+    tally
+        .into_iter()
+        .min_by(|(la, wa), (lb, wb)| {
+            wb.partial_cmp(wa).expect("finite weights").then(la.cmp(lb))
+        })
+        .map(|(label, _)| label)
+}
+
+/// Mean-of-neighbors regression. Returns `None` for an empty list.
+pub fn regress_mean(neighbors: &[Neighbor], value_of: impl Fn(u64) -> f32) -> Option<f32> {
+    if neighbors.is_empty() {
+        return None;
+    }
+    let sum: f64 = neighbors.iter().map(|n| value_of(n.id) as f64).sum();
+    Some((sum / neighbors.len() as f64) as f32)
+}
+
+/// Inverse-distance-weighted regression. Returns `None` for an empty list.
+pub fn regress_idw(
+    neighbors: &[Neighbor],
+    value_of: impl Fn(u64) -> f32,
+    eps: f32,
+) -> Option<f32> {
+    if neighbors.is_empty() {
+        return None;
+    }
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for n in neighbors {
+        let w = 1.0 / (n.dist_sq as f64 + eps as f64);
+        num += w * value_of(n.id) as f64;
+        den += w;
+    }
+    Some((num / den) as f32)
+}
+
+/// Confusion matrix for multi-class evaluation.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    counts: Vec<u64>, // row = truth, col = prediction
+}
+
+impl ConfusionMatrix {
+    /// Matrix over `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes >= 1);
+        Self { n_classes, counts: vec![0; n_classes * n_classes] }
+    }
+
+    /// Record one (truth, prediction) pair.
+    pub fn record(&mut self, truth: u32, pred: u32) {
+        assert!((truth as usize) < self.n_classes && (pred as usize) < self.n_classes);
+        self.counts[truth as usize * self.n_classes + pred as usize] += 1;
+    }
+
+    /// Count in cell (truth, pred).
+    pub fn get(&self, truth: u32, pred: u32) -> u64 {
+        self.counts[truth as usize * self.n_classes + pred as usize]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy in [0, 1]; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes).map(|c| self.counts[c * self.n_classes + c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (NaN-free: classes with no samples report 0).
+    pub fn recall(&self) -> Vec<f64> {
+        (0..self.n_classes)
+            .map(|c| {
+                let row: u64 = (0..self.n_classes).map(|p| self.get(c as u32, p as u32)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.get(c as u32, c as u32) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class precision (classes never predicted report 0).
+    pub fn precision(&self) -> Vec<f64> {
+        (0..self.n_classes)
+            .map(|c| {
+                let col: u64 = (0..self.n_classes).map(|t| self.get(t as u32, c as u32)).sum();
+                if col == 0 {
+                    0.0
+                } else {
+                    self.get(c as u32, c as u32) as f64 / col as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(dist_sq: f32, id: u64) -> Neighbor {
+        Neighbor { dist_sq, id }
+    }
+
+    #[test]
+    fn majority_simple() {
+        // ids 0..2 are label 0; ids 10.. are label 1
+        let label = |id: u64| if id < 10 { 0 } else { 1 };
+        let ns = [nb(1.0, 0), nb(2.0, 1), nb(3.0, 10)];
+        assert_eq!(majority_vote(&ns, label), Some(0));
+        assert_eq!(majority_vote(&[], label), None);
+    }
+
+    #[test]
+    fn majority_tie_breaks_by_distance() {
+        let label = |id: u64| if id < 10 { 0 } else { 1 };
+        // one vote each; label 1's neighbor is closer
+        let ns = [nb(5.0, 0), nb(1.0, 10)];
+        assert_eq!(majority_vote(&ns, label), Some(1));
+        // equal distance too → smaller label
+        let ns = [nb(2.0, 0), nb(2.0, 10)];
+        assert_eq!(majority_vote(&ns, label), Some(0));
+    }
+
+    #[test]
+    fn weighted_vote_favors_close_neighbors() {
+        let label = |id: u64| if id < 10 { 0 } else { 1 };
+        // two far label-0 votes vs one very close label-1 vote
+        let ns = [nb(100.0, 0), nb(100.0, 1), nb(0.01, 10)];
+        assert_eq!(weighted_vote(&ns, label, 1e-6), Some(1));
+        assert_eq!(majority_vote(&ns, label), Some(0)); // unweighted differs
+        assert_eq!(weighted_vote(&[], label, 1e-6), None);
+    }
+
+    #[test]
+    fn regressions() {
+        let value = |id: u64| id as f32;
+        let ns = [nb(1.0, 10), nb(1.0, 20)];
+        assert_eq!(regress_mean(&ns, value), Some(15.0));
+        // IDW with equal distances = mean
+        let idw = regress_idw(&ns, value, 0.0).unwrap();
+        assert!((idw - 15.0).abs() < 1e-5);
+        // IDW pulled toward the closer neighbor
+        let ns = [nb(0.01, 10), nb(100.0, 20)];
+        let idw = regress_idw(&ns, value, 0.0).unwrap();
+        assert!(idw < 10.5, "idw {idw}");
+        assert_eq!(regress_mean(&[], value), None);
+        assert_eq!(regress_idw(&[], value, 0.0), None);
+    }
+
+    #[test]
+    fn confusion_matrix_metrics() {
+        let mut m = ConfusionMatrix::new(3);
+        // class 0: 8 right, 2 as class 1
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        // class 1: 9 right, 1 as class 2
+        for _ in 0..9 {
+            m.record(1, 1);
+        }
+        m.record(1, 2);
+        // class 2: all 10 right
+        for _ in 0..10 {
+            m.record(2, 2);
+        }
+        assert_eq!(m.total(), 30);
+        assert!((m.accuracy() - 27.0 / 30.0).abs() < 1e-12);
+        let rec = m.recall();
+        assert!((rec[0] - 0.8).abs() < 1e-12);
+        assert!((rec[1] - 0.9).abs() < 1e-12);
+        assert!((rec[2] - 1.0).abs() < 1e-12);
+        let prec = m.precision();
+        assert!((prec[0] - 1.0).abs() < 1e-12); // nothing else predicted 0
+        assert!((prec[1] - 9.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero_accuracy() {
+        let m = ConfusionMatrix::new(2);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(), vec![0.0, 0.0]);
+    }
+}

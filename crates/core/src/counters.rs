@@ -1,0 +1,199 @@
+//! Work counters: the bridge between real execution and virtual time.
+//!
+//! Every hot loop of the algorithm increments a counter; the simulated
+//! runtime converts counters to seconds through the calibrated
+//! [`panda_comm::ComputeCosts`]. Because counters reflect the *actual*
+//! operations performed on the actual data (pruning quality, tree balance,
+//! remote fan-out...), the resulting scaling curves are driven by the real
+//! algorithm, not by an analytic approximation of it.
+
+use panda_comm::ComputeCosts;
+
+use crate::config::HistScan;
+
+/// Counters for construction-side work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildCounters {
+    /// Points drawn as samples (split-value and variance sampling).
+    pub sampled: u64,
+    /// (sample × dimension) accumulations during variance estimation.
+    pub variance_ops: u64,
+    /// (point × dimension) scans during max-extent estimation.
+    pub extent_ops: u64,
+    /// Points binned into a sampled histogram.
+    pub hist_binned: u64,
+    /// Points moved/compared during partitioning.
+    pub partition_ops: u64,
+    /// Points that went through exact-median selection.
+    pub median_selects: u64,
+    /// Coordinates copied during SIMD packing.
+    pub pack_coords: u64,
+    /// Tree nodes created.
+    pub nodes_created: u64,
+}
+
+impl BuildCounters {
+    /// Element-wise accumulate.
+    pub fn add(&mut self, o: &BuildCounters) {
+        self.sampled += o.sampled;
+        self.variance_ops += o.variance_ops;
+        self.extent_ops += o.extent_ops;
+        self.hist_binned += o.hist_binned;
+        self.partition_ops += o.partition_ops;
+        self.median_selects += o.median_selects;
+        self.pack_coords += o.pack_coords;
+        self.nodes_created += o.nodes_created;
+    }
+
+    /// Single-thread CPU seconds implied by these counters.
+    pub fn cpu_seconds(&self, ops: &ComputeCosts, scan: HistScan) -> f64 {
+        let hist_cost = match scan {
+            HistScan::Binary => ops.hist_binary,
+            HistScan::SubInterval => ops.hist_scan,
+        };
+        self.sampled as f64 * ops.sample
+            + self.variance_ops as f64 * ops.variance
+            + self.extent_ops as f64 * ops.variance
+            + self.hist_binned as f64 * hist_cost
+            + self.partition_ops as f64 * ops.partition
+            // selection is ~3 comparison/swap passes per element
+            + self.median_selects as f64 * 3.0 * ops.partition
+            + self.pack_coords as f64 * ops.pack
+            + self.nodes_created as f64 * ops.node_visit
+    }
+
+    /// Bytes streamed from memory (dominant term: every counted point
+    /// touch reads `dims` coordinates; packing writes them once more).
+    pub fn mem_bytes(&self, dims: usize) -> f64 {
+        let point_bytes = (dims * 4) as f64;
+        (self.hist_binned + self.partition_ops + self.median_selects) as f64 * point_bytes
+            + self.pack_coords as f64 * 8.0
+    }
+}
+
+/// Counters for query-side work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCounters {
+    /// Queries processed.
+    pub queries: u64,
+    /// Internal tree nodes visited.
+    pub nodes_visited: u64,
+    /// Leaf buckets scanned.
+    pub leaves_scanned: u64,
+    /// Point distances evaluated (padded bucket positions).
+    pub points_scanned: u64,
+    /// Heap offers that were accepted.
+    pub heap_ops: u64,
+    /// Global-tree owner lookups performed.
+    pub owner_lookups: u64,
+    /// Global-tree levels walked across all owner lookups / remote
+    /// identification traversals.
+    pub tree_levels: u64,
+    /// Candidates considered in final top-k merges.
+    pub merge_candidates: u64,
+}
+
+impl QueryCounters {
+    /// Element-wise accumulate.
+    pub fn add(&mut self, o: &QueryCounters) {
+        self.queries += o.queries;
+        self.nodes_visited += o.nodes_visited;
+        self.leaves_scanned += o.leaves_scanned;
+        self.points_scanned += o.points_scanned;
+        self.heap_ops += o.heap_ops;
+        self.owner_lookups += o.owner_lookups;
+        self.tree_levels += o.tree_levels;
+        self.merge_candidates += o.merge_candidates;
+    }
+
+    /// Single-thread CPU seconds implied by these counters.
+    pub fn cpu_seconds(&self, ops: &ComputeCosts, dims: usize) -> f64 {
+        self.nodes_visited as f64 * ops.node_visit
+            + self.points_scanned as f64 * dims as f64 * ops.dist
+            + self.heap_ops as f64 * ops.heap_op
+            + self.tree_levels as f64 * ops.owner_level
+            + self.merge_candidates as f64 * ops.merge
+    }
+
+    /// Bytes streamed from memory: bucket coordinate reads dominate (this
+    /// is what makes querying memory-bound in the paper's Fig. 6).
+    pub fn mem_bytes(&self, dims: usize) -> f64 {
+        self.points_scanned as f64 * (dims * 4) as f64 + self.nodes_visited as f64 * 16.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> ComputeCosts {
+        ComputeCosts::ivy_bridge()
+    }
+
+    #[test]
+    fn build_cpu_seconds_monotonic() {
+        let mut a = BuildCounters::default();
+        a.hist_binned = 1000;
+        let mut b = a;
+        b.hist_binned = 2000;
+        let (ta, tb) = (
+            a.cpu_seconds(&ops(), HistScan::Binary),
+            b.cpu_seconds(&ops(), HistScan::Binary),
+        );
+        assert!(tb > ta && ta > 0.0);
+    }
+
+    #[test]
+    fn sub_interval_scan_is_modeled_cheaper() {
+        let mut c = BuildCounters::default();
+        c.hist_binned = 1_000_000;
+        assert!(
+            c.cpu_seconds(&ops(), HistScan::SubInterval) < c.cpu_seconds(&ops(), HistScan::Binary)
+        );
+    }
+
+    #[test]
+    fn add_accumulates_every_field() {
+        let mut a = BuildCounters {
+            sampled: 1,
+            variance_ops: 2,
+            extent_ops: 3,
+            hist_binned: 4,
+            partition_ops: 5,
+            median_selects: 6,
+            pack_coords: 7,
+            nodes_created: 8,
+        };
+        a.add(&a.clone());
+        assert_eq!(a.sampled, 2);
+        assert_eq!(a.nodes_created, 16);
+
+        let mut q = QueryCounters {
+            queries: 1,
+            nodes_visited: 2,
+            leaves_scanned: 3,
+            points_scanned: 4,
+            heap_ops: 5,
+            owner_lookups: 6,
+            tree_levels: 7,
+            merge_candidates: 8,
+        };
+        q.add(&q.clone());
+        assert_eq!(q.queries, 2);
+        assert_eq!(q.merge_candidates, 16);
+    }
+
+    #[test]
+    fn query_memory_scales_with_dims() {
+        let q = QueryCounters { points_scanned: 1000, ..Default::default() };
+        assert!(q.mem_bytes(10) > q.mem_bytes(3));
+        assert!(q.cpu_seconds(&ops(), 10) > q.cpu_seconds(&ops(), 3));
+    }
+
+    #[test]
+    fn zero_counters_zero_seconds() {
+        assert_eq!(BuildCounters::default().cpu_seconds(&ops(), HistScan::Binary), 0.0);
+        assert_eq!(QueryCounters::default().cpu_seconds(&ops(), 3), 0.0);
+        assert_eq!(QueryCounters::default().mem_bytes(3), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the PANDA core library.
+
+use std::fmt;
+
+/// Errors reported by tree construction and querying APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PandaError {
+    /// A point coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending point.
+        point: usize,
+        /// Dimension of the offending coordinate.
+        dim: usize,
+    },
+    /// Dimensionality out of the supported range `1..=MAX_DIMS`.
+    BadDims {
+        /// The requested dimensionality.
+        dims: usize,
+    },
+    /// Coordinate buffer length is not a multiple of `dims`.
+    RaggedCoordinates {
+        /// Buffer length supplied.
+        len: usize,
+        /// Dimensionality supplied.
+        dims: usize,
+    },
+    /// `ids` and coordinate buffers disagree on the number of points.
+    IdCountMismatch {
+        /// Number of points implied by coordinates.
+        points: usize,
+        /// Number of ids supplied.
+        ids: usize,
+    },
+    /// `k` must be at least 1.
+    ZeroK,
+    /// Query dimensionality differs from the indexed points.
+    DimsMismatch {
+        /// Dimensionality of the index.
+        expected: usize,
+        /// Dimensionality of the query.
+        got: usize,
+    },
+    /// Operation requires a non-empty point set.
+    EmptyPointSet,
+    /// A configuration value was invalid.
+    BadConfig(String),
+    /// An I/O error (dataset persistence).
+    Io(String),
+}
+
+impl fmt::Display for PandaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PandaError::NonFiniteCoordinate { point, dim } => {
+                write!(f, "point {point} has a non-finite coordinate in dimension {dim}")
+            }
+            PandaError::BadDims { dims } => write!(
+                f,
+                "dimensionality {dims} unsupported (must be 1..={})",
+                crate::point::MAX_DIMS
+            ),
+            PandaError::RaggedCoordinates { len, dims } => {
+                write!(f, "coordinate buffer of length {len} is not a multiple of dims={dims}")
+            }
+            PandaError::IdCountMismatch { points, ids } => {
+                write!(f, "{points} points but {ids} ids supplied")
+            }
+            PandaError::ZeroK => write!(f, "k must be at least 1"),
+            PandaError::DimsMismatch { expected, got } => {
+                write!(f, "query has {got} dimensions, index has {expected}")
+            }
+            PandaError::EmptyPointSet => write!(f, "operation requires a non-empty point set"),
+            PandaError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PandaError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PandaError {}
+
+impl From<std::io::Error> for PandaError {
+    fn from(e: std::io::Error) -> Self {
+        PandaError::Io(e.to_string())
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PandaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_the_payload() {
+        assert!(PandaError::NonFiniteCoordinate { point: 7, dim: 2 }
+            .to_string()
+            .contains("point 7"));
+        assert!(PandaError::BadDims { dims: 99 }.to_string().contains("99"));
+        assert!(PandaError::DimsMismatch { expected: 3, got: 10 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: PandaError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, PandaError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

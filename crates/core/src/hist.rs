@@ -1,0 +1,285 @@
+//! Sampled non-uniform histogram for approximate median selection
+//! (§III-A1 of the paper).
+//!
+//! A small sample of coordinate values becomes the (non-uniform) interval
+//! boundaries; all points are then binned against those boundaries and the
+//! split point is the boundary whose cumulative count is closest to the
+//! target quantile. Two binning kernels are provided:
+//!
+//! * [`SampledHistogram::bin_binary`] — branchy binary search;
+//! * [`SampledHistogram::bin_scan`] — the paper's optimization: every 32nd
+//!   boundary is pulled into a *sub-interval* array scanned linearly (a
+//!   SIMD-friendly, branch-predictable loop), then only the identified
+//!   32-wide range of the full array is scanned. The paper credits this
+//!   with up to 42% faster local construction.
+//!
+//! Both kernels implement the same function `bin(v) = #{boundaries < v}`,
+//! verified against each other by unit and property tests.
+
+use crate::config::HistScan;
+
+/// Stride of the sub-interval acceleration array (paper: every 32nd point).
+pub const SUB_STRIDE: usize = 32;
+
+/// Branch-free `#{a ∈ xs : a < v}` — a comparison-sum in the form LLVM
+/// auto-vectorizes best (cmpps + psubd on x86).
+///
+/// Reproduction note: on the 2013-era cores the paper targeted, this scan
+/// beat a (branch-missing) binary search by up to 42%; on modern cores a
+/// well-compiled binary search is branchless (cmov) and wins back — see
+/// `panda-bench --bin ablation_hist` for the measured-vs-modeled story.
+#[inline(always)]
+fn count_below(xs: &[f32], v: f32) -> usize {
+    xs.iter().map(|&a| (a < v) as u32).sum::<u32>() as usize
+}
+
+/// Sorted sample boundaries plus the sub-interval acceleration array.
+#[derive(Clone, Debug)]
+pub struct SampledHistogram {
+    intervals: Vec<f32>,
+    sub: Vec<f32>,
+}
+
+/// Outcome of a quantile split over a histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitDecision {
+    /// Chosen split value (points with `v ≤ value` go left).
+    pub value: f32,
+    /// Number of counted values that go left.
+    pub left_count: u64,
+    /// Total number of counted values.
+    pub total: u64,
+    /// True when the split fails to separate (everything on one side) —
+    /// callers must fall back to a count-based split.
+    pub degenerate: bool,
+}
+
+impl SampledHistogram {
+    /// Build from sample values (sorted internally; duplicates kept, they
+    /// simply create zero-width bins).
+    pub fn from_samples(mut samples: Vec<f32>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample values"));
+        let sub = samples
+            .chunks_exact(SUB_STRIDE)
+            .map(|c| c[SUB_STRIDE - 1])
+            .collect();
+        Self { intervals: samples, sub }
+    }
+
+    /// Number of interval boundaries.
+    #[inline]
+    pub fn n_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Number of bins (`n_intervals + 1`).
+    #[inline]
+    pub fn n_bins(&self) -> usize {
+        self.intervals.len() + 1
+    }
+
+    /// The sorted boundary values.
+    pub fn intervals(&self) -> &[f32] {
+        &self.intervals
+    }
+
+    /// Bin index via binary search: `#{boundaries < v}` ∈ `0..n_bins`.
+    #[inline]
+    pub fn bin_binary(&self, v: f32) -> usize {
+        self.intervals.partition_point(|&a| a < v)
+    }
+
+    /// Bin index via the two-level sub-interval scan. Produces exactly the
+    /// same index as [`Self::bin_binary`].
+    #[inline]
+    pub fn bin_scan(&self, v: f32) -> usize {
+        // Level 1: count full 32-blocks entirely below v. Both loops are
+        // branch-free comparison sums over contiguous f32, written with
+        // fixed-width lanes so the compiler vectorizes them (this is the
+        // paper's "scanned using SIMD").
+        let blocks = count_below(&self.sub, v);
+        // Level 2: scan the one partial block.
+        let start = blocks * SUB_STRIDE;
+        let end = (start + SUB_STRIDE).min(self.intervals.len());
+        start + count_below(&self.intervals[start..end], v)
+    }
+
+    /// Bin `v` with the selected kernel.
+    #[inline]
+    pub fn bin(&self, v: f32, scan: HistScan) -> usize {
+        match scan {
+            HistScan::Binary => self.bin_binary(v),
+            HistScan::SubInterval => self.bin_scan(v),
+        }
+    }
+
+    /// Accumulate counts for a stream of values into `counts`
+    /// (`counts.len() == n_bins`).
+    pub fn count_into(&self, values: impl Iterator<Item = f32>, counts: &mut [u64], scan: HistScan) {
+        debug_assert_eq!(counts.len(), self.n_bins());
+        match scan {
+            HistScan::Binary => {
+                for v in values {
+                    counts[self.bin_binary(v)] += 1;
+                }
+            }
+            HistScan::SubInterval => {
+                for v in values {
+                    counts[self.bin_scan(v)] += 1;
+                }
+            }
+        }
+    }
+
+    /// Fresh count vector for a stream of values.
+    pub fn count(&self, values: impl Iterator<Item = f32>, scan: HistScan) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_bins()];
+        self.count_into(values, &mut counts, scan);
+        counts
+    }
+
+    /// Pick the boundary whose cumulative count is closest to
+    /// `target_fraction` of the total.
+    ///
+    /// `counts` may be the *global* (all-reduced) histogram — this is how
+    /// every rank deterministically agrees on the global split.
+    pub fn split_at_quantile(&self, counts: &[u64], target_fraction: f64) -> SplitDecision {
+        debug_assert_eq!(counts.len(), self.n_bins());
+        let total: u64 = counts.iter().sum();
+        if self.intervals.is_empty() || total == 0 {
+            return SplitDecision { value: 0.0, left_count: 0, total, degenerate: true };
+        }
+        let target = target_fraction * total as f64;
+        let mut best_j = 0usize;
+        let mut best_err = f64::INFINITY;
+        let mut cum = 0u64;
+        // cum after bin j = #{v ≤ intervals[j]}
+        for j in 0..self.intervals.len() {
+            cum += counts[j];
+            let err = (cum as f64 - target).abs();
+            if err < best_err {
+                best_err = err;
+                best_j = j;
+            }
+        }
+        // left_count for the chosen boundary
+        let left_count: u64 = counts[..=best_j].iter().sum();
+        let degenerate = left_count == 0 || left_count == total;
+        SplitDecision { value: self.intervals[best_j], left_count, total, degenerate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(vals: &[f32]) -> SampledHistogram {
+        SampledHistogram::from_samples(vals.to_vec())
+    }
+
+    #[test]
+    fn bin_semantics_boundaries() {
+        let h = hist(&[1.0, 2.0, 3.0]);
+        assert_eq!(h.n_bins(), 4);
+        assert_eq!(h.bin_binary(0.5), 0);
+        assert_eq!(h.bin_binary(1.0), 0); // boundaries < v: 1.0 is not < 1.0
+        assert_eq!(h.bin_binary(1.5), 1);
+        assert_eq!(h.bin_binary(3.0), 2);
+        assert_eq!(h.bin_binary(99.0), 3);
+    }
+
+    #[test]
+    fn scan_matches_binary_small() {
+        let h = hist(&[1.0, 2.0, 2.0, 3.0, 10.0]);
+        for v in [-1.0f32, 1.0, 1.5, 2.0, 2.5, 3.0, 9.9, 10.0, 11.0] {
+            assert_eq!(h.bin_scan(v), h.bin_binary(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn scan_matches_binary_large_with_duplicates() {
+        // > SUB_STRIDE boundaries incl. runs of duplicates, so both levels
+        // of the scan and the tail block are exercised.
+        let mut samples = Vec::new();
+        for i in 0..200 {
+            samples.push((i / 3) as f32); // duplicates every 3
+        }
+        let h = hist(&samples);
+        assert!(!h.sub.is_empty());
+        let mut probe = samples.clone();
+        probe.extend([-5.0, 0.5, 33.33, 66.0, 67.0, 1e9]);
+        for v in probe {
+            assert_eq!(h.bin_scan(v), h.bin_binary(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn counts_partition_all_values() {
+        let h = hist(&[0.0, 5.0, 10.0]);
+        let values = [-3.0f32, 0.0, 1.0, 5.0, 5.5, 10.0, 20.0];
+        for scan in [HistScan::Binary, HistScan::SubInterval] {
+            let counts = h.count(values.iter().copied(), scan);
+            assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+            assert_eq!(counts, vec![2, 2, 2, 1]); // ≤0 | (0,5] | (5,10] | >10
+        }
+    }
+
+    #[test]
+    fn median_split_is_balanced_on_uniform_data() {
+        let values: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        // 100 evenly spread samples
+        let samples: Vec<f32> = (0..100).map(|i| (i * 10) as f32).collect();
+        let h = SampledHistogram::from_samples(samples);
+        let counts = h.count(values.iter().copied(), HistScan::SubInterval);
+        let d = h.split_at_quantile(&counts, 0.5);
+        assert!(!d.degenerate);
+        let frac = d.left_count as f64 / d.total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "left fraction {frac}");
+        // left_count must be exactly the number of values ≤ split
+        let exact = values.iter().filter(|&&v| v <= d.value).count() as u64;
+        assert_eq!(d.left_count, exact);
+    }
+
+    #[test]
+    fn quantile_targets_other_fractions() {
+        let values: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let samples: Vec<f32> = (0..200).map(|i| (i * 5) as f32).collect();
+        let h = SampledHistogram::from_samples(samples);
+        let counts = h.count(values.iter().copied(), HistScan::Binary);
+        for f in [0.25, 0.75, 0.125] {
+            let d = h.split_at_quantile(&counts, f);
+            let frac = d.left_count as f64 / d.total as f64;
+            assert!((frac - f).abs() < 0.02, "target {f} got {frac}");
+        }
+    }
+
+    #[test]
+    fn all_identical_values_degenerate() {
+        let h = hist(&[7.0; 64]);
+        let counts = h.count(std::iter::repeat(7.0).take(100), HistScan::SubInterval);
+        let d = h.split_at_quantile(&counts, 0.5);
+        assert!(d.degenerate);
+        assert_eq!(d.total, 100);
+    }
+
+    #[test]
+    fn empty_histogram_degenerate() {
+        let h = hist(&[]);
+        assert_eq!(h.n_bins(), 1);
+        let counts = h.count([1.0f32, 2.0].into_iter(), HistScan::Binary);
+        assert_eq!(counts, vec![2]);
+        assert!(h.split_at_quantile(&counts, 0.5).degenerate);
+    }
+
+    #[test]
+    fn skewed_distribution_still_near_median() {
+        // exponential-ish skew: sampled boundaries adapt to density
+        let values: Vec<f32> = (0..10_000).map(|i| ((i as f32) / 100.0).exp()).collect();
+        let samples: Vec<f32> = (0..1024).map(|i| values[(i * 9767) % values.len()]).collect();
+        let h = SampledHistogram::from_samples(samples);
+        let counts = h.count(values.iter().copied(), HistScan::SubInterval);
+        let d = h.split_at_quantile(&counts, 0.5);
+        let frac = d.left_count as f64 / d.total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "left fraction {frac} on skewed data");
+    }
+}

@@ -1,0 +1,59 @@
+//! # panda-core — distributed kd-tree construction and exact KNN querying
+//!
+//! Rust reproduction of the PANDA algorithm (Patwary et al., *"PANDA:
+//! Extreme Scale Parallel K-Nearest Neighbor on Distributed
+//! Architectures"*, IPDPS 2016): a two-level (global + local) kd-tree with
+//! sampled-histogram median splits, variance-based split dimensions,
+//! SIMD-packed leaf buckets, and a batched, pipelined distributed query
+//! protocol with radius-based remote pruning.
+//!
+//! * Single-node usage: [`knn::KnnIndex`].
+//! * Distributed usage (over the `panda-comm` simulated cluster):
+//!   [`build_distributed::build_distributed`] +
+//!   [`query_distributed::query_distributed`].
+//!
+//! All querying is **exact**: results are verified bit-identical to brute
+//! force throughout the test suite (`BoundMode::Exact`, the default).
+//!
+//! ```
+//! use panda_core::knn::KnnIndex;
+//! use panda_core::{PointSet, TreeConfig};
+//!
+//! // four points on a line
+//! let points = PointSet::from_coords(1, vec![0.0, 1.0, 2.0, 10.0])?;
+//! let index = KnnIndex::build(&points, &TreeConfig::default())?;
+//! let nearest = index.query(&[1.2], 2)?;
+//! assert_eq!(nearest[0].id, 1); // x = 1.0
+//! assert_eq!(nearest[1].id, 2); // x = 2.0
+//! # Ok::<(), panda_core::PandaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod build_distributed;
+pub mod classify;
+pub mod config;
+pub mod counters;
+pub mod error;
+pub mod global_tree;
+pub mod heap;
+pub mod hist;
+pub mod knn;
+pub mod local_tree;
+pub mod partition;
+pub mod point;
+pub mod query_distributed;
+pub mod radius;
+pub mod rng;
+pub mod split;
+pub mod timers;
+
+pub use config::{
+    BoundMode, DistConfig, HistScan, QueryConfig, SplitDimStrategy, SplitValueStrategy, TreeConfig,
+};
+pub use counters::{BuildCounters, QueryCounters};
+pub use error::{PandaError, Result};
+pub use heap::{KnnHeap, Neighbor};
+pub use local_tree::{LocalKdTree, QueryWorkspace, TreeStats};
+pub use point::{BoundingBox, PointSet, MAX_DIMS};

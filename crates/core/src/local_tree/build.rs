@@ -1,0 +1,465 @@
+//! Three-phase local kd-tree construction (§III-A(ii)–(iv)).
+
+use rayon::prelude::*;
+
+use panda_comm::CostModel;
+
+use crate::config::{SplitValueStrategy, TreeConfig};
+use crate::counters::BuildCounters;
+use crate::error::Result;
+use crate::partition::{partition_by_count, partition_in_place};
+use crate::point::PointSet;
+use crate::rng::SplitRng;
+use crate::split::{choose_dim, mean_first_100, sampled_split_value};
+
+use super::layout::{padded, PackedLeaves};
+use super::{BuildPhases, LocalKdTree, Node, TreeStats, LEAF};
+
+/// Beyond this depth the builder forces exact-median splits, bounding tree
+/// depth even under adversarial sampled splits.
+const MAX_SAMPLED_DEPTH: usize = 64;
+
+/// An open range of the index permutation awaiting splitting.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    node: u32,
+    start: usize,
+    len: usize,
+    depth: usize,
+}
+
+enum SplitOutcome {
+    Leaf,
+    Split { dim: usize, value: f32, left_len: usize },
+}
+
+/// Split one segment in place; shared by both construction phases.
+fn split_segment(
+    ps: &PointSet,
+    cfg: &TreeConfig,
+    idx_seg: &mut [u32],
+    depth: usize,
+    global_start: usize,
+    counters: &mut BuildCounters,
+) -> SplitOutcome {
+    let len = idx_seg.len();
+    if len <= cfg.bucket_size {
+        return SplitOutcome::Leaf;
+    }
+    // Deterministic per-segment stream: independent of thread schedule.
+    let mut rng = SplitRng::new(
+        cfg.seed
+            ^ (global_start as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (depth as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
+    );
+    let dim = choose_dim(ps, idx_seg, cfg.split_dim, depth, &mut rng, counters);
+
+    let exact = |idx_seg: &mut [u32], counters: &mut BuildCounters| {
+        let mid = len / 2;
+        let value = partition_by_count(ps, idx_seg, dim, mid);
+        counters.median_selects += len as u64;
+        SplitOutcome::Split { dim, value, left_len: mid }
+    };
+
+    let force_exact = depth >= MAX_SAMPLED_DEPTH
+        || len <= cfg.exact_median_below
+        || matches!(cfg.split_value, SplitValueStrategy::ExactMedian);
+    if force_exact {
+        return exact(idx_seg, counters);
+    }
+
+    match cfg.split_value {
+        SplitValueStrategy::SampledHistogram { samples } => {
+            let d = sampled_split_value(
+                ps,
+                idx_seg,
+                dim,
+                samples,
+                0.5,
+                cfg.hist_scan,
+                &mut rng,
+                counters,
+            );
+            if d.degenerate {
+                return exact(idx_seg, counters);
+            }
+            let left = partition_in_place(ps, idx_seg, dim, d.value);
+            counters.partition_ops += len as u64;
+            debug_assert_eq!(left as u64, d.left_count, "histogram/partition disagree");
+            SplitOutcome::Split { dim, value: d.value, left_len: left }
+        }
+        SplitValueStrategy::MeanFirst100 => {
+            let value = mean_first_100(ps, idx_seg, dim);
+            let left = partition_in_place(ps, idx_seg, dim, value);
+            counters.partition_ops += len as u64;
+            if left == 0 || left == len {
+                return exact(idx_seg, counters);
+            }
+            SplitOutcome::Split { dim, value, left_len: left }
+        }
+        SplitValueStrategy::ExactMedian => unreachable!("handled by force_exact"),
+    }
+}
+
+/// Carve `idx` into one disjoint mutable slice per segment (segments are
+/// non-overlapping and sorted by `start`).
+fn carve<'a>(mut idx: &'a mut [u32], segments: &[Segment]) -> Vec<&'a mut [u32]> {
+    let mut out = Vec::with_capacity(segments.len());
+    let mut offset = 0usize;
+    for seg in segments {
+        debug_assert!(seg.start >= offset, "segments must be sorted and disjoint");
+        let (_gap, rest) = idx.split_at_mut(seg.start - offset);
+        let (slice, rest) = rest.split_at_mut(seg.len);
+        out.push(slice);
+        idx = rest;
+        offset = seg.start + seg.len;
+    }
+    out
+}
+
+struct SubtreeResult {
+    arena: Vec<Node>,
+    counters: BuildCounters,
+}
+
+/// Depth-first sequential subtree build into a local arena (root last).
+fn build_subtree(
+    ps: &PointSet,
+    cfg: &TreeConfig,
+    idx_seg: &mut [u32],
+    global_start: usize,
+    depth: usize,
+) -> SubtreeResult {
+    let mut arena = Vec::new();
+    let mut counters = BuildCounters::default();
+    rec(ps, cfg, &mut arena, idx_seg, global_start, depth, &mut counters);
+    counters.nodes_created += arena.len() as u64;
+    return SubtreeResult { arena, counters };
+
+    fn rec(
+        ps: &PointSet,
+        cfg: &TreeConfig,
+        arena: &mut Vec<Node>,
+        idx_seg: &mut [u32],
+        global_start: usize,
+        depth: usize,
+        counters: &mut BuildCounters,
+    ) -> u32 {
+        match split_segment(ps, cfg, idx_seg, depth, global_start, counters) {
+            SplitOutcome::Leaf => {
+                arena.push(Node {
+                    split_dim: LEAF,
+                    split_val: 0.0,
+                    a: global_start as u32,
+                    b: idx_seg.len() as u32,
+                });
+            }
+            SplitOutcome::Split { dim, value, left_len } => {
+                let (l, r) = idx_seg.split_at_mut(left_len);
+                let li = rec(ps, cfg, arena, l, global_start, depth + 1, counters);
+                let ri = rec(ps, cfg, arena, r, global_start + left_len, depth + 1, counters);
+                arena.push(Node { split_dim: dim as u32, split_val: value, a: li, b: ri });
+            }
+        }
+        (arena.len() - 1) as u32
+    }
+}
+
+/// Build a local kd-tree (see [`LocalKdTree::build`]).
+pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
+    cfg.validate()?;
+    let n = ps.len();
+    let dims = ps.dims();
+
+    let mut stats = TreeStats { n_points: n, hist_scan: cfg.hist_scan, ..TreeStats::default() };
+    if n == 0 {
+        return Ok(LocalKdTree {
+            dims,
+            nodes: Vec::new(),
+            leaves: PackedLeaves::new(dims),
+            stats,
+        });
+    }
+
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    let mut nodes: Vec<Node> = Vec::with_capacity(2 * (n / cfg.bucket_size.max(1) + 1));
+    nodes.push(Node { split_dim: LEAF, split_val: 0.0, a: 0, b: n as u32 }); // root placeholder
+
+    let mut phases = BuildPhases::default();
+    let stop_at = cfg.threads.max(1) * cfg.data_parallel_factor;
+
+    // ---- Phase A: breadth-first data-parallel levels -------------------
+    let mut open = vec![Segment { node: 0, start: 0, len: n, depth: 0 }];
+    while !open.is_empty() && open.len() < stop_at {
+        phases.dp_levels += 1;
+        let results: Vec<(SplitOutcome, BuildCounters)> = {
+            let slices = carve(&mut idx, &open);
+            let work = |(slice, seg): (&mut [u32], &Segment)| {
+                let mut c = BuildCounters::default();
+                let outcome = split_segment(ps, cfg, slice, seg.depth, seg.start, &mut c);
+                (outcome, c)
+            };
+            if cfg.parallel {
+                slices.into_par_iter().zip(open.par_iter()).map(work).collect()
+            } else {
+                slices.into_iter().zip(open.iter()).map(work).collect()
+            }
+        };
+
+        let mut next = Vec::with_capacity(open.len() * 2);
+        for (seg, (outcome, c)) in open.iter().zip(results) {
+            phases.data_parallel.add(&c);
+            match outcome {
+                SplitOutcome::Leaf => {
+                    nodes[seg.node as usize] = Node {
+                        split_dim: LEAF,
+                        split_val: 0.0,
+                        a: seg.start as u32,
+                        b: seg.len as u32,
+                    };
+                }
+                SplitOutcome::Split { dim, value, left_len } => {
+                    let l = nodes.len() as u32;
+                    nodes.push(Node { split_dim: LEAF, split_val: 0.0, a: 0, b: 0 });
+                    let r = nodes.len() as u32;
+                    nodes.push(Node { split_dim: LEAF, split_val: 0.0, a: 0, b: 0 });
+                    phases.data_parallel.nodes_created += 2;
+                    nodes[seg.node as usize] =
+                        Node { split_dim: dim as u32, split_val: value, a: l, b: r };
+                    let children = [
+                        (l, seg.start, left_len),
+                        (r, seg.start + left_len, seg.len - left_len),
+                    ];
+                    for (child, start, len) in children {
+                        if len <= cfg.bucket_size {
+                            nodes[child as usize] = Node {
+                                split_dim: LEAF,
+                                split_val: 0.0,
+                                a: start as u32,
+                                b: len as u32,
+                            };
+                        } else {
+                            next.push(Segment { node: child, start, len, depth: seg.depth + 1 });
+                        }
+                    }
+                }
+            }
+        }
+        open = next;
+    }
+    phases.data_parallel.nodes_created += 1; // the root node itself
+
+    // ---- Phase B: thread-parallel depth-first subtrees ------------------
+    let subtree_results: Vec<SubtreeResult> = {
+        let slices = carve(&mut idx, &open);
+        let work = |(slice, seg): (&mut [u32], &Segment)| {
+            build_subtree(ps, cfg, slice, seg.start, seg.depth)
+        };
+        if cfg.parallel {
+            slices.into_par_iter().zip(open.par_iter()).map(work).collect()
+        } else {
+            slices.into_iter().zip(open.iter()).map(work).collect()
+        }
+    };
+    for (seg, sub) in open.iter().zip(subtree_results) {
+        phases.thread_parallel.add(&sub.counters);
+        phases.subtrees.push(sub.counters);
+        // Merge arena: non-root nodes are appended with offset fixup; the
+        // arena root replaces the placeholder at seg.node. Post-order
+        // construction guarantees children precede parents and nothing
+        // references the root.
+        let offset = nodes.len() as u32;
+        let root_local = (sub.arena.len() - 1) as u32;
+        let fix = |child: u32| -> u32 {
+            debug_assert!(child < root_local);
+            child + offset
+        };
+        for (i, node) in sub.arena.iter().enumerate() {
+            let fixed = if node.is_leaf() {
+                *node
+            } else {
+                Node { a: fix(node.a), b: fix(node.b), ..*node }
+            };
+            if i as u32 == root_local {
+                nodes[seg.node as usize] = fixed;
+            } else {
+                nodes.push(fixed);
+            }
+        }
+    }
+
+    // ---- Phase C: SIMD packing + stats ----------------------------------
+    let mut leaves = PackedLeaves::new(dims);
+    leaves.reserve(n);
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    let mut leaf_fill_total = 0u64;
+    while let Some((ni, depth)) = stack.pop() {
+        stats.max_depth = stats.max_depth.max(depth);
+        let node = nodes[ni as usize];
+        if node.is_leaf() {
+            stats.n_leaves += 1;
+            leaf_fill_total += node.b as u64;
+            let start = node.a as usize;
+            let cnt = node.b as usize;
+            let base = leaves.push_leaf(
+                cnt,
+                |i, d| ps.coord(idx[start + i] as usize, d),
+                |i| ps.id(idx[start + i] as usize),
+            );
+            nodes[ni as usize].a = base;
+            phases.packing.pack_coords += (padded(cnt) * dims) as u64;
+        } else {
+            stats.n_internal += 1;
+            stack.push((node.b, depth + 1));
+            stack.push((node.a, depth + 1));
+        }
+    }
+    debug_assert_eq!(leaf_fill_total as usize, n);
+    stats.mean_leaf_fill = leaf_fill_total as f64 / stats.n_leaves.max(1) as f64;
+
+    let mut total = BuildCounters::default();
+    total.add(&phases.data_parallel);
+    total.add(&phases.thread_parallel);
+    total.add(&phases.packing);
+    total.nodes_created = nodes.len() as u64;
+    stats.counters = total;
+    stats.phases = phases;
+
+    Ok(LocalKdTree { dims, nodes, leaves, stats })
+}
+
+/// Longest-processing-time makespan of `costs` over `threads` workers —
+/// the schedule model for the thread-parallel subtree phase.
+pub fn lpt_makespan(costs: &[f64], threads: usize) -> f64 {
+    let threads = threads.max(1);
+    let mut sorted: Vec<f64> = costs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite costs"));
+    let mut loads = vec![0.0f64; threads];
+    for c in sorted {
+        // assign to the least-loaded worker
+        let (mi, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .expect("threads >= 1");
+        loads[mi] += c;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// Modeled wall-seconds per construction phase under a cost model's thread
+/// pool (used by the simulated cluster and the single-node scaling bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LocalBuildModel {
+    /// Breadth-first data-parallel levels.
+    pub data_parallel: f64,
+    /// Thread-parallel subtree phase (LPT schedule makespan).
+    pub thread_parallel: f64,
+    /// SIMD packing pass.
+    pub packing: f64,
+}
+
+impl LocalBuildModel {
+    /// Total modeled construction seconds.
+    pub fn total(&self) -> f64 {
+        self.data_parallel + self.thread_parallel + self.packing
+    }
+}
+
+impl LocalKdTree {
+    /// Model the per-phase construction times under `cost`'s thread pool,
+    /// at an explicit thread count (pass `cost.thread.threads` for the
+    /// configured pool).
+    pub fn modeled_build_at(&self, cost: &CostModel, threads: usize, smt: bool) -> LocalBuildModel {
+        let ph = &self.stats().phases;
+        let scan = self.stats().hist_scan;
+        let dims = self.dims();
+        let dp_cpu = ph.data_parallel.cpu_seconds(&cost.ops, scan);
+        let dp = cost.thread.parallel_time_at(dp_cpu, ph.data_parallel.mem_bytes(dims), threads, smt);
+        let sub_costs: Vec<f64> =
+            ph.subtrees.iter().map(|c| c.cpu_seconds(&cost.ops, scan)).collect();
+        let tp_cpu = lpt_makespan(&sub_costs, threads);
+        let tp_mem = ph.thread_parallel.mem_bytes(dims);
+        let tp = tp_cpu.max(cost.thread.parallel_time_at(0.0, tp_mem, threads, smt));
+        let pack_cpu = ph.packing.cpu_seconds(&cost.ops, scan);
+        let pack = cost.thread.parallel_time_at(pack_cpu, ph.packing.mem_bytes(dims), threads, smt);
+        LocalBuildModel { data_parallel: dp, thread_parallel: tp, packing: pack }
+    }
+
+    /// [`Self::modeled_build_at`] with the model's configured thread pool.
+    pub fn modeled_build(&self, cost: &CostModel) -> LocalBuildModel {
+        self.modeled_build_at(cost, cost.thread.threads, cost.thread.smt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_basic_properties() {
+        assert_eq!(lpt_makespan(&[], 4), 0.0);
+        assert_eq!(lpt_makespan(&[5.0], 4), 5.0);
+        // perfect split
+        assert_eq!(lpt_makespan(&[3.0, 3.0, 3.0, 3.0], 4), 3.0);
+        // single thread = sum
+        assert!((lpt_makespan(&[1.0, 2.0, 3.0], 1) - 6.0).abs() < 1e-12);
+        // makespan is at least max item and at least mean load
+        let costs = [9.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let m = lpt_makespan(&costs, 3);
+        assert!(m >= 9.0);
+        assert!(m <= 14.0);
+        assert_eq!(m, 9.0); // LPT puts the 9 alone
+    }
+
+    #[test]
+    fn lpt_monotonic_in_threads() {
+        let costs: Vec<f64> = (1..50).map(|i| (i % 7 + 1) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for t in 1..=8 {
+            let m = lpt_makespan(&costs, t);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn modeled_build_shrinks_with_threads() {
+        use crate::config::TreeConfig;
+        use crate::local_tree::tests::random_points;
+        let ps = random_points(30_000, 3, 42);
+        let cfg = TreeConfig { threads: 24, ..TreeConfig::default() };
+        let tree = LocalKdTree::build(&ps, &cfg).unwrap();
+        let cost = CostModel::default();
+        let t1 = tree.modeled_build_at(&cost, 1, false).total();
+        let t24 = tree.modeled_build_at(&cost, 24, false).total();
+        assert!(t1 > 0.0);
+        let speedup = t1 / t24;
+        assert!(
+            (8.0..=24.0).contains(&speedup),
+            "24-thread modeled construction speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn phases_account_for_all_work() {
+        use crate::config::TreeConfig;
+        use crate::local_tree::tests::random_points;
+        let ps = random_points(10_000, 3, 1);
+        let cfg = TreeConfig { threads: 4, ..TreeConfig::default() };
+        let tree = LocalKdTree::build(&ps, &cfg).unwrap();
+        let s = tree.stats();
+        // every point is packed exactly once (plus padding)
+        assert!(s.phases.packing.pack_coords >= (10_000 * 3) as u64);
+        // subtree counters sum to the thread-parallel totals
+        let mut sum = BuildCounters::default();
+        for c in &s.phases.subtrees {
+            sum.add(c);
+        }
+        assert_eq!(sum.hist_binned, s.phases.thread_parallel.hist_binned);
+        assert_eq!(sum.median_selects, s.phases.thread_parallel.median_selects);
+        // with threads=4 & factor 10 the DP phase must have run ≥ 1 level
+        assert!(s.phases.dp_levels >= 1);
+        assert!(!s.phases.subtrees.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! SIMD-packed leaf storage (§III-A(iv)).
+//!
+//! Once bucket membership is fixed, coordinates are copied into a layout
+//! where the query-time exhaustive scan is a branch-free vectorizable
+//! stream: buckets are contiguous, within a bucket the data is
+//! dimension-major, and each bucket is padded to a multiple of [`LANE`]
+//! positions. Padding coordinates are `+∞`, so padded positions produce an
+//! infinite distance and can never enter the candidate heap — the scan
+//! needs no tail handling at all.
+
+/// Vector lane count the layout pads to (8 × f32 = one AVX2 register).
+pub const LANE: usize = 8;
+
+/// Round `n` up to a multiple of [`LANE`].
+#[inline]
+pub(crate) fn padded(n: usize) -> usize {
+    n.div_ceil(LANE) * LANE
+}
+
+/// Bucket-major packed coordinates and ids.
+#[derive(Clone, Debug, Default)]
+pub struct PackedLeaves {
+    dims: usize,
+    /// Per bucket: `cap × dims` floats, dimension-major within the bucket.
+    coords: Vec<f32>,
+    /// Padded point ids (`u64::MAX` marks padding).
+    ids: Vec<u64>,
+}
+
+impl PackedLeaves {
+    /// Empty storage for `dims`-dimensional buckets.
+    pub fn new(dims: usize) -> Self {
+        Self { dims, coords: Vec::new(), ids: Vec::new() }
+    }
+
+    /// Pre-allocate for `n_points` (estimates padding at full buckets).
+    pub fn reserve(&mut self, n_points: usize) {
+        self.coords.reserve(padded(n_points) * self.dims);
+        self.ids.reserve(padded(n_points));
+    }
+
+    /// Append one bucket from `(coords_of, id_of)` accessors over `n`
+    /// member points. Returns the bucket's padded base index.
+    pub fn push_leaf(
+        &mut self,
+        n: usize,
+        coord_of: impl Fn(usize, usize) -> f32, // (member, dim) -> coordinate
+        id_of: impl Fn(usize) -> u64,
+    ) -> u32 {
+        debug_assert!(n > 0);
+        let base = self.ids.len();
+        let cap = padded(n);
+        for d in 0..self.dims {
+            for i in 0..cap {
+                self.coords.push(if i < n { coord_of(i, d) } else { f32::INFINITY });
+            }
+        }
+        for i in 0..cap {
+            self.ids.push(if i < n { id_of(i) } else { u64::MAX });
+        }
+        base as u32
+    }
+
+    /// Padded ids array.
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Coordinate of member `i` (0-based within the bucket) along `dim`
+    /// for the bucket at padded base `base` with capacity `cap`.
+    /// Used by invariant checks and by code that needs to read points back
+    /// out of the packed layout (e.g. per-rank bbox computation).
+    #[inline]
+    pub fn member_coord(&self, base: usize, cap: usize, i: usize, dim: usize) -> f32 {
+        debug_assert!(i < cap);
+        self.coords[base * self.dims + dim * cap + i]
+    }
+
+    /// Distance kernel: squared Euclidean distances from `q` to every
+    /// padded position of the bucket at `base` with capacity `cap`,
+    /// written into `out[..cap]`. Padded slots yield `+∞`.
+    #[inline]
+    pub fn distances(&self, base: usize, cap: usize, q: &[f32], out: &mut Vec<f32>) {
+        let dims = self.dims;
+        out.clear();
+        out.resize(cap, 0.0);
+        let block = &self.coords[base * dims..base * dims + cap * dims];
+        match dims {
+            3 => {
+                let (xs, rest) = block.split_at(cap);
+                let (ys, zs) = rest.split_at(cap);
+                let (qx, qy, qz) = (q[0], q[1], q[2]);
+                for i in 0..cap {
+                    let dx = qx - xs[i];
+                    let dy = qy - ys[i];
+                    let dz = qz - zs[i];
+                    out[i] = dx * dx + dy * dy + dz * dz;
+                }
+            }
+            2 => {
+                let (xs, ys) = block.split_at(cap);
+                let (qx, qy) = (q[0], q[1]);
+                for i in 0..cap {
+                    let dx = qx - xs[i];
+                    let dy = qy - ys[i];
+                    out[i] = dx * dx + dy * dy;
+                }
+            }
+            _ => {
+                for (d, &qd) in q.iter().enumerate().take(dims) {
+                    let row = &block[d * cap..(d + 1) * cap];
+                    for i in 0..cap {
+                        let diff = qd - row[i];
+                        out[i] += diff * diff;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.coords.len() * 4 + self.ids.len() * 8
+    }
+
+    /// Total padded positions stored.
+    pub fn padded_len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack_one(dims: usize, pts: &[Vec<f32>]) -> (PackedLeaves, u32, usize) {
+        let mut pl = PackedLeaves::new(dims);
+        let base = pl.push_leaf(pts.len(), |i, d| pts[i][d], |i| i as u64 * 10);
+        let cap = padded(pts.len());
+        (pl, base, cap)
+    }
+
+    #[test]
+    fn padding_rounds_to_lane() {
+        assert_eq!(padded(1), LANE);
+        assert_eq!(padded(8), 8);
+        assert_eq!(padded(9), 16);
+        assert_eq!(padded(32), 32);
+        assert_eq!(padded(33), 40);
+    }
+
+    #[test]
+    fn pack_and_ids() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let (pl, base, cap) = pack_one(2, &pts);
+        assert_eq!(base, 0);
+        assert_eq!(cap, 8);
+        assert_eq!(pl.padded_len(), 8);
+        assert_eq!(&pl.ids()[..3], &[0, 10, 20]);
+        assert!(pl.ids()[3..].iter().all(|&i| i == u64::MAX));
+    }
+
+    #[test]
+    fn distances_match_manual_and_padding_is_infinite() {
+        let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0]];
+        let (pl, base, cap) = pack_one(2, &pts);
+        let mut out = Vec::new();
+        pl.distances(base as usize, cap, &[0.0, 0.0], &mut out);
+        assert_eq!(out.len(), cap);
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 25.0);
+        assert!(out[2..].iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn kernels_agree_across_dims() {
+        // the specialized 2-D/3-D kernels must match the generic one
+        for dims in [2usize, 3, 5, 10, 15] {
+            let n = 13;
+            let pts: Vec<Vec<f32>> = (0..n)
+                .map(|i| (0..dims).map(|d| (i * 7 + d * 3) as f32 * 0.25).collect())
+                .collect();
+            let (pl, base, cap) = pack_one(dims, &pts);
+            let q: Vec<f32> = (0..dims).map(|d| d as f32 * 0.5 + 1.0).collect();
+            let mut out = Vec::new();
+            pl.distances(base as usize, cap, &q, &mut out);
+            for (i, p) in pts.iter().enumerate() {
+                let manual: f32 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                assert!((out[i] - manual).abs() < 1e-4, "dims={dims} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_buckets_are_contiguous() {
+        let mut pl = PackedLeaves::new(3);
+        let b1 = pl.push_leaf(5, |i, d| (i + d) as f32, |i| i as u64);
+        let b2 = pl.push_leaf(9, |i, d| (i * d) as f32, |i| 100 + i as u64);
+        assert_eq!(b1, 0);
+        assert_eq!(b2 as usize, padded(5));
+        assert_eq!(pl.padded_len(), padded(5) + padded(9));
+        // second bucket distances are self-consistent
+        let mut out = Vec::new();
+        pl.distances(b2 as usize, padded(9), &[0.0, 0.0, 0.0], &mut out);
+        // member 2 of bucket 2 is (0, 2, 4): dist² = 20
+        assert_eq!(out[2], 20.0);
+    }
+
+    #[test]
+    fn memory_bytes_counts_padding() {
+        let mut pl = PackedLeaves::new(2);
+        pl.push_leaf(1, |_, _| 0.0, |_| 0);
+        assert_eq!(pl.memory_bytes(), LANE * 2 * 4 + LANE * 8);
+    }
+}

@@ -1,0 +1,342 @@
+//! The per-rank ("local") kd-tree: array-node layout, SIMD-packed leaf
+//! buckets, three-phase construction, and the Algorithm-1 query traversal.
+//!
+//! Construction mirrors §III-A of the paper:
+//!
+//! 1. **Data-parallel levels** — breadth-first; split/shuffle of every open
+//!    segment is parallelized over points until there are
+//!    `threads × data_parallel_factor` independent segments.
+//! 2. **Thread-parallel subtrees** — each remaining segment becomes a
+//!    depth-first sequential subtree build; subtrees are scheduled over
+//!    threads (longest-processing-time order in the simulated-time model).
+//! 3. **SIMD packing** — leaf bucket coordinates are copied into a
+//!    bucket-major, dimension-major, lane-padded layout so the query-time
+//!    exhaustive bucket scan is a pure vectorizable stream.
+
+mod build;
+mod layout;
+mod query;
+
+pub use build::LocalBuildModel;
+pub use layout::{PackedLeaves, LANE};
+pub use query::QueryWorkspace;
+
+pub(crate) use layout::padded as padded_len;
+
+use crate::config::TreeConfig;
+use crate::counters::BuildCounters;
+use crate::error::Result;
+use crate::point::PointSet;
+
+/// Sentinel in `Node::split_dim` marking a leaf.
+pub(crate) const LEAF: u32 = u32::MAX;
+
+/// One tree node (16 bytes).
+///
+/// Internal: `a`/`b` are left/right child indices.
+/// Leaf: `a` is the padded base index into [`PackedLeaves`], `b` the point
+/// count (capacity is `b` rounded up to [`LANE`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Node {
+    pub split_dim: u32,
+    pub split_val: f32,
+    pub a: u32,
+    pub b: u32,
+}
+
+impl Node {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.split_dim == LEAF
+    }
+}
+
+/// Structural statistics of a built tree.
+#[derive(Clone, Debug, Default)]
+pub struct TreeStats {
+    /// Points indexed.
+    pub n_points: usize,
+    /// Leaf count.
+    pub n_leaves: usize,
+    /// Internal node count.
+    pub n_internal: usize,
+    /// Maximum leaf depth (root = 0).
+    pub max_depth: usize,
+    /// Mean points per leaf.
+    pub mean_leaf_fill: f64,
+    /// Histogram-scan variant the tree was built with (cost-model input).
+    pub hist_scan: crate::config::HistScan,
+    /// Aggregate construction work counters.
+    pub counters: BuildCounters,
+    /// Per-phase construction work (drives the modeled breakdown).
+    pub phases: BuildPhases,
+}
+
+/// Work performed in each construction phase.
+#[derive(Clone, Debug, Default)]
+pub struct BuildPhases {
+    /// Counters for the breadth-first data-parallel levels.
+    pub data_parallel: BuildCounters,
+    /// Counters for the depth-first thread-parallel subtree builds (total).
+    pub thread_parallel: BuildCounters,
+    /// Per-subtree counters (for the LPT thread-schedule model).
+    pub subtrees: Vec<BuildCounters>,
+    /// Counters for the SIMD packing pass.
+    pub packing: BuildCounters,
+    /// Number of breadth-first levels executed.
+    pub dp_levels: usize,
+}
+
+/// A kd-tree over one rank's points.
+///
+/// Build with [`LocalKdTree::build`]; query with
+/// [`LocalKdTree::query`] / [`LocalKdTree::query_into`].
+#[derive(Clone, Debug)]
+pub struct LocalKdTree {
+    pub(crate) dims: usize,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) leaves: PackedLeaves,
+    stats: TreeStats,
+}
+
+impl LocalKdTree {
+    /// Build a tree over `points` with the given configuration.
+    ///
+    /// An empty point set produces a valid empty tree (queries return
+    /// nothing) — distributed cells can legitimately be empty.
+    pub fn build(points: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
+        build::build(points, cfg)
+    }
+
+    /// Dimensionality of the indexed points.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stats.n_points
+    }
+
+    /// True when the tree indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stats.n_points == 0
+    }
+
+    /// Structural statistics and construction work counters.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Approximate resident bytes (nodes + packed leaves).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>() + self.leaves.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SplitDimStrategy, SplitValueStrategy, TreeConfig};
+    use crate::heap::KnnHeap;
+    use crate::rng::SplitRng;
+
+    pub(crate) fn random_points(n: usize, dims: usize, seed: u64) -> PointSet {
+        let mut rng = SplitRng::new(seed);
+        let coords: Vec<f32> = (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect();
+        PointSet::from_coords(dims, coords).unwrap()
+    }
+
+    /// Brute-force reference: k smallest (dist_sq, id), ties by first-come
+    /// (same as the heap's strict-< rule, scanning in id order).
+    pub(crate) fn brute_knn(ps: &PointSet, q: &[f32], k: usize) -> Vec<(f32, u64)> {
+        let mut h = KnnHeap::new(k);
+        for i in 0..ps.len() {
+            h.offer(ps.dist_sq_to(q, i), ps.id(i));
+        }
+        h.into_sorted().iter().map(|n| (n.dist_sq, n.id)).collect()
+    }
+
+    #[test]
+    fn every_point_lands_in_exactly_one_leaf() {
+        let ps = random_points(5000, 3, 1);
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        let mut seen = vec![0u32; ps.len()];
+        let mut leaf_points = 0usize;
+        for node in &tree.nodes {
+            if node.is_leaf() {
+                leaf_points += node.b as usize;
+                for i in 0..node.b as usize {
+                    let id = tree.leaves.ids()[node.a as usize + i];
+                    seen[id as usize] += 1;
+                }
+            }
+        }
+        assert_eq!(leaf_points, ps.len());
+        assert!(seen.iter().all(|&c| c == 1), "each point in exactly one leaf");
+    }
+
+    #[test]
+    fn leaf_sizes_respect_bucket_limit() {
+        for bucket in [1usize, 4, 32, 100] {
+            let ps = random_points(2000, 2, 2);
+            let cfg = TreeConfig::default().with_bucket_size(bucket);
+            let tree = LocalKdTree::build(&ps, &cfg).unwrap();
+            for node in &tree.nodes {
+                if node.is_leaf() {
+                    assert!(node.b as usize <= bucket, "bucket {bucket}");
+                    assert!(node.b > 0, "no empty leaves");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_planes_are_consistent() {
+        // Every point in the left subtree has coord ≤ split_val; right > …
+        // except count-based splits where both sides may touch the value.
+        // The universally valid invariant: left max ≤ split ≤ right min
+        // cannot hold with count splits either (left max == split == right
+        // min). Check the relaxed invariant left ≤ split ≤ right.
+        let ps = random_points(3000, 3, 3);
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+
+        // gather (base, cap, member) triples under each node
+        fn collect(tree: &LocalKdTree, node: u32, out: &mut Vec<(usize, usize, usize)>) {
+            let n = tree.nodes[node as usize];
+            if n.is_leaf() {
+                let cap = layout::padded(n.b as usize);
+                for i in 0..n.b as usize {
+                    out.push((n.a as usize, cap, i));
+                }
+            } else {
+                collect(tree, n.a, out);
+                collect(tree, n.b, out);
+            }
+        }
+
+        for (i, n) in tree.nodes.iter().enumerate() {
+            if n.is_leaf() {
+                continue;
+            }
+            let dim = n.split_dim as usize;
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            collect(&tree, n.a, &mut left);
+            collect(&tree, n.b, &mut right);
+            assert!(!left.is_empty() && !right.is_empty(), "node {i} has empty child");
+            for &(base, cap, m) in &left {
+                let v = tree.leaves.member_coord(base, cap, m, dim);
+                assert!(v <= n.split_val, "left violates plane at node {i}");
+            }
+            for &(base, cap, m) in &right {
+                let v = tree.leaves.member_coord(base, cap, m, dim);
+                assert!(v >= n.split_val, "right violates plane at node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let ps = random_points(4096, 3, 4);
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        let s = tree.stats();
+        assert_eq!(s.n_points, 4096);
+        assert_eq!(s.n_leaves + s.n_internal, tree.nodes.len());
+        assert_eq!(s.n_leaves, s.n_internal + 1, "full binary tree");
+        assert!(s.max_depth >= 7, "4096/32 needs ≥ 7 levels, got {}", s.max_depth);
+        assert!(s.max_depth < 40);
+        assert!(s.mean_leaf_fill > 0.0 && s.mean_leaf_fill <= 32.0);
+        assert!(s.counters.nodes_created as usize == tree.nodes.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ps = random_points(2000, 3, 5);
+        let cfg = TreeConfig::default();
+        let a = LocalKdTree::build(&ps, &cfg).unwrap();
+        let b = LocalKdTree::build(&ps, &cfg).unwrap();
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (x, y) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(x.split_dim, y.split_dim);
+            assert_eq!(x.split_val, y.split_val);
+            assert_eq!(x.a, y.a);
+            assert_eq!(x.b, y.b);
+        }
+    }
+
+    #[test]
+    fn all_identical_points_terminate() {
+        let ps = PointSet::from_coords(3, [1.5f32, 2.5, 3.5].repeat(500)).unwrap();
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.len(), 500);
+        // querying must find exactly k of them at the same distance
+        let res = tree.query(&[1.5, 2.5, 3.5], 5).unwrap();
+        assert_eq!(res.len(), 5);
+        assert!(res.iter().all(|n| n.dist_sq == 0.0));
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let ps = PointSet::new(3).unwrap();
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        assert!(tree.is_empty());
+        assert!(tree.query(&[0.0, 0.0, 0.0], 3).unwrap().is_empty());
+
+        let one = random_points(1, 3, 6);
+        let tree = LocalKdTree::build(&one, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.len(), 1);
+        let r = tree.query(&[0.0; 3], 5).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn strategies_all_build_valid_trees() {
+        let ps = random_points(3000, 4, 7);
+        for split_dim in [
+            SplitDimStrategy::MaxVariance { sample: 256 },
+            SplitDimStrategy::MaxExtent,
+            SplitDimStrategy::RoundRobin,
+        ] {
+            for split_value in [
+                SplitValueStrategy::SampledHistogram { samples: 256 },
+                SplitValueStrategy::ExactMedian,
+                SplitValueStrategy::MeanFirst100,
+            ] {
+                let cfg = TreeConfig { split_dim, split_value, ..TreeConfig::default() };
+                let tree = LocalKdTree::build(&ps, &cfg).unwrap();
+                assert_eq!(tree.len(), 3000, "{split_dim:?}/{split_value:?}");
+                let got = tree.query(&[5.0, 5.0, 5.0, 5.0], 3).unwrap();
+                let expect = brute_knn(&ps, &[5.0, 5.0, 5.0, 5.0], 3);
+                let g: Vec<f32> = got.iter().map(|n| n.dist_sq).collect();
+                let e: Vec<f32> = expect.iter().map(|p| p.0).collect();
+                assert_eq!(g, e, "{split_dim:?}/{split_value:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_exact_too() {
+        let ps = random_points(20_000, 3, 8);
+        let cfg = TreeConfig::default().with_parallel(true).with_threads(2);
+        let tree = LocalKdTree::build(&ps, &cfg).unwrap();
+        assert_eq!(tree.len(), 20_000);
+        for qi in 0..25 {
+            let q = ps.point(qi * 700 % ps.len()).to_vec();
+            let got: Vec<f32> =
+                tree.query(&q, 7).unwrap().iter().map(|n| n.dist_sq).collect();
+            let expect: Vec<f32> = brute_knn(&ps, &q, 7).iter().map(|p| p.0).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let ps = random_points(1000, 3, 9);
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        assert!(tree.memory_bytes() > 1000 * 3 * 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Index-array partitioning used at every tree level.
+//!
+//! Within a shared-memory node the shuffle stage "only involves moving the
+//! index, not the points themselves" (§III-A(ii)) — these routines permute
+//! a `u32` index array over an immutable [`PointSet`].
+
+use crate::point::PointSet;
+
+/// Partition `idx` in place so entries with coordinate `≤ split` along
+/// `dim` precede the rest. Returns the boundary (count of the left part).
+/// Not stable; O(n) swaps.
+pub fn partition_in_place(ps: &PointSet, idx: &mut [u32], dim: usize, split: f32) -> usize {
+    let mut l = 0usize;
+    let mut r = idx.len();
+    while l < r {
+        if ps.coord(idx[l] as usize, dim) <= split {
+            l += 1;
+        } else {
+            r -= 1;
+            idx.swap(l, r);
+        }
+    }
+    l
+}
+
+/// Stable partition through a scratch buffer (used by the parallel build
+/// path where deterministic output order simplifies reasoning).
+pub fn partition_stable(
+    ps: &PointSet,
+    idx: &mut [u32],
+    dim: usize,
+    split: f32,
+    scratch: &mut Vec<u32>,
+) -> usize {
+    scratch.clear();
+    scratch.reserve(idx.len());
+    let mut left = 0usize;
+    for &i in idx.iter() {
+        if ps.coord(i as usize, dim) <= split {
+            left += 1;
+        }
+    }
+    // scatter: left run then right run, preserving relative order
+    scratch.resize(idx.len(), 0);
+    let mut li = 0usize;
+    let mut ri = left;
+    for &i in idx.iter() {
+        if ps.coord(i as usize, dim) <= split {
+            scratch[li] = i;
+            li += 1;
+        } else {
+            scratch[ri] = i;
+            ri += 1;
+        }
+    }
+    idx.copy_from_slice(scratch);
+    left
+}
+
+/// Exact-median fallback: reorder `idx` so position `mid` holds the median
+/// under `(coordinate, id)` ordering; everything before is `≤` it and
+/// everything after is `≥` it. Returns the split coordinate at `mid`.
+///
+/// Used when the sampled histogram degenerates (heavily duplicated data,
+/// e.g. the co-located Daya Bay records) and for small segments where an
+/// exact median is cheaper than sampling.
+pub fn partition_by_count(ps: &PointSet, idx: &mut [u32], dim: usize, mid: usize) -> f32 {
+    debug_assert!(mid < idx.len());
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        let va = ps.coord(a as usize, dim);
+        let vb = ps.coord(b as usize, dim);
+        va.partial_cmp(&vb)
+            .expect("finite coordinates")
+            .then_with(|| ps.id(a as usize).cmp(&ps.id(b as usize)))
+    });
+    ps.coord(idx[mid] as usize, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitRng;
+
+    fn make_ps(values: &[f32]) -> PointSet {
+        PointSet::from_coords(1, values.to_vec()).unwrap()
+    }
+
+    fn check_partition(ps: &PointSet, idx: &[u32], dim: usize, split: f32, left: usize) {
+        for (pos, &i) in idx.iter().enumerate() {
+            let v = ps.coord(i as usize, dim);
+            if pos < left {
+                assert!(v <= split, "pos {pos} value {v} split {split}");
+            } else {
+                assert!(v > split, "pos {pos} value {v} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_partitions_correctly() {
+        let ps = make_ps(&[5.0, 1.0, 3.0, 8.0, 2.0, 9.0, 3.0]);
+        let mut idx: Vec<u32> = (0..7).collect();
+        let left = partition_in_place(&ps, &mut idx, 0, 3.0);
+        assert_eq!(left, 4); // 1,3,2,3 are ≤ 3
+        check_partition(&ps, &idx, 0, 3.0, left);
+        // permutation preserved
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn stable_partition_preserves_relative_order() {
+        let ps = make_ps(&[5.0, 1.0, 3.0, 8.0, 2.0, 9.0, 3.0]);
+        let mut idx: Vec<u32> = (0..7).collect();
+        let mut scratch = Vec::new();
+        let left = partition_stable(&ps, &mut idx, 0, 3.0, &mut scratch);
+        assert_eq!(left, 4);
+        assert_eq!(&idx[..left], &[1, 2, 4, 6]); // original order among ≤3
+        assert_eq!(&idx[left..], &[0, 3, 5]);
+    }
+
+    #[test]
+    fn stable_and_in_place_agree_on_boundary() {
+        let mut rng = SplitRng::new(11);
+        for n in [1usize, 2, 17, 256, 1000] {
+            let values: Vec<f32> = (0..n).map(|_| (rng.next_f64() * 100.0) as f32).collect();
+            let ps = make_ps(&values);
+            let split = 37.5f32;
+            let mut a: Vec<u32> = (0..n as u32).collect();
+            let mut b = a.clone();
+            let mut scratch = Vec::new();
+            let la = partition_in_place(&ps, &mut a, 0, split);
+            let lb = partition_stable(&ps, &mut b, 0, split, &mut scratch);
+            assert_eq!(la, lb, "n={n}");
+            check_partition(&ps, &a, 0, split, la);
+            check_partition(&ps, &b, 0, split, lb);
+        }
+    }
+
+    #[test]
+    fn extreme_splits() {
+        let ps = make_ps(&[1.0, 2.0, 3.0]);
+        let mut idx: Vec<u32> = (0..3).collect();
+        assert_eq!(partition_in_place(&ps, &mut idx, 0, 0.0), 0);
+        assert_eq!(partition_in_place(&ps, &mut idx, 0, 10.0), 3);
+        assert_eq!(partition_in_place(&ps, &mut idx, 0, 1.0), 1); // boundary inclusive left
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let ps = make_ps(&[4.0]);
+        let mut empty: Vec<u32> = vec![];
+        assert_eq!(partition_in_place(&ps, &mut empty, 0, 1.0), 0);
+        let mut one = vec![0u32];
+        assert_eq!(partition_in_place(&ps, &mut one, 0, 4.0), 1);
+    }
+
+    #[test]
+    fn by_count_median_splits_duplicates() {
+        // all identical values: only the (value, id) tie-break separates
+        let ps = make_ps(&[7.0; 10]);
+        let mut idx: Vec<u32> = (0..10).collect();
+        let v = partition_by_count(&ps, &mut idx, 0, 5);
+        assert_eq!(v, 7.0);
+        // ids below position 5 must be the five smallest ids
+        let mut lo: Vec<u32> = idx[..5].to_vec();
+        lo.sort_unstable();
+        assert_eq!(lo, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn by_count_median_on_random_data() {
+        let mut rng = SplitRng::new(3);
+        let values: Vec<f32> = (0..101).map(|_| (rng.next_f64() * 50.0) as f32).collect();
+        let ps = make_ps(&values);
+        let mut idx: Vec<u32> = (0..101).collect();
+        let v = partition_by_count(&ps, &mut idx, 0, 50);
+        let below = idx[..50].iter().filter(|&&i| ps.coord(i as usize, 0) <= v).count();
+        assert_eq!(below, 50, "left side all ≤ median value");
+        let above = idx[51..].iter().filter(|&&i| ps.coord(i as usize, 0) >= v).count();
+        assert_eq!(above, 50, "right side all ≥ median value");
+    }
+
+    #[test]
+    fn partition_on_higher_dim() {
+        let ps = PointSet::from_coords(3, vec![
+            0.0, 9.0, 0.0, //
+            0.0, 1.0, 0.0, //
+            0.0, 5.0, 0.0, //
+        ])
+        .unwrap();
+        let mut idx: Vec<u32> = (0..3).collect();
+        let left = partition_in_place(&ps, &mut idx, 1, 4.0);
+        assert_eq!(left, 1);
+        assert_eq!(idx[0], 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Point storage and axis-aligned bounding boxes.
+//!
+//! Points are stored point-major (`coords[i*dims + d]`) with a `u64` global
+//! id per point. Global ids survive redistribution across ranks, so query
+//! results always reference the original dataset regardless of where the
+//! point physically lives after the global kd-tree shuffle.
+
+use crate::error::{PandaError, Result};
+
+/// Maximum supported dimensionality. The paper's datasets are 3-D
+/// (cosmology, plasma), 10-D (Daya Bay, SDSS `psf_mod_mag`) and 15-D
+/// (SDSS `all_mag`); fixed-size scratch arrays sized by this constant keep
+/// the query hot path allocation-free.
+pub const MAX_DIMS: usize = 16;
+
+/// A set of points of uniform dimensionality with per-point global ids.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointSet {
+    dims: usize,
+    coords: Vec<f32>,
+    ids: Vec<u64>,
+}
+
+impl PointSet {
+    /// Empty set of `dims`-dimensional points.
+    pub fn new(dims: usize) -> Result<Self> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(PandaError::BadDims { dims });
+        }
+        Ok(Self { dims, coords: Vec::new(), ids: Vec::new() })
+    }
+
+    /// Build from a flat point-major coordinate buffer; ids default to
+    /// `0..n`. Validates dimensionality, shape, and finiteness.
+    pub fn from_coords(dims: usize, coords: Vec<f32>) -> Result<Self> {
+        let n = if dims == 0 { 0 } else { coords.len() / dims.max(1) };
+        let ids = (0..n as u64).collect();
+        Self::from_parts(dims, coords, ids)
+    }
+
+    /// Build from a flat coordinate buffer and explicit global ids.
+    pub fn from_parts(dims: usize, coords: Vec<f32>, ids: Vec<u64>) -> Result<Self> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(PandaError::BadDims { dims });
+        }
+        if coords.len() % dims != 0 {
+            return Err(PandaError::RaggedCoordinates { len: coords.len(), dims });
+        }
+        let n = coords.len() / dims;
+        if ids.len() != n {
+            return Err(PandaError::IdCountMismatch { points: n, ids: ids.len() });
+        }
+        let ps = Self { dims, coords, ids };
+        ps.validate()?;
+        Ok(ps)
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality of every point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f32] {
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Global id of point `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// One coordinate without forming the slice (hot path helper).
+    #[inline]
+    pub fn coord(&self, i: usize, d: usize) -> f32 {
+        self.coords[i * self.dims + d]
+    }
+
+    /// The full point-major coordinate buffer.
+    #[inline]
+    pub fn coords(&self) -> &[f32] {
+        &self.coords
+    }
+
+    /// The id buffer.
+    #[inline]
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Append one point. Panics if `p.len() != dims` (hot-path method; the
+    /// shape is the caller's invariant).
+    #[inline]
+    pub fn push(&mut self, p: &[f32], id: u64) {
+        debug_assert_eq!(p.len(), self.dims);
+        self.coords.extend_from_slice(p);
+        self.ids.push(id);
+    }
+
+    /// Append all points of `other` (must share dimensionality).
+    pub fn append(&mut self, other: &PointSet) -> Result<()> {
+        if other.dims != self.dims {
+            return Err(PandaError::DimsMismatch { expected: self.dims, got: other.dims });
+        }
+        self.coords.extend_from_slice(&other.coords);
+        self.ids.extend_from_slice(&other.ids);
+        Ok(())
+    }
+
+    /// Append points from parallel raw buffers without re-validating
+    /// finiteness (redistribution hot path; inputs were validated when the
+    /// dataset entered the system). Panics on shape mismatch.
+    pub fn extend_trusted(&mut self, coords: &[f32], ids: &[u64]) {
+        assert_eq!(coords.len(), ids.len() * self.dims, "ragged extend");
+        self.coords.extend_from_slice(coords);
+        self.ids.extend_from_slice(ids);
+    }
+
+    /// Pre-allocate for `n` additional points.
+    pub fn reserve(&mut self, n: usize) {
+        self.coords.reserve(n * self.dims);
+        self.ids.reserve(n);
+    }
+
+    /// New set containing the selected indices, in order.
+    pub fn select(&self, indices: &[u32]) -> PointSet {
+        let mut out = PointSet { dims: self.dims, coords: Vec::new(), ids: Vec::new() };
+        out.reserve(indices.len());
+        for &i in indices {
+            out.push(self.point(i as usize), self.id(i as usize));
+        }
+        out
+    }
+
+    /// Verify every coordinate is finite.
+    pub fn validate(&self) -> Result<()> {
+        for (i, chunk) in self.coords.chunks_exact(self.dims).enumerate() {
+            for (d, &v) in chunk.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(PandaError::NonFiniteCoordinate { point: i, dim: d });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Tight axis-aligned bounding box, or `None` if empty.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut bb = BoundingBox::empty(self.dims);
+        for chunk in self.coords.chunks_exact(self.dims) {
+            bb.expand(chunk);
+        }
+        Some(bb)
+    }
+
+    /// Squared Euclidean distance between an arbitrary query slice and
+    /// point `i`.
+    #[inline]
+    pub fn dist_sq_to(&self, q: &[f32], i: usize) -> f32 {
+        let p = self.point(i);
+        let mut acc = 0.0f32;
+        for d in 0..self.dims {
+            let diff = q[d] - p[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+}
+
+/// Axis-aligned bounding box in up to [`MAX_DIMS`] dimensions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundingBox {
+    lo: [f32; MAX_DIMS],
+    hi: [f32; MAX_DIMS],
+    dims: usize,
+}
+
+impl BoundingBox {
+    /// An inverted (empty) box that any `expand` will overwrite.
+    pub fn empty(dims: usize) -> Self {
+        Self { lo: [f32::INFINITY; MAX_DIMS], hi: [f32::NEG_INFINITY; MAX_DIMS], dims }
+    }
+
+    /// Box spanning exactly the given lo/hi corners.
+    pub fn from_corners(lo: &[f32], hi: &[f32]) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        let dims = lo.len();
+        let mut b = Self::empty(dims);
+        b.lo[..dims].copy_from_slice(lo);
+        b.hi[..dims].copy_from_slice(hi);
+        b
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f32] {
+        &self.lo[..self.dims]
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f32] {
+        &self.hi[..self.dims]
+    }
+
+    /// True if no point was ever added.
+    pub fn is_empty(&self) -> bool {
+        (0..self.dims).any(|d| self.lo[d] > self.hi[d])
+    }
+
+    /// Grow to include `p`.
+    #[inline]
+    pub fn expand(&mut self, p: &[f32]) {
+        for d in 0..self.dims {
+            self.lo[d] = self.lo[d].min(p[d]);
+            self.hi[d] = self.hi[d].max(p[d]);
+        }
+    }
+
+    /// Grow to include another box.
+    pub fn merge(&mut self, other: &BoundingBox) {
+        debug_assert_eq!(self.dims, other.dims);
+        for d in 0..self.dims {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// Does the box contain `p` (boundary inclusive)?
+    pub fn contains(&self, p: &[f32]) -> bool {
+        (0..self.dims).all(|d| self.lo[d] <= p[d] && p[d] <= self.hi[d])
+    }
+
+    /// Squared distance from `q` to the nearest point of the box
+    /// (0 if inside). Exact lower bound used for remote-rank pruning.
+    #[inline]
+    pub fn min_dist_sq(&self, q: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for d in 0..self.dims {
+            let v = q[d];
+            let diff = if v < self.lo[d] {
+                self.lo[d] - v
+            } else if v > self.hi[d] {
+                v - self.hi[d]
+            } else {
+                0.0
+            };
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Extent (hi − lo) along dimension `d`.
+    #[inline]
+    pub fn extent(&self, d: usize) -> f32 {
+        self.hi[d] - self.lo[d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps3() -> PointSet {
+        PointSet::from_coords(3, vec![0.0, 0.0, 0.0, 1.0, 2.0, 3.0, -1.0, -2.0, -3.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let ps = ps3();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dims(), 3);
+        assert_eq!(ps.point(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(ps.id(2), 2);
+        assert_eq!(ps.coord(1, 2), 3.0);
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(PointSet::new(0), Err(PandaError::BadDims { .. })));
+        assert!(matches!(PointSet::new(MAX_DIMS + 1), Err(PandaError::BadDims { .. })));
+        assert!(matches!(
+            PointSet::from_coords(3, vec![1.0, 2.0]),
+            Err(PandaError::RaggedCoordinates { .. })
+        ));
+        assert!(matches!(
+            PointSet::from_parts(2, vec![1.0, 2.0], vec![1, 2]),
+            Err(PandaError::IdCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let e = PointSet::from_coords(2, vec![0.0, 1.0, f32::NAN, 2.0]);
+        assert_eq!(e.unwrap_err(), PandaError::NonFiniteCoordinate { point: 1, dim: 0 });
+        let e = PointSet::from_coords(2, vec![0.0, f32::INFINITY]);
+        assert!(matches!(e, Err(PandaError::NonFiniteCoordinate { point: 0, dim: 1 })));
+    }
+
+    #[test]
+    fn push_append_select() {
+        let mut ps = PointSet::new(2).unwrap();
+        ps.push(&[1.0, 1.0], 10);
+        ps.push(&[2.0, 2.0], 20);
+        let mut other = PointSet::new(2).unwrap();
+        other.push(&[3.0, 3.0], 30);
+        ps.append(&other).unwrap();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.id(2), 30);
+
+        let sel = ps.select(&[2, 0]);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.id(0), 30);
+        assert_eq!(sel.point(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn append_checks_dims() {
+        let mut a = PointSet::new(2).unwrap();
+        let b = PointSet::new(3).unwrap();
+        assert!(matches!(a.append(&b), Err(PandaError::DimsMismatch { .. })));
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let bb = ps3().bounding_box().unwrap();
+        assert_eq!(bb.lo(), &[-1.0, -2.0, -3.0]);
+        assert_eq!(bb.hi(), &[1.0, 2.0, 3.0]);
+        assert!(PointSet::new(4).unwrap().bounding_box().is_none());
+    }
+
+    #[test]
+    fn bbox_min_dist() {
+        let bb = BoundingBox::from_corners(&[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(bb.min_dist_sq(&[0.5, 0.5]), 0.0); // inside
+        assert_eq!(bb.min_dist_sq(&[2.0, 0.5]), 1.0); // right face
+        assert_eq!(bb.min_dist_sq(&[2.0, 3.0]), 1.0 + 4.0); // corner
+        assert!(bb.contains(&[1.0, 0.0]));
+        assert!(!bb.contains(&[1.1, 0.0]));
+    }
+
+    #[test]
+    fn bbox_merge_and_extent() {
+        let mut a = BoundingBox::from_corners(&[0.0], &[1.0]);
+        let b = BoundingBox::from_corners(&[-2.0], &[0.5]);
+        a.merge(&b);
+        assert_eq!(a.lo(), &[-2.0]);
+        assert_eq!(a.hi(), &[1.0]);
+        assert_eq!(a.extent(0), 3.0);
+    }
+
+    #[test]
+    fn empty_box_behaviour() {
+        let mut bb = BoundingBox::empty(2);
+        assert!(bb.is_empty());
+        bb.expand(&[1.0, 2.0]);
+        assert!(!bb.is_empty());
+        assert_eq!(bb.lo(), &[1.0, 2.0]);
+        assert_eq!(bb.hi(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dist_sq_to_matches_manual() {
+        let ps = ps3();
+        let d = ps.dist_sq_to(&[1.0, 2.0, 4.0], 1);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,671 @@
+//! Distributed KNN querying (§III-B of the paper).
+//!
+//! Five stages per query, executed in globally synchronized batched steps:
+//!
+//! 1. **Find owner** — every query is routed (alltoallv) to the rank whose
+//!    cell contains it.
+//! 2. **Local KNN** — the owner traverses its local tree, producing the
+//!    bound `r'` (distance to the k-th local neighbor).
+//! 3. **Identify remote ranks** — the global tree enumerates ranks whose
+//!    region intersects the ball `(q, r')`; the query and `r'` are sent to
+//!    them.
+//! 4. **Remote KNN** — those ranks answer with their local neighbors
+//!    strictly inside `r'` (the carried radius makes this heavily pruned —
+//!    the paper measures it at ~3% of query time for the 3-D datasets).
+//! 5. **Merge** — the owner merges responses into the final top-k, then
+//!    returns results to the rank that submitted each query.
+//!
+//! Batching (steps of `batch_size` queries per rank) load-balances the
+//! exchange; software pipelining is modeled on the recorded per-step
+//! compute/communication durations (see [`crate::timers::QueryBreakdown`]).
+
+use panda_comm::{Comm, ReduceOp};
+
+use crate::build_distributed::DistKdTree;
+use crate::config::QueryConfig;
+use crate::counters::QueryCounters;
+use crate::error::{PandaError, Result};
+use crate::heap::{KnnHeap, Neighbor};
+use crate::local_tree::QueryWorkspace;
+use crate::point::PointSet;
+use crate::timers::{QueryBreakdown, StepTiming};
+
+/// Per-rank remote-traffic statistics (§V-A3 discussion: remote fan-out,
+/// fraction of queries leaving their owner, pruning effectiveness).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RemoteStats {
+    /// Queries this rank owned (after routing).
+    pub owned_queries: u64,
+    /// Owned queries that had to consult at least one remote rank.
+    pub queries_with_remote: u64,
+    /// Total (query, remote rank) request pairs sent.
+    pub remote_pairs_sent: u64,
+    /// Remote requests served for other ranks.
+    pub remote_requests_served: u64,
+    /// Neighbor candidates returned by remote ranks to this rank.
+    pub remote_neighbors_received: u64,
+}
+
+impl RemoteStats {
+    /// Mean number of remote ranks consulted per owned query.
+    pub fn avg_remote_fanout(&self) -> f64 {
+        if self.owned_queries == 0 {
+            0.0
+        } else {
+            self.remote_pairs_sent as f64 / self.owned_queries as f64
+        }
+    }
+
+    /// Fraction of owned queries that consulted any remote rank.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.owned_queries == 0 {
+            0.0
+        } else {
+            self.queries_with_remote as f64 / self.owned_queries as f64
+        }
+    }
+
+    /// Element-wise accumulate.
+    pub fn add(&mut self, o: &RemoteStats) {
+        self.owned_queries += o.owned_queries;
+        self.queries_with_remote += o.queries_with_remote;
+        self.remote_pairs_sent += o.remote_pairs_sent;
+        self.remote_requests_served += o.remote_requests_served;
+        self.remote_neighbors_received += o.remote_neighbors_received;
+    }
+}
+
+/// What one rank gets back from a distributed query call.
+#[derive(Clone, Debug)]
+pub struct DistQueryResult {
+    /// `neighbors[i]` answers this rank's `queries[i]` (ascending
+    /// distance; fewer than `k` only if the whole dataset is smaller).
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Per-phase timing (virtual seconds, this rank).
+    pub breakdown: QueryBreakdown,
+    /// Traversal work counters (this rank).
+    pub counters: QueryCounters,
+    /// Remote-traffic statistics (this rank).
+    pub remote: RemoteStats,
+}
+
+/// Charge query-side work counters to the rank's virtual clock.
+fn charge(comm: &mut Comm, c: &QueryCounters, dims: usize) {
+    let cost = *comm.cost();
+    comm.work_parallel(c.cpu_seconds(&cost.ops, dims), c.mem_bytes(dims));
+}
+
+/// Clock deltas split into (compute, comm+wait).
+fn clock_delta(comm: &Comm, before: panda_comm::ClockSummary) -> (f64, f64) {
+    let now = comm.clock();
+    (now.compute - before.compute, (now.comm - before.comm) + (now.wait - before.wait))
+}
+
+const QID_SHIFT: u32 = 32;
+
+#[inline]
+fn qid(origin: usize, idx: usize) -> u64 {
+    ((origin as u64) << QID_SHIFT) | idx as u64
+}
+
+#[inline]
+fn qid_origin(q: u64) -> usize {
+    (q >> QID_SHIFT) as usize
+}
+
+#[inline]
+fn qid_idx(q: u64) -> usize {
+    (q & ((1u64 << QID_SHIFT) - 1)) as usize
+}
+
+/// Owned queries after routing: flat coords + qids.
+struct Owned {
+    coords: Vec<f32>,
+    qids: Vec<u64>,
+}
+
+impl Owned {
+    fn len(&self) -> usize {
+        self.qids.len()
+    }
+
+    fn point(&self, i: usize, dims: usize) -> &[f32] {
+        &self.coords[i * dims..(i + 1) * dims]
+    }
+}
+
+/// Distributed KNN (SPMD). Every rank passes its own `queries`; results
+/// come back in the same order. `tree` must be the product of
+/// [`crate::build_distributed::build_distributed`] on the same cluster.
+pub fn query_distributed(
+    comm: &mut Comm,
+    tree: &DistKdTree,
+    queries: &PointSet,
+    cfg: &QueryConfig,
+) -> Result<DistQueryResult> {
+    cfg.validate()?;
+    queries.validate()?;
+    let dims = tree.global.dims();
+    if !queries.is_empty() && queries.dims() != dims {
+        return Err(PandaError::DimsMismatch { expected: dims, got: queries.dims() });
+    }
+    let p = comm.size();
+    let me = comm.rank();
+    let k = cfg.k;
+    let use_bbox = cfg.bbox_routing;
+
+    let mut breakdown = QueryBreakdown::default();
+    let mut counters = QueryCounters::default();
+    let mut remote = RemoteStats::default();
+    let mut ws = QueryWorkspace::new();
+
+    // ---- Stage 1: find owner & route ----------------------------------
+    let before = comm.clock();
+    let mut route_counters = QueryCounters::default();
+    let mut coord_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut qid_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+    for i in 0..queries.len() {
+        let q = queries.point(i);
+        let owner = tree.global.owner(q, &mut route_counters);
+        coord_sends[owner].extend_from_slice(q);
+        qid_sends[owner].push(qid(me, i));
+    }
+    charge(comm, &route_counters, dims);
+    counters.add(&route_counters);
+    let coords_in = comm.world().alltoallv(coord_sends);
+    let qids_in = comm.world().alltoallv(qid_sends);
+    let owned = Owned {
+        coords: coords_in.into_iter().flatten().collect(),
+        qids: qids_in.into_iter().flatten().collect(),
+    };
+    remote.owned_queries = owned.len() as u64;
+    let (d_comp, d_comm) = clock_delta(comm, before);
+    breakdown.find_owner = d_comp;
+    breakdown.comm_total += d_comm;
+
+    // ---- Batched pipeline ----------------------------------------------
+    let steps = {
+        let most = comm.world().allreduce_u64(owned.len() as u64, ReduceOp::Max);
+        (most as usize).div_ceil(cfg.batch_size)
+    };
+
+    // finalized results per owned query: (qid, neighbors)
+    let mut finalized: Vec<(u64, Vec<Neighbor>)> = Vec::with_capacity(owned.len());
+    let mut rank_scratch: Vec<usize> = Vec::new();
+
+    for step in 0..steps {
+        let lo = (step * cfg.batch_size).min(owned.len());
+        let hi = ((step + 1) * cfg.batch_size).min(owned.len());
+        let mut step_compute = 0.0f64;
+        let mut step_comm = 0.0f64;
+
+        // (2) local KNN for the batch
+        let before = comm.clock();
+        let mut local_counters = QueryCounters::default();
+        let mut heaps: Vec<KnnHeap> = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let q = owned.point(i, dims);
+            let mut heap = KnnHeap::with_radius_sq(
+                k,
+                if cfg.initial_radius.is_finite() {
+                    cfg.initial_radius * cfg.initial_radius
+                } else {
+                    f32::INFINITY
+                },
+            );
+            tree.local.query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut local_counters);
+            heaps.push(heap);
+        }
+        charge(comm, &local_counters, dims);
+        counters.add(&local_counters);
+        let (d_comp, d_comm) = clock_delta(comm, before);
+        breakdown.local_knn += d_comp;
+        breakdown.comm_total += d_comm;
+        step_compute += d_comp;
+        step_comm += d_comm;
+
+        // (3) identify remote ranks; assemble request streams
+        // request stream to rank r: coords (dims+1 floats per query, the
+        // extra float is r'²) + qids
+        let before = comm.clock();
+        let mut ident_counters = QueryCounters::default();
+        let mut req_coord_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+        let mut req_qid_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+        for (bi, i) in (lo..hi).enumerate() {
+            let q = owned.point(i, dims);
+            let r_sq = heaps[bi].bound_sq();
+            rank_scratch.clear();
+            tree.global.ranks_in_ball(q, r_sq, use_bbox, &mut rank_scratch, &mut ident_counters);
+            let mut any = false;
+            for &r in &rank_scratch {
+                if r == me {
+                    continue;
+                }
+                any = true;
+                remote.remote_pairs_sent += 1;
+                req_coord_sends[r].extend_from_slice(q);
+                req_coord_sends[r].push(r_sq);
+                req_qid_sends[r].push(owned.qids[i]);
+            }
+            if any {
+                remote.queries_with_remote += 1;
+            }
+        }
+        charge(comm, &ident_counters, dims);
+        counters.add(&ident_counters);
+        let (d_comp, d_comm) = clock_delta(comm, before);
+        breakdown.identify_remote += d_comp;
+        breakdown.comm_total += d_comm;
+        step_compute += d_comp;
+        step_comm += d_comm;
+
+        // exchange requests
+        let before = comm.clock();
+        let req_coords_in = comm.world().alltoallv(req_coord_sends);
+        let req_qids_in = comm.world().alltoallv(req_qid_sends);
+        let (d_comp, d_comm) = clock_delta(comm, before);
+        step_compute += d_comp;
+        step_comm += d_comm;
+        breakdown.comm_total += d_comm;
+
+        // (4) serve received requests with pruned local KNN
+        let before = comm.clock();
+        let mut remote_counters = QueryCounters::default();
+        // response stream back to owner rank: (qid, point id) u64 pairs +
+        // f32 distances, one triple per neighbor found
+        let mut resp_meta_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+        let mut resp_dist_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+        let stride = dims + 1;
+        for src in 0..p {
+            let coords = &req_coords_in[src];
+            let qids = &req_qids_in[src];
+            debug_assert_eq!(coords.len(), qids.len() * stride);
+            remote.remote_requests_served += qids.len() as u64;
+            for (j, &rq) in qids.iter().enumerate() {
+                let q = &coords[j * stride..j * stride + dims];
+                let r_sq = coords[j * stride + dims];
+                let mut heap = KnnHeap::with_radius_sq(k, r_sq);
+                tree.local.query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut remote_counters);
+                for n in heap.into_sorted() {
+                    resp_meta_sends[src].push(rq);
+                    resp_meta_sends[src].push(n.id);
+                    resp_dist_sends[src].push(n.dist_sq);
+                }
+            }
+        }
+        charge(comm, &remote_counters, dims);
+        counters.add(&remote_counters);
+        let (d_comp, d_comm) = clock_delta(comm, before);
+        breakdown.remote_knn += d_comp;
+        breakdown.comm_total += d_comm;
+        step_compute += d_comp;
+        step_comm += d_comm;
+
+        // exchange responses
+        let before = comm.clock();
+        let resp_meta_in = comm.world().alltoallv(resp_meta_sends);
+        let resp_dist_in = comm.world().alltoallv(resp_dist_sends);
+        let (d_comp, d_comm) = clock_delta(comm, before);
+        step_compute += d_comp;
+        step_comm += d_comm;
+        breakdown.comm_total += d_comm;
+
+        // (5) merge responses into the batch heaps. Each source's
+        // response stream references qids in this batch's order (requests
+        // were sent in batch order and served FIFO), so a forward-moving
+        // cursor per source finds each qid in amortized O(1).
+        let before = comm.clock();
+        let mut merge_counters = QueryCounters::default();
+        for (meta, dists) in resp_meta_in.iter().zip(&resp_dist_in) {
+            debug_assert_eq!(meta.len(), dists.len() * 2);
+            let mut cursor = lo;
+            for (pair, &d) in meta.chunks_exact(2).zip(dists) {
+                let (rq, id) = (pair[0], pair[1]);
+                let bi = qid_owned_index(&owned, lo, hi, &mut cursor, rq);
+                merge_counters.merge_candidates += 1;
+                remote.remote_neighbors_received += 1;
+                heaps[bi - lo].offer(d, id);
+            }
+        }
+        for (bi, heap) in heaps.into_iter().enumerate() {
+            finalized.push((owned.qids[lo + bi], heap.into_sorted()));
+        }
+        charge(comm, &merge_counters, dims);
+        counters.add(&merge_counters);
+        let (d_comp, d_comm) = clock_delta(comm, before);
+        breakdown.merge += d_comp;
+        breakdown.comm_total += d_comm;
+        step_compute += d_comp;
+        step_comm += d_comm;
+
+        breakdown.steps.push(StepTiming { compute: step_compute, comm: step_comm });
+    }
+
+    // ---- return results to origins -------------------------------------
+    let before = comm.clock();
+    let mut ret_meta_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut ret_dist_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+    for (rq, neighbors) in &finalized {
+        let origin = qid_origin(*rq);
+        // header: qid, count — then count (id) u64s and count dists
+        ret_meta_sends[origin].push(*rq);
+        ret_meta_sends[origin].push(neighbors.len() as u64);
+        for n in neighbors {
+            ret_meta_sends[origin].push(n.id);
+            ret_dist_sends[origin].push(n.dist_sq);
+        }
+    }
+    let ret_meta_in = comm.world().alltoallv(ret_meta_sends);
+    let ret_dist_in = comm.world().alltoallv(ret_dist_sends);
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+    for (meta, dists) in ret_meta_in.iter().zip(&ret_dist_in) {
+        let mut mi = 0usize;
+        let mut di = 0usize;
+        while mi < meta.len() {
+            let rq = meta[mi];
+            let count = meta[mi + 1] as usize;
+            mi += 2;
+            debug_assert_eq!(qid_origin(rq), me);
+            let slot = &mut results[qid_idx(rq)];
+            debug_assert!(slot.is_empty(), "duplicate result for qid {rq:#x}");
+            slot.reserve(count);
+            for _ in 0..count {
+                slot.push(Neighbor { dist_sq: dists[di], id: meta[mi] });
+                mi += 1;
+                di += 1;
+            }
+        }
+        debug_assert_eq!(di, dists.len());
+    }
+    let (d_comp, d_comm) = clock_delta(comm, before);
+    breakdown.merge += d_comp;
+    breakdown.comm_total += d_comm;
+
+    Ok(DistQueryResult { neighbors: results, breakdown, counters, remote })
+}
+
+/// Locate the batch-local index of `rq` within `owned[lo..hi]`, scanning
+/// forward from `cursor` (amortized O(1) for in-order response streams)
+/// and wrapping once for robustness against any reordering.
+fn qid_owned_index(owned: &Owned, lo: usize, hi: usize, cursor: &mut usize, rq: u64) -> usize {
+    for i in (*cursor..hi).chain(lo..*cursor) {
+        if owned.qids[i] == rq {
+            *cursor = i;
+            return i;
+        }
+    }
+    panic!("response for unknown qid {rq:#x} in batch {lo}..{hi}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_distributed::build_distributed;
+    use crate::config::{BoundMode, DistConfig};
+    use crate::heap::KnnHeap;
+    use crate::rng::SplitRng;
+    use panda_comm::{run_cluster, ClusterConfig};
+
+    fn random_ps(n: usize, dims: usize, seed: u64) -> PointSet {
+        let mut rng = SplitRng::new(seed);
+        PointSet::from_coords(
+            dims,
+            (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    fn scatter(ps: &PointSet, rank: usize, p: usize) -> PointSet {
+        let mut mine = PointSet::new(ps.dims()).unwrap();
+        for i in (rank..ps.len()).step_by(p) {
+            mine.push(ps.point(i), ps.id(i));
+        }
+        mine
+    }
+
+    fn brute(ps: &PointSet, q: &[f32], k: usize) -> Vec<f32> {
+        let mut h = KnnHeap::new(k);
+        for i in 0..ps.len() {
+            h.offer(ps.dist_sq_to(q, i), ps.id(i));
+        }
+        h.into_sorted().iter().map(|n| n.dist_sq).collect()
+    }
+
+    /// End-to-end exactness across rank counts, dims, k, and batch sizes.
+    fn check_exact(p: usize, n: usize, dims: usize, k: usize, batch: usize, seed: u64) {
+        let all = random_ps(n, dims, seed);
+        let queries = random_ps(60, dims, seed + 1);
+        let out = run_cluster(&ClusterConfig::new(p), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let cfg = QueryConfig { k, batch_size: batch, ..QueryConfig::default() };
+            let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
+            // pair each local query with its result distances
+            (0..myq.len())
+                .map(|i| {
+                    let dists: Vec<f32> = res.neighbors[i].iter().map(|n| n.dist_sq).collect();
+                    (myq.point(i).to_vec(), dists)
+                })
+                .collect::<Vec<_>>()
+        });
+        for o in &out {
+            for (q, dists) in &o.result {
+                let expect = brute(&all, q, k);
+                assert_eq!(dists, &expect, "p={p} dims={dims} k={k} batch={batch} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_small_clusters() {
+        check_exact(2, 1200, 3, 5, 4096, 100);
+        check_exact(4, 1200, 3, 5, 4096, 101);
+    }
+
+    #[test]
+    fn exact_non_power_of_two_ranks() {
+        check_exact(3, 1000, 3, 4, 4096, 102);
+        check_exact(5, 1000, 2, 3, 4096, 103);
+    }
+
+    #[test]
+    fn exact_high_dims() {
+        check_exact(4, 800, 10, 5, 4096, 104);
+    }
+
+    #[test]
+    fn exact_tiny_batches_multiple_steps() {
+        // batch of 4 forces many pipeline steps
+        check_exact(4, 800, 3, 5, 4, 105);
+    }
+
+    #[test]
+    fn exact_k_of_one_and_large_k() {
+        check_exact(4, 600, 3, 1, 4096, 106);
+        check_exact(4, 600, 3, 50, 4096, 107);
+    }
+
+    #[test]
+    fn k_exceeding_dataset_returns_all() {
+        let all = random_ps(40, 3, 9);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = if comm.rank() == 0 {
+                PointSet::from_coords(3, vec![5.0, 5.0, 5.0]).unwrap()
+            } else {
+                PointSet::new(3).unwrap()
+            };
+            let cfg = QueryConfig { k: 100, ..QueryConfig::default() };
+            let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
+            res.neighbors.first().map(|n| n.len())
+        });
+        assert_eq!(out[0].result, Some(40));
+    }
+
+    #[test]
+    fn empty_query_set_on_some_ranks() {
+        let all = random_ps(500, 3, 10);
+        let queries = random_ps(10, 3, 11);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = if comm.rank() == 2 { queries.clone() } else { PointSet::new(3).unwrap() };
+            let cfg = QueryConfig { k: 3, ..QueryConfig::default() };
+            let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
+            res.neighbors.len()
+        });
+        assert_eq!(out[2].result, 10);
+        assert_eq!(out[0].result, 0);
+    }
+
+    #[test]
+    fn bbox_routing_off_still_exact() {
+        let all = random_ps(1000, 3, 12);
+        let queries = random_ps(30, 3, 13);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let on = query_distributed(
+                comm,
+                &tree,
+                &myq,
+                &QueryConfig { k: 5, bbox_routing: true, ..QueryConfig::default() },
+            )
+            .unwrap();
+            let off = query_distributed(
+                comm,
+                &tree,
+                &myq,
+                &QueryConfig { k: 5, bbox_routing: false, ..QueryConfig::default() },
+            )
+            .unwrap();
+            let da: Vec<Vec<f32>> =
+                on.neighbors.iter().map(|v| v.iter().map(|n| n.dist_sq).collect()).collect();
+            let db: Vec<Vec<f32>> =
+                off.neighbors.iter().map(|v| v.iter().map(|n| n.dist_sq).collect()).collect();
+            assert_eq!(da, db);
+            // bbox routing must not *increase* remote traffic
+            (on.remote.remote_pairs_sent, off.remote.remote_pairs_sent)
+        });
+        let on: u64 = out.iter().map(|o| o.result.0).sum();
+        let off: u64 = out.iter().map(|o| o.result.1).sum();
+        assert!(on <= off, "bbox on={on} off={off}");
+    }
+
+    #[test]
+    fn breakdown_and_stats_are_recorded() {
+        let all = random_ps(2000, 3, 14);
+        let queries = random_ps(200, 3, 15);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let res =
+                query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).unwrap();
+            (res.breakdown.clone(), res.remote, res.counters)
+        });
+        let mut owned = 0u64;
+        for o in &out {
+            let b = &o.result.0;
+            assert!(b.local_knn > 0.0);
+            assert!(b.total_synchronous() > 0.0);
+            assert!(b.total_pipelined() <= b.total_synchronous() + 1e-12);
+            assert!(!b.steps.is_empty());
+            owned += o.result.1.owned_queries;
+            assert!(o.result.2.points_scanned > 0);
+        }
+        assert_eq!(owned, 200, "all queries owned exactly once");
+    }
+
+    #[test]
+    fn paper_scalar_bound_mode_runs() {
+        // PaperScalar is approximate by design; just verify it produces
+        // plausible results (≥ exact distances, same count).
+        let all = random_ps(1500, 3, 16);
+        let queries = random_ps(40, 3, 17);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let cfg = QueryConfig {
+                k: 5,
+                bound_mode: BoundMode::PaperScalar,
+                ..QueryConfig::default()
+            };
+            let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
+            (0..myq.len())
+                .map(|i| (myq.point(i).to_vec(), res.neighbors[i].len()))
+                .collect::<Vec<_>>()
+        });
+        for o in &out {
+            for (_q, len) in &o.result {
+                assert_eq!(*len, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_distributed_data_exact() {
+        // co-located records spread across ranks (Daya Bay §V-A3 behavior)
+        let mut all = PointSet::new(3).unwrap();
+        let mut rng = SplitRng::new(18);
+        for i in 0..1200u64 {
+            if i % 3 == 0 {
+                all.push(&[5.0, 5.0, 5.0], i);
+            } else {
+                all.push(
+                    &[
+                        (rng.next_f64() * 10.0) as f32,
+                        (rng.next_f64() * 10.0) as f32,
+                        (rng.next_f64() * 10.0) as f32,
+                    ],
+                    i,
+                );
+            }
+        }
+        let queries = random_ps(20, 3, 19);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(7)).unwrap();
+            (0..myq.len())
+                .map(|i| {
+                    let d: Vec<f32> = res.neighbors[i].iter().map(|n| n.dist_sq).collect();
+                    (myq.point(i).to_vec(), d)
+                })
+                .collect::<Vec<_>>()
+        });
+        for o in &out {
+            for (q, dists) in &o.result {
+                assert_eq!(dists, &brute(&all, q, 7));
+            }
+        }
+    }
+
+    #[test]
+    fn validates_config_and_dims() {
+        let all = random_ps(200, 3, 20);
+        let out = run_cluster(&ClusterConfig::new(2), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let bad_q = random_ps(4, 2, 21);
+            let e1 = query_distributed(comm, &tree, &bad_q, &QueryConfig::with_k(3));
+            let good_q = random_ps(4, 3, 22);
+            let e2 = query_distributed(comm, &tree, &good_q, &QueryConfig::with_k(0));
+            // everyone still needs to run a real query so the SPMD
+            // collectives stay aligned? No — both error paths return
+            // before any collective, symmetrically on all ranks.
+            (
+                matches!(e1, Err(PandaError::DimsMismatch { .. })),
+                matches!(e2, Err(PandaError::ZeroK)),
+            )
+        });
+        for o in &out {
+            assert!(o.result.0 && o.result.1);
+        }
+    }
+}

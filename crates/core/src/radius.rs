@@ -1,0 +1,270 @@
+//! Fixed-radius neighbor search — the "easier problem" the paper
+//! contrasts KNN against (§I, discussing BD-CATS [11]).
+//!
+//! With a fixed radius there is no `r'` refinement loop: the set of ranks
+//! to consult is known the moment the query arrives, so the distributed
+//! protocol is a single scatter/gather. Provided both as a local-tree
+//! method and as a distributed operation; the `halo_finder` example and
+//! the strategy discussions use it.
+
+use panda_comm::{Comm, ReduceOp};
+
+use crate::build_distributed::DistKdTree;
+use crate::counters::QueryCounters;
+use crate::error::{PandaError, Result};
+use crate::heap::Neighbor;
+use crate::local_tree::LocalKdTree;
+use crate::point::{PointSet, MAX_DIMS};
+
+impl LocalKdTree {
+    /// **All** points strictly within `radius` of `q` (no k cap),
+    /// ascending by distance. Exact.
+    pub fn query_radius_all(&self, q: &[f32], radius: f32) -> Result<Vec<Neighbor>> {
+        if !(radius > 0.0) {
+            return Err(PandaError::BadConfig("radius must be positive".into()));
+        }
+        if q.len() != self.dims() {
+            return Err(PandaError::DimsMismatch { expected: self.dims(), got: q.len() });
+        }
+        let mut out = Vec::new();
+        let mut counters = QueryCounters::default();
+        self.radius_into(q, radius * radius, &mut out, &mut counters);
+        out.sort_by(|a, b| {
+            a.dist_sq.partial_cmp(&b.dist_sq).expect("finite").then(a.id.cmp(&b.id))
+        });
+        Ok(out)
+    }
+
+    /// Core fixed-radius traversal (appends unsorted matches).
+    pub(crate) fn radius_into(
+        &self,
+        q: &[f32],
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        counters: &mut QueryCounters,
+    ) {
+        counters.queries += 1;
+        if self.nodes.is_empty() {
+            return;
+        }
+        let mut dists: Vec<f32> = Vec::new();
+        let mut stack: Vec<(u32, f32, [f32; MAX_DIMS])> = vec![(0, 0.0, [0.0; MAX_DIMS])];
+        while let Some((ni, lb_sq, side)) = stack.pop() {
+            if lb_sq >= r_sq {
+                continue;
+            }
+            let node = self.nodes[ni as usize];
+            counters.nodes_visited += 1;
+            if node.is_leaf() {
+                counters.leaves_scanned += 1;
+                let base = node.a as usize;
+                let cap = crate::local_tree::padded_len(node.b as usize);
+                self.leaves.distances(base, cap, q, &mut dists);
+                counters.points_scanned += cap as u64;
+                let ids = &self.leaves.ids()[base..base + cap];
+                for i in 0..cap {
+                    if dists[i] < r_sq {
+                        out.push(Neighbor { dist_sq: dists[i], id: ids[i] });
+                        counters.heap_ops += 1;
+                    }
+                }
+            } else {
+                let dim = node.split_dim as usize;
+                let off = q[dim] - node.split_val;
+                let (near, far) = if off <= 0.0 { (node.a, node.b) } else { (node.b, node.a) };
+                let old = side[dim];
+                let far_lb = lb_sq - old * old + off * off;
+                if far_lb < r_sq {
+                    let mut fs = side;
+                    fs[dim] = off;
+                    stack.push((far, far_lb, fs));
+                }
+                stack.push((near, lb_sq, side));
+            }
+        }
+    }
+}
+
+/// Distributed fixed-radius search (SPMD): every rank passes its own
+/// queries; each gets, per query, **all** dataset points strictly within
+/// `radius`, ascending by distance.
+pub fn radius_search_distributed(
+    comm: &mut Comm,
+    tree: &DistKdTree,
+    queries: &PointSet,
+    radius: f32,
+) -> Result<Vec<Vec<Neighbor>>> {
+    if !(radius > 0.0) {
+        return Err(PandaError::BadConfig("radius must be positive".into()));
+    }
+    let dims = tree.global.dims();
+    if !queries.is_empty() && queries.dims() != dims {
+        return Err(PandaError::DimsMismatch { expected: dims, got: queries.dims() });
+    }
+    queries.validate()?;
+    let p = comm.size();
+    let me = comm.rank();
+    let r_sq = radius * radius;
+    let mut counters = QueryCounters::default();
+
+    // One shot: the radius is fixed, so the target ranks are known
+    // immediately — send each query to *every* rank whose region
+    // intersects the ball (including our own share of the work).
+    let mut coord_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut qid_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut targets = Vec::new();
+    for i in 0..queries.len() {
+        let q = queries.point(i);
+        targets.clear();
+        tree.global.ranks_in_ball(q, r_sq, true, &mut targets, &mut counters);
+        for &r in &targets {
+            coord_sends[r].extend_from_slice(q);
+            qid_sends[r].push(((me as u64) << 32) | i as u64);
+        }
+    }
+    let coords_in = comm.world().alltoallv(coord_sends);
+    let qids_in = comm.world().alltoallv(qid_sends);
+
+    // Serve everything we received; candidates go straight back.
+    let mut meta_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut dist_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
+    let mut hits = Vec::new();
+    for (src, (coords, qids)) in coords_in.iter().zip(&qids_in).enumerate() {
+        for (j, &rq) in qids.iter().enumerate() {
+            let q = &coords[j * dims..(j + 1) * dims];
+            hits.clear();
+            tree.local.radius_into(q, r_sq, &mut hits, &mut counters);
+            for h in &hits {
+                meta_sends[src].push(rq);
+                meta_sends[src].push(h.id);
+                dist_sends[src].push(h.dist_sq);
+            }
+        }
+    }
+    let cost = *comm.cost();
+    comm.work_parallel(counters.cpu_seconds(&cost.ops, dims), counters.mem_bytes(dims));
+    let meta_in = comm.world().alltoallv(meta_sends);
+    let dist_in = comm.world().alltoallv(dist_sends);
+
+    // Assemble per local query.
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+    for (meta, dists) in meta_in.iter().zip(&dist_in) {
+        for (pair, &d) in meta.chunks_exact(2).zip(dists) {
+            let idx = (pair[0] & 0xFFFF_FFFF) as usize;
+            results[idx].push(Neighbor { dist_sq: d, id: pair[1] });
+        }
+    }
+    for r in &mut results {
+        r.sort_by(|a, b| {
+            a.dist_sq.partial_cmp(&b.dist_sq).expect("finite").then(a.id.cmp(&b.id))
+        });
+    }
+    // sanity: total candidate volume is globally conserved
+    let _total = comm.world().allreduce_u64(counters.heap_ops, ReduceOp::Sum);
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_distributed::build_distributed;
+    use crate::config::{DistConfig, TreeConfig};
+    use crate::rng::SplitRng;
+    use panda_comm::{run_cluster, ClusterConfig};
+
+    fn random_ps(n: usize, dims: usize, seed: u64) -> PointSet {
+        let mut rng = SplitRng::new(seed);
+        PointSet::from_coords(
+            dims,
+            (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    fn brute_radius(ps: &PointSet, q: &[f32], r: f32) -> Vec<(f32, u64)> {
+        let mut out: Vec<(f32, u64)> = (0..ps.len())
+            .filter_map(|i| {
+                let d = ps.dist_sq_to(q, i);
+                (d < r * r).then_some((d, ps.id(i)))
+            })
+            .collect();
+        out.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        out
+    }
+
+    #[test]
+    fn local_radius_matches_brute() {
+        let ps = random_ps(3000, 3, 1);
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        for (qseed, r) in [(2u64, 0.5f32), (3, 1.5), (4, 5.0)] {
+            let qs = random_ps(1, 3, qseed * 97);
+            let q = qs.point(0);
+            let got: Vec<(f32, u64)> =
+                tree.query_radius_all(q, r).unwrap().iter().map(|n| (n.dist_sq, n.id)).collect();
+            assert_eq!(got, brute_radius(&ps, q, r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn local_radius_validates() {
+        let ps = random_ps(100, 3, 5);
+        let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+        assert!(tree.query_radius_all(&[0.0; 3], 0.0).is_err());
+        assert!(tree.query_radius_all(&[0.0; 3], -1.0).is_err());
+        assert!(tree.query_radius_all(&[0.0; 2], 1.0).is_err());
+    }
+
+    #[test]
+    fn distributed_radius_matches_brute() {
+        let all = random_ps(2000, 3, 6);
+        let queries = random_ps(30, 3, 7);
+        let radius = 1.2f32;
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mut mine = PointSet::new(3).unwrap();
+            for i in (comm.rank()..all.len()).step_by(comm.size()) {
+                mine.push(all.point(i), all.id(i));
+            }
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let mut myq = PointSet::new(3).unwrap();
+            for i in (comm.rank()..queries.len()).step_by(comm.size()) {
+                myq.push(queries.point(i), queries.id(i));
+            }
+            let res = radius_search_distributed(comm, &tree, &myq, radius).unwrap();
+            (0..myq.len())
+                .map(|i| {
+                    (
+                        myq.point(i).to_vec(),
+                        res[i].iter().map(|n| (n.dist_sq, n.id)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut checked = 0;
+        for o in &out {
+            for (q, got) in &o.result {
+                assert_eq!(got, &brute_radius(&all, q, radius));
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, queries.len());
+    }
+
+    #[test]
+    fn distributed_radius_empty_results_far_away() {
+        let all = random_ps(500, 3, 8);
+        let out = run_cluster(&ClusterConfig::new(3), |comm| {
+            let mut mine = PointSet::new(3).unwrap();
+            for i in (comm.rank()..all.len()).step_by(comm.size()) {
+                mine.push(all.point(i), all.id(i));
+            }
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = if comm.rank() == 0 {
+                PointSet::from_coords(3, vec![1000.0, 1000.0, 1000.0]).unwrap()
+            } else {
+                PointSet::new(3).unwrap()
+            };
+            radius_search_distributed(comm, &tree, &myq, 0.5).unwrap()
+        });
+        assert!(out[0].result[0].is_empty());
+    }
+}

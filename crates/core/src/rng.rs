@@ -1,0 +1,182 @@
+//! Tiny deterministic RNG for sampling during construction.
+//!
+//! `panda-core` deliberately has no dependency on an external RNG crate:
+//! sampling here only needs a fast, well-mixed, *reproducible* stream (the
+//! same seed must produce the same tree on every rank and every run). This
+//! is `splitmix64` for seeding plus `xoshiro256**`-style state advance —
+//! both public-domain constructions.
+
+/// Deterministic 64-bit PRNG (xorshift* family).
+#[derive(Clone, Debug)]
+pub struct SplitRng {
+    s: [u64; 2],
+}
+
+impl SplitRng {
+    /// Seeded generator; distinct seeds give independent-looking streams.
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            // splitmix64
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let a = next();
+        let b = next();
+        Self { s: [a | 1, b] } // avoid the all-zero state
+    }
+
+    /// Derive a child generator for an independent sub-stream (e.g. one
+    /// per tree level or per rank) without correlating the streams.
+    pub fn fork(&mut self, salt: u64) -> SplitRng {
+        let x = self.next_u64();
+        SplitRng::new(x ^ salt.wrapping_mul(0xD1B54A32D192ED03))
+    }
+
+    /// Next raw 64-bit value (xorshift128+).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut s1 = self.s[0];
+        let s0 = self.s[1];
+        self.s[0] = s0;
+        s1 ^= s1 << 23;
+        self.s[1] = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+        self.s[1].wrapping_add(s0)
+    }
+
+    /// Uniform integer in `0..n` (n ≥ 1) via Lemire's multiply-shift.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Sample `m` indices from `0..n` **with replacement** (allocation is
+    /// just the output). Duplicates are acceptable for both variance
+    /// estimation (i.i.d. draws are unbiased) and histogram boundaries
+    /// (duplicate boundaries create zero-width bins, which are handled) —
+    /// and avoiding the without-replacement bookkeeping keeps per-segment
+    /// sampling O(m) on the construction hot path.
+    pub fn sample_with_replacement(&mut self, n: usize, m: usize) -> Vec<u32> {
+        debug_assert!(n >= 1);
+        if m >= n {
+            return (0..n as u32).collect();
+        }
+        (0..m).map(|_| self.next_below(n) as u32).collect()
+    }
+
+    /// Sample `m` indices from `0..n` without replacement when `m < n`
+    /// (partial Fisher–Yates on a scratch vector when dense, rejection via
+    /// sorting when sparse), or all of `0..n` when `m ≥ n`.
+    pub fn sample_indices(&mut self, n: usize, m: usize) -> Vec<u32> {
+        assert!(n <= u32::MAX as usize, "index space too large");
+        if m >= n {
+            return (0..n as u32).collect();
+        }
+        if m * 4 >= n {
+            // dense: partial Fisher–Yates
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            for i in 0..m {
+                let j = i + self.next_below(n - i);
+                idx.swap(i, j);
+            }
+            idx.truncate(m);
+            idx
+        } else {
+            // sparse: draw with rejection
+            let mut seen = std::collections::HashSet::with_capacity(m * 2);
+            let mut out = Vec::with_capacity(m);
+            while out.len() < m {
+                let v = self.next_below(n) as u32;
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitRng::new(42);
+        let mut b = SplitRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitRng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = SplitRng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.next_below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+    }
+
+    #[test]
+    fn next_f64_is_unit_interval_and_roughly_uniform() {
+        let mut r = SplitRng::new(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn sample_indices_unique_and_in_range() {
+        let mut r = SplitRng::new(5);
+        for (n, m) in [(100usize, 10usize), (100, 90), (50, 50), (10, 100), (1000, 5)] {
+            let s = r.sample_indices(n, m);
+            assert_eq!(s.len(), m.min(n));
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), s.len(), "duplicates for n={n} m={m}");
+            assert!(s.iter().all(|&i| (i as usize) < n));
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut r = SplitRng::new(9);
+        let mut a = r.fork(1);
+        let mut b = r.fork(2);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forks_are_reproducible() {
+        let f = |seed| {
+            let mut r = SplitRng::new(seed);
+            let mut c = r.fork(77);
+            c.next_u64()
+        };
+        assert_eq!(f(3), f(3));
+    }
+}

@@ -1,0 +1,233 @@
+//! Split-dimension and split-value selection (§III-A1).
+
+use crate::config::{HistScan, SplitDimStrategy};
+use crate::counters::BuildCounters;
+use crate::hist::{SampledHistogram, SplitDecision};
+use crate::point::{PointSet, MAX_DIMS};
+use crate::rng::SplitRng;
+
+/// Choose the split dimension for the segment `idx` of `ps`.
+pub fn choose_dim(
+    ps: &PointSet,
+    idx: &[u32],
+    strategy: SplitDimStrategy,
+    depth: usize,
+    rng: &mut SplitRng,
+    counters: &mut BuildCounters,
+) -> usize {
+    debug_assert!(!idx.is_empty());
+    let dims = ps.dims();
+    if dims == 1 {
+        return 0;
+    }
+    match strategy {
+        SplitDimStrategy::RoundRobin => depth % dims,
+        SplitDimStrategy::MaxExtent => {
+            let mut lo = [f32::INFINITY; MAX_DIMS];
+            let mut hi = [f32::NEG_INFINITY; MAX_DIMS];
+            for &i in idx {
+                let p = ps.point(i as usize);
+                for d in 0..dims {
+                    lo[d] = lo[d].min(p[d]);
+                    hi[d] = hi[d].max(p[d]);
+                }
+            }
+            counters.extent_ops += (idx.len() * dims) as u64;
+            argmax_f32(&(0..dims).map(|d| hi[d] - lo[d]).collect::<Vec<_>>())
+        }
+        SplitDimStrategy::MaxVariance { sample } => {
+            let positions = rng.sample_with_replacement(idx.len(), sample.max(2));
+            counters.sampled += positions.len() as u64;
+            counters.variance_ops += (positions.len() * dims) as u64;
+            let n = positions.len() as f64;
+            let mut sum = [0.0f64; MAX_DIMS];
+            let mut sumsq = [0.0f64; MAX_DIMS];
+            for &pos in &positions {
+                let p = ps.point(idx[pos as usize] as usize);
+                for d in 0..dims {
+                    let v = p[d] as f64;
+                    sum[d] += v;
+                    sumsq[d] += v * v;
+                }
+            }
+            let vars: Vec<f32> = (0..dims)
+                .map(|d| ((sumsq[d] - sum[d] * sum[d] / n) / n).max(0.0) as f32)
+                .collect();
+            argmax_f32(&vars)
+        }
+    }
+}
+
+/// Sample `samples` values of `idx` along `dim`, build the non-uniform
+/// histogram, count the full segment, and pick the boundary closest to the
+/// median (or an arbitrary `target` quantile — the global tree uses
+/// unequal targets for non-power-of-two rank groups).
+pub fn sampled_split_value(
+    ps: &PointSet,
+    idx: &[u32],
+    dim: usize,
+    samples: usize,
+    target: f64,
+    scan: HistScan,
+    rng: &mut SplitRng,
+    counters: &mut BuildCounters,
+) -> SplitDecision {
+    let positions = rng.sample_with_replacement(idx.len(), samples.max(2));
+    counters.sampled += positions.len() as u64;
+    let sample_vals: Vec<f32> =
+        positions.iter().map(|&p| ps.coord(idx[p as usize] as usize, dim)).collect();
+    let hist = SampledHistogram::from_samples(sample_vals);
+    let counts = hist.count(idx.iter().map(|&i| ps.coord(i as usize, dim)), scan);
+    counters.hist_binned += idx.len() as u64;
+    hist.split_at_quantile(&counts, target)
+}
+
+/// FLANN's split-value heuristic (§V-B2): the mean of the first 100 points
+/// along the dimension. Cheap and crude; kept for the comparison ablation.
+pub fn mean_first_100(ps: &PointSet, idx: &[u32], dim: usize) -> f32 {
+    let n = idx.len().min(100);
+    debug_assert!(n > 0);
+    let sum: f64 = idx[..n].iter().map(|&i| ps.coord(i as usize, dim) as f64).sum();
+    (sum / n as f64) as f32
+}
+
+fn argmax_f32(vals: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (d, &v) in vals.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitDimStrategy as S;
+
+    /// 2-D points: dim 0 spans [0,100], dim 1 spans [0,1].
+    fn anisotropic(n: usize) -> PointSet {
+        let mut rng = SplitRng::new(99);
+        let mut coords = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            coords.push((rng.next_f64() * 100.0) as f32);
+            coords.push(rng.next_f64() as f32);
+        }
+        PointSet::from_coords(2, coords).unwrap()
+    }
+
+    #[test]
+    fn variance_picks_the_wide_dimension() {
+        let ps = anisotropic(2000);
+        let idx: Vec<u32> = (0..2000).collect();
+        let mut rng = SplitRng::new(1);
+        let mut c = BuildCounters::default();
+        let d = choose_dim(&ps, &idx, S::MaxVariance { sample: 512 }, 0, &mut rng, &mut c);
+        assert_eq!(d, 0);
+        assert!(c.sampled >= 512);
+        assert!(c.variance_ops >= 1024);
+    }
+
+    #[test]
+    fn extent_picks_the_wide_dimension() {
+        let ps = anisotropic(500);
+        let idx: Vec<u32> = (0..500).collect();
+        let mut rng = SplitRng::new(1);
+        let mut c = BuildCounters::default();
+        let d = choose_dim(&ps, &idx, S::MaxExtent, 0, &mut rng, &mut c);
+        assert_eq!(d, 0);
+        assert_eq!(c.extent_ops, 1000);
+    }
+
+    #[test]
+    fn extent_vs_variance_can_disagree() {
+        // dim 0: all mass at 0 with one outlier at 500 → extent 500 but
+        // variance ≈ 500²/1000 = 250; dim 1: uniform [0,100] → extent
+        // ~100 but variance ≈ 833. Extent picks dim 0, variance dim 1.
+        let mut coords = Vec::new();
+        let mut rng = SplitRng::new(5);
+        for i in 0..1000 {
+            coords.push(if i == 0 { 500.0 } else { 0.0 });
+            coords.push((rng.next_f64() * 100.0) as f32);
+        }
+        let ps = PointSet::from_coords(2, coords).unwrap();
+        let idx: Vec<u32> = (0..1000).collect();
+        let mut c = BuildCounters::default();
+        let e = choose_dim(&ps, &idx, S::MaxExtent, 0, &mut SplitRng::new(1), &mut c);
+        let v = choose_dim(&ps, &idx, S::MaxVariance { sample: 1000 }, 0, &mut SplitRng::new(1), &mut c);
+        assert_eq!(e, 0, "extent sees the outlier");
+        assert_eq!(v, 1, "variance ignores the outlier");
+    }
+
+    #[test]
+    fn round_robin_cycles_with_depth() {
+        let ps = anisotropic(10);
+        let idx: Vec<u32> = (0..10).collect();
+        let mut rng = SplitRng::new(1);
+        let mut c = BuildCounters::default();
+        assert_eq!(choose_dim(&ps, &idx, S::RoundRobin, 0, &mut rng, &mut c), 0);
+        assert_eq!(choose_dim(&ps, &idx, S::RoundRobin, 1, &mut rng, &mut c), 1);
+        assert_eq!(choose_dim(&ps, &idx, S::RoundRobin, 2, &mut rng, &mut c), 0);
+    }
+
+    #[test]
+    fn one_dim_short_circuits() {
+        let ps = PointSet::from_coords(1, vec![1.0, 2.0, 3.0]).unwrap();
+        let idx: Vec<u32> = (0..3).collect();
+        let mut c = BuildCounters::default();
+        let d = choose_dim(&ps, &idx, S::MaxVariance { sample: 8 }, 0, &mut SplitRng::new(1), &mut c);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn sampled_split_near_median() {
+        let ps = anisotropic(5000);
+        let idx: Vec<u32> = (0..5000).collect();
+        let mut rng = SplitRng::new(2);
+        let mut c = BuildCounters::default();
+        let d = sampled_split_value(&ps, &idx, 0, 512, 0.5, HistScan::SubInterval, &mut rng, &mut c);
+        assert!(!d.degenerate);
+        let frac = d.left_count as f64 / d.total as f64;
+        assert!((frac - 0.5).abs() < 0.06, "left fraction {frac}");
+        assert_eq!(c.hist_binned, 5000);
+        // left_count must agree with the predicate `v ≤ split`
+        let exact =
+            idx.iter().filter(|&&i| ps.coord(i as usize, 0) <= d.value).count() as u64;
+        assert_eq!(exact, d.left_count);
+    }
+
+    #[test]
+    fn sampled_split_degenerates_on_constant_data() {
+        let ps = PointSet::from_coords(1, vec![3.0; 500]).unwrap();
+        let idx: Vec<u32> = (0..500).collect();
+        let mut rng = SplitRng::new(2);
+        let mut c = BuildCounters::default();
+        let d = sampled_split_value(&ps, &idx, 0, 64, 0.5, HistScan::Binary, &mut rng, &mut c);
+        assert!(d.degenerate);
+    }
+
+    #[test]
+    fn unequal_target_fraction() {
+        let ps = anisotropic(4000);
+        let idx: Vec<u32> = (0..4000).collect();
+        let mut rng = SplitRng::new(7);
+        let mut c = BuildCounters::default();
+        let d = sampled_split_value(&ps, &idx, 0, 1024, 0.25, HistScan::SubInterval, &mut rng, &mut c);
+        let frac = d.left_count as f64 / d.total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "left fraction {frac}");
+    }
+
+    #[test]
+    fn mean_first_100_matches_manual() {
+        let ps = PointSet::from_coords(1, (0..200).map(|i| i as f32).collect()).unwrap();
+        let idx: Vec<u32> = (0..200).collect();
+        let m = mean_first_100(&ps, &idx, 0);
+        assert!((m - 49.5).abs() < 1e-4);
+        // fewer than 100 points: averages what's there
+        let m2 = mean_first_100(&ps, &idx[..10], 0);
+        assert!((m2 - 4.5).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests on the core data structures, via public API only.
+
+use proptest::prelude::*;
+
+use panda_core::config::HistScan;
+use panda_core::hist::SampledHistogram;
+use panda_core::partition::{partition_by_count, partition_in_place, partition_stable};
+use panda_core::{KnnHeap, PointSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The two binning kernels implement the same function, for any
+    /// boundaries and probes (duplicates and exact hits included).
+    #[test]
+    fn hist_scan_equals_binary(
+        mut samples in proptest::collection::vec(-1000i32..1000, 0..300),
+        probes in proptest::collection::vec(-1100i32..1100, 1..100),
+    ) {
+        let boundaries: Vec<f32> = samples.drain(..).map(|v| v as f32 * 0.5).collect();
+        let h = SampledHistogram::from_samples(boundaries);
+        for p in probes {
+            let v = p as f32 * 0.5;
+            prop_assert_eq!(h.bin_scan(v), h.bin_binary(v), "v={}", v);
+        }
+    }
+
+    /// Histogram counts partition the input: all bins sum to n, and the
+    /// quantile split's `left_count` equals the number of values ≤ split.
+    #[test]
+    fn hist_counts_partition(
+        samples in proptest::collection::vec(-100i32..100, 2..200),
+        values in proptest::collection::vec(-120i32..120, 1..300),
+        target in 0.05f64..0.95,
+    ) {
+        let boundaries: Vec<f32> = samples.iter().map(|&v| v as f32).collect();
+        let h = SampledHistogram::from_samples(boundaries);
+        let vals: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let counts = h.count(vals.iter().copied(), HistScan::SubInterval);
+        prop_assert_eq!(counts.iter().sum::<u64>(), vals.len() as u64);
+        let d = h.split_at_quantile(&counts, target);
+        let exact = vals.iter().filter(|&&v| v <= d.value).count() as u64;
+        prop_assert_eq!(d.left_count, exact);
+        prop_assert_eq!(d.total, vals.len() as u64);
+        prop_assert_eq!(d.degenerate, d.left_count == 0 || d.left_count == d.total);
+    }
+
+    /// Partition routines agree on the boundary, preserve the index
+    /// permutation, and satisfy the predicate on both sides.
+    #[test]
+    fn partitions_agree_and_are_valid(
+        values in proptest::collection::vec(-50i32..50, 1..300),
+        split in -60i32..60,
+    ) {
+        let coords: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let ps = PointSet::from_coords(1, coords).unwrap();
+        let split = split as f32;
+        let n = ps.len();
+        let mut a: Vec<u32> = (0..n as u32).collect();
+        let mut b = a.clone();
+        let mut scratch = Vec::new();
+        let la = partition_in_place(&ps, &mut a, 0, split);
+        let lb = partition_stable(&ps, &mut b, 0, split, &mut scratch);
+        prop_assert_eq!(la, lb);
+        for (pos, &i) in a.iter().enumerate() {
+            let v = ps.coord(i as usize, 0);
+            prop_assert_eq!(pos < la, v <= split);
+        }
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// Exact-median selection: position `mid` splits by (value, id) order.
+    #[test]
+    fn median_select_orders_sides(
+        values in proptest::collection::vec(-20i32..20, 2..200),
+    ) {
+        let coords: Vec<f32> = values.iter().map(|&v| v as f32).collect();
+        let ps = PointSet::from_coords(1, coords).unwrap();
+        let n = ps.len();
+        let mid = n / 2;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let v = partition_by_count(&ps, &mut idx, 0, mid);
+        for &i in &idx[..mid] {
+            prop_assert!(ps.coord(i as usize, 0) <= v);
+        }
+        for &i in &idx[mid..] {
+            prop_assert!(ps.coord(i as usize, 0) >= v);
+        }
+    }
+
+    /// KnnHeap equals a sort-based top-k with strict-< semantics, for any
+    /// stream (duplicates included), any k, any initial radius.
+    #[test]
+    fn heap_equals_sorted_topk(
+        dists in proptest::collection::vec(0u32..50, 1..200),
+        k in 1usize..20,
+        radius_sq in prop::option::of(1u32..40),
+    ) {
+        let r_sq = radius_sq.map(|r| r as f32).unwrap_or(f32::INFINITY);
+        let mut heap = KnnHeap::with_radius_sq(k, r_sq);
+        for (id, &d) in dists.iter().enumerate() {
+            heap.offer(d as f32, id as u64);
+        }
+        let got: Vec<f32> = heap.into_sorted().iter().map(|n| n.dist_sq).collect();
+        // reference: values strictly below the radius, k smallest
+        let mut reference: Vec<f32> =
+            dists.iter().map(|&d| d as f32).filter(|&d| d < r_sq).collect();
+        reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        reference.truncate(k);
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Bounding boxes: min_dist_sq is 0 inside, positive outside, and
+    /// never exceeds the true distance to any contained point.
+    #[test]
+    fn bbox_lower_bound_law(
+        pts in proptest::collection::vec((-50i32..50, -50i32..50), 1..60),
+        q in (-80i32..80, -80i32..80),
+    ) {
+        let mut coords = Vec::new();
+        for (x, y) in &pts {
+            coords.push(*x as f32);
+            coords.push(*y as f32);
+        }
+        let ps = PointSet::from_coords(2, coords).unwrap();
+        let bb = ps.bounding_box().unwrap();
+        let q = [q.0 as f32, q.1 as f32];
+        let lb = bb.min_dist_sq(&q);
+        for i in 0..ps.len() {
+            prop_assert!(lb <= ps.dist_sq_to(&q, i) + 1e-3);
+        }
+        if bb.contains(&q) {
+            prop_assert_eq!(lb, 0.0);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The paper's named datasets (Tables I and II) mapped to generators.
+//!
+//! Every dataset can be synthesized at a configurable `scale` (fraction of
+//! the paper's particle count — the default harness scale is 1/1000, set
+//! in `panda-bench`), and carries the paper's reported numbers so the
+//! bench binaries can print *paper vs. measured* side by side.
+
+use panda_core::PointSet;
+
+use crate::cosmology::{self, CosmologyParams};
+use crate::dayabay::{self, DayaBayParams};
+use crate::labels::LabeledPoints;
+use crate::plasma::{self, PlasmaParams};
+use crate::sdss::{self, SdssVariant};
+
+/// A named dataset from the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Table I: `cosmo_small` — 1.1 B particles, 3-D.
+    CosmoSmall,
+    /// Table I: `cosmo_medium` — 8.1 B particles, 3-D.
+    CosmoMedium,
+    /// Table I: `cosmo_large` — 68.7 B particles, 3-D.
+    CosmoLarge,
+    /// Table I: `plasma_large` — 188.8 B particles, 3-D.
+    PlasmaLarge,
+    /// Table I: `dayabay_large` — 2.7 B records, 10-D.
+    DayabayLarge,
+    /// Table I: `cosmo_thin` — 50 M particles, 3-D (single node).
+    CosmoThin,
+    /// Table I: `plasma_thin` — 37 M particles, 3-D (single node).
+    PlasmaThin,
+    /// Table I: `dayabay_thin` — 27 M records, 10-D (single node).
+    DayabayThin,
+    /// Table II: `psf_mod_mag` — 2 M build / 10 M query, 10-D.
+    PsfModMag,
+    /// Table II: `all_mag` — 2 M build / 10 M query, 15-D.
+    AllMag,
+    /// Table II: `cosmo` (KNL distributed) — 254 M particles, 3-D.
+    CosmoKnl,
+    /// Table II: `plasma` (KNL distributed) — 250 M particles, 3-D.
+    PlasmaKnl,
+}
+
+/// The paper's reported Table-I row for a dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperRow {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// Particle/record count.
+    pub particles: u64,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Reported construction seconds (None where not reported).
+    pub time_construct_s: Option<f64>,
+    /// Reported k.
+    pub k: usize,
+    /// Reported query fraction of the dataset (0.10 = 10%).
+    pub query_fraction: f64,
+    /// Reported query seconds.
+    pub time_query_s: Option<f64>,
+    /// Cores used.
+    pub cores: usize,
+}
+
+impl Dataset {
+    /// All Table-I rows in paper order.
+    pub const TABLE1: [Dataset; 8] = [
+        Dataset::CosmoSmall,
+        Dataset::CosmoMedium,
+        Dataset::CosmoLarge,
+        Dataset::PlasmaLarge,
+        Dataset::DayabayLarge,
+        Dataset::CosmoThin,
+        Dataset::PlasmaThin,
+        Dataset::DayabayThin,
+    ];
+
+    /// All Table-II datasets in paper order.
+    pub const TABLE2: [Dataset; 4] =
+        [Dataset::PsfModMag, Dataset::AllMag, Dataset::CosmoKnl, Dataset::PlasmaKnl];
+
+    /// The paper's reported attributes and timings.
+    pub fn paper_row(&self) -> PaperRow {
+        use Dataset::*;
+        match self {
+            CosmoSmall => PaperRow {
+                name: "cosmo_small",
+                particles: 1_100_000_000,
+                dims: 3,
+                time_construct_s: Some(23.3),
+                k: 5,
+                query_fraction: 0.10,
+                time_query_s: Some(12.2),
+                cores: 96,
+            },
+            CosmoMedium => PaperRow {
+                name: "cosmo_medium",
+                particles: 8_100_000_000,
+                dims: 3,
+                time_construct_s: Some(31.4),
+                k: 5,
+                query_fraction: 0.10,
+                time_query_s: Some(14.7),
+                cores: 768,
+            },
+            CosmoLarge => PaperRow {
+                name: "cosmo_large",
+                particles: 68_700_000_000,
+                dims: 3,
+                time_construct_s: Some(12.2),
+                k: 5,
+                query_fraction: 0.10,
+                time_query_s: Some(3.8),
+                cores: 49152,
+            },
+            PlasmaLarge => PaperRow {
+                name: "plasma_large",
+                particles: 188_800_000_000,
+                dims: 3,
+                time_construct_s: Some(47.8),
+                k: 5,
+                query_fraction: 0.10,
+                time_query_s: Some(11.6),
+                cores: 49152,
+            },
+            DayabayLarge => PaperRow {
+                name: "dayabay_large",
+                particles: 2_700_000_000,
+                dims: 10,
+                time_construct_s: Some(4.0),
+                k: 5,
+                query_fraction: 0.005,
+                time_query_s: Some(6.8),
+                cores: 6144,
+            },
+            CosmoThin => PaperRow {
+                name: "cosmo_thin",
+                particles: 50_000_000,
+                dims: 3,
+                time_construct_s: Some(1.1),
+                k: 5,
+                query_fraction: 0.10,
+                time_query_s: Some(1.1),
+                cores: 24,
+            },
+            PlasmaThin => PaperRow {
+                name: "plasma_thin",
+                particles: 37_000_000,
+                dims: 3,
+                time_construct_s: Some(1.0),
+                k: 5,
+                query_fraction: 0.10,
+                time_query_s: Some(0.8),
+                cores: 24,
+            },
+            DayabayThin => PaperRow {
+                name: "dayabay_thin",
+                particles: 27_000_000,
+                dims: 10,
+                time_construct_s: Some(1.8),
+                k: 5,
+                query_fraction: 0.005,
+                time_query_s: Some(3.2),
+                cores: 24,
+            },
+            PsfModMag => PaperRow {
+                name: "psf_mod_mag",
+                particles: 2_000_000,
+                dims: 10,
+                time_construct_s: None,
+                k: 10,
+                query_fraction: 5.0, // 10M queries on a 2M-point tree
+                time_query_s: None,
+                cores: 68,
+            },
+            AllMag => PaperRow {
+                name: "all_mag",
+                particles: 2_000_000,
+                dims: 15,
+                time_construct_s: None,
+                k: 10,
+                query_fraction: 5.0,
+                time_query_s: None,
+                cores: 68,
+            },
+            CosmoKnl => PaperRow {
+                name: "cosmo (KNL)",
+                particles: 254_000_000,
+                dims: 3,
+                time_construct_s: None,
+                k: 10,
+                query_fraction: 1.0,
+                time_query_s: None,
+                cores: 68,
+            },
+            PlasmaKnl => PaperRow {
+                name: "plasma (KNL)",
+                particles: 250_000_000,
+                dims: 3,
+                time_construct_s: None,
+                k: 10,
+                query_fraction: 1.0,
+                time_query_s: None,
+                cores: 68,
+            },
+        }
+    }
+
+    /// Particle count at `scale` (at least 1000 so tiny scales stay
+    /// meaningful).
+    pub fn scaled_particles(&self, scale: f64) -> usize {
+        ((self.paper_row().particles as f64 * scale) as usize).max(1000)
+    }
+
+    /// Synthesize the dataset at `scale` of the paper's size.
+    /// Labels (Daya Bay) are dropped; use [`Dataset::generate_labeled`]
+    /// when they are needed.
+    pub fn generate(&self, scale: f64, seed: u64) -> PointSet {
+        use Dataset::*;
+        let n = self.scaled_particles(scale);
+        match self {
+            CosmoSmall | CosmoMedium | CosmoLarge | CosmoThin | CosmoKnl => {
+                cosmology::generate(n, &CosmologyParams::default(), seed)
+            }
+            PlasmaLarge | PlasmaThin | PlasmaKnl => {
+                plasma::generate(n, &PlasmaParams::default(), seed)
+            }
+            DayabayLarge | DayabayThin => {
+                dayabay::generate(n, &DayaBayParams::default(), seed).points
+            }
+            PsfModMag => sdss::generate(n, SdssVariant::PsfModMag, seed),
+            AllMag => sdss::generate(n, SdssVariant::AllMag, seed),
+        }
+    }
+
+    /// Labeled variant (only the Daya Bay datasets carry labels).
+    pub fn generate_labeled(&self, scale: f64, seed: u64) -> Option<LabeledPoints> {
+        match self {
+            Dataset::DayabayLarge | Dataset::DayabayThin => Some(dayabay::generate(
+                self.scaled_particles(scale),
+                &DayaBayParams::default(),
+                seed,
+            )),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_paper_constants() {
+        let r = Dataset::CosmoLarge.paper_row();
+        assert_eq!(r.particles, 68_700_000_000);
+        assert_eq!(r.cores, 49152);
+        assert_eq!(r.time_construct_s, Some(12.2));
+        let r = Dataset::PlasmaLarge.paper_row();
+        assert_eq!(r.time_construct_s, Some(47.8));
+        assert_eq!(r.time_query_s, Some(11.6));
+        let r = Dataset::DayabayLarge.paper_row();
+        assert_eq!(r.dims, 10);
+        assert_eq!(r.query_fraction, 0.005);
+    }
+
+    #[test]
+    fn scaled_generation_has_right_shape() {
+        for ds in Dataset::TABLE1 {
+            let row = ds.paper_row();
+            let scale = 2000.0 / row.particles as f64; // ~2000 points
+            let ps = ds.generate(scale, 1);
+            assert_eq!(ps.dims(), row.dims, "{}", row.name);
+            assert!(ps.len() >= 1000, "{}: {}", row.name, ps.len());
+        }
+    }
+
+    #[test]
+    fn minimum_size_floor() {
+        assert_eq!(Dataset::CosmoThin.scaled_particles(1e-12), 1000);
+    }
+
+    #[test]
+    fn labeled_only_for_dayabay() {
+        let tiny = 1e-6;
+        assert!(Dataset::DayabayThin.generate_labeled(tiny, 1).is_some());
+        assert!(Dataset::CosmoThin.generate_labeled(tiny, 1).is_none());
+        let lp = Dataset::DayabayLarge.generate_labeled(tiny, 2).unwrap();
+        assert_eq!(lp.points.dims(), 10);
+        assert_eq!(lp.n_classes, 3);
+    }
+
+    #[test]
+    fn table2_dims() {
+        assert_eq!(Dataset::PsfModMag.generate(1e-3, 1).dims(), 10);
+        assert_eq!(Dataset::AllMag.generate(1e-3, 1).dims(), 15);
+        assert_eq!(Dataset::CosmoKnl.paper_row().k, 10);
+    }
+}

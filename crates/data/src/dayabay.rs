@@ -1,0 +1,213 @@
+//! Daya-Bay-like labeled detector records.
+//!
+//! The paper encodes 24×8 detector snapshots into 10-D with a deep
+//! autoencoder and labels three physics-event classes (§IV-B3). Two
+//! properties matter for the reproduction:
+//!
+//! 1. **Low-dimensional class structure** — each class occupies a thin
+//!    manifold in the 10-D embedding space: modeled as a random 3-D latent
+//!    affinely mapped into 10-D plus small isotropic noise. The classes
+//!    overlap enough that k=5 majority voting lands near the paper's 87%
+//!    accuracy (verified by `science_accuracy`).
+//! 2. **Heavy record co-location** — many raw snapshots are identical
+//!    (quiet detector states), so their embeddings coincide exactly. The
+//!    paper blames this for the 22-rank average remote fan-out and ANN's
+//!    depth-109 trees. A configurable fraction of records is emitted as
+//!    exact copies of per-class template records.
+
+use panda_core::PointSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::labels::LabeledPoints;
+
+/// Embedding dimensionality used by the paper.
+pub const DIMS: usize = 10;
+/// Latent manifold dimensionality per class.
+const LATENT: usize = 3;
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DayaBayParams {
+    /// Number of classes (paper: 3).
+    pub classes: usize,
+    /// Distance between class centers (in units of within-class spread).
+    pub class_sep: f32,
+    /// Isotropic noise on top of the class manifold.
+    pub noise: f32,
+    /// Fraction of records emitted as exact template copies.
+    pub colocate_frac: f64,
+    /// Distinct template records per class.
+    pub templates_per_class: usize,
+}
+
+impl Default for DayaBayParams {
+    fn default() -> Self {
+        // Calibrated so k=5 majority voting scores ≈ 87% at the default
+        // science-harness training size (30k records) — the paper's
+        // reported accuracy; see `panda-bench --bin science_accuracy`.
+        Self {
+            classes: 3,
+            class_sep: 0.5,
+            noise: 1.2,
+            colocate_frac: 0.25,
+            templates_per_class: 48,
+        }
+    }
+}
+
+/// `n` labeled 10-D records.
+pub fn generate(n: usize, params: &DayaBayParams, seed: u64) -> LabeledPoints {
+    assert!(params.classes >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Class geometry: center + random 10×3 manifold basis.
+    struct Class {
+        center: [f32; DIMS],
+        basis: [[f32; DIMS]; LATENT],
+    }
+    let classes: Vec<Class> = (0..params.classes)
+        .map(|_| {
+            let mut center = [0.0f32; DIMS];
+            for c in center.iter_mut() {
+                *c = gauss(&mut rng) * params.class_sep;
+            }
+            let mut basis = [[0.0f32; DIMS]; LATENT];
+            for row in basis.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = gauss(&mut rng) * 0.8;
+                }
+            }
+            Class { center, basis }
+        })
+        .collect();
+
+    let draw = |rng: &mut SmallRng, class: &Class| -> [f32; DIMS] {
+        let mut p = class.center;
+        for row in &class.basis {
+            let z = gauss(rng);
+            for d in 0..DIMS {
+                p[d] += z * row[d];
+            }
+        }
+        for v in p.iter_mut() {
+            *v += gauss(rng) * params.noise;
+        }
+        p
+    };
+
+    // Template records (the co-located population).
+    let templates: Vec<(u32, [f32; DIMS])> = (0..params.classes)
+        .flat_map(|c| {
+            let mut rows = Vec::with_capacity(params.templates_per_class);
+            for _ in 0..params.templates_per_class {
+                rows.push((c as u32, draw(&mut rng, &classes[c])));
+            }
+            rows
+        })
+        .collect();
+
+    let mut points = PointSet::new(DIMS).expect("valid dims");
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let (label, p) = if rng.gen_bool(params.colocate_frac) {
+            let t = &templates[rng.gen_range(0..templates.len())];
+            (t.0, t.1)
+        } else {
+            let c = rng.gen_range(0..params.classes);
+            (c as u32, draw(&mut rng, &classes[c]))
+        };
+        points.push(&p, i as u64);
+        labels.push(label);
+    }
+    LabeledPoints { points, labels, n_classes: params.classes as u32 }
+}
+
+/// Standard normal via Box–Muller (SmallRng-friendly, no extra deps).
+fn gauss(rng: &mut SmallRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_labels_and_determinism() {
+        let lp = generate(2000, &DayaBayParams::default(), 1);
+        assert_eq!(lp.len(), 2000);
+        assert_eq!(lp.points.dims(), DIMS);
+        assert_eq!(lp.n_classes, 3);
+        assert!(lp.labels.iter().all(|&l| l < 3));
+        assert_eq!(lp, generate(2000, &DayaBayParams::default(), 1));
+        // all classes present in roughly even proportion
+        let counts = lp.class_counts();
+        for c in &counts {
+            assert!(*c > 400, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn co_location_produces_exact_duplicates() {
+        let lp = generate(5000, &DayaBayParams::default(), 2);
+        // count exact duplicate coordinate rows
+        let mut rows: Vec<Vec<u32>> = (0..lp.len())
+            .map(|i| lp.points.point(i).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        rows.sort();
+        let mut dups = 0usize;
+        for w in rows.windows(2) {
+            if w[0] == w[1] {
+                dups += 1;
+            }
+        }
+        // ~25% templates over 144 templates → plenty of exact collisions
+        assert!(dups > 500, "exact duplicates {dups}");
+    }
+
+    #[test]
+    fn no_colocations_when_disabled() {
+        let p = DayaBayParams { colocate_frac: 0.0, ..Default::default() };
+        let lp = generate(3000, &p, 3);
+        let mut rows: Vec<Vec<u32>> = (0..lp.len())
+            .map(|i| lp.points.point(i).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        rows.sort();
+        let dups = rows.windows(2).filter(|w| w[0] == w[1]).count();
+        assert_eq!(dups, 0);
+    }
+
+    #[test]
+    fn classes_are_separable_but_overlapping() {
+        // 1-NN self-classification (leave-self-out would be better; this
+        // coarse check just ensures classes are neither trivially split
+        // nor pure noise): nearest *other* point shares the label most of
+        // the time but not always.
+        let lp = generate(1500, &DayaBayParams::default(), 4);
+        let mut same = 0usize;
+        let probe = 200usize;
+        for i in 0..probe {
+            let q = lp.points.point(i);
+            let mut best = (f32::INFINITY, 0usize);
+            for j in 0..lp.len() {
+                if j == i {
+                    continue;
+                }
+                let d = lp.points.dist_sq_to(q, j);
+                if d < best.0 {
+                    best = (d, j);
+                }
+            }
+            if lp.labels[best.1] == lp.labels[i] {
+                same += 1;
+            }
+        }
+        let frac = same as f64 / probe as f64;
+        assert!(
+            (0.65..0.99).contains(&frac),
+            "1-NN label agreement {frac} (want separable-but-overlapping)"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Binary dataset persistence.
+//!
+//! The paper reads HDF5; we use a minimal self-describing little-endian
+//! format so benches can cache generated datasets between runs without an
+//! HDF5 dependency:
+//!
+//! ```text
+//! magic "PNDA" | version u32 | dims u32 | n u64 | has_labels u8 |
+//! n_classes u32 | coords [f32; n*dims] | ids [u64; n] |
+//! labels [u32; n] (if has_labels)
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use panda_core::{PandaError, PointSet, Result};
+
+use crate::labels::LabeledPoints;
+
+const MAGIC: &[u8; 4] = b"PNDA";
+const VERSION: u32 = 1;
+
+fn w_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u32(r: &mut impl Read) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_common(
+    w: &mut impl Write,
+    ps: &PointSet,
+    labels: Option<(&[u32], u32)>,
+) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w_u32(w, VERSION)?;
+    w_u32(w, ps.dims() as u32)?;
+    w_u64(w, ps.len() as u64)?;
+    w.write_all(&[u8::from(labels.is_some())])?;
+    w_u32(w, labels.map_or(0, |(_, c)| c))?;
+    for &v in ps.coords() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &id in ps.ids() {
+        w_u64(w, id)?;
+    }
+    if let Some((ls, _)) = labels {
+        for &l in ls {
+            w_u32(w, l)?;
+        }
+    }
+    Ok(())
+}
+
+struct Header {
+    dims: usize,
+    n: usize,
+    has_labels: bool,
+    n_classes: u32,
+}
+
+fn read_header(r: &mut impl Read) -> Result<Header> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PandaError::Io("bad magic (not a PNDA file)".into()));
+    }
+    let version = r_u32(r)?;
+    if version != VERSION {
+        return Err(PandaError::Io(format!("unsupported version {version}")));
+    }
+    let dims = r_u32(r)? as usize;
+    let n = r_u64(r)? as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let n_classes = r_u32(r)?;
+    Ok(Header { dims, n, has_labels: flag[0] != 0, n_classes })
+}
+
+fn read_body(r: &mut impl Read, h: &Header) -> Result<(PointSet, Option<Vec<u32>>)> {
+    let mut coords = vec![0.0f32; h.n * h.dims];
+    let mut buf = [0u8; 4];
+    for c in coords.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *c = f32::from_le_bytes(buf);
+    }
+    let mut ids = vec![0u64; h.n];
+    for id in ids.iter_mut() {
+        *id = r_u64(r)?;
+    }
+    let labels = if h.has_labels {
+        let mut ls = vec![0u32; h.n];
+        for l in ls.iter_mut() {
+            *l = r_u32(r)?;
+        }
+        Some(ls)
+    } else {
+        None
+    };
+    Ok((PointSet::from_parts(h.dims, coords, ids)?, labels))
+}
+
+/// Save an unlabeled point set.
+pub fn save_points(path: impl AsRef<Path>, ps: &PointSet) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_common(&mut w, ps, None)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load an unlabeled point set (labels, if present, are dropped).
+pub fn load_points(path: impl AsRef<Path>) -> Result<PointSet> {
+    let mut r = BufReader::new(File::open(path)?);
+    let h = read_header(&mut r)?;
+    let (ps, _labels) = read_body(&mut r, &h)?;
+    Ok(ps)
+}
+
+/// Save a labeled dataset.
+pub fn save_labeled(path: impl AsRef<Path>, lp: &LabeledPoints) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_common(&mut w, &lp.points, Some((&lp.labels, lp.n_classes)))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a labeled dataset; errors if the file has no labels.
+pub fn load_labeled(path: impl AsRef<Path>) -> Result<LabeledPoints> {
+    let mut r = BufReader::new(File::open(path)?);
+    let h = read_header(&mut r)?;
+    if !h.has_labels {
+        return Err(PandaError::Io("file has no labels".into()));
+    }
+    let (points, labels) = read_body(&mut r, &h)?;
+    Ok(LabeledPoints {
+        points,
+        labels: labels.expect("has_labels implies labels"),
+        n_classes: h.n_classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dayabay::{self, DayaBayParams};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("panda-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn points_roundtrip() {
+        let ps = crate::uniform::generate(500, 3, 1.0, 1);
+        let path = tmp("points.pnda");
+        save_points(&path, &ps).unwrap();
+        let back = load_points(&path).unwrap();
+        assert_eq!(ps, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn labeled_roundtrip() {
+        let lp = dayabay::generate(300, &DayaBayParams::default(), 2);
+        let path = tmp("labeled.pnda");
+        save_labeled(&path, &lp).unwrap();
+        let back = load_labeled(&path).unwrap();
+        assert_eq!(lp, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unlabeled_file_rejected_by_labeled_loader() {
+        let ps = crate::uniform::generate(10, 2, 1.0, 3);
+        let path = tmp("nolabels.pnda");
+        save_points(&path, &ps).unwrap();
+        assert!(matches!(load_labeled(&path), Err(PandaError::Io(_))));
+        // but the generic loader can read labeled files
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let path = tmp("garbage.pnda");
+        std::fs::write(&path, b"not a panda file at all").unwrap();
+        assert!(matches!(load_points(&path), Err(PandaError::Io(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_points("/nonexistent/panda/file.pnda"),
+            Err(PandaError::Io(_))
+        ));
+    }
+}

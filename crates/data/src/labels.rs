@@ -1,0 +1,102 @@
+//! Labeled datasets (classification experiments, §V-C).
+
+use panda_core::PointSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A point set with one class label per point, indexed by **global id**
+/// (labels survive redistribution: `label_of(id)` works on any rank).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabeledPoints {
+    /// The points (ids are `0..n`, indexing `labels`).
+    pub points: PointSet,
+    /// Class label per global id.
+    pub labels: Vec<u32>,
+    /// Number of distinct classes.
+    pub n_classes: u32,
+}
+
+impl LabeledPoints {
+    /// Label of global id `id`.
+    #[inline]
+    pub fn label_of(&self, id: u64) -> u32 {
+        self.labels[id as usize]
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Split into (train, test) point sets by a Bernoulli(`test_frac`)
+    /// coin per point. Global ids are preserved, so `labels` keeps
+    /// working for both halves.
+    pub fn split(&self, test_frac: f64, seed: u64) -> (PointSet, PointSet) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7E57);
+        let dims = self.points.dims();
+        let mut train = PointSet::new(dims).expect("valid dims");
+        let mut test = PointSet::new(dims).expect("valid dims");
+        for i in 0..self.points.len() {
+            let dst = if rng.gen_bool(test_frac) { &mut test } else { &mut train };
+            dst.push(self.points.point(i), self.points.id(i));
+        }
+        (train, test)
+    }
+
+    /// Class frequencies.
+    pub fn class_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n_classes as usize];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> LabeledPoints {
+        let points = crate::uniform::generate(1000, 2, 1.0, 1);
+        let labels = (0..1000).map(|i| (i % 3) as u32).collect();
+        LabeledPoints { points, labels, n_classes: 3 }
+    }
+
+    #[test]
+    fn label_lookup_by_id() {
+        let lp = toy();
+        assert_eq!(lp.label_of(0), 0);
+        assert_eq!(lp.label_of(4), 1);
+        assert_eq!(lp.class_counts(), vec![334, 333, 333]);
+    }
+
+    #[test]
+    fn split_preserves_ids_and_partitions() {
+        let lp = toy();
+        let (train, test) = lp.split(0.3, 9);
+        assert_eq!(train.len() + test.len(), 1000);
+        assert!(test.len() > 200 && test.len() < 400, "test size {}", test.len());
+        let mut ids: Vec<u64> = train.ids().iter().chain(test.ids()).copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 1000);
+        // labels still resolvable for test points
+        for i in 0..test.len() {
+            let _ = lp.label_of(test.id(i));
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let lp = toy();
+        let (a, _) = lp.split(0.5, 3);
+        let (b, _) = lp.split(0.5, 3);
+        assert_eq!(a, b);
+    }
+}

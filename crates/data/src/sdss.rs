@@ -1,0 +1,133 @@
+//! SDSS-like photometric magnitudes (Table II: `psf_mod_mag` 10-D,
+//! `all_mag` 15-D), used in the paper's Xeon-Phi comparison against
+//! buffer-kd-tree GPU results [17], [18].
+//!
+//! Generative model of multi-band photometry: an object has a true
+//! brightness and a color locus position (a star/galaxy mixture); the
+//! five SDSS bands (u, g, r, i, z) derive from brightness plus color
+//! offsets; PSF magnitudes add extendedness for galaxies (point-spread
+//! photometry loses flux on extended sources); model/petro magnitudes
+//! track total flux with different noise. The result is the strongly
+//! correlated, moderately anisotropic 10/15-D cloud that makes kd-trees
+//! effective on this data in the first place.
+
+use panda_core::PointSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which Table-II dataset to synthesize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdssVariant {
+    /// 10-D: 5 PSF + 5 model magnitudes.
+    PsfModMag,
+    /// 15-D: 5 PSF + 5 model + 5 petrosian magnitudes.
+    AllMag,
+}
+
+impl SdssVariant {
+    /// Dimensionality of the variant.
+    pub fn dims(&self) -> usize {
+        match self {
+            SdssVariant::PsfModMag => 10,
+            SdssVariant::AllMag => 15,
+        }
+    }
+}
+
+/// `n` photometric records of the given variant.
+pub fn generate(n: usize, variant: SdssVariant, seed: u64) -> PointSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dims = variant.dims();
+    let mut coords = Vec::with_capacity(n * dims);
+    // star vs galaxy color loci: (g-r, r-i, u-g, i-z) cluster centers
+    let loci = [
+        ([1.4f32, 0.5, 0.6, 0.3], 0.15f32, 0.0f32), // stars: tight, point-like
+        ([1.9, 0.9, 0.8, 0.4], 0.35, 1.2),          // galaxies: broad, extended
+    ];
+    for _ in 0..n {
+        let (center, spread, ext_scale) = loci[usize::from(rng.gen_bool(0.45))];
+        let r_mag = 16.0 + 4.5 * rng.gen::<f32>() + gauss(&mut rng) * 0.8; // r-band
+        let colors: Vec<f32> =
+            center.iter().map(|c| c + gauss(&mut rng) * spread).collect();
+        // bands from r and colors: u, g, r, i, z
+        let u = r_mag + colors[2] + colors[0];
+        let g = r_mag + colors[0];
+        let r = r_mag;
+        let i = r_mag - colors[1];
+        let z = r_mag - colors[1] - colors[3];
+        let model = [u, g, r, i, z];
+        let ext = (gauss(&mut rng) * 0.3 + 0.6).max(0.0) * ext_scale;
+        for m in model {
+            coords.push(m + ext + gauss(&mut rng) * 0.05); // PSF mags
+        }
+        for m in model {
+            coords.push(m + gauss(&mut rng) * 0.05); // model mags
+        }
+        if dims == 15 {
+            for m in model {
+                coords.push(m + gauss(&mut rng) * 0.12); // petro mags
+            }
+        }
+    }
+    PointSet::from_coords(dims, coords).expect("finite magnitudes")
+}
+
+fn gauss(rng: &mut SmallRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_per_variant() {
+        assert_eq!(generate(100, SdssVariant::PsfModMag, 1).dims(), 10);
+        assert_eq!(generate(100, SdssVariant::AllMag, 1).dims(), 15);
+        assert_eq!(generate(100, SdssVariant::AllMag, 1).len(), 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(200, SdssVariant::PsfModMag, 9),
+            generate(200, SdssVariant::PsfModMag, 9)
+        );
+    }
+
+    #[test]
+    fn bands_are_strongly_correlated() {
+        // PSF u-band vs model u-band must correlate ≫ independently drawn
+        // dims would (they share brightness + color structure).
+        let ps = generate(5000, SdssVariant::PsfModMag, 2);
+        let corr = |a: usize, b: usize| {
+            let n = ps.len() as f64;
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for i in 0..ps.len() {
+                let (x, y) = (ps.point(i)[a] as f64, ps.point(i)[b] as f64);
+                sa += x;
+                sb += y;
+                saa += x * x;
+                sbb += y * y;
+                sab += x * y;
+            }
+            let cov = sab / n - sa / n * sb / n;
+            let va = saa / n - (sa / n) * (sa / n);
+            let vb = sbb / n - (sb / n) * (sb / n);
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        assert!(corr(0, 5) > 0.9, "psf_u vs model_u corr {}", corr(0, 5));
+        assert!(corr(2, 4) > 0.7, "psf_r vs psf_z corr {}", corr(2, 4));
+    }
+
+    #[test]
+    fn magnitudes_in_plausible_range() {
+        let ps = generate(2000, SdssVariant::AllMag, 3);
+        let bb = ps.bounding_box().unwrap();
+        for d in 0..15 {
+            assert!(bb.lo()[d] > 5.0 && bb.hi()[d] < 35.0, "band {d} out of range");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Uniform i.i.d. points — the control distribution.
+
+use panda_core::PointSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` points uniform in `[0, box_size)^dims`.
+pub fn generate(n: usize, dims: usize, box_size: f32, seed: u64) -> PointSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coords = Vec::with_capacity(n * dims);
+    for _ in 0..n * dims {
+        coords.push(rng.gen_range(0.0..box_size));
+    }
+    PointSet::from_coords(dims, coords).expect("finite uniform coordinates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let ps = generate(500, 3, 2.0, 7);
+        assert_eq!(ps.len(), 500);
+        assert_eq!(ps.dims(), 3);
+        let bb = ps.bounding_box().unwrap();
+        for d in 0..3 {
+            assert!(bb.lo()[d] >= 0.0 && bb.hi()[d] < 2.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(50, 2, 1.0, 9), generate(50, 2, 1.0, 9));
+        assert_ne!(generate(50, 2, 1.0, 9), generate(50, 2, 1.0, 10));
+    }
+
+    #[test]
+    fn roughly_uniform_occupancy() {
+        let ps = generate(8000, 2, 1.0, 11);
+        // 4 quadrants should each hold ~2000 ± 20%
+        let mut quad = [0usize; 4];
+        for i in 0..ps.len() {
+            let p = ps.point(i);
+            let q = (p[0] >= 0.5) as usize * 2 + (p[1] >= 0.5) as usize;
+            quad[q] += 1;
+        }
+        for q in quad {
+            assert!((1600..2400).contains(&q), "{quad:?}");
+        }
+    }
+}

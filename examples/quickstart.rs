@@ -1,0 +1,58 @@
+//! Quickstart: build a KNN index, query it, check against brute force.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use panda::baselines::BruteForce;
+use panda::core::knn::KnnIndex;
+use panda::core::{PointSet, TreeConfig};
+use panda::data::uniform;
+
+fn main() -> panda::core::Result<()> {
+    // 1. Some points. Any `Vec<f32>` in point-major order works; every
+    //    point gets a global id (0..n by default).
+    let points: PointSet = uniform::generate(100_000, 3, 1.0, 42);
+
+    // 2. Build the index. The defaults are the paper's choices: bucket
+    //    size 32, max-variance split dimensions, sampled-histogram medians,
+    //    SIMD-packed leaves. `parallel(true)` uses rayon for construction
+    //    and batched queries.
+    let cfg = TreeConfig::default().with_parallel(true).with_threads(4);
+    let index = KnnIndex::build(&points, &cfg)?;
+    println!(
+        "indexed {} points, tree depth {}, {} leaves, {:.1} pts/leaf",
+        index.len(),
+        index.tree().stats().max_depth,
+        index.tree().stats().n_leaves,
+        index.tree().stats().mean_leaf_fill,
+    );
+
+    // 3. Query: the 5 nearest neighbors of a point.
+    let q = [0.25f32, 0.5, 0.75];
+    let neighbors = index.query(&q, 5)?;
+    println!("\n5 nearest neighbors of {q:?}:");
+    for n in &neighbors {
+        println!("  id {:>6}  dist {:.5}", n.id, n.dist());
+    }
+
+    // 4. They are exact — verify against brute force.
+    let brute = BruteForce::new(&points);
+    let expect = brute.query(&q, 5)?;
+    assert_eq!(
+        neighbors.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+        expect.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+    );
+    println!("\nverified exact against brute force ✓");
+
+    // 5. Batched queries run in parallel and report traversal counters.
+    let queries = uniform::generate(10_000, 3, 1.0, 43);
+    let (results, counters) = index.query_batch(&queries, 5)?;
+    println!(
+        "\nbatch: {} queries, {:.1} nodes and {:.1} point-distances per query",
+        results.len(),
+        counters.nodes_visited as f64 / results.len() as f64,
+        counters.points_scanned as f64 / results.len() as f64,
+    );
+    Ok(())
+}

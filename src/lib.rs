@@ -1,0 +1,23 @@
+//! # PANDA-rs — facade crate
+//!
+//! Re-exports the full PANDA reproduction surface:
+//!
+//! * [`core`](panda_core) — distributed kd-tree construction and exact KNN
+//!   querying (the paper's contribution);
+//! * [`comm`](panda_comm) — the simulated distributed runtime substrate;
+//! * [`data`](panda_data) — synthetic science-dataset generators;
+//! * [`baselines`](panda_baselines) — brute force, FLANN-like, ANN-like and
+//!   local-trees comparison implementations.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+#![warn(missing_docs)]
+
+pub use panda_baselines as baselines;
+pub use panda_comm as comm;
+pub use panda_core as core;
+pub use panda_data as data;
+
+/// Crate version of the facade (matches the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,94 @@
+//! Integration coverage for the extension features: KNN-graph
+//! construction and fixed-radius search (the BD-CATS-style operation the
+//! paper contrasts KNN against), exercised on the science-shaped
+//! generators.
+
+use panda::core::knn::KnnIndex;
+use panda::core::TreeConfig;
+use panda::data::cosmology::{self, CosmologyParams};
+use panda::data::dayabay::{self, DayaBayParams};
+
+#[test]
+fn knn_graph_on_clustered_data_is_symmetric_enough() {
+    // A KNN graph on clustered data: most edges connect points in the
+    // same clump, so a large fraction are reciprocated. (A sanity check
+    // of graph structure, not an exactness test — exactness is covered in
+    // the unit tests.)
+    let ps = cosmology::generate(4000, &CosmologyParams::default(), 31);
+    let idx = KnnIndex::build(&ps, &TreeConfig::default().with_parallel(true).with_threads(2))
+        .unwrap();
+    let k = 6;
+    let graph = idx.knn_graph(&ps, k).unwrap();
+    assert_eq!(graph.len(), ps.len());
+    let mut edges = std::collections::HashSet::new();
+    for (i, ns) in graph.iter().enumerate() {
+        assert_eq!(ns.len(), k);
+        for n in ns {
+            edges.insert((ps.id(i), n.id));
+        }
+    }
+    let mutual = edges.iter().filter(|(a, b)| edges.contains(&(*b, *a))).count();
+    let frac = mutual as f64 / edges.len() as f64;
+    assert!(frac > 0.5, "mutual-edge fraction {frac}");
+}
+
+#[test]
+fn knn_graph_distances_bound_radius_results() {
+    // For every node, the radius search at its k-th graph distance + ε
+    // must return at least k+1 points (the k neighbors and the point
+    // itself) — ties between the structures.
+    let ps = cosmology::generate(1500, &CosmologyParams::default(), 32);
+    let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+    let k = 5;
+    let graph = idx.knn_graph(&ps, k).unwrap();
+    for i in (0..ps.len()).step_by(97) {
+        let rk = graph[i].last().unwrap().dist();
+        let within = idx.tree().query_radius_all(ps.point(i), rk * 1.0001).unwrap();
+        assert!(within.len() >= k + 1, "node {i}: {} < {}", within.len(), k + 1);
+    }
+}
+
+#[test]
+fn radius_search_counts_duplicates_correctly() {
+    // co-located Daya Bay records: radius search at tiny radius returns
+    // whole duplicate groups
+    let lp = dayabay::generate(3000, &DayaBayParams::default(), 33);
+    let idx = KnnIndex::build(&lp.points, &TreeConfig::default()).unwrap();
+    let mut found_group = false;
+    for i in (0..lp.len()).step_by(13) {
+        let hits = idx.tree().query_radius_all(lp.points.point(i), 1e-6).unwrap();
+        // every hit is (numerically) the same record
+        assert!(!hits.is_empty(), "the point itself is within any radius");
+        if hits.len() > 3 {
+            found_group = true;
+            assert!(hits.iter().all(|n| n.dist_sq == 0.0));
+        }
+    }
+    assert!(found_group, "co-location templates must produce duplicate groups");
+}
+
+#[test]
+fn density_estimate_separates_clusters_from_background() {
+    // The halo-finder workload in miniature: k-NN density on clustered
+    // vs uniform data must differ strongly in the upper tail.
+    let clumpy = cosmology::generate(5000, &CosmologyParams::default(), 34);
+    let flat = panda::data::uniform::generate(5000, 3, 1.0, 34);
+    // dynamic range of the density field: clustered data spans decades
+    // (clump cores vs void background), uniform data is narrow
+    let density_dynamic_range = |ps: &panda::core::PointSet| {
+        let idx = KnnIndex::build(ps, &TreeConfig::default()).unwrap();
+        let graph = idx.knn_graph(ps, 8).unwrap();
+        let mut d: Vec<f64> = graph
+            .iter()
+            .map(|ns| 1.0 / (ns.last().unwrap().dist() as f64).powi(3).max(1e-30))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d[(d.len() * 95) / 100] / d[(d.len() * 5) / 100]
+    };
+    let clumpy_range = density_dynamic_range(&clumpy);
+    let flat_range = density_dynamic_range(&flat);
+    assert!(
+        clumpy_range > 10.0 * flat_range,
+        "clustered {clumpy_range:.1} vs uniform {flat_range:.1}"
+    );
+}

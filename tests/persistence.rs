@@ -1,0 +1,70 @@
+//! Dataset persistence: save → load → identical query behaviour.
+
+use panda::core::knn::KnnIndex;
+use panda::core::TreeConfig;
+use panda::data::dayabay::DayaBayParams;
+use panda::data::{dayabay, io, queries_from, uniform};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("panda-persist-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn points_roundtrip_preserves_query_results() {
+    let ps = uniform::generate(5000, 3, 1.0, 1);
+    let path = tmp("pts.pnda");
+    io::save_points(&path, &ps).unwrap();
+    let loaded = io::load_points(&path).unwrap();
+    assert_eq!(ps, loaded);
+
+    let queries = queries_from(&ps, 30, 0.01, 2);
+    let a = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+    let b = KnnIndex::build(&loaded, &TreeConfig::default()).unwrap();
+    for i in 0..queries.len() {
+        let ra = a.query(queries.point(i), 5).unwrap();
+        let rb = b.query(queries.point(i), 5).unwrap();
+        assert_eq!(
+            ra.iter().map(|n| (n.id, n.dist_sq)).collect::<Vec<_>>(),
+            rb.iter().map(|n| (n.id, n.dist_sq)).collect::<Vec<_>>(),
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn labeled_roundtrip_preserves_classification() {
+    use panda::core::classify::majority_vote;
+    let lp = dayabay::generate(2000, &DayaBayParams::default(), 3);
+    let path = tmp("labeled.pnda");
+    io::save_labeled(&path, &lp).unwrap();
+    let loaded = io::load_labeled(&path).unwrap();
+    assert_eq!(lp, loaded);
+
+    let (train, test) = loaded.split(0.3, 4);
+    let index = KnnIndex::build(&train, &TreeConfig::default()).unwrap();
+    let (results, _) = index.query_batch(&test, 5).unwrap();
+    let mut correct = 0usize;
+    for (i, ns) in results.iter().enumerate() {
+        let pred = majority_vote(ns, |id| loaded.label_of(id)).unwrap();
+        if pred == loaded.label_of(test.id(i)) {
+            correct += 1;
+        }
+    }
+    // loose sanity: far better than the 1/3 chance level
+    assert!(correct as f64 / test.len() as f64 > 0.6);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn large_ids_survive() {
+    // ids are u64 globals; make sure the io path doesn't truncate them
+    let mut ps = panda::core::PointSet::new(2).unwrap();
+    ps.push(&[1.0, 2.0], u64::MAX - 1);
+    ps.push(&[3.0, 4.0], 1 << 40);
+    let path = tmp("bigids.pnda");
+    io::save_points(&path, &ps).unwrap();
+    let loaded = io::load_points(&path).unwrap();
+    assert_eq!(loaded.id(0), u64::MAX - 1);
+    assert_eq!(loaded.id(1), 1 << 40);
+    std::fs::remove_file(path).ok();
+}
