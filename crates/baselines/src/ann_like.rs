@@ -19,7 +19,9 @@ pub struct AnnLikeTree {
 impl AnnLikeTree {
     /// Build (single-threaded).
     pub fn build(points: &PointSet) -> Result<Self> {
-        Ok(Self { inner: SimpleKdTree::build(points, Heuristic::AnnLike)? })
+        Ok(Self {
+            inner: SimpleKdTree::build(points, Heuristic::AnnLike)?,
+        })
     }
 
     /// `k` nearest neighbors (exact).
@@ -77,10 +79,18 @@ mod tests {
         let bf = BruteForce::new(&ps);
         let qs = random_ps(25, 3, 2);
         for i in 0..qs.len() {
-            let a: Vec<f32> =
-                tree.query(qs.point(i), 7).unwrap().iter().map(|n| n.dist_sq).collect();
-            let b: Vec<f32> =
-                bf.query(qs.point(i), 7).unwrap().iter().map(|n| n.dist_sq).collect();
+            let a: Vec<f32> = tree
+                .query(qs.point(i), 7)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
+            let b: Vec<f32> = bf
+                .query(qs.point(i), 7)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
             assert_eq!(a, b);
         }
     }

@@ -35,7 +35,11 @@ impl<'a> BruteForce<'a> {
                 got: q.len(),
             });
         }
-        let r_sq = if radius.is_finite() { radius * radius } else { f32::INFINITY };
+        let r_sq = if radius.is_finite() {
+            radius * radius
+        } else {
+            f32::INFINITY
+        };
         let mut heap = KnnHeap::with_radius_sq(k, r_sq);
         for i in 0..self.points.len() {
             heap.offer(self.points.dist_sq_to(q, i), self.points.id(i));
@@ -62,7 +66,9 @@ impl<'a> BruteForce<'a> {
                 .map(|i| self.query(queries.point(i), k))
                 .collect()
         } else {
-            (0..queries.len()).map(|i| self.query(queries.point(i), k)).collect()
+            (0..queries.len())
+                .map(|i| self.query(queries.point(i), k))
+                .collect()
         }
     }
 }
@@ -112,6 +118,9 @@ mod tests {
         let ps = grid_1d(10);
         let bf = BruteForce::new(&ps);
         assert!(matches!(bf.query(&[0.0], 0), Err(PandaError::ZeroK)));
-        assert!(matches!(bf.query(&[0.0, 0.0], 1), Err(PandaError::DimsMismatch { .. })));
+        assert!(matches!(
+            bf.query(&[0.0, 0.0], 1),
+            Err(PandaError::DimsMismatch { .. })
+        ));
     }
 }

@@ -16,7 +16,9 @@ impl FlannLikeTree {
     /// Build (single-threaded, like the original — "neither FLANN nor ANN
     /// can run [construction] in parallel").
     pub fn build(points: &PointSet) -> Result<Self> {
-        Ok(Self { inner: SimpleKdTree::build(points, Heuristic::FlannLike)? })
+        Ok(Self {
+            inner: SimpleKdTree::build(points, Heuristic::FlannLike)?,
+        })
     }
 
     /// `k` nearest neighbors (exact).
@@ -73,10 +75,18 @@ mod tests {
         let bf = BruteForce::new(&ps);
         let qs = random_ps(25, 10, 2);
         for i in 0..qs.len() {
-            let a: Vec<f32> =
-                tree.query(qs.point(i), 5).unwrap().iter().map(|n| n.dist_sq).collect();
-            let b: Vec<f32> =
-                bf.query(qs.point(i), 5).unwrap().iter().map(|n| n.dist_sq).collect();
+            let a: Vec<f32> = tree
+                .query(qs.point(i), 5)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
+            let b: Vec<f32> = bf
+                .query(qs.point(i), 5)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
             assert_eq!(a, b);
         }
     }
@@ -86,7 +96,11 @@ mod tests {
         let ps = random_ps(10_000, 3, 3);
         let tree = FlannLikeTree::build(&ps).unwrap();
         // ~log2(10000/10) ≈ 10 with mean splits wobbling around median
-        assert!(tree.stats().max_depth < 40, "depth {}", tree.stats().max_depth);
+        assert!(
+            tree.stats().max_depth < 40,
+            "depth {}",
+            tree.stats().max_depth
+        );
         assert_eq!(tree.len(), 10_000);
     }
 }

@@ -37,7 +37,10 @@ pub(crate) mod tests_support {
 
     pub fn random_ps(n: usize, dims: usize, seed: u64) -> PointSet {
         let mut rng = SmallRng::seed_from_u64(seed);
-        PointSet::from_coords(dims, (0..n * dims).map(|_| rng.gen_range(0.0..10.0)).collect())
-            .unwrap()
+        PointSet::from_coords(
+            dims,
+            (0..n * dims).map(|_| rng.gen_range(0.0..10.0)).collect(),
+        )
+        .unwrap()
     }
 }

@@ -34,7 +34,10 @@ impl LocalTreesKnn {
     /// Index this rank's points as-is (no communication at all — that is
     /// the selling point of strategy (1)).
     pub fn build(comm: &mut Comm, points: &PointSet, cfg: &TreeConfig) -> Result<Self> {
-        let local_cfg = TreeConfig { parallel: false, ..*cfg };
+        let local_cfg = TreeConfig {
+            parallel: false,
+            ..*cfg
+        };
         let tree = LocalKdTree::build(points, &local_cfg)?;
         let model = tree.modeled_build(comm.cost());
         comm.advance_time(model.total());
@@ -60,13 +63,18 @@ impl LocalTreesKnn {
         let dims = self.tree.dims();
         let p = comm.size();
         let me = comm.rank();
-        let mut stats = LocalTreesStats { queries_submitted: queries.len() as u64, ..Default::default() };
+        let mut stats = LocalTreesStats {
+            queries_submitted: queries.len() as u64,
+            ..Default::default()
+        };
         let mut counters = QueryCounters::default();
         let mut ws = QueryWorkspace::new();
 
         // Broadcast all queries to all ranks.
         let all_coords = comm.world().allgather(queries.coords().to_vec());
-        let total_queries = comm.world().allreduce_u64(queries.len() as u64, ReduceOp::Sum);
+        let total_queries = comm
+            .world()
+            .allreduce_u64(queries.len() as u64, ReduceOp::Sum);
         stats.queries_evaluated = total_queries;
 
         // Evaluate every query locally; candidates go back to the origin.
@@ -77,7 +85,8 @@ impl LocalTreesKnn {
             for qi in 0..n_q {
                 let q = &coords[qi * dims..(qi + 1) * dims];
                 let mut heap = KnnHeap::new(k);
-                self.tree.query_into(q, &mut heap, BoundMode::Exact, &mut ws, &mut counters);
+                self.tree
+                    .query_into(q, &mut heap, BoundMode::Exact, &mut ws, &mut counters);
                 for nb in heap.into_sorted() {
                     stats.candidates_sent += 1;
                     meta_sends[origin].push(qi as u64);
@@ -107,7 +116,11 @@ impl LocalTreesKnn {
         let merge_cpu = stats.candidates_merged as f64 * cost.ops.merge;
         comm.work_parallel(merge_cpu, 0.0);
         let _ = me;
-        Ok((heaps.into_iter().map(KnnHeap::into_sorted).collect(), stats, counters))
+        Ok((
+            heaps.into_iter().map(KnnHeap::into_sorted).collect(),
+            stats,
+            counters,
+        ))
     }
 }
 
@@ -141,8 +154,7 @@ mod tests {
         let bf = BruteForce::new(&all);
         for o in &out {
             for (q, dists) in &o.result.0 {
-                let expect: Vec<f32> =
-                    bf.query(q, 5).unwrap().iter().map(|n| n.dist_sq).collect();
+                let expect: Vec<f32> = bf.query(q, 5).unwrap().iter().map(|n| n.dist_sq).collect();
                 assert_eq!(dists, &expect);
             }
             // every rank evaluated every query

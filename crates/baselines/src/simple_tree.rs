@@ -121,7 +121,12 @@ impl SimpleKdTree {
             return (self.nodes.len() - 1) as u32;
         }
         let me = self.nodes.len();
-        self.nodes.push(SNode { dim: dim as u32, val, a: 0, b: 0 });
+        self.nodes.push(SNode {
+            dim: dim as u32,
+            val,
+            a: 0,
+            b: 0,
+        });
         let (l_idx, r_idx) = idx.split_at_mut(left_len);
         let l = self.rec(l_idx, offset, depth + 1, h);
         let r = self.rec(r_idx, offset + left_len, depth + 1, h);
@@ -188,11 +193,15 @@ impl SimpleKdTree {
             // actual coordinate so at least one point changes sides.
             let slide_to = if left == 0 {
                 // everything > val: slide up to the min coordinate
-                idx.iter().map(|&i| ps.coord(i as usize, dim)).fold(f32::INFINITY, f32::min)
+                idx.iter()
+                    .map(|&i| ps.coord(i as usize, dim))
+                    .fold(f32::INFINITY, f32::min)
             } else {
                 // everything ≤ val: slide down just below the max
-                let max =
-                    idx.iter().map(|&i| ps.coord(i as usize, dim)).fold(f32::NEG_INFINITY, f32::max);
+                let max = idx
+                    .iter()
+                    .map(|&i| ps.coord(i as usize, dim))
+                    .fold(f32::NEG_INFINITY, f32::max);
                 // plane at the largest value *strictly below* max
                 let below = idx
                     .iter()
@@ -235,7 +244,10 @@ impl SimpleKdTree {
             return Err(PandaError::ZeroK);
         }
         if q.len() != self.dims() {
-            return Err(PandaError::DimsMismatch { expected: self.dims(), got: q.len() });
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims(),
+                got: q.len(),
+            });
         }
         counters.queries += 1;
         let mut heap = KnnHeap::new(k);
@@ -353,8 +365,12 @@ mod tests {
             for s in 0..20 {
                 let qs = random_ps(1, 3, 100 + s);
                 let q = qs.point(0);
-                let got: Vec<f32> =
-                    tree.query(q, 5).unwrap().iter().map(|n| n.dist_sq).collect();
+                let got: Vec<f32> = tree
+                    .query(q, 5)
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.dist_sq)
+                    .collect();
                 assert_eq!(got, brute(&ps, q, 5), "{h:?}");
             }
         }
@@ -385,7 +401,12 @@ mod tests {
         );
         // still exact
         let q = [5.0f32, 5.0, 5.1];
-        let a: Vec<f32> = ann.query(&q, 9).unwrap().iter().map(|n| n.dist_sq).collect();
+        let a: Vec<f32> = ann
+            .query(&q, 9)
+            .unwrap()
+            .iter()
+            .map(|n| n.dist_sq)
+            .collect();
         assert_eq!(a, brute(&ps, &q, 9));
     }
 

@@ -26,8 +26,9 @@ fn bench_collectives(c: &mut Criterion) {
             let cfg = ClusterConfig::new(p);
             b.iter(|| {
                 let out = run_cluster(&cfg, |comm| {
-                    let sends: Vec<Vec<f32>> =
-                        (0..comm.size()).map(|_| vec![1.0f32; 65536 / comm.size()]).collect();
+                    let sends: Vec<Vec<f32>> = (0..comm.size())
+                        .map(|_| vec![1.0f32; 65536 / comm.size()])
+                        .collect();
                     comm.world().alltoallv(sends).len()
                 });
                 black_box(out[0].result)
@@ -48,8 +49,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             b.iter(|| {
                 let out = run_cluster(&cfg, |comm| {
                     let mine = scatter(&points, comm.rank(), comm.size());
-                    let tree =
-                        build_distributed(comm, mine, &DistConfig::default()).unwrap();
+                    let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
                     let myq = scatter(&queries, comm.rank(), comm.size());
                     let res =
                         query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).unwrap();

@@ -27,8 +27,7 @@ fn bench_vs_baselines(c: &mut Criterion) {
 fn bench_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("construction_strategies");
     g.sample_size(10);
-    let points =
-        panda_data::cosmology::generate(20_000, &CosmologyParams::default(), 9);
+    let points = panda_data::cosmology::generate(20_000, &CosmologyParams::default(), 9);
     for (name, dim, val) in [
         (
             "variance+hist",
@@ -46,7 +45,11 @@ fn bench_strategies(c: &mut Criterion) {
             SplitValueStrategy::ExactMedian,
         ),
     ] {
-        let cfg = TreeConfig { split_dim: dim, split_value: val, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            split_dim: dim,
+            split_value: val,
+            ..TreeConfig::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| black_box(LocalKdTree::build(&points, cfg).unwrap()))
         });

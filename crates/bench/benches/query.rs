@@ -85,7 +85,10 @@ fn bench_bound_modes(c: &mut Criterion) {
     let tree = LocalKdTree::build(&points, &TreeConfig::default()).unwrap();
     let mut g = c.benchmark_group("query_bound_modes");
     g.sample_size(20);
-    for (name, mode) in [("exact", BoundMode::Exact), ("paper_scalar", BoundMode::PaperScalar)] {
+    for (name, mode) in [
+        ("exact", BoundMode::Exact),
+        ("paper_scalar", BoundMode::PaperScalar),
+    ] {
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut ws = QueryWorkspace::new();
@@ -103,5 +106,10 @@ fn bench_bound_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vs_baselines, bench_k_sweep, bench_bound_modes);
+criterion_group!(
+    benches,
+    bench_vs_baselines,
+    bench_k_sweep,
+    bench_bound_modes
+);
 criterion_main!(benches);

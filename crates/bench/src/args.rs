@@ -43,7 +43,10 @@ impl Args {
     pub fn f64(&self, name: &str, default: f64) -> f64 {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -51,7 +54,10 @@ impl Args {
     pub fn usize(&self, name: &str, default: usize) -> usize {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -59,13 +65,19 @@ impl Args {
     pub fn u64(&self, name: &str, default: u64) -> u64 {
         self.flags
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     /// `--name value` as string.
     pub fn string(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Bare `--name` switch present?

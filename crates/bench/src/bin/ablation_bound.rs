@@ -28,7 +28,11 @@ fn main() {
         "Scalar node visits",
         "Visit ratio",
     ]);
-    for ds in [Dataset::CosmoThin, Dataset::PlasmaThin, Dataset::DayabayThin] {
+    for ds in [
+        Dataset::CosmoThin,
+        Dataset::PlasmaThin,
+        Dataset::DayabayThin,
+    ] {
         let row = ds.paper_row();
         let points = ds.generate(scale, seed);
         let queries = queries_from(&points, 2000.min(points.len() / 5), 0.02, seed + 1);
@@ -53,10 +57,16 @@ fn main() {
         table.row(&[
             row.name.to_string(),
             queries.len().to_string(),
-            format!("{wrong} ({:.2}%)", 100.0 * wrong as f64 / queries.len() as f64),
+            format!(
+                "{wrong} ({:.2}%)",
+                100.0 * wrong as f64 / queries.len() as f64
+            ),
             c_exact.nodes_visited.to_string(),
             c_scalar.nodes_visited.to_string(),
-            f(c_scalar.nodes_visited as f64 / c_exact.nodes_visited as f64, 3),
+            f(
+                c_scalar.nodes_visited as f64 / c_exact.nodes_visited as f64,
+                3,
+            ),
         ]);
     }
     table.print();

@@ -39,7 +39,11 @@ fn main() {
     ]);
     let mut best = (0usize, f64::INFINITY);
     for bucket in [4usize, 8, 16, 32, 64, 128, 256] {
-        let cfg = TreeConfig { threads: 24, ..TreeConfig::default() }.with_bucket_size(bucket);
+        let cfg = TreeConfig {
+            threads: 24,
+            ..TreeConfig::default()
+        }
+        .with_bucket_size(bucket);
         let index = KnnIndex::build(&points, &cfg).expect("build");
         let (_r, counters) = index.query_batch(&queries, 5).expect("query");
         let c = index.tree().modeled_build_at(&cost, 24, false).total();

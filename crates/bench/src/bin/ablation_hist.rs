@@ -26,8 +26,9 @@ fn main() {
     // --- kernel microbenchmark ------------------------------------------
     let samples: Vec<f32> = (0..1024).map(|i| (i as f32).sqrt() * 31.0).collect();
     let hist = SampledHistogram::from_samples(samples);
-    let values: Vec<f32> =
-        (0..2_000_000u64).map(|i| ((i.wrapping_mul(2654435761)) % 32768) as f32 / 32.0).collect();
+    let values: Vec<f32> = (0..2_000_000u64)
+        .map(|i| ((i.wrapping_mul(2654435761)) % 32768) as f32 / 32.0)
+        .collect();
     let mut counts = vec![0u64; hist.n_bins()];
     let mut times = [0.0f64; 2];
     for (slot, scan) in [(0, HistScan::Binary), (1, HistScan::SubInterval)] {
@@ -38,9 +39,20 @@ fn main() {
         hist.count_into(values.iter().copied(), &mut counts, scan);
         times[slot] = t0.elapsed().as_secs_f64();
     }
-    println!("binning kernel, {} values over 1024 sampled boundaries:", values.len());
-    println!("  binary search : {:.4}s ({:.1} ns/pt)", times[0], times[0] / values.len() as f64 * 1e9);
-    println!("  sub-interval  : {:.4}s ({:.1} ns/pt)", times[1], times[1] / values.len() as f64 * 1e9);
+    println!(
+        "binning kernel, {} values over 1024 sampled boundaries:",
+        values.len()
+    );
+    println!(
+        "  binary search : {:.4}s ({:.1} ns/pt)",
+        times[0],
+        times[0] / values.len() as f64 * 1e9
+    );
+    println!(
+        "  sub-interval  : {:.4}s ({:.1} ns/pt)",
+        times[1],
+        times[1] / values.len() as f64 * 1e9
+    );
     println!(
         "  sub-interval scan is {:+.0}% vs binary search on THIS host for UNIFORM probes\n\
          \x20 (paper, 2013 Ivy Bridge: scan wins by up to 42%. The winner is context-\n\

@@ -27,8 +27,12 @@ fn main() {
         "Global sampling ablation — cosmo_medium ({} pts, 16 ranks)\n",
         points.len()
     );
-    let mut table =
-        Table::new(&["Samples/rank", "Max load imbalance", "Constr model(s)", "Query model(s)"]);
+    let mut table = Table::new(&[
+        "Samples/rank",
+        "Max load imbalance",
+        "Constr model(s)",
+        "Query model(s)",
+    ]);
     for m in [16usize, 64, 256, 1024] {
         let mut cfg = RunConfig::edison(16);
         cfg.dist.global_samples_per_rank = m;
@@ -47,7 +51,10 @@ fn main() {
     let cost = MachineProfile::EdisonNode.cost_model();
     let thin = Dataset::CosmoThin.generate(scale, seed);
     let tq = queries_from(&thin, (thin.len() / 10).max(512), 0.01, seed + 2);
-    println!("Local sampling ablation — cosmo_thin ({} pts)\n", thin.len());
+    println!(
+        "Local sampling ablation — cosmo_thin ({} pts)\n",
+        thin.len()
+    );
     let mut table = Table::new(&[
         "Samples",
         "Constr model(s)",
@@ -77,12 +84,7 @@ fn main() {
 
     // ---- data-parallel cut-over factor ----------------------------------
     println!("Data-parallel cut-over ablation — cosmo_thin\n");
-    let mut table = Table::new(&[
-        "Factor",
-        "DP levels",
-        "Subtrees",
-        "Constr model(s)",
-    ]);
+    let mut table = Table::new(&["Factor", "DP levels", "Subtrees", "Constr model(s)"]);
     for factor in [1usize, 4, 10, 40] {
         let cfg = TreeConfig {
             threads: 24,

@@ -17,12 +17,26 @@ fn main() {
     let cost = MachineProfile::EdisonNode.cost_model();
 
     println!("Split-dimension ablation (MaxVariance vs MaxExtent vs RoundRobin)\n");
-    for ds in [Dataset::CosmoThin, Dataset::PlasmaThin, Dataset::DayabayThin] {
+    for ds in [
+        Dataset::CosmoThin,
+        Dataset::PlasmaThin,
+        Dataset::DayabayThin,
+    ] {
         let row = ds.paper_row();
         let points = ds.generate(scale, seed);
-        let queries =
-            queries_from(&points, ((points.len() / 20).max(256)).min(20_000), 0.01, seed + 1);
-        println!("{} ({} pts, {} queries, k={}):", row.name, points.len(), queries.len(), row.k);
+        let queries = queries_from(
+            &points,
+            (points.len() / 20).clamp(256, 20_000),
+            0.01,
+            seed + 1,
+        );
+        println!(
+            "{} ({} pts, {} queries, k={}):",
+            row.name,
+            points.len(),
+            queries.len(),
+            row.k
+        );
         let mut table = Table::new(&[
             "Strategy",
             "Constr model(s)",
@@ -35,10 +49,17 @@ fn main() {
         let mut extent_q = 0.0;
         for (name, strat) in [
             ("MaxExtent", SplitDimStrategy::MaxExtent),
-            ("MaxVariance", SplitDimStrategy::MaxVariance { sample: 1024 }),
+            (
+                "MaxVariance",
+                SplitDimStrategy::MaxVariance { sample: 1024 },
+            ),
             ("RoundRobin", SplitDimStrategy::RoundRobin),
         ] {
-            let cfg = TreeConfig { threads: 24, split_dim: strat, ..TreeConfig::default() };
+            let cfg = TreeConfig {
+                threads: 24,
+                split_dim: strat,
+                ..TreeConfig::default()
+            };
             let index = KnnIndex::build(&points, &cfg).expect("build");
             let (_r, counters) = index.query_batch(&queries, row.k).expect("query");
             let c = index.tree().modeled_build_at(&cost, 24, false).total();

@@ -56,7 +56,10 @@ fn main() {
         let cluster = ClusterConfig::new(p).with_cost(cost);
         let outcomes = run_cluster(&cluster, |comm| {
             let mine = scatter(&points, comm.rank(), comm.size());
-            let cfg = TreeConfig { threads: 24, ..TreeConfig::default() };
+            let cfg = TreeConfig {
+                threads: 24,
+                ..TreeConfig::default()
+            };
             let engine = LocalTreesKnn::build(comm, &mine, &cfg).expect("build");
             comm.barrier();
             let t0 = comm.now();

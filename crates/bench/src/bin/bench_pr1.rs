@@ -1,0 +1,232 @@
+//! PR 1 perf evidence — fused SIMD leaf kernel + zero-copy traversal +
+//! locality-aware batching, measured against the seed's scalar path.
+//!
+//! Runs the single-node `query_batch` hot path on a 3-D (cosmology-like)
+//! and a 10-D (Daya-Bay-like) uniform workload three ways:
+//!
+//! * `reference` — the seed implementation, kept verbatim as
+//!   `LocalKdTree::query_into_reference` (side-array copy per stack push,
+//!   two-pass scalar leaf scan);
+//! * `fused` — the optimized traversal (undo-log stack, fused
+//!   scan-and-offer kernel with runtime AVX2 dispatch), input order;
+//! * `fused_morton` — the same, with Morton-ordered batch dispatch.
+//!
+//! Results (queries/sec and scanned points/sec, best of `--reps` runs)
+//! are printed and written to `BENCH_PR1.json` (override with `--out`),
+//! so the perf trajectory of this PR sequence is recorded in-repo.
+//!
+//! Every configuration is verified to return bit-identical neighbor sets
+//! before timing; a mismatch aborts the run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use panda_bench::Args;
+use panda_core::config::QueryOrder;
+use panda_core::knn::KnnIndex;
+use panda_core::rng::SplitRng;
+use panda_core::{BoundMode, KnnHeap, Neighbor, PointSet, QueryCounters, TreeConfig};
+
+struct Workload {
+    name: &'static str,
+    dims: usize,
+    n_points: usize,
+    n_queries: usize,
+    k: usize,
+}
+
+struct Measurement {
+    qps: f64,
+    points_per_sec: f64,
+}
+
+fn uniform(n: usize, dims: usize, span: f64, seed: u64) -> PointSet {
+    let mut rng = SplitRng::new(seed);
+    PointSet::from_coords(
+        dims,
+        (0..n * dims)
+            .map(|_| (rng.next_f64() * span) as f32)
+            .collect(),
+    )
+    .expect("valid points")
+}
+
+/// Best-of-`reps` timing of `run`, returning (qps, points/sec).
+fn time_batch(
+    reps: usize,
+    n_queries: usize,
+    mut run: impl FnMut() -> QueryCounters,
+) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut counters = QueryCounters::default();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        counters = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Measurement {
+        qps: n_queries as f64 / best,
+        points_per_sec: counters.points_scanned as f64 / best,
+    }
+}
+
+fn reference_batch(
+    index: &KnnIndex,
+    queries: &PointSet,
+    k: usize,
+) -> (Vec<Vec<Neighbor>>, QueryCounters) {
+    let mut counters = QueryCounters::default();
+    let out = (0..queries.len())
+        .map(|i| {
+            let mut heap = KnnHeap::new(k);
+            index.tree().query_into_reference(
+                queries.point(i),
+                &mut heap,
+                BoundMode::Exact,
+                &mut counters,
+            );
+            heap.into_sorted()
+        })
+        .collect();
+    (out, counters)
+}
+
+fn flat(res: &[Vec<Neighbor>]) -> Vec<(f32, u64)> {
+    res.iter()
+        .flat_map(|ns| ns.iter().map(|n| (n.dist_sq, n.id)))
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.usize("reps", 5);
+    let seed = args.u64("seed", 42);
+    let out_path = args.string("out", "BENCH_PR1.json");
+
+    let workloads = [
+        Workload {
+            name: "uniform_3d",
+            dims: 3,
+            n_points: 200_000,
+            n_queries: 8192,
+            k: 5,
+        },
+        Workload {
+            name: "uniform_10d",
+            dims: 10,
+            n_points: 60_000,
+            n_queries: 4096,
+            k: 5,
+        },
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"query_batch PR1 fused-kernel evidence\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"avx2\": {},",
+        std::is_x86_feature_detected!("avx2")
+    );
+    json.push_str("  \"workloads\": [\n");
+
+    for (wi, w) in workloads.iter().enumerate() {
+        let points = uniform(w.n_points, w.dims, 100.0, seed);
+        let queries = uniform(w.n_queries, w.dims, 100.0, seed + 1);
+        let index = KnnIndex::build(&points, &TreeConfig::default()).expect("build");
+
+        // correctness gate: all three paths must agree bit-for-bit
+        let (ref_res, _) = reference_batch(&index, &queries, w.k);
+        let (fused_res, _) = index
+            .query_batch_ordered(&queries, w.k, QueryOrder::Input)
+            .unwrap();
+        let (morton_res, _) = index
+            .query_batch_ordered(&queries, w.k, QueryOrder::Morton)
+            .unwrap();
+        assert_eq!(
+            flat(&ref_res),
+            flat(&fused_res),
+            "{}: fused path diverged",
+            w.name
+        );
+        assert_eq!(
+            flat(&ref_res),
+            flat(&morton_res),
+            "{}: morton path diverged",
+            w.name
+        );
+
+        let m_ref = time_batch(reps, w.n_queries, || {
+            reference_batch(&index, &queries, w.k).1
+        });
+        let m_fused = time_batch(reps, w.n_queries, || {
+            index
+                .query_batch_ordered(&queries, w.k, QueryOrder::Input)
+                .unwrap()
+                .1
+        });
+        let m_morton = time_batch(reps, w.n_queries, || {
+            index
+                .query_batch_ordered(&queries, w.k, QueryOrder::Morton)
+                .unwrap()
+                .1
+        });
+
+        let speedup = m_fused.qps / m_ref.qps;
+        let speedup_morton = m_morton.qps / m_ref.qps;
+        println!(
+            "{}: dims={} n={} q={} k={}",
+            w.name, w.dims, w.n_points, w.n_queries, w.k
+        );
+        println!(
+            "  reference     {:>12.0} q/s  {:>14.3e} pts/s",
+            m_ref.qps, m_ref.points_per_sec
+        );
+        println!(
+            "  fused         {:>12.0} q/s  {:>14.3e} pts/s  ({speedup:.2}x)",
+            m_fused.qps, m_fused.points_per_sec
+        );
+        println!(
+            "  fused+morton  {:>12.0} q/s  {:>14.3e} pts/s  ({speedup_morton:.2}x)",
+            m_morton.qps, m_morton.points_per_sec
+        );
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"dims\": {},", w.dims);
+        let _ = writeln!(json, "      \"n_points\": {},", w.n_points);
+        let _ = writeln!(json, "      \"n_queries\": {},", w.n_queries);
+        let _ = writeln!(json, "      \"k\": {},", w.k);
+        let _ = writeln!(json, "      \"reference_qps\": {:.1},", m_ref.qps);
+        let _ = writeln!(
+            json,
+            "      \"reference_points_per_sec\": {:.1},",
+            m_ref.points_per_sec
+        );
+        let _ = writeln!(json, "      \"fused_qps\": {:.1},", m_fused.qps);
+        let _ = writeln!(
+            json,
+            "      \"fused_points_per_sec\": {:.1},",
+            m_fused.points_per_sec
+        );
+        let _ = writeln!(json, "      \"fused_morton_qps\": {:.1},", m_morton.qps);
+        let _ = writeln!(
+            json,
+            "      \"fused_morton_points_per_sec\": {:.1},",
+            m_morton.points_per_sec
+        );
+        let _ = writeln!(json, "      \"speedup_fused_vs_reference\": {speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_morton_vs_reference\": {speedup_morton:.3}"
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR1.json");
+    println!("wrote {out_path}");
+}

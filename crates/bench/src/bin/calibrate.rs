@@ -35,7 +35,10 @@ fn main() {
     }
     t.print();
 
-    println!("\nscan vs binary advantage: {:.0}%", 100.0 * (1.0 - cal.hist_scan / cal.hist_binary));
+    println!(
+        "\nscan vs binary advantage: {:.0}%",
+        100.0 * (1.0 - cal.hist_scan / cal.hist_binary)
+    );
     println!("\nComputeCosts literal for cost.rs (Laptop profile):\n");
     println!("{}", calibrate::render(&cal, &ComputeCosts::ivy_bridge()));
 }

@@ -28,7 +28,8 @@ fn main() {
         (Dataset::DayabayLarge, 6.5, 6.6, 8.0),
     ] {
         let row = ds.paper_row();
-        let eff_scale = scale.min(args.usize("max-points", 8_000_000) as f64 / row.particles as f64);
+        let eff_scale =
+            scale.min(args.usize("max-points", 8_000_000) as f64 / row.particles as f64);
         let points = ds.generate(eff_scale, seed);
         let n_queries = ((points.len() as f64 * row.query_fraction) as usize).max(64);
         let queries = queries_from(&points, n_queries, 0.01, seed + 1);

@@ -17,12 +17,7 @@ fn main() {
     let seed = args.seed();
 
     println!("Fig 5(b) — construction breakdown (% of total)\n");
-    let mut table = Table::new(&[
-        "Phase",
-        "cosmo_large",
-        "plasma_large",
-        "dayabay_large",
-    ]);
+    let mut table = Table::new(&["Phase", "cosmo_large", "plasma_large", "dayabay_large"]);
 
     let mut columns: Vec<[f64; 5]> = Vec::new();
     for (ds, ranks) in [
@@ -31,7 +26,8 @@ fn main() {
         (Dataset::DayabayLarge, 16),
     ] {
         let row = ds.paper_row();
-        let eff_scale = scale.min(args.usize("max-points", 8_000_000) as f64 / row.particles as f64);
+        let eff_scale =
+            scale.min(args.usize("max-points", 8_000_000) as f64 / row.particles as f64);
         let points = ds.generate(eff_scale, seed);
         let queries = queries_from(&points, 64, 0.01, seed + 1);
         let mut cfg = RunConfig::edison(args.usize("ranks", ranks));

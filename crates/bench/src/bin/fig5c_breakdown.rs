@@ -18,19 +18,19 @@ fn main() {
     let seed = args.seed();
 
     println!("Fig 5(c) — query breakdown (% of total, pipelined)\n");
-    let mut table = Table::new(&[
-        "Part",
-        "cosmo_large",
-        "plasma_large",
-        "dayabay_large",
-    ]);
+    let mut table = Table::new(&["Part", "cosmo_large", "plasma_large", "dayabay_large"]);
 
     let mut columns: Vec<[f64; 5]> = Vec::new();
     let mut fanouts = Vec::new();
     let mut remote_fracs = Vec::new();
-    for ds in [Dataset::CosmoLarge, Dataset::PlasmaLarge, Dataset::DayabayLarge] {
+    for ds in [
+        Dataset::CosmoLarge,
+        Dataset::PlasmaLarge,
+        Dataset::DayabayLarge,
+    ] {
         let row = ds.paper_row();
-        let eff_scale = scale.min(args.usize("max-points", 8_000_000) as f64 / row.particles as f64);
+        let eff_scale =
+            scale.min(args.usize("max-points", 8_000_000) as f64 / row.particles as f64);
         let points = ds.generate(eff_scale, seed);
         let n_queries = ((points.len() as f64 * row.query_fraction) as usize).max(64);
         let queries = queries_from(&points, n_queries, 0.01, seed + 1);

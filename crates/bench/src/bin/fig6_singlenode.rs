@@ -27,13 +27,20 @@ fn main() {
 
     let threads = [1usize, 2, 4, 8, 12, 16, 20, 24];
 
-    for ds in [Dataset::CosmoThin, Dataset::PlasmaThin, Dataset::DayabayThin] {
+    for ds in [
+        Dataset::CosmoThin,
+        Dataset::PlasmaThin,
+        Dataset::DayabayThin,
+    ] {
         let row = ds.paper_row();
         let points = ds.generate(scale, seed);
         let n_queries = ((points.len() as f64 * row.query_fraction) as usize).max(256);
         let queries = queries_from(&points, n_queries, 0.01, seed + 1);
 
-        let cfg = TreeConfig { threads: 24, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            threads: 24,
+            ..TreeConfig::default()
+        };
         let index = KnnIndex::build(&points, &cfg).expect("build");
         let (_res, counters) = index.query_batch(&queries, row.k).expect("query");
 
@@ -44,11 +51,7 @@ fn main() {
             queries.len(),
             row.k
         );
-        let mut table = Table::new(&[
-            "Threads",
-            "Constr speedup",
-            "Query speedup",
-        ]);
+        let mut table = Table::new(&["Threads", "Constr speedup", "Query speedup"]);
         let c1 = index.tree().modeled_build_at(&cost, 1, false).total();
         let q1 = index.modeled_query_time_at(&counters, &cost, 1, false);
         for &t in &threads {
@@ -61,11 +64,15 @@ fn main() {
         let qt = index.modeled_query_time_at(&counters, &cost, 24, true);
         table.row(&["24+SMT".into(), f(c1 / ct, 1), f(q1 / qt, 1)]);
         table.print();
-        println!("paper @24T: construction 17-20x (18.3-22.4x SMT); query 8.8-12.2x (12.9-16.2x SMT)");
+        println!(
+            "paper @24T: construction 17-20x (18.3-22.4x SMT); query 8.8-12.2x (12.9-16.2x SMT)"
+        );
     }
 
     // Real-hardware validation on this host (rayon, all cores).
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if host_threads >= 2 && !args.switch("no-validate") {
         println!("\nvalidation: real wall-clock on this host ({host_threads} cores)");
         let points = Dataset::CosmoThin.generate(scale.max(4e-3), seed);
@@ -75,7 +82,9 @@ fn main() {
         let t0 = Instant::now();
         let seq = KnnIndex::build(&points, &TreeConfig::default()).unwrap();
         let t_build_1 = t0.elapsed().as_secs_f64();
-        let par_cfg = TreeConfig::default().with_parallel(true).with_threads(host_threads);
+        let par_cfg = TreeConfig::default()
+            .with_parallel(true)
+            .with_threads(host_threads);
         let _ = KnnIndex::build(&points, &par_cfg).unwrap();
         let t0 = Instant::now();
         let par = KnnIndex::build(&points, &par_cfg).unwrap();

@@ -29,7 +29,11 @@ fn main() {
     let seed = args.seed();
     let cost = MachineProfile::EdisonNode.cost_model();
 
-    for ds in [Dataset::CosmoThin, Dataset::PlasmaThin, Dataset::DayabayThin] {
+    for ds in [
+        Dataset::CosmoThin,
+        Dataset::PlasmaThin,
+        Dataset::DayabayThin,
+    ] {
         let row = ds.paper_row();
         let points = ds.generate(scale, seed);
         let n_queries = ((points.len() as f64 * row.query_fraction) as usize).clamp(256, 100_000);
@@ -52,7 +56,10 @@ fn main() {
         let t0 = Instant::now();
         let ann = AnnLikeTree::build(&points).expect("ann build");
         let t_ann_build = t0.elapsed().as_secs_f64();
-        let panda_cfg = TreeConfig { threads: 24, ..TreeConfig::default() };
+        let panda_cfg = TreeConfig {
+            threads: 24,
+            ..TreeConfig::default()
+        };
         let _warm = KnnIndex::build(&points, &panda_cfg).expect("warm");
         let t0 = Instant::now();
         let panda = KnnIndex::build(&points, &panda_cfg).expect("panda build");
@@ -80,13 +87,19 @@ fn main() {
             ]);
         }
         t.print();
-        println!("paper: PANDA 2.2x/2.6x faster @1T; 39x/59x @24T | depths: flann {} ann {} panda {}",
-            flann.stats().max_depth, ann.stats().max_depth, panda.tree().stats().max_depth);
+        println!(
+            "paper: PANDA 2.2x/2.6x faster @1T; 39x/59x @24T | depths: flann {} ann {} panda {}",
+            flann.stats().max_depth,
+            ann.stats().max_depth,
+            panda.tree().stats().max_depth
+        );
 
         // --- real single-threaded querying (warmed) ---------------------
         let _ = flann.query_batch(&queries, row.k, false).expect("warm");
         let t0 = Instant::now();
-        let (_r, c_flann) = flann.query_batch(&queries, row.k, false).expect("flann query");
+        let (_r, c_flann) = flann
+            .query_batch(&queries, row.k, false)
+            .expect("flann query");
         let t_flann_q = t0.elapsed().as_secs_f64();
         let _ = ann.query_batch(&queries, row.k).expect("warm");
         let t0 = Instant::now();

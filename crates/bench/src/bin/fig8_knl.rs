@@ -23,8 +23,7 @@ use panda_data::sdss::{self, SdssVariant};
 use panda_data::{queries_from, Dataset};
 
 /// Titan Z queries/second digitized from Fig. 8(a) (millions).
-const TITAN_Z: [(&str, f64, f64); 2] =
-    [("psf_mod_mag", 0.55, 1.90), ("all_mag", 0.30, 1.05)];
+const TITAN_Z: [(&str, f64, f64); 2] = [("psf_mod_mag", 0.55, 1.90), ("all_mag", 0.30, 1.05)];
 
 fn main() {
     let args = Args::from_env();
@@ -57,7 +56,10 @@ fn part_a(args: &Args) {
         "KNL-4 model (Mq/s)",
         "ratio",
     ]);
-    for (i, variant) in [SdssVariant::PsfModMag, SdssVariant::AllMag].into_iter().enumerate() {
+    for (i, variant) in [SdssVariant::PsfModMag, SdssVariant::AllMag]
+        .into_iter()
+        .enumerate()
+    {
         let n_build = (2_000_000.0 * scale) as usize;
         let n_query = (10_000_000.0 * scale) as usize;
         let points = sdss::generate(n_build, variant, seed);
@@ -91,7 +93,10 @@ fn part_b(args: &Args) {
     println!("Fig 8(b) — shared (replicated) kd-tree scaling, 1..128 KNL nodes\n");
     let mut table = Table::new(&["Nodes", "psf_mod_mag speedup", "all_mag speedup", "Ideal"]);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 2];
-    for (vi, variant) in [SdssVariant::PsfModMag, SdssVariant::AllMag].into_iter().enumerate() {
+    for (vi, variant) in [SdssVariant::PsfModMag, SdssVariant::AllMag]
+        .into_iter()
+        .enumerate()
+    {
         let points = sdss::generate((2_000_000.0 * scale) as usize, variant, seed);
         let queries = sdss::generate((10_000_000.0 * scale) as usize, variant, seed + 1);
         let index = KnnIndex::build(&points, &TreeConfig::default()).expect("build");
@@ -106,6 +111,7 @@ fn part_b(args: &Args) {
             speedups[vi].push(t1 / t(1 << e));
         }
     }
+    #[allow(clippy::needless_range_loop)] // e indexes two parallel speedup tables
     for e in 0..8usize {
         let nodes = 1usize << e;
         table.row(&[
@@ -128,7 +134,10 @@ fn part_c(args: &Args) {
     println!("Fig 8(c) — distributed kd-tree scaling on KNL nodes\n");
     let mut table = Table::new(&["Nodes", "cosmo speedup", "plasma speedup", "Ideal"]);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); 2];
-    for (di, ds) in [Dataset::CosmoKnl, Dataset::PlasmaKnl].into_iter().enumerate() {
+    for (di, ds) in [Dataset::CosmoKnl, Dataset::PlasmaKnl]
+        .into_iter()
+        .enumerate()
+    {
         let points = ds.generate(scale, seed);
         let queries = queries_from(&points, points.len() / 4, 0.01, seed + 1);
         let mut base = 0.0;

@@ -40,7 +40,10 @@ fn main() {
         let mine = scatter(&train, comm.rank(), comm.size());
         let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
         let myq = scatter(&test, comm.rank(), comm.size());
-        let cfg = QueryConfig { k, ..QueryConfig::default() };
+        let cfg = QueryConfig {
+            k,
+            ..QueryConfig::default()
+        };
         let res = query_distributed(comm, &tree, &myq, &cfg).expect("query");
         // classify locally; return (truth, majority, weighted) triples
         (0..myq.len())

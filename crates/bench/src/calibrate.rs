@@ -48,7 +48,11 @@ pub fn run() -> Calibration {
         let n_buckets = 2000usize;
         let mut pl = PackedLeaves::new(dims);
         for b in 0..n_buckets {
-            pl.push_leaf(32, |i, d| (b * 32 + i * dims + d) as f32 * 0.001, |i| i as u64);
+            pl.push_leaf(
+                32,
+                |i, d| (b * 32 + i * dims + d) as f32 * 0.001,
+                |i| i as u64,
+            );
         }
         let q = [1.0f32, 2.0, 3.0];
         let mut out = Vec::new();
@@ -99,8 +103,9 @@ pub fn run() -> Calibration {
 
     // Partition.
     {
-        let values: Vec<f32> =
-            (0..200_000u64).map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f32).collect();
+        let values: Vec<f32> = (0..200_000u64)
+            .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f32)
+            .collect();
         let ps = panda_core::PointSet::from_coords(1, values).unwrap();
         let secs = time(|| {
             let mut idx: Vec<u32> = (0..ps.len() as u32).collect();

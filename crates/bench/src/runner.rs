@@ -42,7 +42,10 @@ impl RunConfig {
             threads: 68,
             profile: MachineProfile::KnlNode,
             dist: DistConfig::default(),
-            query: QueryConfig { k: 10, ..QueryConfig::default() },
+            query: QueryConfig {
+                k: 10,
+                ..QueryConfig::default()
+            },
         }
     }
 
@@ -156,8 +159,14 @@ pub fn run_distributed(
         }
     }
 
-    let construct_s = outcomes.iter().map(|o| o.result.t_build).fold(0.0, f64::max);
-    let query_sync_s = outcomes.iter().map(|o| o.result.t_query_sync).fold(0.0, f64::max);
+    let construct_s = outcomes
+        .iter()
+        .map(|o| o.result.t_build)
+        .fold(0.0, f64::max);
+    let query_sync_s = outcomes
+        .iter()
+        .map(|o| o.result.t_query_sync)
+        .fold(0.0, f64::max);
     let query_s = outcomes
         .iter()
         .map(|o| o.result.query_breakdown.total(qcfg.pipeline))
@@ -240,6 +249,11 @@ mod tests {
             m8.construct_s,
             m2.construct_s
         );
-        assert!(m8.query_s < m2.query_s, "query {} vs {}", m8.query_s, m2.query_s);
+        assert!(
+            m8.query_s < m2.query_s,
+            "query {} vs {}",
+            m8.query_s,
+            m2.query_s
+        );
     }
 }

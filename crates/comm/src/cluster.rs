@@ -102,7 +102,12 @@ where
                 .spawn_scoped(scope, move || {
                     let mut comm = Comm::new(rank, p, senders, rx, cost, timeout);
                     let result = f(&mut comm);
-                    RankOutcome { rank, result, clock: comm.clock(), stats: comm.stats() }
+                    RankOutcome {
+                        rank,
+                        result,
+                        clock: comm.clock(),
+                        stats: comm.stats(),
+                    }
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -218,7 +223,8 @@ mod tests {
     fn many_ranks_smoke() {
         // More ranks than host cores: correctness must be unaffected.
         let out = run_cluster(&ClusterConfig::new(32), |c| {
-            c.world().allreduce_u64(1, crate::collectives::ReduceOp::Sum)
+            c.world()
+                .allreduce_u64(1, crate::collectives::ReduceOp::Sum)
         });
         assert!(out.iter().all(|o| o.result == 32));
     }

@@ -110,7 +110,10 @@ impl Group<'_> {
             self.comm.clock.sync_to(arrival);
             self.comm.stats.collective_bytes_in += env.bytes;
             *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-                panic!("broadcast payload type mismatch at rank {}", self.comm.rank())
+                panic!(
+                    "broadcast payload type mismatch at rank {}",
+                    self.comm.rank()
+                )
             })
         }
     }
@@ -132,6 +135,7 @@ impl Group<'_> {
             out[me] = Some(mine);
             let mut max_vt = self.comm.now();
             let mut total_in = 0;
+            #[allow(clippy::needless_range_loop)] // j is a group rank, not just an index
             for j in 0..g {
                 if j != me {
                     let src = self.world_rank(j);
@@ -180,6 +184,7 @@ impl Group<'_> {
         out[me] = Some(mine);
         let mut max_vt = self.comm.now();
         let mut total_in = 0;
+        #[allow(clippy::needless_range_loop)] // j is a group rank, not just an index
         for j in 0..g {
             if j != me {
                 let src = self.world_rank(j);
@@ -187,7 +192,10 @@ impl Group<'_> {
                 max_vt = max_vt.max(env.vtime);
                 total_in += env.bytes;
                 out[j] = Some(*env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-                    panic!("allgather payload type mismatch at rank {}", self.comm.rank())
+                    panic!(
+                        "allgather payload type mismatch at rank {}",
+                        self.comm.rank()
+                    )
                 }));
             }
         }
@@ -195,7 +203,9 @@ impl Group<'_> {
         self.comm.clock.sync_to(max_vt);
         self.comm.clock.advance_comm(cost);
         self.comm.stats.collective_bytes_in += total_in;
-        out.into_iter().map(|o| o.expect("allgather slot")).collect()
+        out.into_iter()
+            .map(|o| o.expect("allgather slot"))
+            .collect()
     }
 
     /// Personalized all-to-all with per-destination vectors.
@@ -204,7 +214,11 @@ impl Group<'_> {
     /// redistribution (construction) and query routing.
     pub fn alltoallv<T: Send + 'static>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         let g = self.size();
-        assert_eq!(sends.len(), g, "alltoallv needs one send vector per group rank");
+        assert_eq!(
+            sends.len(),
+            g,
+            "alltoallv needs one send vector per group rank"
+        );
         let me = self.rank();
         self.comm.stats.collectives += 1;
         if g == 1 {
@@ -231,6 +245,7 @@ impl Group<'_> {
         out[me] = own;
         let mut max_vt = self.comm.now();
         let mut in_bytes: u64 = 0;
+        #[allow(clippy::needless_range_loop)] // j is a group rank, not just an index
         for j in 0..g {
             if j != me {
                 let src = self.world_rank(j);
@@ -238,7 +253,10 @@ impl Group<'_> {
                 max_vt = max_vt.max(env.vtime);
                 in_bytes += env.bytes;
                 out[j] = Some(*env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-                    panic!("alltoallv payload type mismatch at rank {}", self.comm.rank())
+                    panic!(
+                        "alltoallv payload type mismatch at rank {}",
+                        self.comm.rank()
+                    )
                 }));
             }
         }
@@ -249,19 +267,27 @@ impl Group<'_> {
         self.comm.clock.sync_to(max_vt);
         self.comm.clock.advance_comm(cost);
         self.comm.stats.collective_bytes_in += in_bytes;
-        out.into_iter().map(|o| o.expect("alltoallv slot")).collect()
+        out.into_iter()
+            .map(|o| o.expect("alltoallv slot"))
+            .collect()
     }
 
     /// All-reduce one `u64`.
     pub fn allreduce_u64(&mut self, v: u64, op: ReduceOp) -> u64 {
         let all = self.allgather(vec![v]);
-        all.iter().map(|x| x[0]).reduce(|a, b| op.fold_u64(a, b)).expect("non-empty group")
+        all.iter()
+            .map(|x| x[0])
+            .reduce(|a, b| op.fold_u64(a, b))
+            .expect("non-empty group")
     }
 
     /// All-reduce one `f64`.
     pub fn allreduce_f64(&mut self, v: f64, op: ReduceOp) -> f64 {
         let all = self.allgather(vec![v]);
-        all.iter().map(|x| x[0]).reduce(|a, b| op.fold_f64(a, b)).expect("non-empty group")
+        all.iter()
+            .map(|x| x[0])
+            .reduce(|a, b| op.fold_f64(a, b))
+            .expect("non-empty group")
     }
 
     /// Element-wise all-reduce of equal-length `u64` vectors (used for the
@@ -274,7 +300,11 @@ impl Group<'_> {
     /// quadratically.
     pub fn allreduce_vec_u64(&mut self, v: Vec<u64>, op: ReduceOp) -> Vec<u64> {
         self.allreduce_vec_impl(v, |acc, c| {
-            assert_eq!(acc.len(), c.len(), "allreduce_vec length mismatch across ranks");
+            assert_eq!(
+                acc.len(),
+                c.len(),
+                "allreduce_vec length mismatch across ranks"
+            );
             for (a, &x) in acc.iter_mut().zip(c) {
                 *a = op.fold_u64(*a, x);
             }
@@ -286,7 +316,11 @@ impl Group<'_> {
     /// model as [`Self::allreduce_vec_u64`].
     pub fn allreduce_vec_f64(&mut self, v: Vec<f64>, op: ReduceOp) -> Vec<f64> {
         self.allreduce_vec_impl(v, |acc, c| {
-            assert_eq!(acc.len(), c.len(), "allreduce_vec length mismatch across ranks");
+            assert_eq!(
+                acc.len(),
+                c.len(),
+                "allreduce_vec length mismatch across ranks"
+            );
             for (a, &x) in acc.iter_mut().zip(c) {
                 *a = op.fold_f64(*a, x);
             }
@@ -322,7 +356,10 @@ impl Group<'_> {
                 let env = self.comm.recv_env(src, up);
                 max_vt = max_vt.max(env.vtime);
                 let contrib = env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-                    panic!("allreduce payload type mismatch at rank {}", self.comm.rank())
+                    panic!(
+                        "allreduce payload type mismatch at rank {}",
+                        self.comm.rank()
+                    )
                 });
                 fold(&mut acc, &contrib);
             }
@@ -342,7 +379,10 @@ impl Group<'_> {
             // downward propagation to this rank.
             self.comm.clock.sync_to(env.vtime);
             *env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
-                panic!("allreduce payload type mismatch at rank {}", self.comm.rank())
+                panic!(
+                    "allreduce payload type mismatch at rank {}",
+                    self.comm.rank()
+                )
             })
         }
     }
@@ -368,7 +408,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_to_all() {
         let out = run_cluster(&cfg(5), |c| {
-            let data = if c.rank() == 2 { Some(vec![7u32, 8, 9]) } else { None };
+            let data = if c.rank() == 2 {
+                Some(vec![7u32, 8, 9])
+            } else {
+                None
+            };
             c.world().broadcast(2, data)
         });
         assert!(out.iter().all(|o| o.result == vec![7, 8, 9]));
@@ -381,7 +425,10 @@ mod tests {
             c.world().gather(0, mine)
         });
         let got = out[0].result.clone().expect("root gets data");
-        assert_eq!(got, vec![vec![0], vec![1, 1], vec![2, 2, 2], vec![3, 3, 3, 3]]);
+        assert_eq!(
+            got,
+            vec![vec![0], vec![1, 1], vec![2, 2, 2], vec![3, 3, 3, 3]]
+        );
         assert!(out[1].result.is_none());
     }
 
@@ -485,7 +532,10 @@ mod tests {
         });
         let t0 = out[0].result;
         for o in &out {
-            assert!((o.result - t0).abs() < 1e-9, "clocks diverged after barrier");
+            assert!(
+                (o.result - t0).abs() < 1e-9,
+                "clocks diverged after barrier"
+            );
         }
         assert!(t0 >= 2.0);
     }

@@ -132,7 +132,10 @@ impl Comm {
     /// mailboxes). Panics if `dst` is out of range, the tag intrudes on the
     /// collective tag space, or the destination rank has died.
     pub fn send_vec<T: Send + 'static>(&mut self, dst: usize, tag: Tag, data: Vec<T>) {
-        assert!(tag <= Self::MAX_USER_TAG, "tag {tag:#x} is reserved for collectives");
+        assert!(
+            tag <= Self::MAX_USER_TAG,
+            "tag {tag:#x} is reserved for collectives"
+        );
         let bytes = (std::mem::size_of::<T>() * data.len()) as u64;
         self.post(dst, tag, bytes, Box::new(data));
         self.stats.sent_msgs += 1;
@@ -147,7 +150,10 @@ impl Comm {
     /// On payload type mismatch (SPMD programming error) or timeout
     /// (deadlock) — mirroring an MPI abort.
     pub fn recv_vec<T: Send + 'static>(&mut self, src: usize, tag: Tag) -> Vec<T> {
-        assert!(tag <= Self::MAX_USER_TAG, "tag {tag:#x} is reserved for collectives");
+        assert!(
+            tag <= Self::MAX_USER_TAG,
+            "tag {tag:#x} is reserved for collectives"
+        );
         let env = self.recv_env(src, tag);
         self.finish_p2p_recv(env)
     }
@@ -193,18 +199,38 @@ impl Comm {
 
     /// World all-reduce sum of one `u64`.
     pub fn allreduce_sum(&mut self, v: u64) -> u64 {
-        self.world().allreduce_u64(v, crate::collectives::ReduceOp::Sum)
+        self.world()
+            .allreduce_u64(v, crate::collectives::ReduceOp::Sum)
     }
 
     // ------------------------------------------------------------------
     // Internals shared with `collectives`
     // ------------------------------------------------------------------
 
-    pub(crate) fn post(&mut self, dst: usize, tag: Tag, bytes: u64, payload: Box<dyn std::any::Any + Send>) {
-        assert!(dst < self.size, "destination rank {dst} out of range (size {})", self.size);
-        let env = Envelope { src: self.rank, tag, vtime: self.clock.now(), bytes, payload };
+    pub(crate) fn post(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        bytes: u64,
+        payload: Box<dyn std::any::Any + Send>,
+    ) {
+        assert!(
+            dst < self.size,
+            "destination rank {dst} out of range (size {})",
+            self.size
+        );
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            vtime: self.clock.now(),
+            bytes,
+            payload,
+        };
         if self.senders[dst].send(env).is_err() {
-            panic!("rank {}: send to rank {dst} failed — peer has shut down", self.rank);
+            panic!(
+                "rank {}: send to rank {dst} failed — peer has shut down",
+                self.rank
+            );
         }
     }
 
@@ -230,7 +256,10 @@ impl Comm {
                     self.pending.len(),
                 ),
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("rank {}: all peers disconnected while waiting for rank {src}", self.rank)
+                    panic!(
+                        "rank {}: all peers disconnected while waiting for rank {src}",
+                        self.rank
+                    )
                 }
             }
         }

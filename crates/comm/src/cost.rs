@@ -104,7 +104,11 @@ impl ThreadModel {
     pub fn achieved_bandwidth_at(&self, threads: usize, smt: bool) -> f64 {
         let threads = threads.max(1) as f64;
         let (logical, per_thread, util) = if smt {
-            (threads * 2.0, self.bw_per_thread * self.smt_per_thread_scale, self.util_smt)
+            (
+                threads * 2.0,
+                self.bw_per_thread * self.smt_per_thread_scale,
+                self.util_smt,
+            )
         } else {
             (threads, self.bw_per_thread, self.util_nosmt)
         };
@@ -218,7 +222,11 @@ impl MachineProfile {
     pub fn cost_model(self) -> CostModel {
         match self {
             MachineProfile::EdisonNode => CostModel {
-                net: NetworkCosts { alpha: 1.4e-6, beta: 1.0 / 10.0e9, send_overhead: 0.3e-6 },
+                net: NetworkCosts {
+                    alpha: 1.4e-6,
+                    beta: 1.0 / 10.0e9,
+                    send_overhead: 0.3e-6,
+                },
                 thread: ThreadModel {
                     threads: 24,
                     smt: false,
@@ -233,7 +241,11 @@ impl MachineProfile {
                 ops: ComputeCosts::ivy_bridge(),
             },
             MachineProfile::KnlNode => CostModel {
-                net: NetworkCosts { alpha: 1.6e-6, beta: 1.0 / 12.0e9, send_overhead: 0.4e-6 },
+                net: NetworkCosts {
+                    alpha: 1.6e-6,
+                    beta: 1.0 / 12.0e9,
+                    send_overhead: 0.4e-6,
+                },
                 thread: ThreadModel {
                     threads: 68,
                     smt: true,
@@ -261,7 +273,11 @@ impl MachineProfile {
                 },
             },
             MachineProfile::Laptop => CostModel {
-                net: NetworkCosts { alpha: 0.8e-6, beta: 1.0 / 16.0e9, send_overhead: 0.2e-6 },
+                net: NetworkCosts {
+                    alpha: 0.8e-6,
+                    beta: 1.0 / 16.0e9,
+                    send_overhead: 0.2e-6,
+                },
                 thread: ThreadModel {
                     threads: 2,
                     smt: false,
@@ -328,14 +344,22 @@ mod tests {
 
     #[test]
     fn p2p_cost_is_affine_in_bytes() {
-        let n = NetworkCosts { alpha: 1e-6, beta: 1e-9, send_overhead: 0.0 };
+        let n = NetworkCosts {
+            alpha: 1e-6,
+            beta: 1e-9,
+            send_overhead: 0.0,
+        };
         assert!((n.p2p(0) - 1e-6).abs() < 1e-15);
         assert!((n.p2p(1000) - (1e-6 + 1e-6)).abs() < 1e-12);
     }
 
     #[test]
     fn collective_cost_grows_logarithmically() {
-        let n = NetworkCosts { alpha: 1e-6, beta: 0.0, send_overhead: 0.0 };
+        let n = NetworkCosts {
+            alpha: 1e-6,
+            beta: 0.0,
+            send_overhead: 0.0,
+        };
         assert_eq!(n.collective(1, 0), 0.0);
         assert!((n.collective(8, 0) - 3e-6).abs() < 1e-15);
         assert!(n.collective(1024, 0) > n.collective(8, 0));
@@ -387,7 +411,11 @@ mod tests {
     #[test]
     fn hist_scan_is_cheaper_than_binary() {
         // §III-A1: the sub-interval scan beats binary search by up to 42%.
-        for p in [MachineProfile::EdisonNode, MachineProfile::KnlNode, MachineProfile::Laptop] {
+        for p in [
+            MachineProfile::EdisonNode,
+            MachineProfile::KnlNode,
+            MachineProfile::Laptop,
+        ] {
             let ops = p.cost_model().ops;
             assert!(ops.hist_scan < ops.hist_binary, "{p:?}");
         }

@@ -53,7 +53,10 @@ impl fmt::Display for CommError {
                 "rank {rank}: message from rank {src} (tag {tag:#x}) had unexpected payload type"
             ),
             CommError::InvalidRank { rank, size } => {
-                write!(f, "rank index {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank index {rank} out of range for communicator of size {size}"
+                )
             }
             CommError::EmptyCluster => write!(f, "cluster must have at least one rank"),
             CommError::PeerFailure(msg) => write!(f, "peer rank failed: {msg}"),
@@ -69,7 +72,11 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CommError::RecvTimeout { rank: 3, src: 1, tag: 0xff };
+        let e = CommError::RecvTimeout {
+            rank: 3,
+            src: 1,
+            tag: 0xff,
+        };
         let s = e.to_string();
         assert!(s.contains("rank 3"));
         assert!(s.contains("deadlock"));

@@ -32,7 +32,10 @@ pub struct Group<'a> {
 
 impl<'a> Group<'a> {
     pub(crate) fn new(comm: &'a mut Comm, lo: usize, hi: usize) -> Self {
-        assert!(lo < hi && hi <= comm.size(), "invalid group range {lo}..{hi}");
+        assert!(
+            lo < hi && hi <= comm.size(),
+            "invalid group range {lo}..{hi}"
+        );
         let r = comm.rank();
         assert!(
             (lo..hi).contains(&r),
@@ -86,15 +89,14 @@ impl<'a> Group<'a> {
     /// wrapping at 2^27) disambiguates successive collectives; `kind`
     /// catches SPMD divergence bugs (a barrier meeting a broadcast).
     pub(crate) fn coll_tag(&mut self, kind: CollKind) -> Tag {
-        assert!(self.lo < (1 << 16) && self.hi <= (1 << 16), "group range too large for tag encoding");
+        assert!(
+            self.lo < (1 << 16) && self.hi <= (1 << 16),
+            "group range too large for tag encoding"
+        );
         let seq = self.comm.coll_seq.entry((self.lo, self.hi)).or_insert(0);
         let s = *seq & ((1 << 27) - 1);
         *seq = seq.wrapping_add(1);
-        (1 << 63)
-            | ((self.lo as u64) << 47)
-            | ((self.hi as u64) << 31)
-            | (s << 4)
-            | kind as u64
+        (1 << 63) | ((self.lo as u64) << 47) | ((self.hi as u64) << 31) | (s << 4) | kind as u64
     }
 }
 
@@ -123,7 +125,11 @@ mod tests {
         let cfg = ClusterConfig::new(8);
         let out = run_cluster(&cfg, |c| {
             let half = c.size() / 2;
-            let (lo, hi) = if c.rank() < half { (0, half) } else { (half, c.size()) };
+            let (lo, hi) = if c.rank() < half {
+                (0, half)
+            } else {
+                (half, c.size())
+            };
             let mut g = c.group(lo, hi);
             g.allreduce_u64(1, crate::collectives::ReduceOp::Sum)
         });

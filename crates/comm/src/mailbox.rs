@@ -36,7 +36,10 @@ impl PendingStore {
 
     /// Park an envelope.
     pub fn push(&mut self, env: Envelope) {
-        self.queues.entry((env.src, env.tag)).or_default().push_back(env);
+        self.queues
+            .entry((env.src, env.tag))
+            .or_default()
+            .push_back(env);
         self.len += 1;
     }
 
@@ -78,7 +81,13 @@ mod tests {
     use super::*;
 
     fn env(src: usize, tag: u64, val: u32) -> Envelope {
-        Envelope { src, tag, vtime: 0.0, bytes: 4, payload: Box::new(vec![val]) }
+        Envelope {
+            src,
+            tag,
+            vtime: 0.0,
+            bytes: 4,
+            payload: Box::new(vec![val]),
+        }
     }
 
     fn val(e: Envelope) -> u32 {

@@ -111,11 +111,15 @@ fn group_extents(comm: &mut Comm, lo: usize, hi: usize, ps: &PointSet) -> Vec<f6
     }
     let glo = comm.group(lo, hi).allreduce_vec_f64(los, ReduceOp::Min);
     let ghi = comm.group(lo, hi).allreduce_vec_f64(his, ReduceOp::Max);
-    glo.iter().zip(&ghi).map(|(a, b)| (b - a).max(0.0)).collect()
+    glo.iter()
+        .zip(&ghi)
+        .map(|(a, b)| (b - a).max(0.0))
+        .collect()
 }
 
 /// One group-level split decision: (dim, value, my left count). All ranks
 /// of the group return identical `(dim, value)`.
+#[allow(clippy::too_many_arguments)]
 fn decide_split(
     comm: &mut Comm,
     lo: usize,
@@ -136,9 +140,9 @@ fn decide_split(
             group_variances(comm, lo, hi, ps, sample, rng, counters)
         }
         SplitDimStrategy::MaxExtent => group_extents(comm, lo, hi, ps),
-        SplitDimStrategy::RoundRobin => {
-            (0..dims).map(|d| if d == level % dims { 1.0 } else { 0.0 }).collect()
-        }
+        SplitDimStrategy::RoundRobin => (0..dims)
+            .map(|d| if d == level % dims { 1.0 } else { 0.0 })
+            .collect(),
     };
     let mut order: Vec<usize> = (0..dims).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
@@ -152,17 +156,20 @@ fn decide_split(
         } else {
             let positions = rng.sample_with_replacement(ps.len(), m);
             counters.sampled += positions.len() as u64;
-            positions.iter().map(|&i| ps.coord(i as usize, dim)).collect()
+            positions
+                .iter()
+                .map(|&i| ps.coord(i as usize, dim))
+                .collect()
         };
         let gathered = comm.group(lo, hi).allgather(mine);
         let samples: Vec<f32> = gathered.into_iter().flatten().collect();
         counters.sampled += samples.len() as u64; // histogram assembly cost
         let hist = SampledHistogram::from_samples(samples);
-        let local_counts =
-            hist.count((0..ps.len()).map(|i| ps.coord(i, dim)), cfg.local.hist_scan);
+        let local_counts = hist.count((0..ps.len()).map(|i| ps.coord(i, dim)), cfg.local.hist_scan);
         counters.hist_binned += ps.len() as u64;
-        let global_counts =
-            comm.group(lo, hi).allreduce_vec_u64(local_counts, ReduceOp::Sum);
+        let global_counts = comm
+            .group(lo, hi)
+            .allreduce_vec_u64(local_counts, ReduceOp::Sum);
         let decision = hist.split_at_quantile(&global_counts, frac);
         if !decision.degenerate {
             return (dim, decision.value);
@@ -213,6 +220,7 @@ pub(crate) fn slot_assignments(
 /// Exchange one side's points within the group so the destination ranks
 /// end up with balanced, contiguous slices of the side's global order.
 /// `members` are the indices of my points belonging to this side.
+#[allow(clippy::too_many_arguments)]
 fn exchange_side(
     comm: &mut Comm,
     lo: usize,
@@ -256,7 +264,11 @@ fn exchange_side(
 /// Build the distributed kd-tree. SPMD: call on every rank with that
 /// rank's share of the points (any distribution; ids must be globally
 /// unique). Returns each rank's [`DistKdTree`].
-pub fn build_distributed(comm: &mut Comm, points: PointSet, cfg: &DistConfig) -> Result<DistKdTree> {
+pub fn build_distributed(
+    comm: &mut Comm,
+    points: PointSet,
+    cfg: &DistConfig,
+) -> Result<DistKdTree> {
     cfg.validate()?;
     points.validate()?;
     let p = comm.size();
@@ -290,8 +302,16 @@ pub fn build_distributed(comm: &mut Comm, points: PointSet, cfg: &DistConfig) ->
         // of the group for the shared decisions; per-rank divergence is
         // fine for sampling (only the reduced outcome must agree).
         let mut level_rng = rng.fork((level as u64) << 32 | lo as u64);
-        let (dim, value) =
-            decide_split(comm, lo, hi, &my, cfg, level, &mut level_rng, &mut level_counters);
+        let (dim, value) = decide_split(
+            comm,
+            lo,
+            hi,
+            &my,
+            cfg,
+            level,
+            &mut level_rng,
+            &mut level_counters,
+        );
         charge(comm, &level_counters, dims, scan);
         counters.add(&level_counters);
         my_splits.push(GlobalSplit { lo, hi, dim, value });
@@ -359,7 +379,9 @@ pub fn build_distributed(comm: &mut Comm, points: PointSet, cfg: &DistConfig) ->
     }
     let mut global = GlobalKdTree::from_splits(dims, p, &flat);
     if cfg.gather_rank_bboxes {
-        let bb = my.bounding_box().unwrap_or_else(|| BoundingBox::empty(dims));
+        let bb = my
+            .bounding_box()
+            .unwrap_or_else(|| BoundingBox::empty(dims));
         let boxes = comm.world().allgather(vec![bb]);
         global.set_rank_bboxes(boxes.into_iter().map(|mut v| v.remove(0)).collect());
     }
@@ -368,7 +390,10 @@ pub fn build_distributed(comm: &mut Comm, points: PointSet, cfg: &DistConfig) ->
     // ---- local tree ----------------------------------------------------
     // Real execution is rank-sequential; intra-rank threading is charged
     // through the modeled thread pool (see DESIGN.md §2).
-    let local_cfg = crate::config::TreeConfig { parallel: false, ..cfg.local };
+    let local_cfg = crate::config::TreeConfig {
+        parallel: false,
+        ..cfg.local
+    };
     let local = LocalKdTree::build(&my, &local_cfg)?;
     let model = local.modeled_build(comm.cost());
     comm.advance_time(model.total());
@@ -376,7 +401,13 @@ pub fn build_distributed(comm: &mut Comm, points: PointSet, cfg: &DistConfig) ->
     breakdown.local_thread_parallel = model.thread_parallel;
     breakdown.packing = model.packing;
 
-    Ok(DistKdTree { global, local, points: my, breakdown, counters })
+    Ok(DistKdTree {
+        global,
+        local,
+        points: my,
+        breakdown,
+        counters,
+    })
 }
 
 #[cfg(test)]
@@ -397,7 +428,9 @@ mod tests {
         let mut rng = SplitRng::new(seed);
         PointSet::from_coords(
             dims,
-            (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect(),
+            (0..n * dims)
+                .map(|_| (rng.next_f64() * 10.0) as f32)
+                .collect(),
         )
         .unwrap()
     }
@@ -405,7 +438,10 @@ mod tests {
     #[test]
     fn slot_assignment_covers_and_balances() {
         // total 10 over 3 dests: slots 4/3/3
-        assert_eq!(slot_assignments(10, 3, 0, 10), vec![(0, 0, 4), (1, 4, 3), (2, 7, 3)]);
+        assert_eq!(
+            slot_assignments(10, 3, 0, 10),
+            vec![(0, 0, 4), (1, 4, 3), (2, 7, 3)]
+        );
         // a block spanning one boundary
         assert_eq!(slot_assignments(10, 3, 3, 3), vec![(0, 0, 1), (1, 1, 2)]);
         // empty block
@@ -524,8 +560,11 @@ mod tests {
         let total: usize = out.iter().map(|o| o.result).sum();
         assert_eq!(total, 1000);
         // redistribution must have spread them out
-        assert!(out.iter().all(|o| o.result > 100), "{:?}",
-            out.iter().map(|o| o.result).collect::<Vec<_>>());
+        assert!(
+            out.iter().all(|o| o.result > 100),
+            "{:?}",
+            out.iter().map(|o| o.result).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -51,9 +51,7 @@ pub fn weighted_vote(
     }
     tally
         .into_iter()
-        .min_by(|(la, wa), (lb, wb)| {
-            wb.partial_cmp(wa).expect("finite weights").then(la.cmp(lb))
-        })
+        .min_by(|(la, wa), (lb, wb)| wb.partial_cmp(wa).expect("finite weights").then(la.cmp(lb)))
         .map(|(label, _)| label)
 }
 
@@ -67,11 +65,7 @@ pub fn regress_mean(neighbors: &[Neighbor], value_of: impl Fn(u64) -> f32) -> Op
 }
 
 /// Inverse-distance-weighted regression. Returns `None` for an empty list.
-pub fn regress_idw(
-    neighbors: &[Neighbor],
-    value_of: impl Fn(u64) -> f32,
-    eps: f32,
-) -> Option<f32> {
+pub fn regress_idw(neighbors: &[Neighbor], value_of: impl Fn(u64) -> f32, eps: f32) -> Option<f32> {
     if neighbors.is_empty() {
         return None;
     }
@@ -96,7 +90,10 @@ impl ConfusionMatrix {
     /// Matrix over `n_classes` classes.
     pub fn new(n_classes: usize) -> Self {
         assert!(n_classes >= 1);
-        Self { n_classes, counts: vec![0; n_classes * n_classes] }
+        Self {
+            n_classes,
+            counts: vec![0; n_classes * n_classes],
+        }
     }
 
     /// Record one (truth, prediction) pair.
@@ -121,7 +118,9 @@ impl ConfusionMatrix {
         if total == 0 {
             return 0.0;
         }
-        let correct: u64 = (0..self.n_classes).map(|c| self.counts[c * self.n_classes + c]).sum();
+        let correct: u64 = (0..self.n_classes)
+            .map(|c| self.counts[c * self.n_classes + c])
+            .sum();
         correct as f64 / total as f64
     }
 
@@ -129,7 +128,9 @@ impl ConfusionMatrix {
     pub fn recall(&self) -> Vec<f64> {
         (0..self.n_classes)
             .map(|c| {
-                let row: u64 = (0..self.n_classes).map(|p| self.get(c as u32, p as u32)).sum();
+                let row: u64 = (0..self.n_classes)
+                    .map(|p| self.get(c as u32, p as u32))
+                    .sum();
                 if row == 0 {
                     0.0
                 } else {
@@ -143,7 +144,9 @@ impl ConfusionMatrix {
     pub fn precision(&self) -> Vec<f64> {
         (0..self.n_classes)
             .map(|c| {
-                let col: u64 = (0..self.n_classes).map(|t| self.get(t as u32, c as u32)).sum();
+                let col: u64 = (0..self.n_classes)
+                    .map(|t| self.get(t as u32, c as u32))
+                    .sum();
                 if col == 0 {
                     0.0
                 } else {

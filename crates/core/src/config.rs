@@ -76,6 +76,20 @@ pub enum BoundMode {
     PaperScalar,
 }
 
+/// Order in which a query batch is executed (results are always returned
+/// in input order; this only affects locality, never values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueryOrder {
+    /// Run queries exactly as given.
+    #[default]
+    Input,
+    /// Sort queries along a Morton (Z-order) curve before dispatch, so
+    /// consecutive queries touch the same tree nodes and leaf buckets —
+    /// the locality-aware batching that ParlayANN-style schedulers use to
+    /// win constant factors. Results are scattered back to input order.
+    Morton,
+}
+
 /// Local kd-tree construction parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TreeConfig {
@@ -102,6 +116,8 @@ pub struct TreeConfig {
     pub exact_median_below: usize,
     /// RNG seed for all sampling, making construction deterministic.
     pub seed: u64,
+    /// Default execution order for `KnnIndex::query_batch`.
+    pub query_order: QueryOrder,
 }
 
 impl Default for TreeConfig {
@@ -116,6 +132,7 @@ impl Default for TreeConfig {
             parallel: false,
             exact_median_below: 4096,
             seed: 0x9E3779B97F4A7C15,
+            query_order: QueryOrder::default(),
         }
     }
 }
@@ -130,7 +147,9 @@ impl TreeConfig {
             return Err(PandaError::BadConfig("threads must be ≥ 1".into()));
         }
         if self.data_parallel_factor == 0 {
-            return Err(PandaError::BadConfig("data_parallel_factor must be ≥ 1".into()));
+            return Err(PandaError::BadConfig(
+                "data_parallel_factor must be ≥ 1".into(),
+            ));
         }
         match self.split_dim {
             SplitDimStrategy::MaxVariance { sample } if sample < 2 => {
@@ -140,7 +159,9 @@ impl TreeConfig {
         }
         if let SplitValueStrategy::SampledHistogram { samples } = self.split_value {
             if samples < 2 {
-                return Err(PandaError::BadConfig("histogram samples must be ≥ 2".into()));
+                return Err(PandaError::BadConfig(
+                    "histogram samples must be ≥ 2".into(),
+                ));
             }
         }
         Ok(())
@@ -167,6 +188,12 @@ impl TreeConfig {
     /// Builder-style: set the RNG seed.
     pub fn with_seed(mut self, s: u64) -> Self {
         self.seed = s;
+        self
+    }
+
+    /// Builder-style: set the default batch execution order.
+    pub fn with_query_order(mut self, o: QueryOrder) -> Self {
+        self.query_order = o;
         self
     }
 }
@@ -207,7 +234,10 @@ impl Default for QueryConfig {
 impl QueryConfig {
     /// Config for `k` neighbors with defaults otherwise.
     pub fn with_k(k: usize) -> Self {
-        Self { k, ..Self::default() }
+        Self {
+            k,
+            ..Self::default()
+        }
     }
 
     /// Validate parameter ranges.
@@ -218,8 +248,10 @@ impl QueryConfig {
         if self.batch_size == 0 {
             return Err(PandaError::BadConfig("batch_size must be ≥ 1".into()));
         }
-        if !(self.initial_radius > 0.0) {
-            return Err(PandaError::BadConfig("initial_radius must be positive".into()));
+        if self.initial_radius.is_nan() || self.initial_radius <= 0.0 {
+            return Err(PandaError::BadConfig(
+                "initial_radius must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -252,7 +284,9 @@ impl DistConfig {
     pub fn validate(&self) -> Result<()> {
         self.local.validate()?;
         if self.global_samples_per_rank < 2 {
-            return Err(PandaError::BadConfig("global_samples_per_rank must be ≥ 2".into()));
+            return Err(PandaError::BadConfig(
+                "global_samples_per_rank must be ≥ 2".into(),
+            ));
         }
         Ok(())
     }
@@ -267,20 +301,32 @@ mod tests {
         let t = TreeConfig::default();
         assert_eq!(t.bucket_size, 32);
         assert_eq!(t.split_dim, SplitDimStrategy::MaxVariance { sample: 128 });
-        assert_eq!(t.split_value, SplitValueStrategy::SampledHistogram { samples: 1024 });
+        assert_eq!(
+            t.split_value,
+            SplitValueStrategy::SampledHistogram { samples: 1024 }
+        );
         assert_eq!(t.hist_scan, HistScan::SubInterval);
         assert_eq!(t.data_parallel_factor, 10);
         let d = DistConfig::default();
         assert_eq!(d.global_samples_per_rank, 256);
         let q = QueryConfig::default();
         assert_eq!(q.bound_mode, BoundMode::Exact);
+        assert_eq!(t.query_order, QueryOrder::Input);
     }
 
     #[test]
     fn validation_rejects_degenerate_values() {
-        assert!(TreeConfig::default().with_bucket_size(0).validate().is_err());
+        assert!(TreeConfig::default()
+            .with_bucket_size(0)
+            .validate()
+            .is_err());
         assert!(TreeConfig::default().with_threads(0).validate().is_err());
-        assert!(TreeConfig { data_parallel_factor: 0, ..Default::default() }.validate().is_err());
+        assert!(TreeConfig {
+            data_parallel_factor: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(TreeConfig {
             split_dim: SplitDimStrategy::MaxVariance { sample: 1 },
             ..Default::default()
@@ -295,20 +341,39 @@ mod tests {
         .is_err());
 
         assert!(QueryConfig::with_k(0).validate().is_err());
-        assert!(QueryConfig { batch_size: 0, ..QueryConfig::with_k(1) }.validate().is_err());
-        assert!(QueryConfig { initial_radius: 0.0, ..QueryConfig::with_k(1) }.validate().is_err());
-        assert!(QueryConfig { initial_radius: f32::NAN, ..QueryConfig::with_k(1) }
-            .validate()
-            .is_err());
+        assert!(QueryConfig {
+            batch_size: 0,
+            ..QueryConfig::with_k(1)
+        }
+        .validate()
+        .is_err());
+        assert!(QueryConfig {
+            initial_radius: 0.0,
+            ..QueryConfig::with_k(1)
+        }
+        .validate()
+        .is_err());
+        assert!(QueryConfig {
+            initial_radius: f32::NAN,
+            ..QueryConfig::with_k(1)
+        }
+        .validate()
+        .is_err());
 
-        assert!(DistConfig { global_samples_per_rank: 1, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(DistConfig {
+            global_samples_per_rank: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn builders_compose() {
-        let t = TreeConfig::default().with_bucket_size(16).with_threads(4).with_parallel(true);
+        let t = TreeConfig::default()
+            .with_bucket_size(16)
+            .with_threads(4)
+            .with_parallel(true);
         assert_eq!(t.bucket_size, 16);
         assert_eq!(t.threads, 4);
         assert!(t.parallel);

@@ -82,6 +82,12 @@ pub struct QueryCounters {
     pub leaves_scanned: u64,
     /// Point distances evaluated (padded bucket positions).
     pub points_scanned: u64,
+    /// Fused leaf-kernel invocations (one per leaf scanned through
+    /// [`crate::local_tree::PackedLeaves::scan_and_offer`]).
+    pub leaf_kernel_calls: u64,
+    /// 8-wide kernel blocks rejected by the in-register bound comparison
+    /// without any heap interaction (fused-kernel effectiveness).
+    pub kernel_blocks_pruned: u64,
     /// Heap offers that were accepted.
     pub heap_ops: u64,
     /// Global-tree owner lookups performed.
@@ -100,6 +106,8 @@ impl QueryCounters {
         self.nodes_visited += o.nodes_visited;
         self.leaves_scanned += o.leaves_scanned;
         self.points_scanned += o.points_scanned;
+        self.leaf_kernel_calls += o.leaf_kernel_calls;
+        self.kernel_blocks_pruned += o.kernel_blocks_pruned;
         self.heap_ops += o.heap_ops;
         self.owner_lookups += o.owner_lookups;
         self.tree_levels += o.tree_levels;
@@ -132,8 +140,10 @@ mod tests {
 
     #[test]
     fn build_cpu_seconds_monotonic() {
-        let mut a = BuildCounters::default();
-        a.hist_binned = 1000;
+        let a = BuildCounters {
+            hist_binned: 1000,
+            ..Default::default()
+        };
         let mut b = a;
         b.hist_binned = 2000;
         let (ta, tb) = (
@@ -145,8 +155,10 @@ mod tests {
 
     #[test]
     fn sub_interval_scan_is_modeled_cheaper() {
-        let mut c = BuildCounters::default();
-        c.hist_binned = 1_000_000;
+        let c = BuildCounters {
+            hist_binned: 1_000_000,
+            ..Default::default()
+        };
         assert!(
             c.cpu_seconds(&ops(), HistScan::SubInterval) < c.cpu_seconds(&ops(), HistScan::Binary)
         );
@@ -173,6 +185,8 @@ mod tests {
             nodes_visited: 2,
             leaves_scanned: 3,
             points_scanned: 4,
+            leaf_kernel_calls: 9,
+            kernel_blocks_pruned: 10,
             heap_ops: 5,
             owner_lookups: 6,
             tree_levels: 7,
@@ -181,18 +195,26 @@ mod tests {
         q.add(&q.clone());
         assert_eq!(q.queries, 2);
         assert_eq!(q.merge_candidates, 16);
+        assert_eq!(q.leaf_kernel_calls, 18);
+        assert_eq!(q.kernel_blocks_pruned, 20);
     }
 
     #[test]
     fn query_memory_scales_with_dims() {
-        let q = QueryCounters { points_scanned: 1000, ..Default::default() };
+        let q = QueryCounters {
+            points_scanned: 1000,
+            ..Default::default()
+        };
         assert!(q.mem_bytes(10) > q.mem_bytes(3));
         assert!(q.cpu_seconds(&ops(), 10) > q.cpu_seconds(&ops(), 3));
     }
 
     #[test]
     fn zero_counters_zero_seconds() {
-        assert_eq!(BuildCounters::default().cpu_seconds(&ops(), HistScan::Binary), 0.0);
+        assert_eq!(
+            BuildCounters::default().cpu_seconds(&ops(), HistScan::Binary),
+            0.0
+        );
         assert_eq!(QueryCounters::default().cpu_seconds(&ops(), 3), 0.0);
         assert_eq!(QueryCounters::default().mem_bytes(3), 0.0);
     }

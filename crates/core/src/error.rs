@@ -40,6 +40,14 @@ pub enum PandaError {
         /// Dimensionality of the query.
         got: usize,
     },
+    /// Point-count mismatch between two sets that must align (e.g. the
+    /// point set handed to `knn_graph` vs. the indexed points).
+    LenMismatch {
+        /// Number of points expected.
+        expected: usize,
+        /// Number of points supplied.
+        got: usize,
+    },
     /// Operation requires a non-empty point set.
     EmptyPointSet,
     /// A configuration value was invalid.
@@ -52,7 +60,10 @@ impl fmt::Display for PandaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PandaError::NonFiniteCoordinate { point, dim } => {
-                write!(f, "point {point} has a non-finite coordinate in dimension {dim}")
+                write!(
+                    f,
+                    "point {point} has a non-finite coordinate in dimension {dim}"
+                )
             }
             PandaError::BadDims { dims } => write!(
                 f,
@@ -60,7 +71,10 @@ impl fmt::Display for PandaError {
                 crate::point::MAX_DIMS
             ),
             PandaError::RaggedCoordinates { len, dims } => {
-                write!(f, "coordinate buffer of length {len} is not a multiple of dims={dims}")
+                write!(
+                    f,
+                    "coordinate buffer of length {len} is not a multiple of dims={dims}"
+                )
             }
             PandaError::IdCountMismatch { points, ids } => {
                 write!(f, "{points} points but {ids} ids supplied")
@@ -68,6 +82,9 @@ impl fmt::Display for PandaError {
             PandaError::ZeroK => write!(f, "k must be at least 1"),
             PandaError::DimsMismatch { expected, got } => {
                 write!(f, "query has {got} dimensions, index has {expected}")
+            }
+            PandaError::LenMismatch { expected, got } => {
+                write!(f, "point set has {got} points, expected {expected}")
             }
             PandaError::EmptyPointSet => write!(f, "operation requires a non-empty point set"),
             PandaError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -97,7 +114,18 @@ mod tests {
             .to_string()
             .contains("point 7"));
         assert!(PandaError::BadDims { dims: 99 }.to_string().contains("99"));
-        assert!(PandaError::DimsMismatch { expected: 3, got: 10 }.to_string().contains("10"));
+        assert!(PandaError::DimsMismatch {
+            expected: 3,
+            got: 10
+        }
+        .to_string()
+        .contains("10"));
+        let e = PandaError::LenMismatch {
+            expected: 50,
+            got: 10,
+        }
+        .to_string();
+        assert!(e.contains("50") && e.contains("10"));
     }
 
     #[test]

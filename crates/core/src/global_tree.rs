@@ -72,7 +72,13 @@ impl GlobalKdTree {
         let mut nodes = Vec::with_capacity(2 * ranks);
         let mut levels = 0usize;
         build(&by_group, &mut nodes, &mut levels, 0, ranks, 0);
-        return Self { dims, ranks, nodes, levels, rank_bbox: None };
+        return Self {
+            dims,
+            ranks,
+            nodes,
+            levels,
+            rank_bbox: None,
+        };
 
         fn build(
             by_group: &HashMap<(usize, usize), &GlobalSplit>,
@@ -85,13 +91,23 @@ impl GlobalKdTree {
             *levels = (*levels).max(depth);
             let me = nodes.len() as u32;
             if hi - lo == 1 {
-                nodes.push(GNode { split_dim: LEAF, split_val: 0.0, a: lo as u32, b: 0 });
+                nodes.push(GNode {
+                    split_dim: LEAF,
+                    split_val: 0.0,
+                    a: lo as u32,
+                    b: 0,
+                });
                 return me;
             }
             let s = by_group
                 .get(&(lo, hi))
                 .unwrap_or_else(|| panic!("missing global split for group {lo}..{hi}"));
-            nodes.push(GNode { split_dim: s.dim as u32, split_val: s.value, a: 0, b: 0 });
+            nodes.push(GNode {
+                split_dim: s.dim as u32,
+                split_val: s.value,
+                a: 0,
+                b: 0,
+            });
             let mid = group_mid(lo, hi);
             let l = build(by_group, nodes, levels, lo, mid, depth + 1);
             let r = build(by_group, nodes, levels, mid, hi, depth + 1);
@@ -149,7 +165,11 @@ impl GlobalKdTree {
                 return n.a as usize;
             }
             counters.tree_levels += 1;
-            ni = if q[n.split_dim as usize] <= n.split_val { n.a } else { n.b };
+            ni = if q[n.split_dim as usize] <= n.split_val {
+                n.a
+            } else {
+                n.b
+            };
         }
     }
 
@@ -223,9 +243,24 @@ mod tests {
             1,
             4,
             &[
-                GlobalSplit { lo: 0, hi: 4, dim: 0, value: 0.0 },
-                GlobalSplit { lo: 0, hi: 2, dim: 0, value: -1.0 },
-                GlobalSplit { lo: 2, hi: 4, dim: 0, value: 1.0 },
+                GlobalSplit {
+                    lo: 0,
+                    hi: 4,
+                    dim: 0,
+                    value: 0.0,
+                },
+                GlobalSplit {
+                    lo: 0,
+                    hi: 2,
+                    dim: 0,
+                    value: -1.0,
+                },
+                GlobalSplit {
+                    lo: 2,
+                    hi: 4,
+                    dim: 0,
+                    value: 1.0,
+                },
             ],
         )
     }
@@ -337,8 +372,18 @@ mod tests {
             1,
             3,
             &[
-                GlobalSplit { lo: 0, hi: 3, dim: 0, value: 0.0 },
-                GlobalSplit { lo: 1, hi: 3, dim: 0, value: 1.0 },
+                GlobalSplit {
+                    lo: 0,
+                    hi: 3,
+                    dim: 0,
+                    value: 0.0,
+                },
+                GlobalSplit {
+                    lo: 1,
+                    hi: 3,
+                    dim: 0,
+                    value: 1.0,
+                },
             ],
         );
         let mut c = QueryCounters::default();
@@ -354,7 +399,12 @@ mod tests {
         let _ = GlobalKdTree::from_splits(
             1,
             4,
-            &[GlobalSplit { lo: 0, hi: 4, dim: 0, value: 0.0 }],
+            &[GlobalSplit {
+                lo: 0,
+                hi: 4,
+                dim: 0,
+                value: 0.0,
+            }],
         );
     }
 

@@ -44,7 +44,11 @@ impl KnnHeap {
     /// remote queries which carry the owner's bound).
     pub fn with_radius_sq(k: usize, radius_sq: f32) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        Self { k, bound_sq: radius_sq, items: Vec::with_capacity(k) }
+        Self {
+            k,
+            bound_sq: radius_sq,
+            items: Vec::with_capacity(k),
+        }
     }
 
     /// Capacity `k`.
@@ -108,7 +112,10 @@ impl KnnHeap {
     /// determinism).
     pub fn into_sorted(mut self) -> Vec<Neighbor> {
         self.items.sort_by(|a, b| {
-            a.dist_sq.partial_cmp(&b.dist_sq).expect("finite distances").then(a.id.cmp(&b.id))
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
         });
         self.items
     }
@@ -257,7 +264,10 @@ mod tests {
 
     #[test]
     fn neighbor_dist_is_sqrt() {
-        let n = Neighbor { dist_sq: 9.0, id: 0 };
+        let n = Neighbor {
+            dist_sq: 9.0,
+            id: 0,
+        };
         assert_eq!(n.dist(), 3.0);
     }
 

@@ -63,7 +63,10 @@ impl SampledHistogram {
             .chunks_exact(SUB_STRIDE)
             .map(|c| c[SUB_STRIDE - 1])
             .collect();
-        Self { intervals: samples, sub }
+        Self {
+            intervals: samples,
+            sub,
+        }
     }
 
     /// Number of interval boundaries.
@@ -115,7 +118,12 @@ impl SampledHistogram {
 
     /// Accumulate counts for a stream of values into `counts`
     /// (`counts.len() == n_bins`).
-    pub fn count_into(&self, values: impl Iterator<Item = f32>, counts: &mut [u64], scan: HistScan) {
+    pub fn count_into(
+        &self,
+        values: impl Iterator<Item = f32>,
+        counts: &mut [u64],
+        scan: HistScan,
+    ) {
         debug_assert_eq!(counts.len(), self.n_bins());
         match scan {
             HistScan::Binary => {
@@ -147,15 +155,20 @@ impl SampledHistogram {
         debug_assert_eq!(counts.len(), self.n_bins());
         let total: u64 = counts.iter().sum();
         if self.intervals.is_empty() || total == 0 {
-            return SplitDecision { value: 0.0, left_count: 0, total, degenerate: true };
+            return SplitDecision {
+                value: 0.0,
+                left_count: 0,
+                total,
+                degenerate: true,
+            };
         }
         let target = target_fraction * total as f64;
         let mut best_j = 0usize;
         let mut best_err = f64::INFINITY;
         let mut cum = 0u64;
         // cum after bin j = #{v ≤ intervals[j]}
-        for j in 0..self.intervals.len() {
-            cum += counts[j];
+        for (j, &cnt) in counts.iter().enumerate().take(self.intervals.len()) {
+            cum += cnt;
             let err = (cum as f64 - target).abs();
             if err < best_err {
                 best_err = err;
@@ -165,7 +178,12 @@ impl SampledHistogram {
         // left_count for the chosen boundary
         let left_count: u64 = counts[..=best_j].iter().sum();
         let degenerate = left_count == 0 || left_count == total;
-        SplitDecision { value: self.intervals[best_j], left_count, total, degenerate }
+        SplitDecision {
+            value: self.intervals[best_j],
+            left_count,
+            total,
+            degenerate,
+        }
     }
 }
 
@@ -256,7 +274,7 @@ mod tests {
     #[test]
     fn all_identical_values_degenerate() {
         let h = hist(&[7.0; 64]);
-        let counts = h.count(std::iter::repeat(7.0).take(100), HistScan::SubInterval);
+        let counts = h.count(std::iter::repeat_n(7.0, 100), HistScan::SubInterval);
         let d = h.split_at_quantile(&counts, 0.5);
         assert!(d.degenerate);
         assert_eq!(d.total, 100);
@@ -275,11 +293,16 @@ mod tests {
     fn skewed_distribution_still_near_median() {
         // exponential-ish skew: sampled boundaries adapt to density
         let values: Vec<f32> = (0..10_000).map(|i| ((i as f32) / 100.0).exp()).collect();
-        let samples: Vec<f32> = (0..1024).map(|i| values[(i * 9767) % values.len()]).collect();
+        let samples: Vec<f32> = (0..1024)
+            .map(|i| values[(i * 9767) % values.len()])
+            .collect();
         let h = SampledHistogram::from_samples(samples);
         let counts = h.count(values.iter().copied(), HistScan::SubInterval);
         let d = h.split_at_quantile(&counts, 0.5);
         let frac = d.left_count as f64 / d.total as f64;
-        assert!((frac - 0.5).abs() < 0.05, "left fraction {frac} on skewed data");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "left fraction {frac} on skewed data"
+        );
     }
 }

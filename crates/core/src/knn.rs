@@ -1,33 +1,52 @@
 //! Single-node KNN index: the shared-memory face of PANDA.
 //!
-//! Wraps [`LocalKdTree`] with batched, rayon-parallel querying —
-//! "parallelizing over queries on shared memory is simple" (§V-B2); the
-//! interesting part is that construction is also parallel here, which is
-//! what the paper's Fig. 6/7 single-node comparisons measure.
+//! Wraps [`LocalKdTree`] with a locality-aware batch engine:
+//! "parallelizing over queries on shared memory is simple" (§V-B2) — the
+//! constant factors are not. The engine optionally reorders the batch
+//! along a Morton curve ([`QueryOrder::Morton`]) so consecutive queries
+//! share tree paths and cached leaf buckets, dispatches in contiguous
+//! chunks (`with_min_len`) so per-task overhead amortizes and each worker
+//! reuses one [`QueryWorkspace`], and scatters results back to input
+//! order. Every query runs through the fused SIMD leaf kernel inherited
+//! from the traversal layer.
 
 use rayon::prelude::*;
 
 use panda_comm::CostModel;
 
-use crate::config::{BoundMode, TreeConfig};
+use crate::config::{BoundMode, QueryOrder, TreeConfig};
 use crate::counters::QueryCounters;
 use crate::error::{PandaError, Result};
 use crate::heap::{KnnHeap, Neighbor};
 use crate::local_tree::{LocalKdTree, QueryWorkspace};
+use crate::morton::morton_schedule;
 use crate::point::PointSet;
+
+/// Minimum queries per dispatched chunk: below this, task bookkeeping
+/// would rival the traversal work itself.
+const MIN_CHUNK: usize = 16;
+
+/// One worker chunk's output: `(input slot, neighbors)` pairs plus the
+/// chunk's aggregate counters.
+type ChunkResult = (Vec<(u32, Vec<Neighbor>)>, QueryCounters);
 
 /// A single-node KNN index.
 #[derive(Clone, Debug)]
 pub struct KnnIndex {
     tree: LocalKdTree,
     parallel: bool,
+    query_order: QueryOrder,
 }
 
 impl KnnIndex {
     /// Build an index over `points`.
     pub fn build(points: &PointSet, cfg: &TreeConfig) -> Result<Self> {
         let tree = LocalKdTree::build(points, cfg)?;
-        Ok(Self { tree, parallel: cfg.parallel })
+        Ok(Self {
+            tree,
+            parallel: cfg.parallel,
+            query_order: cfg.query_order,
+        })
     }
 
     /// The underlying tree (stats, modeled times).
@@ -60,53 +79,78 @@ impl KnnIndex {
         self.tree.query_radius(q, k, radius)
     }
 
-    /// Batched queries; parallelized over queries with rayon when the
-    /// index was built with `parallel = true`. Returns per-query results
-    /// plus the aggregate traversal counters (which feed the thread-scaling
-    /// model of Fig. 6).
+    /// Batched queries in the index's configured [`QueryOrder`];
+    /// parallelized over query chunks when the index was built with
+    /// `parallel = true`. Returns per-query results **in input order**
+    /// plus the aggregate traversal counters (which feed the
+    /// thread-scaling model of Fig. 6).
     pub fn query_batch(
         &self,
         queries: &PointSet,
         k: usize,
     ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
+        self.query_batch_ordered(queries, k, self.query_order)
+    }
+
+    /// [`Self::query_batch`] with an explicit execution order. The order
+    /// affects locality only: results and aggregate counters are
+    /// identical for any order (each query's traversal is independent).
+    pub fn query_batch_ordered(
+        &self,
+        queries: &PointSet,
+        k: usize,
+        order: QueryOrder,
+    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
         if k == 0 {
             return Err(PandaError::ZeroK);
         }
         if queries.dims() != self.dims() {
-            return Err(PandaError::DimsMismatch { expected: self.dims(), got: queries.dims() });
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims(),
+                got: queries.dims(),
+            });
         }
+        let n = queries.len();
+        let schedule: Vec<u32> = match order {
+            QueryOrder::Input => (0..n as u32).collect(),
+            QueryOrder::Morton => morton_schedule(queries),
+        };
         let run_one = |i: usize, ws: &mut QueryWorkspace, c: &mut QueryCounters| {
             let mut heap = KnnHeap::new(k);
-            self.tree.query_into(queries.point(i), &mut heap, BoundMode::Exact, ws, c);
+            self.tree
+                .query_into(queries.point(i), &mut heap, BoundMode::Exact, ws, c);
             heap.into_sorted()
         };
+        let mut all: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+        let mut counters = QueryCounters::default();
         if self.parallel {
-            let results: Vec<(Vec<Vec<Neighbor>>, QueryCounters)> = (0..queries.len())
+            // Contiguous chunks of the (possibly reordered) schedule; one
+            // workspace per chunk, results tagged with their input slot.
+            let results: Vec<ChunkResult> = schedule
                 .into_par_iter()
+                .with_min_len(MIN_CHUNK)
                 .fold(
                     || (Vec::new(), QueryWorkspace::new(), QueryCounters::default()),
-                    |(mut out, mut ws, mut c), i| {
-                        out.push(run_one(i, &mut ws, &mut c));
+                    |(mut out, mut ws, mut c), qi| {
+                        out.push((qi, run_one(qi as usize, &mut ws, &mut c)));
                         (out, ws, c)
                     },
                 )
                 .map(|(out, _ws, c)| (out, c))
                 .collect();
-            // rayon fold order within a chunk is index order, and chunks
-            // are produced in index order, so concatenation preserves it.
-            let mut all = Vec::with_capacity(queries.len());
-            let mut counters = QueryCounters::default();
-            for (out, c) in results {
-                all.extend(out);
+            for (chunk, c) in results {
                 counters.add(&c);
+                for (qi, res) in chunk {
+                    all[qi as usize] = res; // scatter back to input order
+                }
             }
-            Ok((all, counters))
         } else {
             let mut ws = QueryWorkspace::new();
-            let mut counters = QueryCounters::default();
-            let out = (0..queries.len()).map(|i| run_one(i, &mut ws, &mut counters)).collect();
-            Ok((out, counters))
+            for &qi in &schedule {
+                all[qi as usize] = run_one(qi as usize, &mut ws, &mut counters);
+            }
         }
+        Ok((all, counters))
     }
 
     /// The k-nearest-neighbor **graph** of the indexed points themselves
@@ -121,8 +165,17 @@ impl KnnIndex {
         if k == 0 {
             return Err(PandaError::ZeroK);
         }
-        if points.dims() != self.dims() || points.len() != self.len() {
-            return Err(PandaError::DimsMismatch { expected: self.dims(), got: points.dims() });
+        if points.dims() != self.dims() {
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims(),
+                got: points.dims(),
+            });
+        }
+        if points.len() != self.len() {
+            return Err(PandaError::LenMismatch {
+                expected: self.len(),
+                got: points.len(),
+            });
         }
         // query k+1 and drop the self-match (distance 0 with own id)
         let (raw, _counters) = self.query_batch(points, k + 1)?;
@@ -166,7 +219,9 @@ mod tests {
         let mut rng = SplitRng::new(seed);
         PointSet::from_coords(
             dims,
-            (0..n * dims).map(|_| (rng.next_f64() * 100.0) as f32).collect(),
+            (0..n * dims)
+                .map(|_| (rng.next_f64() * 100.0) as f32)
+                .collect(),
         )
         .unwrap()
     }
@@ -192,9 +247,11 @@ mod tests {
         let ps = random_ps(5000, 3, 3);
         let queries = random_ps(200, 3, 4);
         let seq = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
-        let par =
-            KnnIndex::build(&ps, &TreeConfig::default().with_parallel(true).with_threads(2))
-                .unwrap();
+        let par = KnnIndex::build(
+            &ps,
+            &TreeConfig::default().with_parallel(true).with_threads(2),
+        )
+        .unwrap();
         let (a, ca) = seq.query_batch(&queries, 5).unwrap();
         let (b, cb) = par.query_batch(&queries, 5).unwrap();
         for (x, y) in a.iter().zip(&b) {
@@ -232,7 +289,10 @@ mod tests {
         let t24smt = idx.modeled_query_time_at(&counters, &cost, 24, true);
         assert!(t1 > t24);
         let speedup = t1 / t24;
-        assert!((4.0..=24.0).contains(&speedup), "modeled 24T query speedup {speedup}");
+        assert!(
+            (4.0..=24.0).contains(&speedup),
+            "modeled 24T query speedup {speedup}"
+        );
         assert!(t24smt <= t24, "SMT should not hurt");
     }
 
@@ -282,8 +342,101 @@ mod tests {
         let ps = random_ps(50, 3, 22);
         let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
         assert!(idx.knn_graph(&ps, 0).is_err());
+        // same dims, wrong point count: must be a LenMismatch (not a
+        // dims error claiming expected == got)
         let other = random_ps(10, 3, 23);
-        assert!(idx.knn_graph(&other, 3).is_err());
+        assert!(matches!(
+            idx.knn_graph(&other, 3),
+            Err(PandaError::LenMismatch {
+                expected: 50,
+                got: 10
+            })
+        ));
+        // wrong dims stays a DimsMismatch
+        let other_dims = random_ps(50, 2, 23);
+        assert!(matches!(
+            idx.knn_graph(&other_dims, 3),
+            Err(PandaError::DimsMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn morton_order_matches_input_order_exactly() {
+        use crate::config::QueryOrder;
+        let ps = random_ps(4000, 3, 31);
+        let queries = random_ps(500, 3, 32);
+        for parallel in [false, true] {
+            let cfg = TreeConfig::default()
+                .with_parallel(parallel)
+                .with_threads(2);
+            let idx = KnnIndex::build(&ps, &cfg).unwrap();
+            let (a, ca) = idx
+                .query_batch_ordered(&queries, 5, QueryOrder::Input)
+                .unwrap();
+            let (b, cb) = idx
+                .query_batch_ordered(&queries, 5, QueryOrder::Morton)
+                .unwrap();
+            assert_eq!(a.len(), b.len());
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                let dx: Vec<(f32, u64)> = x.iter().map(|n| (n.dist_sq, n.id)).collect();
+                let dy: Vec<(f32, u64)> = y.iter().map(|n| (n.dist_sq, n.id)).collect();
+                assert_eq!(dx, dy, "query {i} parallel={parallel}");
+            }
+            // each query's traversal is independent of execution order, so
+            // the aggregate work must be identical too
+            assert_eq!(ca, cb, "parallel={parallel}");
+        }
+    }
+
+    #[test]
+    fn configured_query_order_is_used_by_default() {
+        use crate::config::QueryOrder;
+        let ps = random_ps(2000, 3, 33);
+        let queries = random_ps(200, 3, 34);
+        let idx = KnnIndex::build(
+            &ps,
+            &TreeConfig::default().with_query_order(QueryOrder::Morton),
+        )
+        .unwrap();
+        let (a, _) = idx.query_batch(&queries, 3).unwrap();
+        let (b, _) = idx
+            .query_batch_ordered(&queries, 3, QueryOrder::Input)
+            .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            let dx: Vec<(f32, u64)> = x.iter().map(|n| (n.dist_sq, n.id)).collect();
+            let dy: Vec<(f32, u64)> = y.iter().map(|n| (n.dist_sq, n.id)).collect();
+            assert_eq!(dx, dy);
+        }
+    }
+
+    #[test]
+    fn kernel_counters_are_populated() {
+        let ps = random_ps(5000, 3, 35);
+        let queries = random_ps(100, 3, 36);
+        let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+        let (_res, c) = idx.query_batch(&queries, 5).unwrap();
+        assert_eq!(c.leaf_kernel_calls, c.leaves_scanned);
+        // the whole point of the fused kernel: most blocks die in-register
+        assert!(c.kernel_blocks_pruned > 0);
+        assert!(c.kernel_blocks_pruned <= c.points_scanned / 8);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ps = random_ps(100, 3, 37);
+        let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+        let empty = PointSet::new(3).unwrap();
+        for order in [
+            crate::config::QueryOrder::Input,
+            crate::config::QueryOrder::Morton,
+        ] {
+            let (res, c) = idx.query_batch_ordered(&empty, 4, order).unwrap();
+            assert!(res.is_empty());
+            assert_eq!(c.queries, 0);
+        }
     }
 
     #[test]

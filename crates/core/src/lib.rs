@@ -15,6 +15,39 @@
 //! All querying is **exact**: results are verified bit-identical to brute
 //! force throughout the test suite (`BoundMode::Exact`, the default).
 //!
+//! ## The local query hot path
+//!
+//! Three layers make the single-node path fast (see `BENCH_PR1.json` for
+//! measurements against the pre-optimization reference):
+//!
+//! * **Fused scan-and-offer leaf kernel**
+//!   ([`local_tree::PackedLeaves::scan_and_offer`]) — squared distances
+//!   are computed dimension-major over the lane-padded bucket layout and
+//!   compared against the candidate heap's bound *in-register*; the heap
+//!   is touched only for surviving lanes. No intermediate distance
+//!   buffer, no second pass. Runtime dispatch selects an AVX2
+//!   `std::arch` implementation when the CPU supports it (probed once per
+//!   process; `PANDA_NO_AVX2=1` forces the portable kernel) with a
+//!   portable unrolled fallback, both specialized for the paper's
+//!   dimensionalities (2/3/10/15) and bit-identical to the scalar
+//!   reference — no FMA, same accumulation order.
+//! * **Zero-copy traversal stack** ([`local_tree::QueryWorkspace`]) — the
+//!   Arya–Mount side-offset state lives in **one** array per workspace;
+//!   stack entries carry a 20-byte `(dim, offset, undo-checkpoint)`
+//!   record instead of a 64-byte side-array copy, and popping rewinds an
+//!   undo log to restore the exact path state. Workspaces are fully
+//!   reusable across queries and trees.
+//! * **Locality-aware batching** ([`knn::KnnIndex::query_batch`]) — a
+//!   batch can be executed in Morton (Z-order) order
+//!   ([`config::QueryOrder`]) so consecutive queries share tree paths and
+//!   warm leaf buckets, dispatched in contiguous chunks with a minimum
+//!   chunk length; results are scattered back to input order.
+//!
+//! The distributed query pipeline and the baselines inherit the kernel
+//! through [`local_tree::LocalKdTree::query_into`]. Kernel-level work is
+//! observable via [`counters::QueryCounters::leaf_kernel_calls`] and
+//! [`counters::QueryCounters::kernel_blocks_pruned`].
+//!
 //! ```
 //! use panda_core::knn::KnnIndex;
 //! use panda_core::{PointSet, TreeConfig};
@@ -41,6 +74,7 @@ pub mod heap;
 pub mod hist;
 pub mod knn;
 pub mod local_tree;
+pub mod morton;
 pub mod partition;
 pub mod point;
 pub mod query_distributed;
@@ -50,7 +84,8 @@ pub mod split;
 pub mod timers;
 
 pub use config::{
-    BoundMode, DistConfig, HistScan, QueryConfig, SplitDimStrategy, SplitValueStrategy, TreeConfig,
+    BoundMode, DistConfig, HistScan, QueryConfig, QueryOrder, SplitDimStrategy, SplitValueStrategy,
+    TreeConfig,
 };
 pub use counters::{BuildCounters, QueryCounters};
 pub use error::{PandaError, Result};

@@ -30,7 +30,11 @@ struct Segment {
 
 enum SplitOutcome {
     Leaf,
-    Split { dim: usize, value: f32, left_len: usize },
+    Split {
+        dim: usize,
+        value: f32,
+        left_len: usize,
+    },
 }
 
 /// Split one segment in place; shared by both construction phases.
@@ -58,7 +62,11 @@ fn split_segment(
         let mid = len / 2;
         let value = partition_by_count(ps, idx_seg, dim, mid);
         counters.median_selects += len as u64;
-        SplitOutcome::Split { dim, value, left_len: mid }
+        SplitOutcome::Split {
+            dim,
+            value,
+            left_len: mid,
+        }
     };
 
     let force_exact = depth >= MAX_SAMPLED_DEPTH
@@ -86,7 +94,11 @@ fn split_segment(
             let left = partition_in_place(ps, idx_seg, dim, d.value);
             counters.partition_ops += len as u64;
             debug_assert_eq!(left as u64, d.left_count, "histogram/partition disagree");
-            SplitOutcome::Split { dim, value: d.value, left_len: left }
+            SplitOutcome::Split {
+                dim,
+                value: d.value,
+                left_len: left,
+            }
         }
         SplitValueStrategy::MeanFirst100 => {
             let value = mean_first_100(ps, idx_seg, dim);
@@ -95,7 +107,11 @@ fn split_segment(
             if left == 0 || left == len {
                 return exact(idx_seg, counters);
             }
-            SplitOutcome::Split { dim, value, left_len: left }
+            SplitOutcome::Split {
+                dim,
+                value,
+                left_len: left,
+            }
         }
         SplitValueStrategy::ExactMedian => unreachable!("handled by force_exact"),
     }
@@ -132,7 +148,15 @@ fn build_subtree(
 ) -> SubtreeResult {
     let mut arena = Vec::new();
     let mut counters = BuildCounters::default();
-    rec(ps, cfg, &mut arena, idx_seg, global_start, depth, &mut counters);
+    rec(
+        ps,
+        cfg,
+        &mut arena,
+        idx_seg,
+        global_start,
+        depth,
+        &mut counters,
+    );
     counters.nodes_created += arena.len() as u64;
     return SubtreeResult { arena, counters };
 
@@ -154,11 +178,28 @@ fn build_subtree(
                     b: idx_seg.len() as u32,
                 });
             }
-            SplitOutcome::Split { dim, value, left_len } => {
+            SplitOutcome::Split {
+                dim,
+                value,
+                left_len,
+            } => {
                 let (l, r) = idx_seg.split_at_mut(left_len);
                 let li = rec(ps, cfg, arena, l, global_start, depth + 1, counters);
-                let ri = rec(ps, cfg, arena, r, global_start + left_len, depth + 1, counters);
-                arena.push(Node { split_dim: dim as u32, split_val: value, a: li, b: ri });
+                let ri = rec(
+                    ps,
+                    cfg,
+                    arena,
+                    r,
+                    global_start + left_len,
+                    depth + 1,
+                    counters,
+                );
+                arena.push(Node {
+                    split_dim: dim as u32,
+                    split_val: value,
+                    a: li,
+                    b: ri,
+                });
             }
         }
         (arena.len() - 1) as u32
@@ -171,7 +212,11 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
     let n = ps.len();
     let dims = ps.dims();
 
-    let mut stats = TreeStats { n_points: n, hist_scan: cfg.hist_scan, ..TreeStats::default() };
+    let mut stats = TreeStats {
+        n_points: n,
+        hist_scan: cfg.hist_scan,
+        ..TreeStats::default()
+    };
     if n == 0 {
         return Ok(LocalKdTree {
             dims,
@@ -183,13 +228,23 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
 
     let mut idx: Vec<u32> = (0..n as u32).collect();
     let mut nodes: Vec<Node> = Vec::with_capacity(2 * (n / cfg.bucket_size.max(1) + 1));
-    nodes.push(Node { split_dim: LEAF, split_val: 0.0, a: 0, b: n as u32 }); // root placeholder
+    nodes.push(Node {
+        split_dim: LEAF,
+        split_val: 0.0,
+        a: 0,
+        b: n as u32,
+    }); // root placeholder
 
     let mut phases = BuildPhases::default();
     let stop_at = cfg.threads.max(1) * cfg.data_parallel_factor;
 
     // ---- Phase A: breadth-first data-parallel levels -------------------
-    let mut open = vec![Segment { node: 0, start: 0, len: n, depth: 0 }];
+    let mut open = vec![Segment {
+        node: 0,
+        start: 0,
+        len: n,
+        depth: 0,
+    }];
     while !open.is_empty() && open.len() < stop_at {
         phases.dp_levels += 1;
         let results: Vec<(SplitOutcome, BuildCounters)> = {
@@ -200,7 +255,11 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
                 (outcome, c)
             };
             if cfg.parallel {
-                slices.into_par_iter().zip(open.par_iter()).map(work).collect()
+                slices
+                    .into_par_iter()
+                    .zip(open.par_iter())
+                    .map(work)
+                    .collect()
             } else {
                 slices.into_iter().zip(open.iter()).map(work).collect()
             }
@@ -218,14 +277,32 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
                         b: seg.len as u32,
                     };
                 }
-                SplitOutcome::Split { dim, value, left_len } => {
+                SplitOutcome::Split {
+                    dim,
+                    value,
+                    left_len,
+                } => {
                     let l = nodes.len() as u32;
-                    nodes.push(Node { split_dim: LEAF, split_val: 0.0, a: 0, b: 0 });
+                    nodes.push(Node {
+                        split_dim: LEAF,
+                        split_val: 0.0,
+                        a: 0,
+                        b: 0,
+                    });
                     let r = nodes.len() as u32;
-                    nodes.push(Node { split_dim: LEAF, split_val: 0.0, a: 0, b: 0 });
+                    nodes.push(Node {
+                        split_dim: LEAF,
+                        split_val: 0.0,
+                        a: 0,
+                        b: 0,
+                    });
                     phases.data_parallel.nodes_created += 2;
-                    nodes[seg.node as usize] =
-                        Node { split_dim: dim as u32, split_val: value, a: l, b: r };
+                    nodes[seg.node as usize] = Node {
+                        split_dim: dim as u32,
+                        split_val: value,
+                        a: l,
+                        b: r,
+                    };
                     let children = [
                         (l, seg.start, left_len),
                         (r, seg.start + left_len, seg.len - left_len),
@@ -239,7 +316,12 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
                                 b: len as u32,
                             };
                         } else {
-                            next.push(Segment { node: child, start, len, depth: seg.depth + 1 });
+                            next.push(Segment {
+                                node: child,
+                                start,
+                                len,
+                                depth: seg.depth + 1,
+                            });
                         }
                     }
                 }
@@ -256,7 +338,11 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
             build_subtree(ps, cfg, slice, seg.start, seg.depth)
         };
         if cfg.parallel {
-            slices.into_par_iter().zip(open.par_iter()).map(work).collect()
+            slices
+                .into_par_iter()
+                .zip(open.par_iter())
+                .map(work)
+                .collect()
         } else {
             slices.into_iter().zip(open.iter()).map(work).collect()
         }
@@ -278,7 +364,11 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
             let fixed = if node.is_leaf() {
                 *node
             } else {
-                Node { a: fix(node.a), b: fix(node.b), ..*node }
+                Node {
+                    a: fix(node.a),
+                    b: fix(node.b),
+                    ..*node
+                }
             };
             if i as u32 == root_local {
                 nodes[seg.node as usize] = fixed;
@@ -325,7 +415,12 @@ pub(super) fn build(ps: &PointSet, cfg: &TreeConfig) -> Result<LocalKdTree> {
     stats.counters = total;
     stats.phases = phases;
 
-    Ok(LocalKdTree { dims, nodes, leaves, stats })
+    Ok(LocalKdTree {
+        dims,
+        nodes,
+        leaves,
+        stats,
+    })
 }
 
 /// Longest-processing-time makespan of `costs` over `threads` workers —
@@ -375,15 +470,26 @@ impl LocalKdTree {
         let scan = self.stats().hist_scan;
         let dims = self.dims();
         let dp_cpu = ph.data_parallel.cpu_seconds(&cost.ops, scan);
-        let dp = cost.thread.parallel_time_at(dp_cpu, ph.data_parallel.mem_bytes(dims), threads, smt);
-        let sub_costs: Vec<f64> =
-            ph.subtrees.iter().map(|c| c.cpu_seconds(&cost.ops, scan)).collect();
+        let dp =
+            cost.thread
+                .parallel_time_at(dp_cpu, ph.data_parallel.mem_bytes(dims), threads, smt);
+        let sub_costs: Vec<f64> = ph
+            .subtrees
+            .iter()
+            .map(|c| c.cpu_seconds(&cost.ops, scan))
+            .collect();
         let tp_cpu = lpt_makespan(&sub_costs, threads);
         let tp_mem = ph.thread_parallel.mem_bytes(dims);
         let tp = tp_cpu.max(cost.thread.parallel_time_at(0.0, tp_mem, threads, smt));
         let pack_cpu = ph.packing.cpu_seconds(&cost.ops, scan);
-        let pack = cost.thread.parallel_time_at(pack_cpu, ph.packing.mem_bytes(dims), threads, smt);
-        LocalBuildModel { data_parallel: dp, thread_parallel: tp, packing: pack }
+        let pack = cost
+            .thread
+            .parallel_time_at(pack_cpu, ph.packing.mem_bytes(dims), threads, smt);
+        LocalBuildModel {
+            data_parallel: dp,
+            thread_parallel: tp,
+            packing: pack,
+        }
     }
 
     /// [`Self::modeled_build_at`] with the model's configured thread pool.
@@ -428,7 +534,10 @@ mod tests {
         use crate::config::TreeConfig;
         use crate::local_tree::tests::random_points;
         let ps = random_points(30_000, 3, 42);
-        let cfg = TreeConfig { threads: 24, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            threads: 24,
+            ..TreeConfig::default()
+        };
         let tree = LocalKdTree::build(&ps, &cfg).unwrap();
         let cost = CostModel::default();
         let t1 = tree.modeled_build_at(&cost, 1, false).total();
@@ -446,7 +555,10 @@ mod tests {
         use crate::config::TreeConfig;
         use crate::local_tree::tests::random_points;
         let ps = random_points(10_000, 3, 1);
-        let cfg = TreeConfig { threads: 4, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            threads: 4,
+            ..TreeConfig::default()
+        };
         let tree = LocalKdTree::build(&ps, &cfg).unwrap();
         let s = tree.stats();
         // every point is packed exactly once (plus padding)

@@ -18,10 +18,11 @@ mod layout;
 mod query;
 
 pub use build::LocalBuildModel;
-pub use layout::{PackedLeaves, LANE};
+pub use layout::{PackedLeaves, ScanStats, LANE};
 pub use query::QueryWorkspace;
 
 pub(crate) use layout::padded as padded_len;
+pub(crate) use query::{Entry as TraversalEntry, NO_APPLY};
 
 use crate::config::TreeConfig;
 use crate::counters::BuildCounters;
@@ -146,7 +147,9 @@ mod tests {
 
     pub(crate) fn random_points(n: usize, dims: usize, seed: u64) -> PointSet {
         let mut rng = SplitRng::new(seed);
-        let coords: Vec<f32> = (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect();
+        let coords: Vec<f32> = (0..n * dims)
+            .map(|_| (rng.next_f64() * 10.0) as f32)
+            .collect();
         PointSet::from_coords(dims, coords).unwrap()
     }
 
@@ -176,7 +179,10 @@ mod tests {
             }
         }
         assert_eq!(leaf_points, ps.len());
-        assert!(seen.iter().all(|&c| c == 1), "each point in exactly one leaf");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each point in exactly one leaf"
+        );
     }
 
     #[test]
@@ -227,7 +233,10 @@ mod tests {
             let mut right = Vec::new();
             collect(&tree, n.a, &mut left);
             collect(&tree, n.b, &mut right);
-            assert!(!left.is_empty() && !right.is_empty(), "node {i} has empty child");
+            assert!(
+                !left.is_empty() && !right.is_empty(),
+                "node {i} has empty child"
+            );
             for &(base, cap, m) in &left {
                 let v = tree.leaves.member_coord(base, cap, m, dim);
                 assert!(v <= n.split_val, "left violates plane at node {i}");
@@ -247,7 +256,11 @@ mod tests {
         assert_eq!(s.n_points, 4096);
         assert_eq!(s.n_leaves + s.n_internal, tree.nodes.len());
         assert_eq!(s.n_leaves, s.n_internal + 1, "full binary tree");
-        assert!(s.max_depth >= 7, "4096/32 needs ≥ 7 levels, got {}", s.max_depth);
+        assert!(
+            s.max_depth >= 7,
+            "4096/32 needs ≥ 7 levels, got {}",
+            s.max_depth
+        );
         assert!(s.max_depth < 40);
         assert!(s.mean_leaf_fill > 0.0 && s.mean_leaf_fill <= 32.0);
         assert!(s.counters.nodes_created as usize == tree.nodes.len());
@@ -306,7 +319,11 @@ mod tests {
                 SplitValueStrategy::ExactMedian,
                 SplitValueStrategy::MeanFirst100,
             ] {
-                let cfg = TreeConfig { split_dim, split_value, ..TreeConfig::default() };
+                let cfg = TreeConfig {
+                    split_dim,
+                    split_value,
+                    ..TreeConfig::default()
+                };
                 let tree = LocalKdTree::build(&ps, &cfg).unwrap();
                 assert_eq!(tree.len(), 3000, "{split_dim:?}/{split_value:?}");
                 let got = tree.query(&[5.0, 5.0, 5.0, 5.0], 3).unwrap();
@@ -326,8 +343,12 @@ mod tests {
         assert_eq!(tree.len(), 20_000);
         for qi in 0..25 {
             let q = ps.point(qi * 700 % ps.len()).to_vec();
-            let got: Vec<f32> =
-                tree.query(&q, 7).unwrap().iter().map(|n| n.dist_sq).collect();
+            let got: Vec<f32> = tree
+                .query(&q, 7)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
             let expect: Vec<f32> = brute_knn(&ps, &q, 7).iter().map(|p| p.0).collect();
             assert_eq!(got, expect);
         }

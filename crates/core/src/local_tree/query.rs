@@ -3,14 +3,23 @@
 //! Iterative traversal with an explicit stack and a bounded candidate heap.
 //! Two lower-bound modes (see [`BoundMode`]):
 //!
-//! * `Exact` — per-dimension side-distance replacement (Arya–Mount): each
-//!   stack entry carries the signed offset of the query to its cell along
-//!   every dimension; crossing a split plane *replaces* the offset along
-//!   that dimension. The resulting bound equals the true query↔cell
-//!   distance, so pruning can never discard a true neighbor.
+//! * `Exact` — per-dimension side-distance replacement (Arya–Mount): the
+//!   workspace keeps **one** live side-offset array for the whole
+//!   traversal; crossing a split plane *replaces* the offset along that
+//!   dimension and records a `(dim, old value)` undo entry. Popping a
+//!   stack entry rewinds the undo log to that entry's checkpoint, so the
+//!   live array always equals the path state of the node being expanded —
+//!   without copying a `[f32; MAX_DIMS]` per stack push. The resulting
+//!   bound equals the true query↔cell distance, so pruning can never
+//!   discard a true neighbor.
 //! * `PaperScalar` — the accumulation exactly as printed in Algorithm 1
 //!   (`d' ← √(d·d + d'·d')`), which over-estimates when a dimension
 //!   repeats along a path. Kept for the fidelity ablation.
+//!
+//! Leaf buckets go through the fused scan-and-offer kernel
+//! ([`super::PackedLeaves::scan_and_offer`]): distances are computed and
+//! compared against the heap bound in one pass, with no intermediate
+//! distance buffer.
 
 use crate::config::BoundMode;
 use crate::counters::QueryCounters;
@@ -21,24 +30,71 @@ use crate::point::MAX_DIMS;
 use super::layout::padded;
 use super::LocalKdTree;
 
-/// Reusable per-thread scratch for traversals (no allocation per query).
+/// Reusable per-thread scratch for traversals: the stack, the single live
+/// side-offset array, and its undo log. No allocation per query once the
+/// vectors have grown; reusing one workspace across a whole batch is the
+/// intended pattern.
 #[derive(Clone, Debug, Default)]
 pub struct QueryWorkspace {
-    stack: Vec<Entry>,
-    dists: Vec<f32>,
+    pub(crate) stack: Vec<Entry>,
+    /// Live signed offsets of the query to the current path's cell, one
+    /// per dimension (Arya–Mount incremental bound state).
+    pub(crate) side: [f32; MAX_DIMS],
+    /// Undo log of `(dim, previous value)` side mutations.
+    pub(crate) undo: Vec<(u32, f32)>,
 }
 
+/// Sentinel for "this entry does not modify the side array".
+pub(crate) const NO_APPLY: u32 = u32::MAX;
+
+/// One pending subtree visit (20 bytes — the seed carried a 64-byte side
+/// array copy per entry).
 #[derive(Clone, Copy, Debug)]
-struct Entry {
-    node: u32,
-    lb_sq: f32,
-    side: [f32; MAX_DIMS],
+pub(crate) struct Entry {
+    pub(crate) node: u32,
+    pub(crate) lb_sq: f32,
+    /// Undo-log length when this entry was pushed: popping rewinds to it.
+    pub(crate) undo_len: u32,
+    /// Dimension whose side offset this entry replaces (far children), or
+    /// [`NO_APPLY`] (near children: the path state is unchanged).
+    pub(crate) apply_dim: u32,
+    /// New side offset along `apply_dim`.
+    pub(crate) apply_off: f32,
 }
 
 impl QueryWorkspace {
     /// Fresh workspace.
     pub fn new() -> Self {
-        Self { stack: Vec::with_capacity(128), dists: Vec::with_capacity(64) }
+        Self {
+            stack: Vec::with_capacity(128),
+            side: [0.0; MAX_DIMS],
+            undo: Vec::with_capacity(64),
+        }
+    }
+
+    /// Reset for a new query (cheap: clears the stack/log, zeroes the
+    /// live side array).
+    #[inline]
+    pub(crate) fn reset(&mut self, dims: usize) {
+        self.stack.clear();
+        self.undo.clear();
+        self.side[..dims].fill(0.0);
+    }
+
+    /// Rewind the live side array to `entry`'s checkpoint, then apply its
+    /// own side mutation (if any). After this the live array equals the
+    /// root→entry path state exactly.
+    #[inline]
+    pub(crate) fn restore_path(&mut self, e: &Entry) {
+        while self.undo.len() > e.undo_len as usize {
+            let (d, v) = self.undo.pop().expect("undo log underflow");
+            self.side[d as usize] = v;
+        }
+        if e.apply_dim != NO_APPLY {
+            let d = e.apply_dim as usize;
+            self.undo.push((e.apply_dim, self.side[d]));
+            self.side[d] = e.apply_off;
+        }
     }
 }
 
@@ -55,9 +111,16 @@ impl LocalKdTree {
             return Err(PandaError::ZeroK);
         }
         if q.len() != self.dims {
-            return Err(PandaError::DimsMismatch { expected: self.dims, got: q.len() });
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims,
+                got: q.len(),
+            });
         }
-        let radius_sq = if radius.is_finite() { radius * radius } else { f32::INFINITY };
+        let radius_sq = if radius.is_finite() {
+            radius * radius
+        } else {
+            f32::INFINITY
+        };
         let mut heap = KnnHeap::with_radius_sq(k, radius_sq);
         let mut ws = QueryWorkspace::new();
         let mut counters = QueryCounters::default();
@@ -85,11 +148,108 @@ impl LocalKdTree {
         if self.nodes.is_empty() {
             return;
         }
-        ws.stack.clear();
-        ws.stack.push(Entry { node: 0, lb_sq: 0.0, side: [0.0; MAX_DIMS] });
+        ws.reset(self.dims);
+        ws.stack.push(Entry {
+            node: 0,
+            lb_sq: 0.0,
+            undo_len: 0,
+            apply_dim: NO_APPLY,
+            apply_off: 0.0,
+        });
 
         while let Some(e) = ws.stack.pop() {
             // The bound may have tightened since this entry was pushed.
+            // Pruned entries are dropped without touching the side state:
+            // the next expanded entry rewinds to its own checkpoint anyway.
+            if e.lb_sq >= heap.bound_sq() {
+                continue;
+            }
+            let node = self.nodes[e.node as usize];
+            counters.nodes_visited += 1;
+            if node.is_leaf() {
+                // Leaves never read the side array — skip the restore.
+                counters.leaves_scanned += 1;
+                let base = node.a as usize;
+                let n = node.b as usize;
+                let cap = padded(n);
+                let stats = self.leaves.scan_and_offer(base, cap, q, heap);
+                counters.points_scanned += cap as u64;
+                counters.leaf_kernel_calls += 1;
+                counters.kernel_blocks_pruned += stats.pruned_blocks as u64;
+                counters.heap_ops += stats.accepted as u64;
+            } else {
+                ws.restore_path(&e);
+                let dim = node.split_dim as usize;
+                let off = q[dim] - node.split_val;
+                let (near, far) = if off <= 0.0 {
+                    (node.a, node.b)
+                } else {
+                    (node.b, node.a)
+                };
+                let far_lb = match mode {
+                    BoundMode::Exact => {
+                        let old = ws.side[dim];
+                        e.lb_sq - old * old + off * off
+                    }
+                    BoundMode::PaperScalar => e.lb_sq + off * off,
+                };
+                let undo_len = ws.undo.len() as u32;
+                if far_lb < heap.bound_sq() {
+                    ws.stack.push(Entry {
+                        node: far,
+                        lb_sq: far_lb,
+                        undo_len,
+                        apply_dim: dim as u32,
+                        apply_off: off,
+                    });
+                }
+                // Near child pushed last so it is explored first — this is
+                // what makes the bound shrink early (paper §III-C). Its
+                // path state is the current one, unchanged.
+                ws.stack.push(Entry {
+                    node: near,
+                    lb_sq: e.lb_sq,
+                    undo_len,
+                    apply_dim: NO_APPLY,
+                    apply_off: 0.0,
+                });
+            }
+        }
+    }
+}
+
+impl LocalKdTree {
+    /// Reference traversal kept for differential testing and benchmarking:
+    /// the pre-optimization implementation with a full `[f32; MAX_DIMS]`
+    /// side-array copy on every stack push and a two-pass leaf scan
+    /// (`distances()` into a buffer, then a scalar offer loop). Produces
+    /// results bit-identical to [`Self::query_into`]; the perf harness
+    /// (`bench_pr1`, the kernels bench) measures the fused hot path
+    /// against this.
+    pub fn query_into_reference(
+        &self,
+        q: &[f32],
+        heap: &mut KnnHeap,
+        mode: BoundMode,
+        counters: &mut QueryCounters,
+    ) {
+        debug_assert_eq!(q.len(), self.dims);
+        counters.queries += 1;
+        if self.nodes.is_empty() {
+            return;
+        }
+        struct RefEntry {
+            node: u32,
+            lb_sq: f32,
+            side: [f32; MAX_DIMS],
+        }
+        let mut dists: Vec<f32> = Vec::new();
+        let mut stack: Vec<RefEntry> = vec![RefEntry {
+            node: 0,
+            lb_sq: 0.0,
+            side: [0.0; MAX_DIMS],
+        }];
+        while let Some(e) = stack.pop() {
             if e.lb_sq >= heap.bound_sq() {
                 continue;
             }
@@ -98,14 +258,12 @@ impl LocalKdTree {
             if node.is_leaf() {
                 counters.leaves_scanned += 1;
                 let base = node.a as usize;
-                let n = node.b as usize;
-                let cap = padded(n);
-                self.leaves.distances(base, cap, q, &mut ws.dists);
+                let cap = padded(node.b as usize);
+                self.leaves.distances(base, cap, q, &mut dists);
                 counters.points_scanned += cap as u64;
                 let ids = &self.leaves.ids()[base..base + cap];
                 for i in 0..cap {
-                    let d = ws.dists[i];
-                    // Padded slots are +∞ and fail this test.
+                    let d = dists[i];
                     if d < heap.bound_sq() && heap.offer(d, ids[i]) {
                         counters.heap_ops += 1;
                     }
@@ -113,7 +271,11 @@ impl LocalKdTree {
             } else {
                 let dim = node.split_dim as usize;
                 let off = q[dim] - node.split_val;
-                let (near, far) = if off <= 0.0 { (node.a, node.b) } else { (node.b, node.a) };
+                let (near, far) = if off <= 0.0 {
+                    (node.a, node.b)
+                } else {
+                    (node.b, node.a)
+                };
                 let far_lb = match mode {
                     BoundMode::Exact => {
                         let old = e.side[dim];
@@ -124,11 +286,17 @@ impl LocalKdTree {
                 if far_lb < heap.bound_sq() {
                     let mut side = e.side;
                     side[dim] = off;
-                    ws.stack.push(Entry { node: far, lb_sq: far_lb, side });
+                    stack.push(RefEntry {
+                        node: far,
+                        lb_sq: far_lb,
+                        side,
+                    });
                 }
-                // Near child pushed last so it is explored first — this is
-                // what makes the bound shrink early (paper §III-C).
-                ws.stack.push(Entry { node: near, lb_sq: e.lb_sq, side: e.side });
+                stack.push(RefEntry {
+                    node: near,
+                    lb_sq: e.lb_sq,
+                    side: e.side,
+                });
             }
         }
     }
@@ -143,7 +311,12 @@ mod tests {
     use crate::rng::SplitRng;
 
     fn check_matches_brute(ps: &PointSet, tree: &LocalKdTree, q: &[f32], k: usize) {
-        let got: Vec<f32> = tree.query(q, k).unwrap().iter().map(|n| n.dist_sq).collect();
+        let got: Vec<f32> = tree
+            .query(q, k)
+            .unwrap()
+            .iter()
+            .map(|n| n.dist_sq)
+            .collect();
         let expect: Vec<f32> = brute_knn(ps, q, k).iter().map(|p| p.0).collect();
         assert_eq!(got, expect, "k={k} q={q:?}");
     }
@@ -226,7 +399,10 @@ mod tests {
         assert!(matches!(tree.query(&[0.0; 3], 0), Err(PandaError::ZeroK)));
         assert!(matches!(
             tree.query(&[0.0; 2], 1),
-            Err(PandaError::DimsMismatch { expected: 3, got: 2 })
+            Err(PandaError::DimsMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 
@@ -268,7 +444,13 @@ mod tests {
         let mut heap = KnnHeap::new(5);
         let mut ws = QueryWorkspace::new();
         let mut c = QueryCounters::default();
-        tree.query_into(&[5.0, 5.0, 5.0], &mut heap, BoundMode::Exact, &mut ws, &mut c);
+        tree.query_into(
+            &[5.0, 5.0, 5.0],
+            &mut heap,
+            BoundMode::Exact,
+            &mut ws,
+            &mut c,
+        );
         assert_eq!(c.queries, 1);
         assert!(c.nodes_visited > 0);
         assert!(c.leaves_scanned > 0);
@@ -305,6 +487,87 @@ mod tests {
     }
 
     #[test]
+    fn fused_traversal_matches_reference_traversal() {
+        // The optimized path (undo-log stack + fused kernel) must be
+        // indistinguishable from the seed implementation: same results,
+        // same nodes visited, same leaves scanned, same accepted offers.
+        for dims in [2usize, 3, 10, 15] {
+            let ps = random_points(3000, dims, 101 + dims as u64);
+            let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
+            let mut rng = SplitRng::new(55);
+            for _ in 0..20 {
+                let q: Vec<f32> = (0..dims)
+                    .map(|_| (rng.next_f64() * 12.0 - 1.0) as f32)
+                    .collect();
+                for mode in [BoundMode::Exact, BoundMode::PaperScalar] {
+                    let mut h_new = KnnHeap::new(7);
+                    let mut h_ref = KnnHeap::new(7);
+                    let mut ws = QueryWorkspace::new();
+                    let mut c_new = QueryCounters::default();
+                    let mut c_ref = QueryCounters::default();
+                    tree.query_into(&q, &mut h_new, mode, &mut ws, &mut c_new);
+                    tree.query_into_reference(&q, &mut h_ref, mode, &mut c_ref);
+                    let a: Vec<(f32, u64)> = h_new
+                        .into_sorted()
+                        .iter()
+                        .map(|n| (n.dist_sq, n.id))
+                        .collect();
+                    let b: Vec<(f32, u64)> = h_ref
+                        .into_sorted()
+                        .iter()
+                        .map(|n| (n.dist_sq, n.id))
+                        .collect();
+                    assert_eq!(a, b, "dims={dims} mode={mode:?}");
+                    assert_eq!(c_new.nodes_visited, c_ref.nodes_visited);
+                    assert_eq!(c_new.leaves_scanned, c_ref.leaves_scanned);
+                    assert_eq!(c_new.points_scanned, c_ref.points_scanned);
+                    assert_eq!(c_new.heap_ops, c_ref.heap_ops);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_queries_and_trees() {
+        // one workspace driven across many queries and two different trees
+        // must behave exactly like a fresh workspace each time
+        let ps_a = random_points(2000, 3, 61);
+        let ps_b = random_points(1500, 5, 62);
+        let tree_a = LocalKdTree::build(&ps_a, &TreeConfig::default()).unwrap();
+        let tree_b = LocalKdTree::build(&ps_b, &TreeConfig::default()).unwrap();
+        let mut shared = QueryWorkspace::new();
+        let mut rng = SplitRng::new(63);
+        for i in 0..30 {
+            let (dims, tree, ps): (usize, &LocalKdTree, &PointSet) = if i % 2 == 0 {
+                (3, &tree_a, &ps_a)
+            } else {
+                (5, &tree_b, &ps_b)
+            };
+            let q: Vec<f32> = (0..dims).map(|_| (rng.next_f64() * 10.0) as f32).collect();
+            let mut h_shared = KnnHeap::new(4);
+            let mut h_fresh = KnnHeap::new(4);
+            let mut c1 = QueryCounters::default();
+            let mut c2 = QueryCounters::default();
+            tree.query_into(&q, &mut h_shared, BoundMode::Exact, &mut shared, &mut c1);
+            let mut fresh = QueryWorkspace::new();
+            tree.query_into(&q, &mut h_fresh, BoundMode::Exact, &mut fresh, &mut c2);
+            let a: Vec<(f32, u64)> = h_shared
+                .into_sorted()
+                .iter()
+                .map(|n| (n.dist_sq, n.id))
+                .collect();
+            let b: Vec<(f32, u64)> = h_fresh
+                .into_sorted()
+                .iter()
+                .map(|n| (n.dist_sq, n.id))
+                .collect();
+            assert_eq!(a, b, "iteration {i}");
+            let expect: Vec<(f32, u64)> = brute_knn(ps, &q, 4);
+            assert_eq!(a, expect, "iteration {i} vs brute");
+        }
+    }
+
+    #[test]
     fn duplicate_heavy_data_is_exact() {
         // Daya-Bay-like co-location: many identical records
         let mut coords = Vec::new();
@@ -323,10 +586,16 @@ mod tests {
         let ps = PointSet::from_coords(3, coords).unwrap();
         let tree = LocalKdTree::build(&ps, &TreeConfig::default()).unwrap();
         for k in [1usize, 5, 40] {
-            let got: Vec<f32> =
-                tree.query(&[1.0, 2.0, 3.0], k).unwrap().iter().map(|n| n.dist_sq).collect();
-            let expect: Vec<f32> =
-                brute_knn(&ps, &[1.0, 2.0, 3.0], k).iter().map(|p| p.0).collect();
+            let got: Vec<f32> = tree
+                .query(&[1.0, 2.0, 3.0], k)
+                .unwrap()
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
+            let expect: Vec<f32> = brute_knn(&ps, &[1.0, 2.0, 3.0], k)
+                .iter()
+                .map(|p| p.0)
+                .collect();
             assert_eq!(got, expect, "k={k}");
         }
     }

@@ -1,0 +1,122 @@
+//! Morton (Z-order) curve keys for locality-aware query scheduling.
+//!
+//! Sorting a query batch along a space-filling curve makes consecutive
+//! queries spatially adjacent, so they traverse mostly the same tree path
+//! and re-touch the same leaf buckets while those are still cached. The
+//! batch engine ([`crate::knn::KnnIndex::query_batch`]) uses this behind
+//! the [`crate::config::QueryOrder::Morton`] knob; results are always
+//! scattered back to input order, so the reordering is invisible in the
+//! API — it is purely a constant-factor play.
+
+use crate::point::{PointSet, MAX_DIMS};
+
+/// Morton key of one point: each coordinate is quantized to
+/// `⌊63 / dims⌋` bits (capped at 21) against the bounding box `lo`/`scale`
+/// and the bit planes are interleaved MSB-first.
+#[inline]
+pub fn morton_key(p: &[f32], lo: &[f32], scale: &[f64], bits: u32) -> u64 {
+    let dims = p.len();
+    debug_assert!(dims <= MAX_DIMS);
+    let mut cells = [0u64; MAX_DIMS];
+    let max_cell = (1u64 << bits) - 1;
+    for d in 0..dims {
+        let c = ((p[d] - lo[d]) as f64 * scale[d]) as u64;
+        cells[d] = c.min(max_cell);
+    }
+    let mut key = 0u64;
+    for b in (0..bits).rev() {
+        for &cell in cells.iter().take(dims) {
+            key = (key << 1) | ((cell >> b) & 1);
+        }
+    }
+    key
+}
+
+/// Execution schedule visiting `queries` in Morton order: a permutation of
+/// `0..queries.len()` (deterministic; key ties break by input index).
+pub fn morton_schedule(queries: &PointSet) -> Vec<u32> {
+    let n = queries.len();
+    let dims = queries.dims();
+    let Some(bb) = queries.bounding_box() else {
+        return Vec::new();
+    };
+    let bits = (63 / dims as u32).clamp(1, 21);
+    let lo = bb.lo();
+    let scale: Vec<f64> = (0..dims)
+        .map(|d| {
+            let ext = (bb.hi()[d] - bb.lo()[d]) as f64;
+            if ext > 0.0 {
+                ((1u64 << bits) - 1) as f64 / ext
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut keyed: Vec<(u64, u32)> = (0..n)
+        .map(|i| (morton_key(queries.point(i), lo, &scale, bits), i as u32))
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(dims: usize, coords: Vec<f32>) -> PointSet {
+        PointSet::from_coords(dims, coords).unwrap()
+    }
+
+    #[test]
+    fn schedule_is_a_permutation() {
+        let q = ps(3, (0..300).map(|i| ((i * 37) % 100) as f32).collect());
+        let mut s = morton_schedule(&q);
+        assert_eq!(s.len(), 100);
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn nearby_points_are_adjacent_in_schedule() {
+        // two tight clusters far apart: the schedule must not interleave them
+        let mut coords = Vec::new();
+        for i in 0..8 {
+            coords.extend([i as f32 * 0.01, 0.0]); // cluster A near origin
+        }
+        for i in 0..8 {
+            coords.extend([100.0 + i as f32 * 0.01, 100.0]); // cluster B
+        }
+        let q = ps(2, coords);
+        let s = morton_schedule(&q);
+        let first_half: Vec<u32> = s[..8].to_vec();
+        let all_a = first_half.iter().all(|&i| i < 8);
+        let all_b = first_half.iter().all(|&i| i >= 8);
+        assert!(all_a || all_b, "clusters interleaved: {s:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // empty
+        assert!(morton_schedule(&PointSet::new(2).unwrap()).is_empty());
+        // all-identical points: ties break by index, schedule is identity
+        let q = ps(2, [1.0f32, 2.0].repeat(5).to_vec());
+        assert_eq!(morton_schedule(&q), vec![0, 1, 2, 3, 4]);
+        // single point
+        let q = ps(3, vec![1.0, 2.0, 3.0]);
+        assert_eq!(morton_schedule(&q), vec![0]);
+    }
+
+    #[test]
+    fn keys_order_along_the_curve_in_1d() {
+        // in 1-D, Morton order is plain coordinate order
+        let q = ps(1, vec![5.0, 1.0, 9.0, 3.0]);
+        assert_eq!(morton_schedule(&q), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn high_dims_still_fit_in_64_bits() {
+        let q = ps(16, (0..160).map(|i| (i % 13) as f32).collect());
+        let s = morton_schedule(&q);
+        assert_eq!(s.len(), 10);
+    }
+}

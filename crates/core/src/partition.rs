@@ -176,19 +176,28 @@ mod tests {
         let ps = make_ps(&values);
         let mut idx: Vec<u32> = (0..101).collect();
         let v = partition_by_count(&ps, &mut idx, 0, 50);
-        let below = idx[..50].iter().filter(|&&i| ps.coord(i as usize, 0) <= v).count();
+        let below = idx[..50]
+            .iter()
+            .filter(|&&i| ps.coord(i as usize, 0) <= v)
+            .count();
         assert_eq!(below, 50, "left side all ≤ median value");
-        let above = idx[51..].iter().filter(|&&i| ps.coord(i as usize, 0) >= v).count();
+        let above = idx[51..]
+            .iter()
+            .filter(|&&i| ps.coord(i as usize, 0) >= v)
+            .count();
         assert_eq!(above, 50, "right side all ≥ median value");
     }
 
     #[test]
     fn partition_on_higher_dim() {
-        let ps = PointSet::from_coords(3, vec![
-            0.0, 9.0, 0.0, //
-            0.0, 1.0, 0.0, //
-            0.0, 5.0, 0.0, //
-        ])
+        let ps = PointSet::from_coords(
+            3,
+            vec![
+                0.0, 9.0, 0.0, //
+                0.0, 1.0, 0.0, //
+                0.0, 5.0, 0.0, //
+            ],
+        )
         .unwrap();
         let mut idx: Vec<u32> = (0..3).collect();
         let left = partition_in_place(&ps, &mut idx, 1, 4.0);

@@ -27,14 +27,20 @@ impl PointSet {
         if dims == 0 || dims > MAX_DIMS {
             return Err(PandaError::BadDims { dims });
         }
-        Ok(Self { dims, coords: Vec::new(), ids: Vec::new() })
+        Ok(Self {
+            dims,
+            coords: Vec::new(),
+            ids: Vec::new(),
+        })
     }
 
     /// Build from a flat point-major coordinate buffer; ids default to
     /// `0..n`. Validates dimensionality, shape, and finiteness.
     pub fn from_coords(dims: usize, coords: Vec<f32>) -> Result<Self> {
-        let n = if dims == 0 { 0 } else { coords.len() / dims.max(1) };
-        let ids = (0..n as u64).collect();
+        if dims == 0 {
+            return Err(PandaError::BadDims { dims });
+        }
+        let ids = (0..(coords.len() / dims) as u64).collect();
         Self::from_parts(dims, coords, ids)
     }
 
@@ -43,12 +49,18 @@ impl PointSet {
         if dims == 0 || dims > MAX_DIMS {
             return Err(PandaError::BadDims { dims });
         }
-        if coords.len() % dims != 0 {
-            return Err(PandaError::RaggedCoordinates { len: coords.len(), dims });
+        if !coords.len().is_multiple_of(dims) {
+            return Err(PandaError::RaggedCoordinates {
+                len: coords.len(),
+                dims,
+            });
         }
         let n = coords.len() / dims;
         if ids.len() != n {
-            return Err(PandaError::IdCountMismatch { points: n, ids: ids.len() });
+            return Err(PandaError::IdCountMismatch {
+                points: n,
+                ids: ids.len(),
+            });
         }
         let ps = Self { dims, coords, ids };
         ps.validate()?;
@@ -115,7 +127,10 @@ impl PointSet {
     /// Append all points of `other` (must share dimensionality).
     pub fn append(&mut self, other: &PointSet) -> Result<()> {
         if other.dims != self.dims {
-            return Err(PandaError::DimsMismatch { expected: self.dims, got: other.dims });
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims,
+                got: other.dims,
+            });
         }
         self.coords.extend_from_slice(&other.coords);
         self.ids.extend_from_slice(&other.ids);
@@ -139,7 +154,11 @@ impl PointSet {
 
     /// New set containing the selected indices, in order.
     pub fn select(&self, indices: &[u32]) -> PointSet {
-        let mut out = PointSet { dims: self.dims, coords: Vec::new(), ids: Vec::new() };
+        let mut out = PointSet {
+            dims: self.dims,
+            coords: Vec::new(),
+            ids: Vec::new(),
+        };
         out.reserve(indices.len());
         for &i in indices {
             out.push(self.point(i as usize), self.id(i as usize));
@@ -196,7 +215,11 @@ pub struct BoundingBox {
 impl BoundingBox {
     /// An inverted (empty) box that any `expand` will overwrite.
     pub fn empty(dims: usize) -> Self {
-        Self { lo: [f32::INFINITY; MAX_DIMS], hi: [f32::NEG_INFINITY; MAX_DIMS], dims }
+        Self {
+            lo: [f32::INFINITY; MAX_DIMS],
+            hi: [f32::NEG_INFINITY; MAX_DIMS],
+            dims,
+        }
     }
 
     /// Box spanning exactly the given lo/hi corners.
@@ -235,9 +258,9 @@ impl BoundingBox {
     /// Grow to include `p`.
     #[inline]
     pub fn expand(&mut self, p: &[f32]) {
-        for d in 0..self.dims {
-            self.lo[d] = self.lo[d].min(p[d]);
-            self.hi[d] = self.hi[d].max(p[d]);
+        for (d, &v) in p.iter().enumerate().take(self.dims) {
+            self.lo[d] = self.lo[d].min(v);
+            self.hi[d] = self.hi[d].max(v);
         }
     }
 
@@ -260,8 +283,7 @@ impl BoundingBox {
     #[inline]
     pub fn min_dist_sq(&self, q: &[f32]) -> f32 {
         let mut acc = 0.0f32;
-        for d in 0..self.dims {
-            let v = q[d];
+        for (d, &v) in q.iter().enumerate().take(self.dims) {
             let diff = if v < self.lo[d] {
                 self.lo[d] - v
             } else if v > self.hi[d] {
@@ -303,7 +325,20 @@ mod tests {
     #[test]
     fn rejects_bad_shapes() {
         assert!(matches!(PointSet::new(0), Err(PandaError::BadDims { .. })));
-        assert!(matches!(PointSet::new(MAX_DIMS + 1), Err(PandaError::BadDims { .. })));
+        // regression: from_coords must reject dims == 0 outright (it used
+        // to carry a dead dims.max(1) guard past this check)
+        assert!(matches!(
+            PointSet::from_coords(0, vec![]),
+            Err(PandaError::BadDims { dims: 0 })
+        ));
+        assert!(matches!(
+            PointSet::from_coords(0, vec![1.0, 2.0]),
+            Err(PandaError::BadDims { dims: 0 })
+        ));
+        assert!(matches!(
+            PointSet::new(MAX_DIMS + 1),
+            Err(PandaError::BadDims { .. })
+        ));
         assert!(matches!(
             PointSet::from_coords(3, vec![1.0, 2.0]),
             Err(PandaError::RaggedCoordinates { .. })
@@ -317,9 +352,15 @@ mod tests {
     #[test]
     fn rejects_non_finite() {
         let e = PointSet::from_coords(2, vec![0.0, 1.0, f32::NAN, 2.0]);
-        assert_eq!(e.unwrap_err(), PandaError::NonFiniteCoordinate { point: 1, dim: 0 });
+        assert_eq!(
+            e.unwrap_err(),
+            PandaError::NonFiniteCoordinate { point: 1, dim: 0 }
+        );
         let e = PointSet::from_coords(2, vec![0.0, f32::INFINITY]);
-        assert!(matches!(e, Err(PandaError::NonFiniteCoordinate { point: 0, dim: 1 })));
+        assert!(matches!(
+            e,
+            Err(PandaError::NonFiniteCoordinate { point: 0, dim: 1 })
+        ));
     }
 
     #[test]

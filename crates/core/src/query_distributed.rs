@@ -98,7 +98,10 @@ fn charge(comm: &mut Comm, c: &QueryCounters, dims: usize) {
 /// Clock deltas split into (compute, comm+wait).
 fn clock_delta(comm: &Comm, before: panda_comm::ClockSummary) -> (f64, f64) {
     let now = comm.clock();
-    (now.compute - before.compute, (now.comm - before.comm) + (now.wait - before.wait))
+    (
+        now.compute - before.compute,
+        (now.comm - before.comm) + (now.wait - before.wait),
+    )
 }
 
 const QID_SHIFT: u32 = 32;
@@ -147,7 +150,10 @@ pub fn query_distributed(
     queries.validate()?;
     let dims = tree.global.dims();
     if !queries.is_empty() && queries.dims() != dims {
-        return Err(PandaError::DimsMismatch { expected: dims, got: queries.dims() });
+        return Err(PandaError::DimsMismatch {
+            expected: dims,
+            got: queries.dims(),
+        });
     }
     let p = comm.size();
     let me = comm.rank();
@@ -185,7 +191,9 @@ pub fn query_distributed(
 
     // ---- Batched pipeline ----------------------------------------------
     let steps = {
-        let most = comm.world().allreduce_u64(owned.len() as u64, ReduceOp::Max);
+        let most = comm
+            .world()
+            .allreduce_u64(owned.len() as u64, ReduceOp::Max);
         (most as usize).div_ceil(cfg.batch_size)
     };
 
@@ -213,7 +221,8 @@ pub fn query_distributed(
                     f32::INFINITY
                 },
             );
-            tree.local.query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut local_counters);
+            tree.local
+                .query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut local_counters);
             heaps.push(heap);
         }
         charge(comm, &local_counters, dims);
@@ -235,7 +244,8 @@ pub fn query_distributed(
             let q = owned.point(i, dims);
             let r_sq = heaps[bi].bound_sq();
             rank_scratch.clear();
-            tree.global.ranks_in_ball(q, r_sq, use_bbox, &mut rank_scratch, &mut ident_counters);
+            tree.global
+                .ranks_in_ball(q, r_sq, use_bbox, &mut rank_scratch, &mut ident_counters);
             let mut any = false;
             for &r in &rank_scratch {
                 if r == me {
@@ -285,7 +295,8 @@ pub fn query_distributed(
                 let q = &coords[j * stride..j * stride + dims];
                 let r_sq = coords[j * stride + dims];
                 let mut heap = KnnHeap::with_radius_sq(k, r_sq);
-                tree.local.query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut remote_counters);
+                tree.local
+                    .query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut remote_counters);
                 for n in heap.into_sorted() {
                     resp_meta_sends[src].push(rq);
                     resp_meta_sends[src].push(n.id);
@@ -338,7 +349,10 @@ pub fn query_distributed(
         step_compute += d_comp;
         step_comm += d_comm;
 
-        breakdown.steps.push(StepTiming { compute: step_compute, comm: step_comm });
+        breakdown.steps.push(StepTiming {
+            compute: step_compute,
+            comm: step_comm,
+        });
     }
 
     // ---- return results to origins -------------------------------------
@@ -370,7 +384,10 @@ pub fn query_distributed(
             debug_assert!(slot.is_empty(), "duplicate result for qid {rq:#x}");
             slot.reserve(count);
             for _ in 0..count {
-                slot.push(Neighbor { dist_sq: dists[di], id: meta[mi] });
+                slot.push(Neighbor {
+                    dist_sq: dists[di],
+                    id: meta[mi],
+                });
                 mi += 1;
                 di += 1;
             }
@@ -381,7 +398,12 @@ pub fn query_distributed(
     breakdown.merge += d_comp;
     breakdown.comm_total += d_comm;
 
-    Ok(DistQueryResult { neighbors: results, breakdown, counters, remote })
+    Ok(DistQueryResult {
+        neighbors: results,
+        breakdown,
+        counters,
+        remote,
+    })
 }
 
 /// Locate the batch-local index of `rq` within `owned[lo..hi]`, scanning
@@ -410,7 +432,9 @@ mod tests {
         let mut rng = SplitRng::new(seed);
         PointSet::from_coords(
             dims,
-            (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect(),
+            (0..n * dims)
+                .map(|_| (rng.next_f64() * 10.0) as f32)
+                .collect(),
         )
         .unwrap()
     }
@@ -439,7 +463,11 @@ mod tests {
             let mine = scatter(&all, comm.rank(), comm.size());
             let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
             let myq = scatter(&queries, comm.rank(), comm.size());
-            let cfg = QueryConfig { k, batch_size: batch, ..QueryConfig::default() };
+            let cfg = QueryConfig {
+                k,
+                batch_size: batch,
+                ..QueryConfig::default()
+            };
             let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
             // pair each local query with its result distances
             (0..myq.len())
@@ -452,7 +480,10 @@ mod tests {
         for o in &out {
             for (q, dists) in &o.result {
                 let expect = brute(&all, q, k);
-                assert_eq!(dists, &expect, "p={p} dims={dims} k={k} batch={batch} q={q:?}");
+                assert_eq!(
+                    dists, &expect,
+                    "p={p} dims={dims} k={k} batch={batch} q={q:?}"
+                );
             }
         }
     }
@@ -497,7 +528,10 @@ mod tests {
             } else {
                 PointSet::new(3).unwrap()
             };
-            let cfg = QueryConfig { k: 100, ..QueryConfig::default() };
+            let cfg = QueryConfig {
+                k: 100,
+                ..QueryConfig::default()
+            };
             let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
             res.neighbors.first().map(|n| n.len())
         });
@@ -511,8 +545,15 @@ mod tests {
         let out = run_cluster(&ClusterConfig::new(4), |comm| {
             let mine = scatter(&all, comm.rank(), comm.size());
             let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
-            let myq = if comm.rank() == 2 { queries.clone() } else { PointSet::new(3).unwrap() };
-            let cfg = QueryConfig { k: 3, ..QueryConfig::default() };
+            let myq = if comm.rank() == 2 {
+                queries.clone()
+            } else {
+                PointSet::new(3).unwrap()
+            };
+            let cfg = QueryConfig {
+                k: 3,
+                ..QueryConfig::default()
+            };
             let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
             res.neighbors.len()
         });
@@ -532,20 +573,34 @@ mod tests {
                 comm,
                 &tree,
                 &myq,
-                &QueryConfig { k: 5, bbox_routing: true, ..QueryConfig::default() },
+                &QueryConfig {
+                    k: 5,
+                    bbox_routing: true,
+                    ..QueryConfig::default()
+                },
             )
             .unwrap();
             let off = query_distributed(
                 comm,
                 &tree,
                 &myq,
-                &QueryConfig { k: 5, bbox_routing: false, ..QueryConfig::default() },
+                &QueryConfig {
+                    k: 5,
+                    bbox_routing: false,
+                    ..QueryConfig::default()
+                },
             )
             .unwrap();
-            let da: Vec<Vec<f32>> =
-                on.neighbors.iter().map(|v| v.iter().map(|n| n.dist_sq).collect()).collect();
-            let db: Vec<Vec<f32>> =
-                off.neighbors.iter().map(|v| v.iter().map(|n| n.dist_sq).collect()).collect();
+            let da: Vec<Vec<f32>> = on
+                .neighbors
+                .iter()
+                .map(|v| v.iter().map(|n| n.dist_sq).collect())
+                .collect();
+            let db: Vec<Vec<f32>> = off
+                .neighbors
+                .iter()
+                .map(|v| v.iter().map(|n| n.dist_sq).collect())
+                .collect();
             assert_eq!(da, db);
             // bbox routing must not *increase* remote traffic
             (on.remote.remote_pairs_sent, off.remote.remote_pairs_sent)
@@ -563,8 +618,7 @@ mod tests {
             let mine = scatter(&all, comm.rank(), comm.size());
             let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
             let myq = scatter(&queries, comm.rank(), comm.size());
-            let res =
-                query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).unwrap();
+            let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).unwrap();
             (res.breakdown.clone(), res.remote, res.counters)
         });
         let mut owned = 0u64;

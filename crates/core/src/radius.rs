@@ -13,73 +13,100 @@ use crate::build_distributed::DistKdTree;
 use crate::counters::QueryCounters;
 use crate::error::{PandaError, Result};
 use crate::heap::Neighbor;
-use crate::local_tree::LocalKdTree;
-use crate::point::{PointSet, MAX_DIMS};
+use crate::local_tree::{LocalKdTree, QueryWorkspace, TraversalEntry, NO_APPLY};
+use crate::point::PointSet;
 
 impl LocalKdTree {
     /// **All** points strictly within `radius` of `q` (no k cap),
     /// ascending by distance. Exact.
     pub fn query_radius_all(&self, q: &[f32], radius: f32) -> Result<Vec<Neighbor>> {
-        if !(radius > 0.0) {
+        if radius.is_nan() || radius <= 0.0 {
             return Err(PandaError::BadConfig("radius must be positive".into()));
         }
         if q.len() != self.dims() {
-            return Err(PandaError::DimsMismatch { expected: self.dims(), got: q.len() });
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims(),
+                got: q.len(),
+            });
         }
         let mut out = Vec::new();
+        let mut ws = QueryWorkspace::new();
         let mut counters = QueryCounters::default();
-        self.radius_into(q, radius * radius, &mut out, &mut counters);
+        self.radius_into(q, radius * radius, &mut out, &mut ws, &mut counters);
         out.sort_by(|a, b| {
-            a.dist_sq.partial_cmp(&b.dist_sq).expect("finite").then(a.id.cmp(&b.id))
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite")
+                .then(a.id.cmp(&b.id))
         });
         Ok(out)
     }
 
-    /// Core fixed-radius traversal (appends unsorted matches).
+    /// Core fixed-radius traversal (appends unsorted matches). Shares the
+    /// undo-log side-state machinery ([`QueryWorkspace::restore_path`])
+    /// with the KNN traversal; the only difference is the fixed bound —
+    /// the radius never tightens, so no re-check on pop is needed.
     pub(crate) fn radius_into(
         &self,
         q: &[f32],
         r_sq: f32,
         out: &mut Vec<Neighbor>,
+        ws: &mut QueryWorkspace,
         counters: &mut QueryCounters,
     ) {
         counters.queries += 1;
         if self.nodes.is_empty() {
             return;
         }
-        let mut dists: Vec<f32> = Vec::new();
-        let mut stack: Vec<(u32, f32, [f32; MAX_DIMS])> = vec![(0, 0.0, [0.0; MAX_DIMS])];
-        while let Some((ni, lb_sq, side)) = stack.pop() {
-            if lb_sq >= r_sq {
-                continue;
-            }
-            let node = self.nodes[ni as usize];
+        ws.reset(self.dims());
+        ws.stack.push(TraversalEntry {
+            node: 0,
+            lb_sq: 0.0,
+            undo_len: 0,
+            apply_dim: NO_APPLY,
+            apply_off: 0.0,
+        });
+        while let Some(e) = ws.stack.pop() {
+            let node = self.nodes[e.node as usize];
             counters.nodes_visited += 1;
             if node.is_leaf() {
+                // Leaves never read the side array — skip the restore.
                 counters.leaves_scanned += 1;
                 let base = node.a as usize;
                 let cap = crate::local_tree::padded_len(node.b as usize);
-                self.leaves.distances(base, cap, q, &mut dists);
+                let stats = self.leaves.scan_and_collect(base, cap, q, r_sq, out);
                 counters.points_scanned += cap as u64;
-                let ids = &self.leaves.ids()[base..base + cap];
-                for i in 0..cap {
-                    if dists[i] < r_sq {
-                        out.push(Neighbor { dist_sq: dists[i], id: ids[i] });
-                        counters.heap_ops += 1;
-                    }
-                }
+                counters.leaf_kernel_calls += 1;
+                counters.kernel_blocks_pruned += stats.pruned_blocks as u64;
+                counters.heap_ops += stats.accepted as u64;
             } else {
+                ws.restore_path(&e);
                 let dim = node.split_dim as usize;
                 let off = q[dim] - node.split_val;
-                let (near, far) = if off <= 0.0 { (node.a, node.b) } else { (node.b, node.a) };
-                let old = side[dim];
-                let far_lb = lb_sq - old * old + off * off;
+                let (near, far) = if off <= 0.0 {
+                    (node.a, node.b)
+                } else {
+                    (node.b, node.a)
+                };
+                let old = ws.side[dim];
+                let far_lb = e.lb_sq - old * old + off * off;
+                let checkpoint = ws.undo.len() as u32;
                 if far_lb < r_sq {
-                    let mut fs = side;
-                    fs[dim] = off;
-                    stack.push((far, far_lb, fs));
+                    ws.stack.push(TraversalEntry {
+                        node: far,
+                        lb_sq: far_lb,
+                        undo_len: checkpoint,
+                        apply_dim: dim as u32,
+                        apply_off: off,
+                    });
                 }
-                stack.push((near, lb_sq, side));
+                ws.stack.push(TraversalEntry {
+                    node: near,
+                    lb_sq: e.lb_sq,
+                    undo_len: checkpoint,
+                    apply_dim: NO_APPLY,
+                    apply_off: 0.0,
+                });
             }
         }
     }
@@ -94,12 +121,15 @@ pub fn radius_search_distributed(
     queries: &PointSet,
     radius: f32,
 ) -> Result<Vec<Vec<Neighbor>>> {
-    if !(radius > 0.0) {
+    if radius.is_nan() || radius <= 0.0 {
         return Err(PandaError::BadConfig("radius must be positive".into()));
     }
     let dims = tree.global.dims();
     if !queries.is_empty() && queries.dims() != dims {
-        return Err(PandaError::DimsMismatch { expected: dims, got: queries.dims() });
+        return Err(PandaError::DimsMismatch {
+            expected: dims,
+            got: queries.dims(),
+        });
     }
     queries.validate()?;
     let p = comm.size();
@@ -116,7 +146,8 @@ pub fn radius_search_distributed(
     for i in 0..queries.len() {
         let q = queries.point(i);
         targets.clear();
-        tree.global.ranks_in_ball(q, r_sq, true, &mut targets, &mut counters);
+        tree.global
+            .ranks_in_ball(q, r_sq, true, &mut targets, &mut counters);
         for &r in &targets {
             coord_sends[r].extend_from_slice(q);
             qid_sends[r].push(((me as u64) << 32) | i as u64);
@@ -129,11 +160,13 @@ pub fn radius_search_distributed(
     let mut meta_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
     let mut dist_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
     let mut hits = Vec::new();
+    let mut ws = QueryWorkspace::new();
     for (src, (coords, qids)) in coords_in.iter().zip(&qids_in).enumerate() {
         for (j, &rq) in qids.iter().enumerate() {
             let q = &coords[j * dims..(j + 1) * dims];
             hits.clear();
-            tree.local.radius_into(q, r_sq, &mut hits, &mut counters);
+            tree.local
+                .radius_into(q, r_sq, &mut hits, &mut ws, &mut counters);
             for h in &hits {
                 meta_sends[src].push(rq);
                 meta_sends[src].push(h.id);
@@ -142,7 +175,10 @@ pub fn radius_search_distributed(
         }
     }
     let cost = *comm.cost();
-    comm.work_parallel(counters.cpu_seconds(&cost.ops, dims), counters.mem_bytes(dims));
+    comm.work_parallel(
+        counters.cpu_seconds(&cost.ops, dims),
+        counters.mem_bytes(dims),
+    );
     let meta_in = comm.world().alltoallv(meta_sends);
     let dist_in = comm.world().alltoallv(dist_sends);
 
@@ -151,12 +187,18 @@ pub fn radius_search_distributed(
     for (meta, dists) in meta_in.iter().zip(&dist_in) {
         for (pair, &d) in meta.chunks_exact(2).zip(dists) {
             let idx = (pair[0] & 0xFFFF_FFFF) as usize;
-            results[idx].push(Neighbor { dist_sq: d, id: pair[1] });
+            results[idx].push(Neighbor {
+                dist_sq: d,
+                id: pair[1],
+            });
         }
     }
     for r in &mut results {
         r.sort_by(|a, b| {
-            a.dist_sq.partial_cmp(&b.dist_sq).expect("finite").then(a.id.cmp(&b.id))
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite")
+                .then(a.id.cmp(&b.id))
         });
     }
     // sanity: total candidate volume is globally conserved
@@ -176,7 +218,9 @@ mod tests {
         let mut rng = SplitRng::new(seed);
         PointSet::from_coords(
             dims,
-            (0..n * dims).map(|_| (rng.next_f64() * 10.0) as f32).collect(),
+            (0..n * dims)
+                .map(|_| (rng.next_f64() * 10.0) as f32)
+                .collect(),
         )
         .unwrap()
     }
@@ -199,8 +243,12 @@ mod tests {
         for (qseed, r) in [(2u64, 0.5f32), (3, 1.5), (4, 5.0)] {
             let qs = random_ps(1, 3, qseed * 97);
             let q = qs.point(0);
-            let got: Vec<(f32, u64)> =
-                tree.query_radius_all(q, r).unwrap().iter().map(|n| (n.dist_sq, n.id)).collect();
+            let got: Vec<(f32, u64)> = tree
+                .query_radius_all(q, r)
+                .unwrap()
+                .iter()
+                .map(|n| (n.dist_sq, n.id))
+                .collect();
             assert_eq!(got, brute_radius(&ps, q, r), "r={r}");
         }
     }

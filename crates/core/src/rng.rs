@@ -149,7 +149,13 @@ mod tests {
     #[test]
     fn sample_indices_unique_and_in_range() {
         let mut r = SplitRng::new(5);
-        for (n, m) in [(100usize, 10usize), (100, 90), (50, 50), (10, 100), (1000, 5)] {
+        for (n, m) in [
+            (100usize, 10usize),
+            (100, 90),
+            (50, 50),
+            (10, 100),
+            (1000, 5),
+        ] {
             let s = r.sample_indices(n, m);
             assert_eq!(s.len(), m.min(n));
             let mut sorted = s.clone();

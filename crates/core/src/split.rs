@@ -62,6 +62,7 @@ pub fn choose_dim(
 /// histogram, count the full segment, and pick the boundary closest to the
 /// median (or an arbitrary `target` quantile — the global tree uses
 /// unequal targets for non-power-of-two rank groups).
+#[allow(clippy::too_many_arguments)]
 pub fn sampled_split_value(
     ps: &PointSet,
     idx: &[u32],
@@ -74,8 +75,10 @@ pub fn sampled_split_value(
 ) -> SplitDecision {
     let positions = rng.sample_with_replacement(idx.len(), samples.max(2));
     counters.sampled += positions.len() as u64;
-    let sample_vals: Vec<f32> =
-        positions.iter().map(|&p| ps.coord(idx[p as usize] as usize, dim)).collect();
+    let sample_vals: Vec<f32> = positions
+        .iter()
+        .map(|&p| ps.coord(idx[p as usize] as usize, dim))
+        .collect();
     let hist = SampledHistogram::from_samples(sample_vals);
     let counts = hist.count(idx.iter().map(|&i| ps.coord(i as usize, dim)), scan);
     counters.hist_binned += idx.len() as u64;
@@ -87,7 +90,10 @@ pub fn sampled_split_value(
 pub fn mean_first_100(ps: &PointSet, idx: &[u32], dim: usize) -> f32 {
     let n = idx.len().min(100);
     debug_assert!(n > 0);
-    let sum: f64 = idx[..n].iter().map(|&i| ps.coord(i as usize, dim) as f64).sum();
+    let sum: f64 = idx[..n]
+        .iter()
+        .map(|&i| ps.coord(i as usize, dim) as f64)
+        .sum();
     (sum / n as f64) as f32
 }
 
@@ -125,7 +131,14 @@ mod tests {
         let idx: Vec<u32> = (0..2000).collect();
         let mut rng = SplitRng::new(1);
         let mut c = BuildCounters::default();
-        let d = choose_dim(&ps, &idx, S::MaxVariance { sample: 512 }, 0, &mut rng, &mut c);
+        let d = choose_dim(
+            &ps,
+            &idx,
+            S::MaxVariance { sample: 512 },
+            0,
+            &mut rng,
+            &mut c,
+        );
         assert_eq!(d, 0);
         assert!(c.sampled >= 512);
         assert!(c.variance_ops >= 1024);
@@ -157,7 +170,14 @@ mod tests {
         let idx: Vec<u32> = (0..1000).collect();
         let mut c = BuildCounters::default();
         let e = choose_dim(&ps, &idx, S::MaxExtent, 0, &mut SplitRng::new(1), &mut c);
-        let v = choose_dim(&ps, &idx, S::MaxVariance { sample: 1000 }, 0, &mut SplitRng::new(1), &mut c);
+        let v = choose_dim(
+            &ps,
+            &idx,
+            S::MaxVariance { sample: 1000 },
+            0,
+            &mut SplitRng::new(1),
+            &mut c,
+        );
         assert_eq!(e, 0, "extent sees the outlier");
         assert_eq!(v, 1, "variance ignores the outlier");
     }
@@ -178,7 +198,14 @@ mod tests {
         let ps = PointSet::from_coords(1, vec![1.0, 2.0, 3.0]).unwrap();
         let idx: Vec<u32> = (0..3).collect();
         let mut c = BuildCounters::default();
-        let d = choose_dim(&ps, &idx, S::MaxVariance { sample: 8 }, 0, &mut SplitRng::new(1), &mut c);
+        let d = choose_dim(
+            &ps,
+            &idx,
+            S::MaxVariance { sample: 8 },
+            0,
+            &mut SplitRng::new(1),
+            &mut c,
+        );
         assert_eq!(d, 0);
     }
 
@@ -188,14 +215,25 @@ mod tests {
         let idx: Vec<u32> = (0..5000).collect();
         let mut rng = SplitRng::new(2);
         let mut c = BuildCounters::default();
-        let d = sampled_split_value(&ps, &idx, 0, 512, 0.5, HistScan::SubInterval, &mut rng, &mut c);
+        let d = sampled_split_value(
+            &ps,
+            &idx,
+            0,
+            512,
+            0.5,
+            HistScan::SubInterval,
+            &mut rng,
+            &mut c,
+        );
         assert!(!d.degenerate);
         let frac = d.left_count as f64 / d.total as f64;
         assert!((frac - 0.5).abs() < 0.06, "left fraction {frac}");
         assert_eq!(c.hist_binned, 5000);
         // left_count must agree with the predicate `v ≤ split`
-        let exact =
-            idx.iter().filter(|&&i| ps.coord(i as usize, 0) <= d.value).count() as u64;
+        let exact = idx
+            .iter()
+            .filter(|&&i| ps.coord(i as usize, 0) <= d.value)
+            .count() as u64;
         assert_eq!(exact, d.left_count);
     }
 
@@ -215,7 +253,16 @@ mod tests {
         let idx: Vec<u32> = (0..4000).collect();
         let mut rng = SplitRng::new(7);
         let mut c = BuildCounters::default();
-        let d = sampled_split_value(&ps, &idx, 0, 1024, 0.25, HistScan::SubInterval, &mut rng, &mut c);
+        let d = sampled_split_value(
+            &ps,
+            &idx,
+            0,
+            1024,
+            0.25,
+            HistScan::SubInterval,
+            &mut rng,
+            &mut c,
+        );
         let frac = d.left_count as f64 / d.total as f64;
         assert!((frac - 0.25).abs() < 0.05, "left fraction {frac}");
     }

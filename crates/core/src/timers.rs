@@ -129,7 +129,11 @@ impl QueryBreakdown {
 
     /// Total assuming no overlap: every stage strictly sequential.
     pub fn total_synchronous(&self) -> f64 {
-        self.find_owner + self.local_knn + self.identify_remote + self.remote_knn + self.merge
+        self.find_owner
+            + self.local_knn
+            + self.identify_remote
+            + self.remote_knn
+            + self.merge
             + self.comm_total
     }
 
@@ -137,14 +141,21 @@ impl QueryBreakdown {
     /// overlaps adjacent batches: `Σ max(0, comm_s − compute_s)` over steps
     /// (steady-state software-pipeline model).
     pub fn comm_non_overlapped(&self) -> f64 {
-        self.steps.iter().map(|s| (s.comm - s.compute).max(0.0)).sum()
+        self.steps
+            .iter()
+            .map(|s| (s.comm - s.compute).max(0.0))
+            .sum()
     }
 
     /// Total with software pipelining: per-step `max(compute, comm)` plus
     /// the owner-routing prologue.
     pub fn total_pipelined(&self) -> f64 {
         self.find_owner
-            + self.steps.iter().map(|s| s.compute.max(s.comm)).sum::<f64>()
+            + self
+                .steps
+                .iter()
+                .map(|s| s.compute.max(s.comm))
+                .sum::<f64>()
             + self.residual_compute()
     }
 
@@ -168,8 +179,18 @@ impl QueryBreakdown {
     /// Five-way values for the Fig. 5(c) chart: merge folded into remote
     /// KNN, communication as non-overlapped when `pipelined`.
     pub fn figure_values(&self, pipelined: bool) -> [f64; 5] {
-        let comm = if pipelined { self.comm_non_overlapped() } else { self.comm_total };
-        [self.find_owner, self.local_knn, self.identify_remote, self.remote_knn + self.merge, comm]
+        let comm = if pipelined {
+            self.comm_non_overlapped()
+        } else {
+            self.comm_total
+        };
+        [
+            self.find_owner,
+            self.local_knn,
+            self.identify_remote,
+            self.remote_knn + self.merge,
+            comm,
+        ]
     }
 
     /// Element-wise accumulate (steps appended index-wise).
@@ -201,7 +222,10 @@ impl QueryBreakdown {
             steps: self
                 .steps
                 .iter()
-                .map(|s| StepTiming { compute: s.compute * f, comm: s.comm * f })
+                .map(|s| StepTiming {
+                    compute: s.compute * f,
+                    comm: s.comm * f,
+                })
                 .collect(),
         }
     }
@@ -229,8 +253,15 @@ mod tests {
 
     #[test]
     fn build_breakdown_add_max_scale() {
-        let a = BuildBreakdown { global_tree: 1.0, ..Default::default() };
-        let b = BuildBreakdown { global_tree: 3.0, packing: 2.0, ..Default::default() };
+        let a = BuildBreakdown {
+            global_tree: 1.0,
+            ..Default::default()
+        };
+        let b = BuildBreakdown {
+            global_tree: 3.0,
+            packing: 2.0,
+            ..Default::default()
+        };
         let mut sum = a;
         sum.add(&b);
         assert_eq!(sum.global_tree, 4.0);
@@ -251,8 +282,14 @@ mod tests {
             merge: 1.0,
             comm_total: 5.0,
             steps: vec![
-                StepTiming { compute: 5.0, comm: 2.0 }, // comm fully hidden
-                StepTiming { compute: 5.0, comm: 3.0 }, // comm fully hidden
+                StepTiming {
+                    compute: 5.0,
+                    comm: 2.0,
+                }, // comm fully hidden
+                StepTiming {
+                    compute: 5.0,
+                    comm: 3.0,
+                }, // comm fully hidden
             ],
         };
         assert!((q.total_synchronous() - 16.0).abs() < 1e-12);
@@ -270,8 +307,14 @@ mod tests {
             merge: 0.0,
             comm_total: 6.0,
             steps: vec![
-                StepTiming { compute: 1.0, comm: 4.0 },
-                StepTiming { compute: 1.0, comm: 2.0 },
+                StepTiming {
+                    compute: 1.0,
+                    comm: 4.0,
+                },
+                StepTiming {
+                    compute: 1.0,
+                    comm: 2.0,
+                },
             ],
         };
         assert!((q.comm_non_overlapped() - 4.0).abs() < 1e-12);
@@ -301,13 +344,22 @@ mod tests {
     #[test]
     fn add_aligns_steps() {
         let mut a = QueryBreakdown {
-            steps: vec![StepTiming { compute: 1.0, comm: 1.0 }],
+            steps: vec![StepTiming {
+                compute: 1.0,
+                comm: 1.0,
+            }],
             ..Default::default()
         };
         let b = QueryBreakdown {
             steps: vec![
-                StepTiming { compute: 2.0, comm: 0.0 },
-                StepTiming { compute: 3.0, comm: 1.0 },
+                StepTiming {
+                    compute: 2.0,
+                    comm: 0.0,
+                },
+                StepTiming {
+                    compute: 3.0,
+                    comm: 1.0,
+                },
             ],
             ..Default::default()
         };

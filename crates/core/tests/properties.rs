@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use panda_core::config::HistScan;
 use panda_core::hist::SampledHistogram;
+use panda_core::local_tree::{PackedLeaves, LANE};
 use panda_core::partition::{partition_by_count, partition_in_place, partition_stable};
 use panda_core::{KnnHeap, PointSet};
 
@@ -110,6 +111,64 @@ proptest! {
         reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
         reference.truncate(k);
         prop_assert_eq!(got, reference);
+    }
+
+    /// The fused scan-and-offer kernel (both the runtime-dispatched and
+    /// the forced-portable paths) returns exactly the same neighbor sets
+    /// as the scalar reference (`distances()` + offer loop) for every
+    /// dimensionality 1..=16, padded and unpadded bucket sizes, k ∈
+    /// {1, 8, 64}, and queries far outside the data domain — i.e. no
+    /// FP-reassociation regressions in result sets, bit for bit.
+    #[test]
+    fn fused_kernel_equals_scalar_reference(
+        dims in 1usize..=16,
+        // n % LANE == 0 (unpadded) and n % LANE != 0 (padded) both occur
+        n in 1usize..=96,
+        grid in proptest::collection::vec(-40i32..40, 96 * 16),
+        qsel in 0usize..3,
+        qseed in 0u64..1000,
+    ) {
+        let mut pl = PackedLeaves::new(dims);
+        let coord = |i: usize, d: usize| grid[(i * dims + d) % grid.len()] as f32 * 0.25;
+        let base = pl.push_leaf(n, coord, |i| i as u64) as usize;
+        let cap = n.div_ceil(LANE) * LANE;
+
+        // near query / lattice query / far-outside query
+        let q: Vec<f32> = match qsel {
+            0 => (0..dims).map(|d| coord(qseed as usize % n, d)).collect(),
+            1 => (0..dims).map(|d| ((qseed + d as u64) % 19) as f32 - 9.0).collect(),
+            _ => (0..dims).map(|d| 1.0e5 + (qseed + d as u64) as f32).collect(),
+        };
+
+        for k in [1usize, 8, 64] {
+            let mut h_ref = KnnHeap::new(k);
+            let mut h_auto = KnnHeap::new(k);
+            let mut h_port = KnnHeap::new(k);
+
+            // scalar reference: two-pass distances + offer loop
+            let mut dists = Vec::new();
+            pl.distances(base, cap, &q, &mut dists);
+            let mut accepted_ref = 0u32;
+            for (i, &d) in dists.iter().enumerate() {
+                if d < h_ref.bound_sq() && h_ref.offer(d, pl.ids()[base + i]) {
+                    accepted_ref += 1;
+                }
+            }
+
+            let s_auto = pl.scan_and_offer(base, cap, &q, &mut h_auto);
+            let s_port = pl.scan_portable(base, cap, &q, &mut h_port);
+            prop_assert_eq!(s_auto.accepted, accepted_ref);
+            prop_assert_eq!(s_port.accepted, accepted_ref);
+
+            let r: Vec<(f32, u64)> =
+                h_ref.into_sorted().iter().map(|x| (x.dist_sq, x.id)).collect();
+            let a: Vec<(f32, u64)> =
+                h_auto.into_sorted().iter().map(|x| (x.dist_sq, x.id)).collect();
+            let p: Vec<(f32, u64)> =
+                h_port.into_sorted().iter().map(|x| (x.dist_sq, x.id)).collect();
+            prop_assert_eq!(&r, &a, "auto path dims={} n={} k={}", dims, n, k);
+            prop_assert_eq!(&r, &p, "portable path dims={} n={} k={}", dims, n, k);
+        }
     }
 
     /// Bounding boxes: min_dist_sq is 0 inside, positive outside, and

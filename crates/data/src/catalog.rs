@@ -77,8 +77,12 @@ impl Dataset {
     ];
 
     /// All Table-II datasets in paper order.
-    pub const TABLE2: [Dataset; 4] =
-        [Dataset::PsfModMag, Dataset::AllMag, Dataset::CosmoKnl, Dataset::PlasmaKnl];
+    pub const TABLE2: [Dataset; 4] = [
+        Dataset::PsfModMag,
+        Dataset::AllMag,
+        Dataset::CosmoKnl,
+        Dataset::PlasmaKnl,
+    ];
 
     /// The paper's reported attributes and timings.
     pub fn paper_row(&self) -> PaperRow {

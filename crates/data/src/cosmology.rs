@@ -69,8 +69,8 @@ pub fn generate(n: usize, params: &CosmologyParams, seed: u64) -> PointSet {
         let (center, radius, level) = stack.pop().expect("non-empty stack");
         if level == 0 {
             // emit one particle at the sphere center, clamped into the box
-            for d in 0..3 {
-                coords.push(center[d].rem_euclid(params.box_size));
+            for c in center {
+                coords.push(c.rem_euclid(params.box_size));
             }
             emitted += 1;
             continue;
@@ -152,22 +152,30 @@ mod tests {
                 cells[cell] += 1;
             }
             let expect = ps.len() as f64 / 512.0;
-            let dense_cells: usize =
-                cells.iter().filter(|&&c| c as f64 > 4.0 * expect).count();
+            let dense_cells: usize = cells.iter().filter(|&&c| c as f64 > 4.0 * expect).count();
             let in_dense: u32 = cells.iter().filter(|&&c| c as f64 > 4.0 * expect).sum();
             (dense_cells, in_dense as f64 / ps.len() as f64)
         };
         let (_, clumpy_frac) = occupancy(&clumpy);
         let (_, flat_frac) = occupancy(&flat);
         assert!(clumpy_frac > 0.3, "clustered mass fraction {clumpy_frac}");
-        assert!(flat_frac < 0.02, "uniform should have no dense cells, got {flat_frac}");
+        assert!(
+            flat_frac < 0.02,
+            "uniform should have no dense cells, got {flat_frac}"
+        );
     }
 
     #[test]
     fn background_fraction_zero_and_high() {
-        let p0 = CosmologyParams { background: 0.0, ..Default::default() };
+        let p0 = CosmologyParams {
+            background: 0.0,
+            ..Default::default()
+        };
         assert_eq!(generate(1000, &p0, 3).len(), 1000);
-        let p1 = CosmologyParams { background: 0.9, ..Default::default() };
+        let p1 = CosmologyParams {
+            background: 0.9,
+            ..Default::default()
+        };
         assert_eq!(generate(1000, &p1, 3).len(), 1000);
     }
 }

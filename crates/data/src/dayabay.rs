@@ -120,7 +120,11 @@ pub fn generate(n: usize, params: &DayaBayParams, seed: u64) -> LabeledPoints {
         points.push(&p, i as u64);
         labels.push(label);
     }
-    LabeledPoints { points, labels, n_classes: params.classes as u32 }
+    LabeledPoints {
+        points,
+        labels,
+        n_classes: params.classes as u32,
+    }
 }
 
 /// Standard normal via Box–Muller (SmallRng-friendly, no extra deps).
@@ -169,7 +173,10 @@ mod tests {
 
     #[test]
     fn no_colocations_when_disabled() {
-        let p = DayaBayParams { colocate_frac: 0.0, ..Default::default() };
+        let p = DayaBayParams {
+            colocate_frac: 0.0,
+            ..Default::default()
+        };
         let lp = generate(3000, &p, 3);
         let mut rows: Vec<Vec<u32>> = (0..lp.len())
             .map(|i| lp.points.point(i).iter().map(|v| v.to_bits()).collect())

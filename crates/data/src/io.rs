@@ -88,7 +88,12 @@ fn read_header(r: &mut impl Read) -> Result<Header> {
     let mut flag = [0u8; 1];
     r.read_exact(&mut flag)?;
     let n_classes = r_u32(r)?;
-    Ok(Header { dims, n, has_labels: flag[0] != 0, n_classes })
+    Ok(Header {
+        dims,
+        n,
+        has_labels: flag[0] != 0,
+        n_classes,
+    })
 }
 
 fn read_body(r: &mut impl Read, h: &Header) -> Result<(PointSet, Option<Vec<u32>>)> {

@@ -42,7 +42,11 @@ impl LabeledPoints {
         let mut train = PointSet::new(dims).expect("valid dims");
         let mut test = PointSet::new(dims).expect("valid dims");
         for i in 0..self.points.len() {
-            let dst = if rng.gen_bool(test_frac) { &mut test } else { &mut train };
+            let dst = if rng.gen_bool(test_frac) {
+                &mut test
+            } else {
+                &mut train
+            };
             dst.push(self.points.point(i), self.points.id(i));
         }
         (train, test)
@@ -65,7 +69,11 @@ mod tests {
     fn toy() -> LabeledPoints {
         let points = crate::uniform::generate(1000, 2, 1.0, 1);
         let labels = (0..1000).map(|i| (i % 3) as u32).collect();
-        LabeledPoints { points, labels, n_classes: 3 }
+        LabeledPoints {
+            points,
+            labels,
+            n_classes: 3,
+        }
     }
 
     #[test]
@@ -81,7 +89,11 @@ mod tests {
         let lp = toy();
         let (train, test) = lp.split(0.3, 9);
         assert_eq!(train.len() + test.len(), 1000);
-        assert!(test.len() > 200 && test.len() < 400, "test size {}", test.len());
+        assert!(
+            test.len() > 200 && test.len() < 400,
+            "test size {}",
+            test.len()
+        );
         let mut ids: Vec<u64> = train.ids().iter().chain(test.ids()).copied().collect();
         ids.sort_unstable();
         ids.dedup();

@@ -27,7 +27,12 @@ pub struct PlasmaParams {
 
 impl Default for PlasmaParams {
     fn default() -> Self {
-        Self { extent: [2.5, 2.5, 1.0], delta: 0.04, sheets: 2, background: 0.12 }
+        Self {
+            extent: [2.5, 2.5, 1.0],
+            delta: 0.04,
+            sheets: 2,
+            background: 0.12,
+        }
     }
 }
 
@@ -75,7 +80,11 @@ mod tests {
 
     #[test]
     fn mass_concentrates_near_sheets() {
-        let p = PlasmaParams { sheets: 2, background: 0.1, ..Default::default() };
+        let p = PlasmaParams {
+            sheets: 2,
+            background: 0.1,
+            ..Default::default()
+        };
         let ps = generate(40_000, &p, 2);
         let lz = p.extent[2];
         let (z1, z2) = (lz * 0.25, lz * 0.75);
@@ -92,7 +101,11 @@ mod tests {
 
     #[test]
     fn single_sheet_centers_mass() {
-        let p = PlasmaParams { sheets: 1, background: 0.0, ..Default::default() };
+        let p = PlasmaParams {
+            sheets: 1,
+            background: 0.0,
+            ..Default::default()
+        };
         let ps = generate(20_000, &p, 3);
         let lz = p.extent[2];
         let mean_z: f64 =
@@ -115,7 +128,10 @@ mod tests {
         let var = |d: usize| {
             let n = ps.len() as f64;
             let mean: f64 = (0..ps.len()).map(|i| ps.point(i)[d] as f64).sum::<f64>() / n;
-            (0..ps.len()).map(|i| (ps.point(i)[d] as f64 - mean).powi(2)).sum::<f64>() / n
+            (0..ps.len())
+                .map(|i| (ps.point(i)[d] as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n
         };
         // normalized by extent²
         let nx = var(0) / (p.extent[0] as f64).powi(2);

@@ -47,8 +47,10 @@ pub fn generate(n: usize, variant: SdssVariant, seed: u64) -> PointSet {
     for _ in 0..n {
         let (center, spread, ext_scale) = loci[usize::from(rng.gen_bool(0.45))];
         let r_mag = 16.0 + 4.5 * rng.gen::<f32>() + gauss(&mut rng) * 0.8; // r-band
-        let colors: Vec<f32> =
-            center.iter().map(|c| c + gauss(&mut rng) * spread).collect();
+        let colors: Vec<f32> = center
+            .iter()
+            .map(|c| c + gauss(&mut rng) * spread)
+            .collect();
         // bands from r and colors: u, g, r, i, z
         let u = r_mag + colors[2] + colors[0];
         let g = r_mag + colors[0];
@@ -127,7 +129,10 @@ mod tests {
         let ps = generate(2000, SdssVariant::AllMag, 3);
         let bb = ps.bounding_box().unwrap();
         for d in 0..15 {
-            assert!(bb.lo()[d] > 5.0 && bb.hi()[d] < 35.0, "band {d} out of range");
+            assert!(
+                bb.lo()[d] > 5.0 && bb.hi()[d] < 35.0,
+                "band {d} out of range"
+            );
         }
     }
 }

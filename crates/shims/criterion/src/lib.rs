@@ -1,0 +1,237 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple measurement loop: warm up,
+//! run `sample_size` samples, report best/mean per-iteration time to
+//! stdout. No statistical analysis, baselines, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Best observed per-iteration nanoseconds (filled by `iter`).
+    best_ns: f64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`: a short warm-up, then `samples` timed runs.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up: page faults, lazy init
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            // batch very fast closures so timer resolution doesn't dominate
+            let mut iters = 1u64;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                let dt = start.elapsed();
+                if dt >= Duration::from_micros(20) || iters >= 1 << 20 {
+                    let ns = dt.as_secs_f64() * 1e9 / iters as f64;
+                    best = best.min(ns);
+                    total += dt.as_secs_f64() * 1e9;
+                    total_iters += iters;
+                    break;
+                }
+                iters *= 4;
+            }
+        }
+        self.best_ns = best;
+        self.mean_ns = total / total_iters as f64;
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        best_ns: f64::NAN,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    println!(
+        "bench: {label:<48} best {:>12.1} ns/iter  mean {:>12.1} ns/iter",
+        b.best_ns, b.mean_ns
+    );
+}
+
+/// Top-level benchmark manager (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _c: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Either a `&str` or a [`BenchmarkId`] as a benchmark label.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+/// Define a benchmark group function (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_finite_times() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1u8)));
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

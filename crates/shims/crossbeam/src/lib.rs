@@ -1,0 +1,60 @@
+//! Offline stand-in for [crossbeam](https://crates.io/crates/crossbeam).
+//!
+//! The simulated cluster only needs unbounded MPSC channels with
+//! `send` / `recv_timeout` / `try_recv`, which `std::sync::mpsc` provides
+//! with identical semantics (cloneable `Sender`, single-consumer
+//! `Receiver`, matching `RecvTimeoutError` variants). This shim re-exports
+//! them under crossbeam's module paths.
+
+/// Channel types under crossbeam's `channel` path.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+    /// Unbounded channel (mirrors `crossbeam::channel::unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(42u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 42);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn senders_clone_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

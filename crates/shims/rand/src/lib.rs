@@ -1,0 +1,245 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand).
+//!
+//! Provides the exact subset the workspace's dataset generators use:
+//! `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen_range` (half-open and inclusive ranges over f32/f64/ints),
+//! `gen_bool`, and `gen::<f32/f64>()`. The generator is xoshiro256++,
+//! seeded through SplitMix64 — deterministic across platforms, which is
+//! all the synthetic-dataset generators need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a reproducible generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG types (mirrors `rand::rngs`).
+pub mod rngs {
+    /// A small, fast, non-cryptographic RNG (xoshiro256++ here).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::SmallRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl SmallRng {
+    #[inline]
+    fn next_u64_impl(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type samplable uniformly from `[0, 1)` (supports `rng.gen::<T>()`).
+pub trait Standard01 {
+    /// Map 64 random bits to a uniform value in `[0, 1)`.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard01 for f32 {
+    #[inline]
+    fn from_bits(bits: u64) -> f32 {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard01 for f64 {
+    #[inline]
+    fn from_bits(bits: u64) -> f64 {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`] producing `T`.
+/// Generic over the output type (like rand's `SampleRange<T>`) so that
+/// `let x: f32 = rng.gen_range(0.0..1.0)` infers the literal type from
+/// the binding.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! float_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                debug_assert!(self.start < self.end, "empty range");
+                let u = <$t as Standard01>::from_bits(rng.next_u64_impl());
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                debug_assert!(lo <= hi, "empty range");
+                let u = <$t as Standard01>::from_bits(rng.next_u64_impl());
+                lo + (hi - lo) * u
+            }
+        }
+    };
+}
+float_range!(f32);
+float_range!(f64);
+
+macro_rules! int_range {
+    ($t:ty) => {
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64_impl() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64_impl() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    };
+}
+int_range!(usize);
+int_range!(u64);
+int_range!(u32);
+int_range!(i64);
+int_range!(i32);
+
+/// The sampling interface (mirrors `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a range (see [`SampleRange`] for accepted types).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Bernoulli draw with success probability `p` (must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+
+    /// Uniform draw from `[0, 1)` for float types.
+    fn gen<T: Standard01>(&mut self) -> T;
+}
+
+impl Rng for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::from_bits_01(self.next_u64_impl()) < p
+    }
+
+    #[inline]
+    fn gen<T: Standard01>(&mut self) -> T {
+        T::from_bits(self.next_u64_impl())
+    }
+}
+
+trait BitsToUnit {
+    fn from_bits_01(bits: u64) -> f64;
+}
+impl BitsToUnit for f64 {
+    #[inline]
+    fn from_bits_01(bits: u64) -> f64 {
+        <f64 as Standard01>::from_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.0f32..3.0);
+            assert!((2.0..3.0).contains(&f));
+            let g = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let i = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&i));
+            let n = rng.gen_range(-3i32..4);
+            assert!((-3..4).contains(&n));
+            let u: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads={heads}");
+    }
+
+    #[test]
+    fn integer_ranges_hit_all_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

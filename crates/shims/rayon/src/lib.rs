@@ -1,0 +1,320 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access, so this crate provides the
+//! exact parallel-iterator subset the workspace uses — `into_par_iter` /
+//! `par_iter`, `map`, `fold`, `zip`, `with_min_len`, `collect` — executed
+//! on real OS threads via `std::thread::scope`. Semantics mirror rayon
+//! where the workspace depends on them:
+//!
+//! * `fold` produces one accumulator per contiguous chunk, chunks are in
+//!   index order, and folding within a chunk is in index order (the
+//!   batched-query engine relies on this to reassemble results).
+//! * `map` is applied in parallel chunks; `collect` concatenates chunk
+//!   outputs in index order.
+//! * `collect::<Result<_, E>>()` short-circuits on the first error by
+//!   index order, like sequential `collect`.
+//!
+//! Unlike rayon there is no work-stealing pool: each parallel call spawns
+//! scoped threads over even chunks. `RAYON_NUM_THREADS` is honored.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel call fans out to.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Re-exports that mirror `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A materialized "parallel" iterator: items are staged in a vector and
+/// each adapter executes eagerly across scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+/// Conversion into a [`ParIter`] (mirrors rayon's trait of the same name).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item;
+    /// Stage `self` for parallel execution.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `par_iter()` on borrowed collections (mirrors rayon).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item;
+    /// Stage `&self` for parallel execution.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+            min_len: 1,
+        }
+    }
+}
+
+/// Split `items` into at most `current_num_threads()` contiguous chunks of
+/// at least `min_len` items and run `work` on each chunk on its own scoped
+/// thread; chunk outputs are returned in index order.
+fn run_chunks<T: Send, U: Send>(
+    items: Vec<T>,
+    min_len: usize,
+    work: impl Fn(Vec<T>) -> U + Sync,
+) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().max(1);
+    let chunk = n.div_ceil(threads).max(min_len.max(1));
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    if chunks.len() == 1 {
+        let c = chunks.pop().expect("one chunk");
+        return vec![work(c)];
+    }
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || work(c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+impl<T: Send> ParIter<T> {
+    /// Lower bound on per-thread chunk length (mirrors rayon's
+    /// `with_min_len`: limits splitting so tiny work items amortize).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Parallel map, preserving index order.
+    pub fn map<U: Send, F>(self, f: F) -> ParIter<U>
+    where
+        F: Fn(T) -> U + Sync,
+    {
+        let min_len = self.min_len;
+        let out = run_chunks(self.items, min_len, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<U>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    /// Parallel chunked fold: one accumulator per chunk, in index order
+    /// (rayon's contract, which the query batcher relies on).
+    pub fn fold<Acc: Send, Id, F>(self, identity: Id, fold_op: F) -> ParIter<Acc>
+    where
+        Id: Fn() -> Acc + Sync,
+        F: Fn(Acc, T) -> Acc + Sync,
+    {
+        let min_len = self.min_len;
+        let out = run_chunks(self.items, min_len, |chunk| {
+            chunk.into_iter().fold(identity(), &fold_op)
+        });
+        ParIter {
+            items: out,
+            min_len,
+        }
+    }
+
+    /// Pairwise zip with another staged iterator.
+    pub fn zip<U, I>(self, other: I) -> ParIter<(T, U)>
+    where
+        U: Send,
+        I: IntoParallelIterator<Item = U>,
+    {
+        let min_len = self.min_len;
+        let b = other.into_par_iter();
+        ParIter {
+            items: self.items.into_iter().zip(b.items).collect(),
+            min_len,
+        }
+    }
+
+    /// Collect the staged items (already computed by the eager adapters).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` mirrors the real crate; all
+/// methods live on [`ParIter`] directly.
+pub trait ParallelIterator {}
+impl<T> ParallelIterator for ParIter<T> {}
+
+/// Run two closures, potentially in parallel, returning both results
+/// (mirrors `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_chunks_cover_in_order() {
+        let folded: Vec<Vec<usize>> = (0..100usize)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, i| {
+                acc.push(i);
+                acc
+            })
+            .collect();
+        let flat: Vec<usize> = folded.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_result_collect() {
+        let a = vec![1, 2, 3];
+        let b = vec![10, 20, 30];
+        let s: Vec<i32> = a
+            .into_par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| x + *y)
+            .collect();
+        assert_eq!(s, vec![11, 22, 33]);
+
+        let ok: Result<Vec<i32>, ()> = vec![1, 2].into_par_iter().map(Ok).collect();
+        assert_eq!(ok, Ok(vec![1, 2]));
+        let err: Result<Vec<i32>, i32> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| if x == 2 { Err(2) } else { Ok(x) })
+            .collect();
+        assert_eq!(err, Err(2));
+    }
+
+    #[test]
+    fn with_min_len_accepted() {
+        let v: Vec<usize> = (0..10usize)
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|i| i)
+            .collect();
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

@@ -37,8 +37,14 @@ fn main() -> panda::core::Result<()> {
         cm_weighted.record(truth, predw);
     }
 
-    println!("\nmajority vote (k=5):  accuracy {:.1}%  (paper: 87%)", cm.accuracy() * 100.0);
-    println!("distance-weighted:    accuracy {:.1}%", cm_weighted.accuracy() * 100.0);
+    println!(
+        "\nmajority vote (k=5):  accuracy {:.1}%  (paper: 87%)",
+        cm.accuracy() * 100.0
+    );
+    println!(
+        "distance-weighted:    accuracy {:.1}%",
+        cm_weighted.accuracy() * 100.0
+    );
     println!("\nper-class recall:    {:?}", fmt_pct(&cm.recall()));
     println!("per-class precision: {:?}", fmt_pct(&cm.precision()));
     Ok(())

@@ -24,8 +24,7 @@ fn main() {
         queries.len(),
     );
 
-    let cluster =
-        ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
+    let cluster = ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
     let outcomes = run_cluster(&cluster, |comm| {
         // Each rank starts with an arbitrary slice of the data …
         let mine = scatter(&points, comm.rank(), comm.size());
@@ -35,7 +34,13 @@ fn main() {
         let t_build = comm.now();
         let myq = scatter(&queries, comm.rank(), comm.size());
         let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).expect("query");
-        (t_build, tree.breakdown, res.breakdown, res.remote, tree.points.len())
+        (
+            t_build,
+            tree.breakdown,
+            res.breakdown,
+            res.remote,
+            tree.points.len(),
+        )
     });
 
     let build_makespan = outcomes.iter().map(|o| o.result.0).fold(0.0, f64::max);

@@ -74,7 +74,10 @@ fn main() -> panda::core::Result<()> {
         }
     }
     halos.sort_by_key(|&(_, m)| std::cmp::Reverse(m));
-    println!("\nfound {} halo cores with ≥ 20 members; top 10:", halos.len());
+    println!(
+        "\nfound {} halo cores with ≥ 20 members; top 10:",
+        halos.len()
+    );
     for (rank, (seed, members)) in halos.iter().take(10).enumerate() {
         let p = points.point(*seed);
         println!(
@@ -87,6 +90,9 @@ fn main() -> panda::core::Result<()> {
             densities[*seed] / median,
         );
     }
-    assert!(!halos.is_empty(), "a clustered realization must contain halos");
+    assert!(
+        !halos.is_empty(),
+        "a clustered realization must contain halos"
+    );
     Ok(())
 }

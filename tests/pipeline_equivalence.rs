@@ -21,38 +21,82 @@ fn run_with(cfg: QueryConfig, ranks: usize, seed: u64) -> Vec<Vec<f32>> {
             .map(|i| {
                 (
                     myq.id(i),
-                    res.neighbors[i].iter().map(|n| n.dist_sq).collect::<Vec<f32>>(),
+                    res.neighbors[i]
+                        .iter()
+                        .map(|n| n.dist_sq)
+                        .collect::<Vec<f32>>(),
                 )
             })
             .collect::<Vec<_>>()
     });
     // reassemble in global query order
-    let mut by_id: Vec<(u64, Vec<f32>)> =
-        out.into_iter().flat_map(|o| o.result).collect();
+    let mut by_id: Vec<(u64, Vec<f32>)> = out.into_iter().flat_map(|o| o.result).collect();
     by_id.sort_by_key(|(id, _)| *id);
     by_id.into_iter().map(|(_, d)| d).collect()
 }
 
 #[test]
 fn batch_size_is_result_invariant() {
-    let base = run_with(QueryConfig { batch_size: 4096, ..QueryConfig::with_k(5) }, 4, 1);
+    let base = run_with(
+        QueryConfig {
+            batch_size: 4096,
+            ..QueryConfig::with_k(5)
+        },
+        4,
+        1,
+    );
     for batch in [1usize, 7, 64, 1000] {
-        let got = run_with(QueryConfig { batch_size: batch, ..QueryConfig::with_k(5) }, 4, 1);
+        let got = run_with(
+            QueryConfig {
+                batch_size: batch,
+                ..QueryConfig::with_k(5)
+            },
+            4,
+            1,
+        );
         assert_eq!(got, base, "batch={batch}");
     }
 }
 
 #[test]
 fn pipeline_flag_is_result_invariant() {
-    let on = run_with(QueryConfig { pipeline: true, ..QueryConfig::with_k(5) }, 4, 2);
-    let off = run_with(QueryConfig { pipeline: false, ..QueryConfig::with_k(5) }, 4, 2);
+    let on = run_with(
+        QueryConfig {
+            pipeline: true,
+            ..QueryConfig::with_k(5)
+        },
+        4,
+        2,
+    );
+    let off = run_with(
+        QueryConfig {
+            pipeline: false,
+            ..QueryConfig::with_k(5)
+        },
+        4,
+        2,
+    );
     assert_eq!(on, off);
 }
 
 #[test]
 fn bbox_routing_is_result_invariant() {
-    let on = run_with(QueryConfig { bbox_routing: true, ..QueryConfig::with_k(5) }, 4, 3);
-    let off = run_with(QueryConfig { bbox_routing: false, ..QueryConfig::with_k(5) }, 4, 3);
+    let on = run_with(
+        QueryConfig {
+            bbox_routing: true,
+            ..QueryConfig::with_k(5)
+        },
+        4,
+        3,
+    );
+    let off = run_with(
+        QueryConfig {
+            bbox_routing: false,
+            ..QueryConfig::with_k(5)
+        },
+        4,
+        3,
+    );
     assert_eq!(on, off);
 }
 
@@ -68,12 +112,18 @@ fn rank_count_is_result_invariant() {
 #[test]
 fn paper_scalar_bound_never_invents_closer_neighbors() {
     let exact = run_with(
-        QueryConfig { bound_mode: BoundMode::Exact, ..QueryConfig::with_k(5) },
+        QueryConfig {
+            bound_mode: BoundMode::Exact,
+            ..QueryConfig::with_k(5)
+        },
         4,
         5,
     );
     let scalar = run_with(
-        QueryConfig { bound_mode: BoundMode::PaperScalar, ..QueryConfig::with_k(5) },
+        QueryConfig {
+            bound_mode: BoundMode::PaperScalar,
+            ..QueryConfig::with_k(5)
+        },
         4,
         5,
     );
@@ -92,5 +142,8 @@ fn paper_scalar_bound_never_invents_closer_neighbors() {
     }
     // On smooth 3-D data the scalar bound is almost always right — the
     // ablation exists to show "almost", not "always".
-    println!("paper-scalar mismatched {mismatches} of {} neighbor slots", 5 * exact.len());
+    println!(
+        "paper-scalar mismatched {mismatches} of {} neighbor slots",
+        5 * exact.len()
+    );
 }

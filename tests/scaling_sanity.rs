@@ -12,8 +12,7 @@ use panda::data::{cosmology, queries_from, scatter};
 fn run_times(ranks: usize, n: usize, seed: u64) -> (f64, f64) {
     let all = cosmology::generate(n, &Default::default(), seed);
     let queries = queries_from(&all, n / 10, 0.01, seed + 1);
-    let cluster =
-        ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
+    let cluster = ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
     let out = run_cluster(&cluster, |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
         let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
@@ -104,7 +103,10 @@ fn modeled_thread_scaling_bands() {
     let c1 = index.tree().modeled_build_at(&cost, 1, false).total();
     let c24 = index.tree().modeled_build_at(&cost, 24, false).total();
     let cs = c1 / c24;
-    assert!((14.0..=24.0).contains(&cs), "modeled construction speedup {cs}");
+    assert!(
+        (14.0..=24.0).contains(&cs),
+        "modeled construction speedup {cs}"
+    );
 
     let q1 = index.modeled_query_time_at(&counters, &cost, 1, false);
     let q24 = index.modeled_query_time_at(&counters, &cost, 24, false);
@@ -113,7 +115,10 @@ fn modeled_thread_scaling_bands() {
 
     let q24smt = index.modeled_query_time_at(&counters, &cost, 24, true);
     let smt_gain = q24 / q24smt;
-    assert!((1.2..=1.8).contains(&smt_gain), "modeled SMT gain {smt_gain}");
+    assert!(
+        (1.2..=1.8).contains(&smt_gain),
+        "modeled SMT gain {smt_gain}"
+    );
 }
 
 #[test]
@@ -130,5 +135,8 @@ fn communication_grows_with_ranks() {
         });
         totals.push(panda::comm::total_stats(&out).total_bytes());
     }
-    assert!(totals[1] > totals[0], "more ranks → more traffic: {totals:?}");
+    assert!(
+        totals[1] > totals[0],
+        "more ranks → more traffic: {totals:?}"
+    );
 }
