@@ -1,12 +1,13 @@
 //! ANN-style kd-tree (paper §V-B2): "ANN … uses upper and lower bound of
-//! each dimension and select[s] the dimension with maximum difference.
+//! each dimension and select\[s\] the dimension with maximum difference.
 //! Then it takes the average of the lower and upper values of that
 //! dimension to compute median." Midpoint splits degrade badly on
 //! co-located data (the paper measured depth 109 vs FLANN's 32 on the
 //! Daya Bay dataset); the reproduction includes ANN's sliding-midpoint
 //! rescue and a depth cap.
 
-use panda_core::{Neighbor, PointSet, QueryCounters, Result};
+use panda_core::engine::{NnBackend, QueryRequest, QueryResponse};
+use panda_core::{Neighbor, PointSet, QueryCounters, Result, TreeConfig};
 
 use crate::simple_tree::{Heuristic, SimpleKdTree, SimpleTreeStats};
 
@@ -42,6 +43,11 @@ impl AnnLikeTree {
     /// Batched queries. The paper did **not** parallelize ANN ("the code
     /// uses many global variables … making the code unsuitable for
     /// parallelization"), so only a sequential batch is offered.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `NnBackend` trait: `backend.query(&QueryRequest::knn(queries, k))` \
+                returns a CSR `QueryResponse`"
+    )]
     pub fn query_batch(
         &self,
         queries: &PointSet,
@@ -63,6 +69,30 @@ impl AnnLikeTree {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.inner.len() == 0
+    }
+}
+
+impl NnBackend for AnnLikeTree {
+    fn build(points: &PointSet, _cfg: &TreeConfig) -> Result<Self> {
+        AnnLikeTree::build(points)
+    }
+
+    fn query(&self, req: &QueryRequest<'_>) -> Result<QueryResponse> {
+        // ANN's query loop is never parallelized (§V-B2); the request's
+        // `parallel` knob is ignored, not an error.
+        self.inner.query_session(req, false)
+    }
+
+    fn name(&self) -> &'static str {
+        "ann-like"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.dims()
     }
 }
 

@@ -4,19 +4,33 @@
 //! distance ties resolve identically to PANDA's strict-`<` heap rule —
 //! which is what lets the test suite compare results bit-for-bit.
 
-use panda_core::{KnnHeap, Neighbor, PandaError, PointSet, Result};
+use panda_core::engine::{NeighborTable, NnBackend, QueryRequest, QueryResponse};
+use panda_core::{KnnHeap, Neighbor, PandaError, PointSet, QueryCounters, Result, TreeConfig};
 use rayon::prelude::*;
 
-/// Brute-force scanner over a point set.
+/// Brute-force scanner over an owned copy of the point set.
 #[derive(Clone, Debug)]
-pub struct BruteForce<'a> {
-    points: &'a PointSet,
+pub struct BruteForce {
+    points: PointSet,
 }
 
-impl<'a> BruteForce<'a> {
-    /// Wrap a point set (no preprocessing — that is the point).
-    pub fn new(points: &'a PointSet) -> Self {
-        Self { points }
+impl BruteForce {
+    /// Copy the point set. The copy is the only cost: there is no
+    /// acceleration structure to build — that is the point.
+    pub fn new(points: &PointSet) -> Self {
+        Self {
+            points: points.clone(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
     }
 
     /// `k` nearest neighbors of `q`, ascending distance.
@@ -48,28 +62,89 @@ impl<'a> BruteForce<'a> {
     }
 
     /// Batched queries, optionally rayon-parallel over queries.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `NnBackend` trait: `backend.query(&QueryRequest::knn(queries, k))` \
+                returns a CSR `QueryResponse`"
+    )]
     pub fn query_batch(
         &self,
         queries: &PointSet,
         k: usize,
         parallel: bool,
     ) -> Result<Vec<Vec<Neighbor>>> {
+        let req = QueryRequest::knn(queries, k).with_parallel(parallel);
+        Ok(NnBackend::query(self, &req)?.neighbors.into_nested())
+    }
+}
+
+impl NnBackend for BruteForce {
+    fn build(points: &PointSet, _cfg: &TreeConfig) -> Result<Self> {
+        points.validate()?;
+        Ok(BruteForce::new(points))
+    }
+
+    fn query(&self, req: &QueryRequest<'_>) -> Result<QueryResponse> {
+        let t0 = std::time::Instant::now();
+        req.validate()?;
+        let queries = req.queries();
         if queries.dims() != self.points.dims() {
             return Err(PandaError::DimsMismatch {
                 expected: self.points.dims(),
                 got: queries.dims(),
             });
         }
-        if parallel {
-            (0..queries.len())
+        let (k, r_sq) = (req.k(), req.radius_sq());
+        let run_one = |i: usize, c: &mut QueryCounters| {
+            c.queries += 1;
+            c.points_scanned += self.points.len() as u64;
+            let mut heap = KnnHeap::with_radius_sq(k, r_sq);
+            for j in 0..self.points.len() {
+                if heap.offer(
+                    self.points.dist_sq_to(queries.point(i), j),
+                    self.points.id(j),
+                ) {
+                    c.heap_ops += 1;
+                }
+            }
+            heap.into_sorted()
+        };
+        let mut counters = QueryCounters::default();
+        let mut table = NeighborTable::with_capacity(queries.len(), k);
+        if req.parallel().unwrap_or(false) {
+            let rows: Vec<(Vec<Neighbor>, QueryCounters)> = (0..queries.len())
                 .into_par_iter()
-                .map(|i| self.query(queries.point(i), k))
-                .collect()
+                .map(|i| {
+                    let mut c = QueryCounters::default();
+                    (run_one(i, &mut c), c)
+                })
+                .collect();
+            for (row, c) in rows {
+                counters.add(&c);
+                table.push_row(&row);
+            }
         } else {
-            (0..queries.len())
-                .map(|i| self.query(queries.point(i), k))
-                .collect()
+            for i in 0..queries.len() {
+                table.push_row(&run_one(i, &mut counters));
+            }
         }
+        Ok(QueryResponse::local(
+            table,
+            counters,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.points.dims()
     }
 }
 
@@ -104,13 +179,39 @@ mod tests {
         let ps = crate::tests_support::random_ps(2000, 3, 1);
         let qs = crate::tests_support::random_ps(50, 3, 2);
         let bf = BruteForce::new(&ps);
-        let a = bf.query_batch(&qs, 5, false).unwrap();
-        let b = bf.query_batch(&qs, 5, true).unwrap();
-        for (x, y) in a.iter().zip(&b) {
-            let dx: Vec<(u64, f32)> = x.iter().map(|n| (n.id, n.dist_sq)).collect();
-            let dy: Vec<(u64, f32)> = y.iter().map(|n| (n.id, n.dist_sq)).collect();
-            assert_eq!(dx, dy);
-        }
+        let a = NnBackend::query(&bf, &QueryRequest::knn(&qs, 5)).unwrap();
+        let b = NnBackend::query(&bf, &QueryRequest::knn(&qs, 5).with_parallel(true)).unwrap();
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.counters, b.counters);
+        assert!(a.remote.is_none());
+    }
+
+    #[test]
+    fn backend_trait_surface() {
+        let ps = grid_1d(64);
+        let backend: Box<dyn NnBackend> =
+            Box::new(BruteForce::build(&ps, &TreeConfig::default()).unwrap());
+        assert_eq!(backend.name(), "brute-force");
+        assert_eq!(backend.len(), 64);
+        assert_eq!(backend.dims(), 1);
+        let qs = PointSet::from_coords(1, vec![10.2]).unwrap();
+        let res = backend
+            .query(&QueryRequest::knn(&qs, 2).with_radius(1.0))
+            .unwrap();
+        // strictly within 1.0 of 10.2: only 10 and 11
+        let ids: Vec<u64> = res.neighbors.row(0).iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![10, 11]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_batch_shim_matches_trait_path() {
+        let ps = crate::tests_support::random_ps(500, 2, 3);
+        let qs = crate::tests_support::random_ps(20, 2, 4);
+        let bf = BruteForce::new(&ps);
+        let nested = bf.query_batch(&qs, 4, false).unwrap();
+        let res = NnBackend::query(&bf, &QueryRequest::knn(&qs, 4)).unwrap();
+        assert_eq!(res.neighbors.to_nested(), nested);
     }
 
     #[test]
@@ -121,6 +222,11 @@ mod tests {
         assert!(matches!(
             bf.query(&[0.0, 0.0], 1),
             Err(PandaError::DimsMismatch { .. })
+        ));
+        let qs = PointSet::from_coords(1, vec![1.0]).unwrap();
+        assert!(matches!(
+            NnBackend::query(&bf, &QueryRequest::knn(&qs, 3).with_radius(-2.0)),
+            Err(PandaError::BadRadius { .. })
         ));
     }
 }

@@ -2,7 +2,8 @@
 //! dimension and then takes an average of the first 100 points over that
 //! dimension to compute median during the kd-tree construction."
 
-use panda_core::{Neighbor, PointSet, QueryCounters, Result};
+use panda_core::engine::{NnBackend, QueryRequest, QueryResponse};
+use panda_core::{Neighbor, PointSet, QueryCounters, Result, TreeConfig};
 
 use crate::simple_tree::{Heuristic, SimpleKdTree, SimpleTreeStats};
 
@@ -14,7 +15,7 @@ pub struct FlannLikeTree {
 
 impl FlannLikeTree {
     /// Build (single-threaded, like the original — "neither FLANN nor ANN
-    /// can run [construction] in parallel").
+    /// can run \[construction\] in parallel").
     pub fn build(points: &PointSet) -> Result<Self> {
         Ok(Self {
             inner: SimpleKdTree::build(points, Heuristic::FlannLike)?,
@@ -37,6 +38,11 @@ impl FlannLikeTree {
     }
 
     /// Batched queries (outer-loop parallelism optional, as in §V-B2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `NnBackend` trait: `backend.query(&QueryRequest::knn(queries, k))` \
+                returns a CSR `QueryResponse`"
+    )]
     pub fn query_batch(
         &self,
         queries: &PointSet,
@@ -59,6 +65,30 @@ impl FlannLikeTree {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.inner.len() == 0
+    }
+}
+
+impl NnBackend for FlannLikeTree {
+    fn build(points: &PointSet, _cfg: &TreeConfig) -> Result<Self> {
+        FlannLikeTree::build(points)
+    }
+
+    fn query(&self, req: &QueryRequest<'_>) -> Result<QueryResponse> {
+        // the paper parallelized FLANN's outer query loop
+        self.inner
+            .query_session(req, req.parallel().unwrap_or(false))
+    }
+
+    fn name(&self) -> &'static str {
+        "flann-like"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.dims()
     }
 }
 

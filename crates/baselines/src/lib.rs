@@ -2,7 +2,7 @@
 //!
 //! * [`brute`] — exact linear-scan KNN (ground truth for every exactness
 //!   test, and the "no acceleration structure" baseline of prior
-//!   distributed work [9], [10]);
+//!   distributed work \[9\], \[10\]);
 //! * [`flann_like`] — a kd-tree with FLANN's heuristics as the paper
 //!   describes them (§V-B2): variance split dimension, mean-of-first-100
 //!   split value;
@@ -13,6 +13,12 @@
 //!   redistribution, every query broadcast to all ranks, top-k of `P·k`
 //!   candidates merged at the origin. The traffic foil for PANDA's global
 //!   tree.
+//!
+//! Every baseline implements [`panda_core::engine::NnBackend`], so the
+//! same `Box<dyn NnBackend>` loop that drives PANDA's engines drives the
+//! comparisons: build with [`NnBackend::build`](panda_core::engine::NnBackend::build)
+//! (or the distributed `build_on` constructors), query with a
+//! [`panda_core::engine::QueryRequest`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,7 +32,7 @@ pub(crate) mod simple_tree;
 pub use ann_like::AnnLikeTree;
 pub use brute::BruteForce;
 pub use flann_like::FlannLikeTree;
-pub use local_trees::LocalTreesKnn;
+pub use local_trees::{LocalTreesBackend, LocalTreesKnn, LocalTreesStats};
 pub use simple_tree::{SimpleTreeStats, UNPACKED_DIST_PENALTY};
 
 #[cfg(test)]

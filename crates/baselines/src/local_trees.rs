@@ -7,8 +7,11 @@
 //! `k` are thrown away — the traffic argument that motivates PANDA's
 //! global kd-tree. The `ablation_strategy` bench puts numbers on it.
 
+use std::cell::RefCell;
+
 use panda_comm::{Comm, ReduceOp};
 use panda_core::config::{BoundMode, TreeConfig};
+use panda_core::engine::{NeighborTable, NnBackend, QueryRequest, QueryResponse};
 use panda_core::{KnnHeap, LocalKdTree, Neighbor, PointSet, QueryCounters, QueryWorkspace, Result};
 
 /// One rank's share of the strategy-(1) engine.
@@ -124,6 +127,76 @@ impl LocalTreesKnn {
     }
 }
 
+/// [`LocalTreesKnn`] bundled with this rank's communicator handle so the
+/// strategy-(1) engine can ride the same [`NnBackend`] loops as PANDA's
+/// [`panda_core::engine::DistIndex`] (SPMD: every rank must call
+/// [`NnBackend::query`] collectively).
+pub struct LocalTreesBackend<'a> {
+    comm: RefCell<&'a mut Comm>,
+    inner: LocalTreesKnn,
+}
+
+impl<'a> LocalTreesBackend<'a> {
+    /// Index this rank's points and take ownership of the communicator
+    /// handle.
+    pub fn build_on(comm: &'a mut Comm, points: &PointSet, cfg: &TreeConfig) -> Result<Self> {
+        let inner = LocalTreesKnn::build(comm, points, cfg)?;
+        Ok(Self {
+            comm: RefCell::new(comm),
+            inner,
+        })
+    }
+
+    /// The wrapped engine (its inherent `query` also reports
+    /// [`LocalTreesStats`]).
+    pub fn inner(&self) -> &LocalTreesKnn {
+        &self.inner
+    }
+
+    /// Release the backend, handing the communicator borrow back.
+    pub fn into_parts(self) -> (&'a mut Comm, LocalTreesKnn) {
+        (self.comm.into_inner(), self.inner)
+    }
+}
+
+impl NnBackend for LocalTreesBackend<'_> {
+    // `build` keeps the rejecting default: a communicator is required —
+    // use `LocalTreesBackend::build_on`.
+
+    fn query(&self, req: &QueryRequest<'_>) -> Result<QueryResponse> {
+        let t0 = std::time::Instant::now();
+        req.validate()?;
+        let (results, _stats, counters) =
+            self.inner
+                .query(&mut self.comm.borrow_mut(), req.queries(), req.k())?;
+        // Radius-limited kNN is a suffix-filter of plain kNN: results are
+        // ascending, so truncate each row at the first distance ≥ r².
+        let r_sq = req.radius_sq();
+        let mut table = NeighborTable::with_capacity(results.len(), req.k());
+        for row in &results {
+            let keep = row.partition_point(|n| n.dist_sq < r_sq);
+            table.push_row(&row[..keep]);
+        }
+        Ok(QueryResponse::local(
+            table,
+            counters,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "local-trees"
+    }
+
+    fn len(&self) -> usize {
+        self.inner.tree().len()
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.tree().dims()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +232,40 @@ mod tests {
             }
             // every rank evaluated every query
             assert_eq!(o.result.1.queries_evaluated, 40);
+        }
+    }
+
+    #[test]
+    fn backend_wrapper_matches_inner_engine() {
+        let all = random_ps(1500, 3, 7);
+        let queries = random_ps(24, 3, 8);
+        let out = run_cluster(&ClusterConfig::new(3), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let backend = LocalTreesBackend::build_on(comm, &mine, &TreeConfig::default()).unwrap();
+            let myq = scatter(
+                &queries,
+                backend.comm.borrow().rank(),
+                backend.comm.borrow().size(),
+            );
+            let res = NnBackend::query(&backend, &QueryRequest::knn(&myq, 5)).unwrap();
+            assert_eq!(NnBackend::name(&backend), "local-trees");
+            res.neighbors
+                .iter()
+                .map(|row| row.iter().map(|n| (n.dist_sq, n.id)).collect::<Vec<_>>())
+                .zip((0..myq.len()).map(|i| myq.point(i).to_vec()))
+                .collect::<Vec<_>>()
+        });
+        let bf = BruteForce::new(&all);
+        for o in &out {
+            for (got, q) in &o.result {
+                let want: Vec<(f32, u64)> = bf
+                    .query(q, 5)
+                    .unwrap()
+                    .iter()
+                    .map(|n| (n.dist_sq, n.id))
+                    .collect();
+                assert_eq!(got, &want);
+            }
         }
     }
 

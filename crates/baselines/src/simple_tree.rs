@@ -6,6 +6,7 @@
 //! point-major array), no parallel levels. The Fig. 7 comparison measures
 //! exactly these differences.
 
+use panda_core::engine::{NeighborTable, QueryRequest, QueryResponse};
 use panda_core::{
     BuildCounters, KnnHeap, Neighbor, PandaError, PointSet, QueryCounters, Result, MAX_DIMS,
 };
@@ -240,6 +241,18 @@ impl SimpleKdTree {
         k: usize,
         counters: &mut QueryCounters,
     ) -> Result<Vec<Neighbor>> {
+        self.query_counted_radius_sq(q, k, f32::INFINITY, counters)
+    }
+
+    /// [`Self::query_counted`] with an initial squared search bound
+    /// (radius-limited kNN).
+    pub fn query_counted_radius_sq(
+        &self,
+        q: &[f32],
+        k: usize,
+        radius_sq: f32,
+        counters: &mut QueryCounters,
+    ) -> Result<Vec<Neighbor>> {
         if k == 0 {
             return Err(PandaError::ZeroK);
         }
@@ -250,7 +263,7 @@ impl SimpleKdTree {
             });
         }
         counters.queries += 1;
-        let mut heap = KnnHeap::new(k);
+        let mut heap = KnnHeap::with_radius_sq(k, radius_sq);
         if self.nodes.is_empty() {
             return Ok(Vec::new());
         }
@@ -287,6 +300,47 @@ impl SimpleKdTree {
             }
         }
         Ok(heap.into_sorted())
+    }
+
+    /// Answer a session [`QueryRequest`] as a CSR [`QueryResponse`] —
+    /// the shared `NnBackend` plumbing of both wrapper trees. `parallel`
+    /// is the wrapper's decision (the paper parallelized FLANN's outer
+    /// query loop but not ANN's).
+    pub(crate) fn query_session(
+        &self,
+        req: &QueryRequest<'_>,
+        parallel: bool,
+    ) -> Result<QueryResponse> {
+        let t0 = std::time::Instant::now();
+        req.validate()?;
+        let queries = req.queries();
+        let (k, r_sq) = (req.k(), req.radius_sq());
+        let mut counters = QueryCounters::default();
+        let mut table = NeighborTable::with_capacity(queries.len(), k);
+        if parallel {
+            let rows: Vec<(Vec<Neighbor>, QueryCounters)> = (0..queries.len())
+                .into_par_iter()
+                .map(|i| {
+                    let mut c = QueryCounters::default();
+                    let r = self.query_counted_radius_sq(queries.point(i), k, r_sq, &mut c)?;
+                    Ok::<_, PandaError>((r, c))
+                })
+                .collect::<Result<_>>()?;
+            for (row, c) in rows {
+                counters.add(&c);
+                table.push_row(&row);
+            }
+        } else {
+            for i in 0..queries.len() {
+                let row = self.query_counted_radius_sq(queries.point(i), k, r_sq, &mut counters)?;
+                table.push_row(&row);
+            }
+        }
+        Ok(QueryResponse::local(
+            table,
+            counters,
+            t0.elapsed().as_secs_f64(),
+        ))
     }
 
     /// Batched queries with aggregate counters; optionally parallel over

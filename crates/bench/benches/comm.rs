@@ -3,9 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use panda_comm::{run_cluster, ClusterConfig, ReduceOp};
-use panda_core::build_distributed::build_distributed;
-use panda_core::query_distributed::query_distributed;
-use panda_core::{DistConfig, QueryConfig};
+use panda_core::engine::{DistIndex, NnBackend, QueryRequest};
+use panda_core::DistConfig;
 use panda_data::{queries_from, scatter, uniform};
 
 fn bench_collectives(c: &mut Criterion) {
@@ -49,11 +48,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             b.iter(|| {
                 let out = run_cluster(&cfg, |comm| {
                     let mine = scatter(&points, comm.rank(), comm.size());
-                    let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
-                    let myq = scatter(&queries, comm.rank(), comm.size());
-                    let res =
-                        query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).unwrap();
-                    res.neighbors.len()
+                    let index = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
+                    let myq = scatter(&queries, index.rank(), index.size());
+                    let res = index.query(&QueryRequest::knn(&myq, 5)).unwrap();
+                    res.len()
                 });
                 black_box(out.len())
             })

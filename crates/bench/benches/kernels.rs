@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use panda_core::config::{HistScan, QueryOrder};
+use panda_core::engine::QueryRequest;
 use panda_core::hist::SampledHistogram;
 use panda_core::knn::KnnIndex;
 use panda_core::local_tree::PackedLeaves;
@@ -129,8 +130,8 @@ fn bench_query_order(c: &mut Criterion) {
     for (name, order) in [("input", QueryOrder::Input), ("morton", QueryOrder::Morton)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let (res, _) = idx
-                    .query_batch_ordered(black_box(&queries), 5, order)
+                let res = idx
+                    .query_session(&QueryRequest::knn(black_box(&queries), 5).with_order(order))
                     .unwrap();
                 black_box(res.len())
             })

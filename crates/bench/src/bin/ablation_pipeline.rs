@@ -1,5 +1,5 @@
 //! Ablation — query batching and software pipelining (§III-B: "The most
-//! important [optimization] is batching of queries … We also perform
+//! important \[optimization\] is batching of queries … We also perform
 //! software pipelining between the stages to facilitate overlap of
 //! communication and computation. These optimizations are important for
 //! good scaling as the number of nodes increase.")

@@ -12,6 +12,7 @@ use panda_bench::table::{f, Table};
 use panda_bench::Args;
 use panda_comm::MachineProfile;
 use panda_core::config::{SplitValueStrategy, TreeConfig};
+use panda_core::engine::QueryRequest;
 use panda_core::knn::KnnIndex;
 use panda_data::{queries_from, Dataset};
 
@@ -70,7 +71,10 @@ fn main() {
             ..TreeConfig::default()
         };
         let index = KnnIndex::build(&thin, &cfg).expect("build");
-        let (_r, counters) = index.query_batch(&tq, 5).expect("query");
+        let counters = index
+            .query_session(&QueryRequest::knn(&tq, 5))
+            .expect("query")
+            .counters;
         table.row(&[
             samples.to_string(),
             f(index.tree().modeled_build_at(&cost, 24, false).total(), 4),

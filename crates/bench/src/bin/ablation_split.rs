@@ -6,6 +6,7 @@ use panda_bench::table::{f, Table};
 use panda_bench::Args;
 use panda_comm::MachineProfile;
 use panda_core::config::SplitDimStrategy;
+use panda_core::engine::QueryRequest;
 use panda_core::knn::KnnIndex;
 use panda_core::TreeConfig;
 use panda_data::{queries_from, Dataset};
@@ -61,7 +62,10 @@ fn main() {
                 ..TreeConfig::default()
             };
             let index = KnnIndex::build(&points, &cfg).expect("build");
-            let (_r, counters) = index.query_batch(&queries, row.k).expect("query");
+            let counters = index
+                .query_session(&QueryRequest::knn(&queries, row.k))
+                .expect("query")
+                .counters;
             let c = index.tree().modeled_build_at(&cost, 24, false).total();
             let q = index.modeled_query_time_at(&counters, &cost, 24, false);
             if name == "MaxExtent" {

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use panda_bench::Args;
 use panda_core::config::QueryOrder;
+use panda_core::engine::{NeighborTable, QueryRequest};
 use panda_core::knn::KnnIndex;
 use panda_core::rng::SplitRng;
 use panda_core::{BoundMode, KnnHeap, Neighbor, PointSet, QueryCounters, TreeConfig};
@@ -97,6 +98,10 @@ fn flat(res: &[Vec<Neighbor>]) -> Vec<(f32, u64)> {
         .collect()
 }
 
+fn flat_csr(res: &NeighborTable) -> Vec<(f32, u64)> {
+    res.arena().iter().map(|n| (n.dist_sq, n.id)).collect()
+}
+
 fn main() {
     let args = Args::from_env();
     let reps = args.usize("reps", 5);
@@ -136,21 +141,21 @@ fn main() {
 
         // correctness gate: all three paths must agree bit-for-bit
         let (ref_res, _) = reference_batch(&index, &queries, w.k);
-        let (fused_res, _) = index
-            .query_batch_ordered(&queries, w.k, QueryOrder::Input)
+        let fused_res = index
+            .query_session(&QueryRequest::knn(&queries, w.k).with_order(QueryOrder::Input))
             .unwrap();
-        let (morton_res, _) = index
-            .query_batch_ordered(&queries, w.k, QueryOrder::Morton)
+        let morton_res = index
+            .query_session(&QueryRequest::knn(&queries, w.k).with_order(QueryOrder::Morton))
             .unwrap();
         assert_eq!(
             flat(&ref_res),
-            flat(&fused_res),
+            flat_csr(&fused_res.neighbors),
             "{}: fused path diverged",
             w.name
         );
         assert_eq!(
             flat(&ref_res),
-            flat(&morton_res),
+            flat_csr(&morton_res.neighbors),
             "{}: morton path diverged",
             w.name
         );
@@ -160,15 +165,15 @@ fn main() {
         });
         let m_fused = time_batch(reps, w.n_queries, || {
             index
-                .query_batch_ordered(&queries, w.k, QueryOrder::Input)
+                .query_session(&QueryRequest::knn(&queries, w.k).with_order(QueryOrder::Input))
                 .unwrap()
-                .1
+                .counters
         });
         let m_morton = time_batch(reps, w.n_queries, || {
             index
-                .query_batch_ordered(&queries, w.k, QueryOrder::Morton)
+                .query_session(&QueryRequest::knn(&queries, w.k).with_order(QueryOrder::Morton))
                 .unwrap()
-                .1
+                .counters
         });
 
         let speedup = m_fused.qps / m_ref.qps;

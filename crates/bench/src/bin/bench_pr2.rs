@@ -1,0 +1,228 @@
+//! PR 2 perf evidence — the CSR `QueryResponse` batch path vs the PR 1
+//! tuple path.
+//!
+//! PR 1's `query_batch` allocated one `Vec<Neighbor>` per query (worker
+//! chunks produced `(slot, Vec<Neighbor>)` pairs that were re-boxed into
+//! the final `Vec<Vec<Neighbor>>`). PR 2's session API fills chunk-local
+//! arenas that are spliced into one flat CSR [`NeighborTable`] — zero
+//! per-query heap allocation. This runner measures both on the PR 1
+//! workloads (sequential and 2-thread parallel), verifies they agree
+//! bit-for-bit, and writes `BENCH_PR2.json` (override with `--out`).
+//!
+//! The PR 1 path is reproduced faithfully here from the public traversal
+//! API (`LocalKdTree::query_into` + a fresh `KnnHeap` per query), since
+//! the in-tree `query_batch` shim now routes through the CSR engine.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use panda_bench::Args;
+use panda_core::engine::QueryRequest;
+use panda_core::knn::KnnIndex;
+use panda_core::rng::SplitRng;
+use panda_core::{BoundMode, KnnHeap, Neighbor, PointSet, QueryCounters, TreeConfig};
+use panda_core::{LocalKdTree, QueryWorkspace};
+use rayon::prelude::*;
+
+struct Workload {
+    name: &'static str,
+    dims: usize,
+    n_points: usize,
+    n_queries: usize,
+    k: usize,
+}
+
+fn uniform(n: usize, dims: usize, span: f64, seed: u64) -> PointSet {
+    let mut rng = SplitRng::new(seed);
+    PointSet::from_coords(
+        dims,
+        (0..n * dims)
+            .map(|_| (rng.next_f64() * span) as f32)
+            .collect(),
+    )
+    .expect("valid points")
+}
+
+/// One worker chunk of the PR 1 engine: `(slot, boxed neighbors)` pairs
+/// plus the chunk's counters.
+type TupleChunk = (Vec<(u32, Vec<Neighbor>)>, QueryCounters);
+
+/// The PR 1 batch engine, verbatim in shape: one heap allocation and one
+/// `Vec<Neighbor>` per query, chunk results re-boxed into input order.
+fn tuple_batch(
+    tree: &LocalKdTree,
+    queries: &PointSet,
+    k: usize,
+    parallel: bool,
+) -> Vec<Vec<Neighbor>> {
+    let n = queries.len();
+    let run_one = |i: usize, ws: &mut QueryWorkspace, c: &mut QueryCounters| {
+        let mut heap = KnnHeap::new(k);
+        tree.query_into(queries.point(i), &mut heap, BoundMode::Exact, ws, c);
+        heap.into_sorted()
+    };
+    let mut all: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+    if parallel {
+        let results: Vec<TupleChunk> = (0..n as u32)
+            .collect::<Vec<u32>>()
+            .into_par_iter()
+            .with_min_len(16)
+            .fold(
+                || (Vec::new(), QueryWorkspace::new(), QueryCounters::default()),
+                |(mut out, mut ws, mut c), qi| {
+                    out.push((qi, run_one(qi as usize, &mut ws, &mut c)));
+                    (out, ws, c)
+                },
+            )
+            .map(|(out, _ws, c)| (out, c))
+            .collect();
+        for (chunk, _c) in results {
+            for (qi, res) in chunk {
+                all[qi as usize] = res;
+            }
+        }
+    } else {
+        let mut ws = QueryWorkspace::new();
+        let mut c = QueryCounters::default();
+        for (i, slot) in all.iter_mut().enumerate() {
+            *slot = run_one(i, &mut ws, &mut c);
+        }
+    }
+    all
+}
+
+/// Best-of-`reps` wall time of `run`.
+fn best_of(reps: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.usize("reps", 5);
+    let seed = args.u64("seed", 42);
+    let out_path = args.string("out", "BENCH_PR2.json");
+
+    let workloads = [
+        Workload {
+            name: "uniform_3d",
+            dims: 3,
+            n_points: 200_000,
+            n_queries: 8192,
+            k: 5,
+        },
+        Workload {
+            name: "uniform_10d",
+            dims: 10,
+            n_points: 60_000,
+            n_queries: 4096,
+            k: 5,
+        },
+    ];
+
+    let mut json =
+        String::from("{\n  \"bench\": \"tuple-path vs CSR-path batch querying (PR 2)\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"workloads\": [\n");
+
+    let mut speedup_10d_seq = 0.0f64;
+    for (wi, w) in workloads.iter().enumerate() {
+        let points = uniform(w.n_points, w.dims, 100.0, seed);
+        let queries = uniform(w.n_queries, w.dims, 100.0, seed + 1);
+        let seq = KnnIndex::build(&points, &TreeConfig::default()).expect("build");
+        let par = KnnIndex::build(
+            &points,
+            &TreeConfig::default().with_parallel(true).with_threads(2),
+        )
+        .expect("build");
+
+        // correctness gate: tuple path and CSR path agree bit-for-bit
+        let tuple_res = tuple_batch(seq.tree(), &queries, w.k, false);
+        let csr_res = seq
+            .query_session(&QueryRequest::knn(&queries, w.k))
+            .expect("query");
+        assert_eq!(
+            csr_res.neighbors.to_nested(),
+            tuple_res,
+            "{}: CSR path diverged from the tuple path",
+            w.name
+        );
+
+        let t_tuple_seq = best_of(reps, || {
+            std::hint::black_box(tuple_batch(seq.tree(), &queries, w.k, false));
+        });
+        let t_csr_seq = best_of(reps, || {
+            std::hint::black_box(
+                seq.query_session(&QueryRequest::knn(&queries, w.k))
+                    .unwrap(),
+            );
+        });
+        let t_tuple_par = best_of(reps, || {
+            std::hint::black_box(tuple_batch(par.tree(), &queries, w.k, true));
+        });
+        let t_csr_par = best_of(reps, || {
+            std::hint::black_box(
+                par.query_session(&QueryRequest::knn(&queries, w.k))
+                    .unwrap(),
+            );
+        });
+
+        let qps = |secs: f64| w.n_queries as f64 / secs;
+        let su_seq = t_tuple_seq / t_csr_seq;
+        let su_par = t_tuple_par / t_csr_par;
+        if w.name == "uniform_10d" {
+            speedup_10d_seq = su_seq;
+        }
+        println!(
+            "{}: dims={} n={} q={} k={}",
+            w.name, w.dims, w.n_points, w.n_queries, w.k
+        );
+        println!(
+            "  sequential: tuple {:>9.0} q/s | csr {:>9.0} q/s | csr/tuple {su_seq:.2}x",
+            qps(t_tuple_seq),
+            qps(t_csr_seq)
+        );
+        println!(
+            "  2-thread:   tuple {:>9.0} q/s | csr {:>9.0} q/s | csr/tuple {su_par:.2}x",
+            qps(t_tuple_par),
+            qps(t_csr_par)
+        );
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(
+            json,
+            "      \"dims\": {}, \"n_points\": {}, \"n_queries\": {}, \"k\": {},",
+            w.dims, w.n_points, w.n_queries, w.k
+        );
+        let _ = writeln!(json, "      \"tuple_seq_qps\": {:.1},", qps(t_tuple_seq));
+        let _ = writeln!(json, "      \"csr_seq_qps\": {:.1},", qps(t_csr_seq));
+        let _ = writeln!(json, "      \"csr_speedup_seq\": {su_seq:.4},");
+        let _ = writeln!(json, "      \"tuple_par2_qps\": {:.1},", qps(t_tuple_par));
+        let _ = writeln!(json, "      \"csr_par2_qps\": {:.1},", qps(t_csr_par));
+        let _ = writeln!(json, "      \"csr_speedup_par2\": {su_par:.4}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"csr_speedup_10d_sequential\": {speedup_10d_seq:.4}"
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR2.json");
+    println!("\nwrote {out_path}");
+    assert!(
+        speedup_10d_seq >= 0.95,
+        "CSR path regressed vs the tuple path on 10-D: {speedup_10d_seq:.3}x"
+    );
+}

@@ -15,6 +15,7 @@ use std::time::Instant;
 use panda_bench::table::{f, Table};
 use panda_bench::Args;
 use panda_comm::MachineProfile;
+use panda_core::engine::QueryRequest;
 use panda_core::knn::KnnIndex;
 use panda_core::TreeConfig;
 use panda_data::{queries_from, Dataset};
@@ -42,7 +43,10 @@ fn main() {
             ..TreeConfig::default()
         };
         let index = KnnIndex::build(&points, &cfg).expect("build");
-        let (_res, counters) = index.query_batch(&queries, row.k).expect("query");
+        let counters = index
+            .query_session(&QueryRequest::knn(&queries, row.k))
+            .expect("query")
+            .counters;
 
         println!(
             "\nFig 6 — {} ({} pts, {} queries, k={})",
@@ -89,13 +93,13 @@ fn main() {
         let t0 = Instant::now();
         let par = KnnIndex::build(&points, &par_cfg).unwrap();
         let t_build_p = t0.elapsed().as_secs_f64();
-        let _ = seq.query_batch(&queries, 5).unwrap();
+        let _ = seq.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
         let t0 = Instant::now();
-        let _ = seq.query_batch(&queries, 5).unwrap();
+        let _ = seq.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
         let t_q1 = t0.elapsed().as_secs_f64();
-        let _ = par.query_batch(&queries, 5).unwrap();
+        let _ = par.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
         let t0 = Instant::now();
-        let _ = par.query_batch(&queries, 5).unwrap();
+        let _ = par.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
         let t_qp = t0.elapsed().as_secs_f64();
         println!(
             "  construction: 1T {:.3}s vs {host_threads}T {:.3}s -> {:.2}x",

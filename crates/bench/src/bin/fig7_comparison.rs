@@ -17,6 +17,7 @@ use panda_baselines::{AnnLikeTree, FlannLikeTree, UNPACKED_DIST_PENALTY};
 use panda_bench::table::{f, Table};
 use panda_bench::Args;
 use panda_comm::MachineProfile;
+use panda_core::engine::{NnBackend, QueryRequest};
 use panda_core::knn::KnnIndex;
 use panda_core::{QueryCounters, TreeConfig};
 use panda_data::{queries_from, Dataset};
@@ -95,20 +96,19 @@ fn main() {
         );
 
         // --- real single-threaded querying (warmed) ---------------------
-        let _ = flann.query_batch(&queries, row.k, false).expect("warm");
-        let t0 = Instant::now();
-        let (_r, c_flann) = flann
-            .query_batch(&queries, row.k, false)
-            .expect("flann query");
-        let t_flann_q = t0.elapsed().as_secs_f64();
-        let _ = ann.query_batch(&queries, row.k).expect("warm");
-        let t0 = Instant::now();
-        let (_r, c_ann) = ann.query_batch(&queries, row.k).expect("ann query");
-        let t_ann_q = t0.elapsed().as_secs_f64();
-        let _ = panda.query_batch(&queries, row.k).expect("warm");
-        let t0 = Instant::now();
-        let (_r, c_panda) = panda.query_batch(&queries, row.k).expect("panda query");
-        let t_panda_q = t0.elapsed().as_secs_f64();
+        // One request, one loop: every engine sits behind `NnBackend`.
+        let req = QueryRequest::knn(&queries, row.k);
+        let backends: [&dyn NnBackend; 3] = [&flann, &ann, &panda];
+        let mut measured = Vec::with_capacity(backends.len());
+        for backend in backends {
+            let _ = backend.query(&req).expect("warm");
+            let t0 = Instant::now();
+            let res = backend.query(&req).expect("query");
+            measured.push((t0.elapsed().as_secs_f64(), res.counters));
+        }
+        let (t_flann_q, c_flann) = measured[0];
+        let (t_ann_q, c_ann) = measured[1];
+        let (t_panda_q, c_panda) = measured[2];
 
         let q24 = |counters: &QueryCounters, penalty: f64| {
             let cpu = counters.cpu_seconds(&cost.ops, points.dims()) * penalty;

@@ -17,6 +17,7 @@ use panda_bench::runner::{run_distributed, RunConfig};
 use panda_bench::table::{count, f, Table};
 use panda_bench::Args;
 use panda_comm::{log2_ceil, MachineProfile};
+use panda_core::engine::QueryRequest;
 use panda_core::knn::KnnIndex;
 use panda_core::TreeConfig;
 use panda_data::sdss::{self, SdssVariant};
@@ -65,7 +66,10 @@ fn part_a(args: &Args) {
         let points = sdss::generate(n_build, variant, seed);
         let queries = sdss::generate(n_query, variant, seed + 1);
         let index = KnnIndex::build(&points, &TreeConfig::default()).expect("build");
-        let (_r, counters) = index.query_batch(&queries, 10).expect("query");
+        let counters = index
+            .query_session(&QueryRequest::knn(&queries, 10))
+            .expect("query")
+            .counters;
         let t1 = index.modeled_query_time_at(&counters, &cost, 68, true);
         // 4 nodes, shared tree: queries split; collective sync per batch
         let t4 = t1 / 4.0 + cost.net.alpha * log2_ceil(4) as f64 * 8.0;
@@ -100,7 +104,10 @@ fn part_b(args: &Args) {
         let points = sdss::generate((2_000_000.0 * scale) as usize, variant, seed);
         let queries = sdss::generate((10_000_000.0 * scale) as usize, variant, seed + 1);
         let index = KnnIndex::build(&points, &TreeConfig::default()).expect("build");
-        let (_r, counters) = index.query_batch(&queries, 10).expect("query");
+        let counters = index
+            .query_session(&QueryRequest::knn(&queries, 10))
+            .expect("query")
+            .counters;
         let compute1 = index.modeled_query_time_at(&counters, &cost, 68, true);
         let steps = 8.0; // pipeline sync points per run
         let t = |nodes: usize| {

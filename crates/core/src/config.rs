@@ -32,7 +32,7 @@ impl Default for SplitDimStrategy {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SplitValueStrategy {
     /// Sampled non-uniform histogram, pick the interval point nearest the
-    /// target quantile — PANDA's choice (§III-A1, after [11]).
+    /// target quantile — PANDA's choice (§III-A1, after \[11\]).
     SampledHistogram {
         /// Sample size (paper: 1024 for the local tree, 256/rank global).
         samples: usize,
@@ -168,30 +168,35 @@ impl TreeConfig {
     }
 
     /// Builder-style: set bucket size.
+    #[must_use]
     pub fn with_bucket_size(mut self, b: usize) -> Self {
         self.bucket_size = b;
         self
     }
 
     /// Builder-style: set thread count.
+    #[must_use]
     pub fn with_threads(mut self, t: usize) -> Self {
         self.threads = t;
         self
     }
 
     /// Builder-style: enable real rayon parallelism.
+    #[must_use]
     pub fn with_parallel(mut self, p: bool) -> Self {
         self.parallel = p;
         self
     }
 
     /// Builder-style: set the RNG seed.
+    #[must_use]
     pub fn with_seed(mut self, s: u64) -> Self {
         self.seed = s;
         self
     }
 
     /// Builder-style: set the default batch execution order.
+    #[must_use]
     pub fn with_query_order(mut self, o: QueryOrder) -> Self {
         self.query_order = o;
         self
@@ -233,6 +238,7 @@ impl Default for QueryConfig {
 
 impl QueryConfig {
     /// Config for `k` neighbors with defaults otherwise.
+    #[must_use]
     pub fn with_k(k: usize) -> Self {
         Self {
             k,
@@ -248,10 +254,12 @@ impl QueryConfig {
         if self.batch_size == 0 {
             return Err(PandaError::BadConfig("batch_size must be ≥ 1".into()));
         }
+        // `+inf` is the documented "no limit" sentinel; everything else
+        // must be a positive finite radius.
         if self.initial_radius.is_nan() || self.initial_radius <= 0.0 {
-            return Err(PandaError::BadConfig(
-                "initial_radius must be positive".into(),
-            ));
+            return Err(PandaError::BadRadius {
+                radius: self.initial_radius,
+            });
         }
         Ok(())
     }
@@ -347,18 +355,25 @@ mod tests {
         }
         .validate()
         .is_err());
+        for r in [0.0, -1.0, f32::NAN, f32::NEG_INFINITY] {
+            let err = QueryConfig {
+                initial_radius: r,
+                ..QueryConfig::with_k(1)
+            }
+            .validate()
+            .unwrap_err();
+            assert!(
+                matches!(err, PandaError::BadRadius { .. }),
+                "expected BadRadius for {r}, got {err:?}"
+            );
+        }
+        // +inf is the documented "no limit" sentinel
         assert!(QueryConfig {
-            initial_radius: 0.0,
+            initial_radius: f32::INFINITY,
             ..QueryConfig::with_k(1)
         }
         .validate()
-        .is_err());
-        assert!(QueryConfig {
-            initial_radius: f32::NAN,
-            ..QueryConfig::with_k(1)
-        }
-        .validate()
-        .is_err());
+        .is_ok());
 
         assert!(DistConfig {
             global_samples_per_rank: 1,

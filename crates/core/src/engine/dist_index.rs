@@ -1,0 +1,243 @@
+//! [`DistIndex`]: the distributed engine behind the [`NnBackend`] trait.
+//!
+//! Before the session API, every distributed caller threaded a
+//! `&mut Comm` + `DistKdTree` pair through the free functions
+//! [`crate::query_distributed::query_distributed`] and
+//! [`crate::radius::radius_search_distributed`] by hand. `DistIndex`
+//! owns both handles for the lifetime of a rank's SPMD closure, so the
+//! same `Box<dyn NnBackend>` loop that drives the local engines drives
+//! the cluster too.
+
+use std::cell::RefCell;
+
+use panda_comm::Comm;
+
+use crate::build_distributed::{build_distributed, DistKdTree};
+use crate::config::DistConfig;
+use crate::engine::{NeighborTable, NnBackend, QueryRequest, QueryResponse};
+use crate::error::Result;
+use crate::heap::Neighbor;
+use crate::point::PointSet;
+
+/// The distributed kd-tree plus this rank's communicator handle, bundled
+/// into one queryable engine.
+///
+/// SPMD: every rank constructs its own `DistIndex` (inside the
+/// `run_cluster` closure) and every rank must call [`NnBackend::query`]
+/// collectively — the call performs alltoallv exchanges. The borrowed
+/// communicator lives in a `RefCell` so `query(&self, ..)` matches the
+/// object-safe trait signature; the interior borrow is taken only for
+/// the duration of one collective query round.
+pub struct DistIndex<'a> {
+    comm: RefCell<&'a mut Comm>,
+    tree: DistKdTree,
+}
+
+impl<'a> DistIndex<'a> {
+    /// Build the distributed tree over this rank's `points` (SPMD
+    /// collective — every rank must call with its own share; ids must be
+    /// globally unique) and take ownership of the communicator handle.
+    pub fn build_on(comm: &'a mut Comm, points: PointSet, cfg: &DistConfig) -> Result<Self> {
+        let tree = build_distributed(comm, points, cfg)?;
+        Ok(Self {
+            comm: RefCell::new(comm),
+            tree,
+        })
+    }
+
+    /// Wrap an already-built [`DistKdTree`] (e.g. one shared across
+    /// several query configurations).
+    pub fn from_tree(comm: &'a mut Comm, tree: DistKdTree) -> Self {
+        Self {
+            comm: RefCell::new(comm),
+            tree,
+        }
+    }
+
+    /// The underlying distributed tree (global BSP, local tree, build
+    /// breakdown).
+    pub fn tree(&self) -> &DistKdTree {
+        &self.tree
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.comm.borrow().rank()
+    }
+
+    /// Cluster size (number of ranks).
+    pub fn size(&self) -> usize {
+        self.comm.borrow().size()
+    }
+
+    /// Run `f` with the communicator (clock summaries, comm stats).
+    pub fn with_comm<T>(&self, f: impl FnOnce(&mut Comm) -> T) -> T {
+        f(&mut self.comm.borrow_mut())
+    }
+
+    /// Release the index, handing the communicator borrow back.
+    pub fn into_parts(self) -> (&'a mut Comm, DistKdTree) {
+        (self.comm.into_inner(), self.tree)
+    }
+
+    /// Distributed fixed-radius search (SPMD collective): per query,
+    /// **all** dataset points strictly within `radius`, ascending.
+    pub fn query_radius_all(&self, queries: &PointSet, radius: f32) -> Result<Vec<Vec<Neighbor>>> {
+        crate::radius::radius_search_distributed(
+            &mut self.comm.borrow_mut(),
+            &self.tree,
+            queries,
+            radius,
+        )
+    }
+}
+
+impl std::fmt::Debug for DistIndex<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistIndex")
+            .field("rank", &self.rank())
+            .field("size", &self.size())
+            .field("local_points", &self.tree.points.len())
+            .finish()
+    }
+}
+
+impl NnBackend for DistIndex<'_> {
+    // `build` keeps the rejecting default: a communicator is required —
+    // use `DistIndex::build_on`.
+
+    fn query(&self, req: &QueryRequest<'_>) -> Result<QueryResponse> {
+        let t0 = std::time::Instant::now();
+        req.validate()?;
+        let cfg = req.to_query_config();
+        #[allow(deprecated)]
+        let res = crate::query_distributed::query_distributed(
+            &mut self.comm.borrow_mut(),
+            &self.tree,
+            req.queries(),
+            &cfg,
+        )?;
+        Ok(QueryResponse {
+            neighbors: NeighborTable::from_nested(res.neighbors),
+            counters: res.counters,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            remote: Some(res.remote),
+            breakdown: Some(res.breakdown),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "panda-dist"
+    }
+
+    fn len(&self) -> usize {
+        self.tree.points.len()
+    }
+
+    fn dims(&self) -> usize {
+        self.tree.global.dims()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use crate::knn::KnnIndex;
+    use crate::rng::SplitRng;
+    use panda_comm::{run_cluster, ClusterConfig};
+
+    fn random_ps(n: usize, dims: usize, seed: u64) -> PointSet {
+        let mut rng = SplitRng::new(seed);
+        PointSet::from_coords(
+            dims,
+            (0..n * dims)
+                .map(|_| (rng.next_f64() * 10.0) as f32)
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn scatter(ps: &PointSet, rank: usize, p: usize) -> PointSet {
+        let mut mine = PointSet::new(ps.dims()).unwrap();
+        for i in (rank..ps.len()).step_by(p) {
+            mine.push(ps.point(i), ps.id(i));
+        }
+        mine
+    }
+
+    #[test]
+    fn dist_index_matches_local_index_through_the_trait() {
+        let all = random_ps(1500, 3, 40);
+        let queries = random_ps(48, 3, 41);
+        let expect = {
+            let local = KnnIndex::build(&all, &TreeConfig::default()).unwrap();
+            local
+                .query_session(&QueryRequest::knn(&queries, 5))
+                .unwrap()
+                .neighbors
+        };
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let idx = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
+            assert_eq!(idx.name(), "panda-dist");
+            assert_eq!(idx.dims(), 3);
+            let myq = scatter(&queries, idx.rank(), idx.size());
+            let backend: &dyn NnBackend = &idx;
+            let res = backend.query(&QueryRequest::knn(&myq, 5)).unwrap();
+            assert!(res.remote.is_some(), "distributed responses carry stats");
+            assert!(res.breakdown.is_some());
+            // pair (input slot in the full query set, distances)
+            let p = idx.size();
+            let rank = idx.rank();
+            res.neighbors
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    (
+                        rank + i * p,
+                        row.iter().map(|n| (n.dist_sq, n.id)).collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        for o in &out {
+            for (slot, got) in &o.result {
+                let want: Vec<(f32, u64)> = expect
+                    .row(*slot)
+                    .iter()
+                    .map(|n| (n.dist_sq, n.id))
+                    .collect();
+                assert_eq!(got, &want, "query {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trait_build_is_rejected_without_a_communicator() {
+        let ps = random_ps(10, 2, 42);
+        let err = <DistIndex<'_> as NnBackend>::build(&ps, &TreeConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn radius_request_limits_distributed_results() {
+        let all = random_ps(800, 2, 43);
+        let queries = random_ps(10, 2, 44);
+        let out = run_cluster(&ClusterConfig::new(2), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let idx = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, idx.rank(), idx.size());
+            let res = idx
+                .query(&QueryRequest::knn(&myq, 8).with_radius(0.5))
+                .unwrap();
+            res.neighbors
+                .iter()
+                .flat_map(|row| row.iter().map(|n| n.dist_sq))
+                .collect::<Vec<_>>()
+        });
+        for o in &out {
+            assert!(o.result.iter().all(|&d| d < 0.25), "0.5² bound");
+        }
+    }
+}

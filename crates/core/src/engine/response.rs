@@ -1,0 +1,268 @@
+//! Structured query results: the flat CSR [`NeighborTable`] and the
+//! [`QueryResponse`] envelope every [`crate::engine::NnBackend`] returns.
+
+use crate::counters::QueryCounters;
+use crate::error::{PandaError, Result};
+use crate::heap::Neighbor;
+use crate::query_distributed::RemoteStats;
+use crate::timers::QueryBreakdown;
+
+/// Per-query neighbor lists stored CSR-style: one `offsets` array and one
+/// contiguous [`Neighbor`] arena, instead of a `Vec<Vec<Neighbor>>` with
+/// one heap allocation per query.
+///
+/// Row `i`'s neighbors live at `arena[offsets[i]..offsets[i + 1]]`
+/// (ascending distance, ties by id). `offsets` always has `len() + 1`
+/// entries with `offsets[0] == 0`; rows may be empty (radius-limited
+/// queries with no match).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NeighborTable {
+    offsets: Vec<u32>,
+    arena: Vec<Neighbor>,
+}
+
+impl NeighborTable {
+    /// An empty table (zero queries).
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            arena: Vec::new(),
+        }
+    }
+
+    /// An empty table pre-sized for `n_queries` rows of ~`per_query`
+    /// neighbors each.
+    pub fn with_capacity(n_queries: usize, per_query: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n_queries + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            arena: Vec::with_capacity(n_queries * per_query),
+        }
+    }
+
+    /// Build from raw CSR parts. `offsets` must start at 0, be
+    /// monotonically non-decreasing, and end at `arena.len()`.
+    pub fn from_parts(offsets: Vec<u32>, arena: Vec<Neighbor>) -> Result<Self> {
+        let ok = offsets.first() == Some(&0)
+            && offsets.windows(2).all(|w| w[0] <= w[1])
+            && offsets.last().copied() == Some(arena.len() as u32)
+            && arena.len() <= u32::MAX as usize;
+        if !ok {
+            return Err(PandaError::BadConfig(
+                "NeighborTable offsets must start at 0, be monotone, and end at the arena length"
+                    .into(),
+            ));
+        }
+        Ok(Self { offsets, arena })
+    }
+
+    /// `from_parts` for internal callers that construct valid CSR by
+    /// construction (checked in debug builds only).
+    pub(crate) fn from_parts_unchecked(offsets: Vec<u32>, arena: Vec<Neighbor>) -> Self {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert_eq!(offsets.last().copied(), Some(arena.len() as u32));
+        Self { offsets, arena }
+    }
+
+    /// Convert from the legacy nested representation.
+    pub fn from_nested(nested: Vec<Vec<Neighbor>>) -> Self {
+        let total: usize = nested.iter().map(Vec::len).sum();
+        assert!(total <= u32::MAX as usize, "neighbor arena exceeds u32");
+        let mut t = Self::with_capacity(nested.len(), total / nested.len().max(1));
+        for row in &nested {
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Convert to the legacy nested representation (allocates one `Vec`
+    /// per query — only for interop with deprecated APIs).
+    pub fn to_nested(&self) -> Vec<Vec<Neighbor>> {
+        self.iter().map(<[Neighbor]>::to_vec).collect()
+    }
+
+    /// Consuming variant of [`Self::to_nested`].
+    pub fn into_nested(self) -> Vec<Vec<Neighbor>> {
+        self.to_nested()
+    }
+
+    /// Number of queries (rows).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total neighbors across all rows.
+    pub fn total_neighbors(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Row `i`'s neighbors (ascending distance). Panics when out of
+    /// range; see [`Self::get`] for the checked variant.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Neighbor] {
+        &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Row `i`'s neighbors, or `None` when `i >= len()`.
+    pub fn get(&self, i: usize) -> Option<&[Neighbor]> {
+        (i < self.len()).then(|| self.row(i))
+    }
+
+    /// Iterate rows in query order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Neighbor]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.arena[w[0] as usize..w[1] as usize])
+    }
+
+    /// The raw offsets array (`len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat neighbor arena, all rows concatenated in query order.
+    pub fn arena(&self) -> &[Neighbor] {
+        &self.arena
+    }
+
+    /// Append one row (used by sequential assembly paths).
+    pub fn push_row(&mut self, neighbors: &[Neighbor]) {
+        self.arena.extend_from_slice(neighbors);
+        assert!(self.arena.len() <= u32::MAX as usize, "arena exceeds u32");
+        self.offsets.push(self.arena.len() as u32);
+    }
+}
+
+impl std::ops::Index<usize> for NeighborTable {
+    type Output = [Neighbor];
+
+    fn index(&self, i: usize) -> &[Neighbor] {
+        self.row(i)
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborTable {
+    type Item = &'a [Neighbor];
+    type IntoIter = Box<dyn ExactSizeIterator<Item = &'a [Neighbor]> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+/// What every backend returns from [`crate::engine::NnBackend::query`]:
+/// the CSR neighbor table plus the unified observability block (work
+/// counters, wall timing, and — for distributed engines — remote-traffic
+/// statistics and the per-phase breakdown).
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Per-query neighbors in input order.
+    pub neighbors: NeighborTable,
+    /// Aggregate traversal work counters.
+    pub counters: QueryCounters,
+    /// Real wall-clock seconds spent answering the request.
+    pub wall_seconds: f64,
+    /// Remote-traffic statistics (distributed backends only).
+    pub remote: Option<RemoteStats>,
+    /// Per-phase virtual-time breakdown (distributed backends only).
+    pub breakdown: Option<QueryBreakdown>,
+}
+
+impl QueryResponse {
+    /// A local (single-node) response: no remote stats, no breakdown.
+    pub fn local(neighbors: NeighborTable, counters: QueryCounters, wall_seconds: f64) -> Self {
+        Self {
+            neighbors,
+            counters,
+            wall_seconds,
+            remote: None,
+            breakdown: None,
+        }
+    }
+
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when no queries were answered.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(d: f32, id: u64) -> Neighbor {
+        Neighbor { dist_sq: d, id }
+    }
+
+    #[test]
+    fn csr_round_trips_nested() {
+        let nested = vec![
+            vec![n(0.5, 1), n(1.0, 2)],
+            vec![],
+            vec![n(0.25, 7)],
+            vec![n(0.1, 3), n(0.2, 4), n(0.3, 5)],
+        ];
+        let t = NeighborTable::from_nested(nested.clone());
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_neighbors(), 6);
+        assert_eq!(t.to_nested(), nested);
+        assert_eq!(t.row(1), &[] as &[Neighbor]);
+        assert_eq!(&t[3], nested[3].as_slice());
+        assert_eq!(t.get(4), None);
+        let rows: Vec<usize> = t.iter().map(<[Neighbor]>::len).collect();
+        assert_eq!(rows, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(NeighborTable::from_parts(vec![0, 1], vec![n(0.0, 0)]).is_ok());
+        // does not start at 0
+        assert!(NeighborTable::from_parts(vec![1, 1], vec![n(0.0, 0)]).is_err());
+        // not monotone
+        assert!(NeighborTable::from_parts(vec![0, 2, 1], vec![n(0.0, 0), n(0.0, 1)]).is_err());
+        // does not cover the arena
+        assert!(NeighborTable::from_parts(vec![0, 1], vec![n(0.0, 0), n(0.0, 1)]).is_err());
+        // empty offsets
+        assert!(NeighborTable::from_parts(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = NeighborTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.total_neighbors(), 0);
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut t = NeighborTable::with_capacity(2, 2);
+        t.push_row(&[n(1.0, 1)]);
+        t.push_row(&[n(2.0, 2), n(3.0, 3)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.offsets(), &[0, 1, 3]);
+        assert_eq!(t.arena().len(), 3);
+    }
+
+    #[test]
+    fn response_local_has_no_remote() {
+        let r = QueryResponse::local(NeighborTable::new(), QueryCounters::default(), 0.1);
+        assert!(r.is_empty());
+        assert!(r.remote.is_none());
+        assert!(r.breakdown.is_none());
+        assert_eq!(r.wall_seconds, 0.1);
+    }
+}

@@ -50,6 +50,14 @@ pub enum PandaError {
     },
     /// Operation requires a non-empty point set.
     EmptyPointSet,
+    /// A search radius was NaN, infinite, negative, or zero. A radius
+    /// limit must be a positive finite number; use *no* radius (e.g.
+    /// [`crate::engine::QueryRequest`] without `with_radius`) for an
+    /// unbounded KNN search.
+    BadRadius {
+        /// The rejected radius value.
+        radius: f32,
+    },
     /// A configuration value was invalid.
     BadConfig(String),
     /// An I/O error (dataset persistence).
@@ -87,6 +95,11 @@ impl fmt::Display for PandaError {
                 write!(f, "point set has {got} points, expected {expected}")
             }
             PandaError::EmptyPointSet => write!(f, "operation requires a non-empty point set"),
+            PandaError::BadRadius { radius } => write!(
+                f,
+                "search radius must be a positive finite number, got {radius} \
+                 (omit the radius for an unbounded KNN search)"
+            ),
             PandaError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PandaError::Io(msg) => write!(f, "i/o error: {msg}"),
         }

@@ -108,6 +108,36 @@ impl KnnHeap {
         self.items.first().map(|n| n.dist_sq)
     }
 
+    /// Reset in place for a new query with capacity `k` and initial bound
+    /// `radius_sq`, keeping the item buffer's allocation. This is what
+    /// lets the batch engine reuse **one** heap per worker chunk instead
+    /// of allocating one per query.
+    #[inline]
+    pub fn reset(&mut self, k: usize, radius_sq: f32) {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        self.bound_sq = radius_sq;
+        self.items.clear();
+        self.items.reserve(k);
+    }
+
+    /// Drain into `out`, appended in ascending distance (ties by id),
+    /// leaving the heap empty but with its buffer intact. The sorted
+    /// order is identical to [`Self::into_sorted`]; this variant exists
+    /// so chunk-local result arenas can be filled without a per-query
+    /// `Vec` allocation.
+    pub fn append_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        // unstable sort is fine: (dist_sq, id) is a total order over the
+        // held items (ids are unique), so the result is deterministic.
+        self.items.sort_unstable_by(|a, b| {
+            a.dist_sq
+                .partial_cmp(&b.dist_sq)
+                .expect("finite distances")
+                .then(a.id.cmp(&b.id))
+        });
+        out.append(&mut self.items);
+    }
+
     /// Drain into a vector sorted by ascending distance (ties by id for
     /// determinism).
     pub fn into_sorted(mut self) -> Vec<Neighbor> {

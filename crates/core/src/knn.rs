@@ -16,6 +16,7 @@ use panda_comm::CostModel;
 
 use crate::config::{BoundMode, QueryOrder, TreeConfig};
 use crate::counters::QueryCounters;
+use crate::engine::{NeighborTable, QueryRequest, QueryResponse};
 use crate::error::{PandaError, Result};
 use crate::heap::{KnnHeap, Neighbor};
 use crate::local_tree::{LocalKdTree, QueryWorkspace};
@@ -26,9 +27,11 @@ use crate::point::PointSet;
 /// would rival the traversal work itself.
 const MIN_CHUNK: usize = 16;
 
-/// One worker chunk's output: `(input slot, neighbors)` pairs plus the
-/// chunk's aggregate counters.
-type ChunkResult = (Vec<(u32, Vec<Neighbor>)>, QueryCounters);
+/// One worker chunk's output: `(input slot, neighbor count)` runs, the
+/// chunk-local neighbor arena those runs index into (in run order), and
+/// the chunk's aggregate counters. Chunks are spliced into the final CSR
+/// table — no per-query `Vec` is ever allocated.
+type ChunkResult = (Vec<(u32, u32)>, Vec<Neighbor>, QueryCounters);
 
 /// A single-node KNN index.
 #[derive(Clone, Debug)]
@@ -79,28 +82,89 @@ impl KnnIndex {
         self.tree.query_radius(q, k, radius)
     }
 
-    /// Batched queries in the index's configured [`QueryOrder`];
-    /// parallelized over query chunks when the index was built with
-    /// `parallel = true`. Returns per-query results **in input order**
-    /// plus the aggregate traversal counters (which feed the
-    /// thread-scaling model of Fig. 6).
+    /// Answer a batch [`QueryRequest`] (the [`crate::engine::NnBackend`]
+    /// entry point): kNN or radius-limited kNN, with per-request
+    /// overrides of execution order, bound mode, and parallelism.
+    /// Results come back **in input order** as a flat CSR
+    /// [`NeighborTable`]; workers fill chunk-local arenas that are
+    /// spliced into the table, so the batch hot path performs no
+    /// per-query heap allocation.
+    pub fn query_session(&self, req: &QueryRequest<'_>) -> Result<QueryResponse> {
+        let t0 = std::time::Instant::now();
+        req.validate()?;
+        let (neighbors, counters) = self.batch_csr(
+            req.queries(),
+            req.k(),
+            req.radius_sq(),
+            req.order().unwrap_or(self.query_order),
+            req.bound_mode(),
+            req.parallel().unwrap_or(self.parallel),
+        )?;
+        Ok(QueryResponse::local(
+            neighbors,
+            counters,
+            t0.elapsed().as_secs_f64(),
+        ))
+    }
+
+    /// Batched queries in the index's configured [`QueryOrder`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query_session` with a `QueryRequest` (or the `NnBackend` trait); \
+                the CSR `QueryResponse` replaces the `(Vec<Vec<Neighbor>>, QueryCounters)` tuple"
+    )]
     pub fn query_batch(
         &self,
         queries: &PointSet,
         k: usize,
     ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
-        self.query_batch_ordered(queries, k, self.query_order)
+        let (table, counters) = self.batch_csr(
+            queries,
+            k,
+            f32::INFINITY,
+            self.query_order,
+            BoundMode::Exact,
+            self.parallel,
+        )?;
+        Ok((table.into_nested(), counters))
     }
 
-    /// [`Self::query_batch`] with an explicit execution order. The order
-    /// affects locality only: results and aggregate counters are
-    /// identical for any order (each query's traversal is independent).
+    /// Batched queries with an explicit execution order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `query_session` with `QueryRequest::with_order`; \
+                the CSR `QueryResponse` replaces the `(Vec<Vec<Neighbor>>, QueryCounters)` tuple"
+    )]
     pub fn query_batch_ordered(
         &self,
         queries: &PointSet,
         k: usize,
         order: QueryOrder,
     ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
+        let (table, counters) = self.batch_csr(
+            queries,
+            k,
+            f32::INFINITY,
+            order,
+            BoundMode::Exact,
+            self.parallel,
+        )?;
+        Ok((table.into_nested(), counters))
+    }
+
+    /// The CSR batch engine behind [`Self::query_session`] and the
+    /// deprecated tuple shims. The execution order affects locality
+    /// only: results and aggregate counters are identical for any order
+    /// (each query's traversal is independent).
+    pub(crate) fn batch_csr(
+        &self,
+        queries: &PointSet,
+        k: usize,
+        radius_sq: f32,
+        order: QueryOrder,
+        bound_mode: BoundMode,
+        parallel: bool,
+    ) -> Result<(NeighborTable, QueryCounters)> {
         if k == 0 {
             return Err(PandaError::ZeroK);
         }
@@ -115,48 +179,104 @@ impl KnnIndex {
             QueryOrder::Input => (0..n as u32).collect(),
             QueryOrder::Morton => morton_schedule(queries),
         };
-        let run_one = |i: usize, ws: &mut QueryWorkspace, c: &mut QueryCounters| {
-            let mut heap = KnnHeap::new(k);
+        // Each worker owns ONE reusable heap + workspace + arena for its
+        // whole chunk: a query appends its sorted neighbors to the arena
+        // and records `(input slot, count)`.
+        let run_one = |qi: u32,
+                       heap: &mut KnnHeap,
+                       ws: &mut QueryWorkspace,
+                       arena: &mut Vec<Neighbor>,
+                       runs: &mut Vec<(u32, u32)>,
+                       c: &mut QueryCounters| {
+            heap.reset(k, radius_sq);
             self.tree
-                .query_into(queries.point(i), &mut heap, BoundMode::Exact, ws, c);
-            heap.into_sorted()
+                .query_into(queries.point(qi as usize), heap, bound_mode, ws, c);
+            let start = arena.len();
+            heap.append_sorted_into(arena);
+            runs.push((qi, (arena.len() - start) as u32));
         };
-        let mut all: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
-        let mut counters = QueryCounters::default();
-        if self.parallel {
-            // Contiguous chunks of the (possibly reordered) schedule; one
-            // workspace per chunk, results tagged with their input slot.
-            let results: Vec<ChunkResult> = schedule
+        let chunks: Vec<ChunkResult> = if parallel {
+            // Contiguous chunks of the (possibly reordered) schedule.
+            schedule
                 .into_par_iter()
                 .with_min_len(MIN_CHUNK)
                 .fold(
-                    || (Vec::new(), QueryWorkspace::new(), QueryCounters::default()),
-                    |(mut out, mut ws, mut c), qi| {
-                        out.push((qi, run_one(qi as usize, &mut ws, &mut c)));
-                        (out, ws, c)
+                    || {
+                        (
+                            Vec::new(),
+                            Vec::new(),
+                            KnnHeap::new(k),
+                            QueryWorkspace::new(),
+                            QueryCounters::default(),
+                        )
+                    },
+                    |(mut runs, mut arena, mut heap, mut ws, mut c), qi| {
+                        run_one(qi, &mut heap, &mut ws, &mut arena, &mut runs, &mut c);
+                        (runs, arena, heap, ws, c)
                     },
                 )
-                .map(|(out, _ws, c)| (out, c))
-                .collect();
-            for (chunk, c) in results {
-                counters.add(&c);
-                for (qi, res) in chunk {
-                    all[qi as usize] = res; // scatter back to input order
-                }
-            }
+                .map(|(runs, arena, _heap, _ws, c)| (runs, arena, c))
+                .collect()
         } else {
+            let mut runs = Vec::with_capacity(n);
+            let mut arena = Vec::new();
+            let mut heap = KnnHeap::new(k);
             let mut ws = QueryWorkspace::new();
+            let mut c = QueryCounters::default();
             for &qi in &schedule {
-                all[qi as usize] = run_one(qi as usize, &mut ws, &mut counters);
+                run_one(qi, &mut heap, &mut ws, &mut arena, &mut runs, &mut c);
+            }
+            vec![(runs, arena, c)]
+        };
+        // Splice: counts → prefix-sum offsets (input order), then copy
+        // each chunk's runs into their final rows.
+        let mut counts = vec![0u32; n];
+        for (runs, _, _) in &chunks {
+            for &(slot, count) in runs {
+                counts[slot as usize] = count;
             }
         }
-        Ok((all, counters))
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        if total > u32::MAX as u64 {
+            return Err(PandaError::BadConfig(
+                "batch result exceeds the 2^32-neighbor CSR arena limit; split the batch".into(),
+            ));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut arena = vec![
+            Neighbor {
+                dist_sq: 0.0,
+                id: 0
+            };
+            total as usize
+        ];
+        let mut counters = QueryCounters::default();
+        for (runs, chunk_arena, c) in chunks {
+            counters.add(&c);
+            let mut cursor = 0usize;
+            for (slot, count) in runs {
+                let count = count as usize;
+                let dst = offsets[slot as usize] as usize;
+                arena[dst..dst + count].copy_from_slice(&chunk_arena[cursor..cursor + count]);
+                cursor += count;
+            }
+        }
+        Ok((
+            NeighborTable::from_parts_unchecked(offsets, arena),
+            counters,
+        ))
     }
 
     /// The k-nearest-neighbor **graph** of the indexed points themselves
     /// (each point queried against the index, excluding itself) — the
     /// workload of distributed KNN-graph construction (the paper's
-    /// related-work [21]) and the backbone of density-based analyses like
+    /// related-work \[21\]) and the backbone of density-based analyses like
     /// the halo finder example.
     ///
     /// `graph[i]` holds the k nearest *other* points of point `i`
@@ -178,11 +298,19 @@ impl KnnIndex {
             });
         }
         // query k+1 and drop the self-match (distance 0 with own id)
-        let (raw, _counters) = self.query_batch(points, k + 1)?;
-        Ok(raw
-            .into_iter()
+        let (table, _counters) = self.batch_csr(
+            points,
+            k + 1,
+            f32::INFINITY,
+            self.query_order,
+            BoundMode::Exact,
+            self.parallel,
+        )?;
+        Ok(table
+            .iter()
             .enumerate()
-            .map(|(i, mut ns)| {
+            .map(|(i, row)| {
+                let mut ns = row.to_vec();
                 let own = points.id(i);
                 if let Some(pos) = ns.iter().position(|n| n.id == own && n.dist_sq == 0.0) {
                     ns.remove(pos);
@@ -213,6 +341,7 @@ impl KnnIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::QueryOrder;
     use crate::rng::SplitRng;
 
     fn random_ps(n: usize, dims: usize, seed: u64) -> PointSet {
@@ -231,15 +360,66 @@ mod tests {
         let ps = random_ps(3000, 3, 1);
         let queries = random_ps(64, 3, 2);
         let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
-        let (batch, counters) = idx.query_batch(&queries, 4).unwrap();
-        assert_eq!(batch.len(), 64);
-        assert_eq!(counters.queries, 64);
-        for (i, res) in batch.iter().enumerate() {
+        let res = idx.query_session(&QueryRequest::knn(&queries, 4)).unwrap();
+        assert_eq!(res.len(), 64);
+        assert_eq!(res.counters.queries, 64);
+        assert!(res.wall_seconds >= 0.0);
+        for (i, row) in res.neighbors.iter().enumerate() {
             let single = idx.query(queries.point(i), 4).unwrap();
-            let a: Vec<f32> = res.iter().map(|n| n.dist_sq).collect();
+            let a: Vec<f32> = row.iter().map(|n| n.dist_sq).collect();
             let b: Vec<f32> = single.iter().map(|n| n.dist_sq).collect();
             assert_eq!(a, b, "query {i}");
         }
+    }
+
+    /// The deprecated tuple shims must stay bit-for-bit equal to the CSR
+    /// session path until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tuple_shims_match_session_path() {
+        let ps = random_ps(2000, 3, 50);
+        let queries = random_ps(120, 3, 51);
+        let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+        let (nested, c_old) = idx.query_batch(&queries, 5).unwrap();
+        let res = idx.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
+        assert_eq!(res.neighbors.to_nested(), nested);
+        assert_eq!(res.counters, c_old);
+        let (ordered, _) = idx
+            .query_batch_ordered(&queries, 5, QueryOrder::Morton)
+            .unwrap();
+        let res_m = idx
+            .query_session(&QueryRequest::knn(&queries, 5).with_order(QueryOrder::Morton))
+            .unwrap();
+        assert_eq!(res_m.neighbors.to_nested(), ordered);
+    }
+
+    #[test]
+    fn radius_limited_session_matches_query_radius() {
+        let ps = random_ps(2000, 3, 52);
+        let queries = random_ps(60, 3, 53);
+        let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+        let radius = 5.0f32;
+        let res = idx
+            .query_session(&QueryRequest::knn(&queries, 8).with_radius(radius))
+            .unwrap();
+        for (i, row) in res.neighbors.iter().enumerate() {
+            let single = idx.query_radius(queries.point(i), 8, radius).unwrap();
+            let a: Vec<(f32, u64)> = row.iter().map(|n| (n.dist_sq, n.id)).collect();
+            let b: Vec<(f32, u64)> = single.iter().map(|n| (n.dist_sq, n.id)).collect();
+            assert_eq!(a, b, "query {i}");
+            assert!(row.iter().all(|n| n.dist_sq < radius * radius));
+        }
+    }
+
+    #[test]
+    fn session_rejects_bad_radius() {
+        let ps = random_ps(100, 3, 54);
+        let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+        let queries = random_ps(4, 3, 55);
+        assert!(matches!(
+            idx.query_session(&QueryRequest::knn(&queries, 3).with_radius(f32::NAN)),
+            Err(PandaError::BadRadius { .. })
+        ));
     }
 
     #[test]
@@ -252,16 +432,16 @@ mod tests {
             &TreeConfig::default().with_parallel(true).with_threads(2),
         )
         .unwrap();
-        let (a, ca) = seq.query_batch(&queries, 5).unwrap();
-        let (b, cb) = par.query_batch(&queries, 5).unwrap();
-        for (x, y) in a.iter().zip(&b) {
+        let a = seq.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
+        let b = par.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
+        for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
             let dx: Vec<f32> = x.iter().map(|n| n.dist_sq).collect();
             let dy: Vec<f32> = y.iter().map(|n| n.dist_sq).collect();
             assert_eq!(dx, dy);
         }
         // identical traversal work regardless of execution strategy —
         // both trees are built from the same seed & both traverse exactly
-        assert_eq!(ca.queries, cb.queries);
+        assert_eq!(a.counters.queries, b.counters.queries);
     }
 
     #[test]
@@ -270,11 +450,14 @@ mod tests {
         let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
         let queries = random_ps(4, 2, 6);
         assert!(matches!(
-            idx.query_batch(&queries, 3),
+            idx.query_session(&QueryRequest::knn(&queries, 3)),
             Err(PandaError::DimsMismatch { .. })
         ));
         let q3 = random_ps(4, 3, 6);
-        assert!(matches!(idx.query_batch(&q3, 0), Err(PandaError::ZeroK)));
+        assert!(matches!(
+            idx.query_session(&QueryRequest::knn(&q3, 0)),
+            Err(PandaError::ZeroK)
+        ));
     }
 
     #[test]
@@ -282,7 +465,10 @@ mod tests {
         let ps = random_ps(20_000, 3, 7);
         let queries = random_ps(2000, 3, 8);
         let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
-        let (_res, counters) = idx.query_batch(&queries, 5).unwrap();
+        let counters = idx
+            .query_session(&QueryRequest::knn(&queries, 5))
+            .unwrap()
+            .counters;
         let cost = CostModel::default();
         let t1 = idx.modeled_query_time_at(&counters, &cost, 1, false);
         let t24 = idx.modeled_query_time_at(&counters, &cost, 24, false);
@@ -365,7 +551,6 @@ mod tests {
 
     #[test]
     fn morton_order_matches_input_order_exactly() {
-        use crate::config::QueryOrder;
         let ps = random_ps(4000, 3, 31);
         let queries = random_ps(500, 3, 32);
         for parallel in [false, true] {
@@ -373,27 +558,26 @@ mod tests {
                 .with_parallel(parallel)
                 .with_threads(2);
             let idx = KnnIndex::build(&ps, &cfg).unwrap();
-            let (a, ca) = idx
-                .query_batch_ordered(&queries, 5, QueryOrder::Input)
+            let a = idx
+                .query_session(&QueryRequest::knn(&queries, 5).with_order(QueryOrder::Input))
                 .unwrap();
-            let (b, cb) = idx
-                .query_batch_ordered(&queries, 5, QueryOrder::Morton)
+            let b = idx
+                .query_session(&QueryRequest::knn(&queries, 5).with_order(QueryOrder::Morton))
                 .unwrap();
             assert_eq!(a.len(), b.len());
-            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            for (i, (x, y)) in a.neighbors.iter().zip(b.neighbors.iter()).enumerate() {
                 let dx: Vec<(f32, u64)> = x.iter().map(|n| (n.dist_sq, n.id)).collect();
                 let dy: Vec<(f32, u64)> = y.iter().map(|n| (n.dist_sq, n.id)).collect();
                 assert_eq!(dx, dy, "query {i} parallel={parallel}");
             }
             // each query's traversal is independent of execution order, so
             // the aggregate work must be identical too
-            assert_eq!(ca, cb, "parallel={parallel}");
+            assert_eq!(a.counters, b.counters, "parallel={parallel}");
         }
     }
 
     #[test]
     fn configured_query_order_is_used_by_default() {
-        use crate::config::QueryOrder;
         let ps = random_ps(2000, 3, 33);
         let queries = random_ps(200, 3, 34);
         let idx = KnnIndex::build(
@@ -401,11 +585,15 @@ mod tests {
             &TreeConfig::default().with_query_order(QueryOrder::Morton),
         )
         .unwrap();
-        let (a, _) = idx.query_batch(&queries, 3).unwrap();
-        let (b, _) = idx
-            .query_batch_ordered(&queries, 3, QueryOrder::Input)
-            .unwrap();
-        for (x, y) in a.iter().zip(&b) {
+        let a = idx
+            .query_session(&QueryRequest::knn(&queries, 3))
+            .unwrap()
+            .neighbors;
+        let b = idx
+            .query_session(&QueryRequest::knn(&queries, 3).with_order(QueryOrder::Input))
+            .unwrap()
+            .neighbors;
+        for (x, y) in a.iter().zip(b.iter()) {
             let dx: Vec<(f32, u64)> = x.iter().map(|n| (n.dist_sq, n.id)).collect();
             let dy: Vec<(f32, u64)> = y.iter().map(|n| (n.dist_sq, n.id)).collect();
             assert_eq!(dx, dy);
@@ -417,7 +605,10 @@ mod tests {
         let ps = random_ps(5000, 3, 35);
         let queries = random_ps(100, 3, 36);
         let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
-        let (_res, c) = idx.query_batch(&queries, 5).unwrap();
+        let c = idx
+            .query_session(&QueryRequest::knn(&queries, 5))
+            .unwrap()
+            .counters;
         assert_eq!(c.leaf_kernel_calls, c.leaves_scanned);
         // the whole point of the fused kernel: most blocks die in-register
         assert!(c.kernel_blocks_pruned > 0);
@@ -429,13 +620,12 @@ mod tests {
         let ps = random_ps(100, 3, 37);
         let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
         let empty = PointSet::new(3).unwrap();
-        for order in [
-            crate::config::QueryOrder::Input,
-            crate::config::QueryOrder::Morton,
-        ] {
-            let (res, c) = idx.query_batch_ordered(&empty, 4, order).unwrap();
+        for order in [QueryOrder::Input, QueryOrder::Morton] {
+            let res = idx
+                .query_session(&QueryRequest::knn(&empty, 4).with_order(order))
+                .unwrap();
             assert!(res.is_empty());
-            assert_eq!(c.queries, 0);
+            assert_eq!(res.counters.queries, 0);
         }
     }
 

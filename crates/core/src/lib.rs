@@ -7,10 +7,16 @@
 //! SIMD-packed leaf buckets, and a batched, pipelined distributed query
 //! protocol with radius-based remote pruning.
 //!
-//! * Single-node usage: [`knn::KnnIndex`].
+//! One **session API** fronts every engine ([`engine`]): build any
+//! backend, describe a batch with a validated [`engine::QueryRequest`],
+//! and get a structured [`engine::QueryResponse`] whose neighbor storage
+//! is the flat CSR [`engine::NeighborTable`].
+//!
+//! * Single-node usage: [`knn::KnnIndex`] (implements
+//!   [`engine::NnBackend`]).
 //! * Distributed usage (over the `panda-comm` simulated cluster):
-//!   [`build_distributed::build_distributed`] +
-//!   [`query_distributed::query_distributed`].
+//!   [`build_distributed::build_distributed`] wrapped by
+//!   [`engine::DistIndex`], same trait.
 //!
 //! All querying is **exact**: results are verified bit-identical to brute
 //! force throughout the test suite (`BoundMode::Exact`, the default).
@@ -37,11 +43,15 @@
 //!   record instead of a 64-byte side-array copy, and popping rewinds an
 //!   undo log to restore the exact path state. Workspaces are fully
 //!   reusable across queries and trees.
-//! * **Locality-aware batching** ([`knn::KnnIndex::query_batch`]) — a
+//! * **Locality-aware batching** ([`knn::KnnIndex::query_session`]) — a
 //!   batch can be executed in Morton (Z-order) order
-//!   ([`config::QueryOrder`]) so consecutive queries share tree paths and
-//!   warm leaf buckets, dispatched in contiguous chunks with a minimum
-//!   chunk length; results are scattered back to input order.
+//!   ([`config::QueryOrder`], or per-request via
+//!   [`engine::QueryRequest::with_order`]) so consecutive queries share
+//!   tree paths and warm leaf buckets, dispatched in contiguous chunks
+//!   with a minimum chunk length; results land in a flat CSR
+//!   [`engine::NeighborTable`] in input order — workers fill chunk-local
+//!   arenas that are spliced, so the hot path allocates no per-query
+//!   `Vec`.
 //!
 //! The distributed query pipeline and the baselines inherit the kernel
 //! through [`local_tree::LocalKdTree::query_into`]. Kernel-level work is
@@ -68,6 +78,7 @@ pub mod build_distributed;
 pub mod classify;
 pub mod config;
 pub mod counters;
+pub mod engine;
 pub mod error;
 pub mod global_tree;
 pub mod heap;
@@ -88,6 +99,7 @@ pub use config::{
     TreeConfig,
 };
 pub use counters::{BuildCounters, QueryCounters};
+pub use engine::{DistIndex, NeighborTable, NnBackend, QueryRequest, QueryResponse};
 pub use error::{PandaError, Result};
 pub use heap::{KnnHeap, Neighbor};
 pub use local_tree::{LocalKdTree, QueryWorkspace, TreeStats};

@@ -140,7 +140,24 @@ impl Owned {
 /// Distributed KNN (SPMD). Every rank passes its own `queries`; results
 /// come back in the same order. `tree` must be the product of
 /// [`crate::build_distributed::build_distributed`] on the same cluster.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `engine::DistIndex` (which owns the tree + comm handles) and drive it \
+            through `NnBackend::query` with a `QueryRequest`; the CSR `QueryResponse` replaces \
+            `DistQueryResult`"
+)]
 pub fn query_distributed(
+    comm: &mut Comm,
+    tree: &DistKdTree,
+    queries: &PointSet,
+    cfg: &QueryConfig,
+) -> Result<DistQueryResult> {
+    query_distributed_impl(comm, tree, queries, cfg)
+}
+
+/// The SPMD engine behind [`crate::engine::DistIndex`] and the deprecated
+/// [`query_distributed`] shim.
+pub(crate) fn query_distributed_impl(
     comm: &mut Comm,
     tree: &DistKdTree,
     queries: &PointSet,
@@ -421,6 +438,7 @@ fn qid_owned_index(owned: &Owned, lo: usize, hi: usize, cursor: &mut usize, rq: 
 
 #[cfg(test)]
 mod tests {
+    use super::query_distributed_impl as query_distributed;
     use super::*;
     use crate::build_distributed::build_distributed;
     use crate::config::{BoundMode, DistConfig};

@@ -1,5 +1,5 @@
 //! Fixed-radius neighbor search — the "easier problem" the paper
-//! contrasts KNN against (§I, discussing BD-CATS [11]).
+//! contrasts KNN against (§I, discussing BD-CATS \[11\]).
 //!
 //! With a fixed radius there is no `r'` refinement loop: the set of ranks
 //! to consult is known the moment the query arrives, so the distributed

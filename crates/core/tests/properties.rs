@@ -3,10 +3,12 @@
 use proptest::prelude::*;
 
 use panda_core::config::HistScan;
+use panda_core::engine::{NeighborTable, QueryRequest};
 use panda_core::hist::SampledHistogram;
+use panda_core::knn::KnnIndex;
 use panda_core::local_tree::{PackedLeaves, LANE};
 use panda_core::partition::{partition_by_count, partition_in_place, partition_stable};
-use panda_core::{KnnHeap, PointSet};
+use panda_core::{KnnHeap, Neighbor, PointSet, TreeConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -192,6 +194,95 @@ proptest! {
         }
         if bb.contains(&q) {
             prop_assert_eq!(lb, 0.0);
+        }
+    }
+}
+
+/// Random point set on a coarse lattice (duplicates are the hard case).
+fn lattice_points(max_n: usize, max_dims: usize) -> impl Strategy<Value = PointSet> {
+    (1..=max_dims, 1..=max_n).prop_flat_map(move |(dims, n)| {
+        proptest::collection::vec(-8i32..8, n * dims).prop_map(move |grid| {
+            let coords: Vec<f32> = grid.iter().map(|&g| g as f32 * 0.25).collect();
+            PointSet::from_coords(dims, coords).expect("valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// CSR `NeighborTable` structural invariants, and bit-for-bit
+    /// agreement between the session path and the deprecated
+    /// `Vec<Vec<Neighbor>>` tuple path, for arbitrary data, k, radius,
+    /// and parallelism.
+    #[test]
+    fn csr_table_matches_deprecated_nested_path(
+        ps in lattice_points(250, 4),
+        k in 1usize..10,
+        radius in proptest::option::of(0.1f32..4.0),
+        parallel in proptest::sample::select(vec![false, true]),
+        qseed in 0u64..500,
+    ) {
+        let idx = KnnIndex::build(&ps, &TreeConfig::default().with_threads(2)).unwrap();
+        let dims = ps.dims();
+        let mut queries = PointSet::new(dims).unwrap();
+        queries.push(ps.point((qseed as usize) % ps.len()), 0);
+        queries.push(
+            &(0..dims).map(|d| ((qseed + d as u64) % 7) as f32 - 3.0).collect::<Vec<_>>(),
+            1,
+        );
+        queries.push(&vec![50.0; dims], 2);
+
+        let mut req = QueryRequest::knn(&queries, k).with_parallel(parallel);
+        if let Some(r) = radius {
+            req = req.with_radius(r);
+        }
+        let res = idx.query_session(&req).unwrap();
+        let table = &res.neighbors;
+
+        // --- structural invariants -----------------------------------
+        prop_assert_eq!(table.len(), queries.len());
+        let offs = table.offsets();
+        prop_assert_eq!(offs.len(), table.len() + 1);
+        prop_assert_eq!(offs[0], 0);
+        prop_assert!(offs.windows(2).all(|w| w[0] <= w[1]), "offsets monotone");
+        prop_assert_eq!(*offs.last().unwrap() as usize, table.arena().len());
+        prop_assert_eq!(table.total_neighbors(), table.arena().len());
+        // a rebuilt table from the raw parts must validate
+        prop_assert!(
+            NeighborTable::from_parts(offs.to_vec(), table.arena().to_vec()).is_ok()
+        );
+
+        // --- bit-for-bit vs the deprecated tuple path ----------------
+        if radius.is_none() {
+            #[allow(deprecated)]
+            let (nested, c_old) = idx.query_batch(&queries, k).unwrap();
+            prop_assert_eq!(table.to_nested(), nested.clone(), "CSR rows == nested rows");
+            prop_assert_eq!(&res.counters, &c_old, "identical traversal work");
+            // per-row slice accessors agree with the nested rows
+            for (i, row) in nested.iter().enumerate() {
+                prop_assert_eq!(table.row(i), row.as_slice());
+                prop_assert_eq!(table.get(i).unwrap(), row.as_slice());
+                prop_assert_eq!(&table[i], row.as_slice());
+            }
+            prop_assert!(table.get(table.len()).is_none());
+        } else {
+            // radius rows: ascending, strictly inside r², per-query match
+            let r_sq = radius.unwrap() * radius.unwrap();
+            for (i, row) in table.iter().enumerate() {
+                prop_assert!(row.iter().all(|n| n.dist_sq < r_sq));
+                let single = idx
+                    .query_radius(queries.point(i), k, radius.unwrap())
+                    .unwrap();
+                prop_assert_eq!(row, single.as_slice());
+            }
+        }
+
+        // iterator and rows agree
+        let iter_rows: Vec<&[Neighbor]> = table.iter().collect();
+        prop_assert_eq!(iter_rows.len(), table.len());
+        for (i, row) in iter_rows.iter().enumerate() {
+            prop_assert_eq!(*row, table.row(i));
         }
     }
 }

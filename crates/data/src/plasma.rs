@@ -1,6 +1,6 @@
 //! Harris current-sheet particle distribution — the density profile of
 //! VPIC magnetic-reconnection simulations (Harris 1962; Daughton et al.
-//! 2006, the paper's ref. [16]).
+//! 2006, the paper's ref. \[16\]).
 //!
 //! Particle density follows `n(z) ∝ sech²((z − z₀)/δ)` around each current
 //! sheet plus a uniform background — energetic particles concentrate near

@@ -1,6 +1,6 @@
 //! SDSS-like photometric magnitudes (Table II: `psf_mod_mag` 10-D,
 //! `all_mag` 15-D), used in the paper's Xeon-Phi comparison against
-//! buffer-kd-tree GPU results [17], [18].
+//! buffer-kd-tree GPU results \[17\], \[18\].
 //!
 //! Generative model of multi-band photometry: an object has a true
 //! brightness and a color locus position (a star/galaxy mixture); the

@@ -8,11 +8,10 @@
 //! ```
 
 use panda::core::classify::{majority_vote, weighted_vote, ConfusionMatrix};
-use panda::core::knn::KnnIndex;
-use panda::core::TreeConfig;
 use panda::data::dayabay::{self, DayaBayParams};
+use panda::prelude::*;
 
-fn main() -> panda::core::Result<()> {
+fn main() -> Result<()> {
     let lp = dayabay::generate(60_000, &DayaBayParams::default(), 7);
     let (train, test) = lp.split(0.25, 8);
     println!(
@@ -25,11 +24,11 @@ fn main() -> panda::core::Result<()> {
 
     let cfg = TreeConfig::default().with_parallel(true).with_threads(4);
     let index = KnnIndex::build(&train, &cfg)?;
-    let (results, _counters) = index.query_batch(&test, 5)?;
+    let res = NnBackend::query(&index, &QueryRequest::knn(&test, 5))?;
 
     let mut cm = ConfusionMatrix::new(lp.n_classes as usize);
     let mut cm_weighted = ConfusionMatrix::new(lp.n_classes as usize);
-    for (i, neighbors) in results.iter().enumerate() {
+    for (i, neighbors) in res.neighbors.iter().enumerate() {
         let truth = lp.label_of(test.id(i));
         let pred = majority_vote(neighbors, |id| lp.label_of(id)).expect("non-empty");
         let predw = weighted_vote(neighbors, |id| lp.label_of(id), 1e-6).expect("non-empty");

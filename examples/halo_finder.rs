@@ -10,11 +10,10 @@
 //! cargo run --release --example halo_finder
 //! ```
 
-use panda::core::knn::KnnIndex;
-use panda::core::TreeConfig;
 use panda::data::cosmology::{self, CosmologyParams};
+use panda::prelude::*;
 
-fn main() -> panda::core::Result<()> {
+fn main() -> Result<()> {
     let n = 200_000;
     let points = cosmology::generate(n, &CosmologyParams::default(), 11);
     println!("Soneira–Peebles realization: {n} particles in the unit box");
@@ -24,8 +23,10 @@ fn main() -> panda::core::Result<()> {
 
     // Density per particle from the distance to the 16th neighbor.
     let k = 16;
-    let (results, _) = index.query_batch(&points, k + 1)?; // +1: self is a neighbor
-    let densities: Vec<f64> = results
+    // +1: self is a neighbor
+    let res = NnBackend::query(&index, &QueryRequest::knn(&points, k + 1))?;
+    let densities: Vec<f64> = res
+        .neighbors
         .iter()
         .map(|ns| {
             let rk = ns.last().expect("k+1 neighbors").dist() as f64;
@@ -59,7 +60,7 @@ fn main() -> panda::core::Result<()> {
             continue;
         }
         // claim the seed's neighborhood (radius = 2× its r_k)
-        let rk = results[seed].last().expect("neighbors").dist();
+        let rk = res.neighbors.row(seed).last().expect("neighbors").dist();
         let members = index.query_radius(points.point(seed), 10_000, 2.0 * rk)?;
         let mut count = 0usize;
         for m in &members {

@@ -12,9 +12,8 @@
 //! ```
 
 use panda::core::classify::{regress_idw, regress_mean};
-use panda::core::knn::KnnIndex;
-use panda::core::{PointSet, TreeConfig};
 use panda::data::plasma::{self, PlasmaParams};
+use panda::prelude::*;
 
 fn energy(z: f32, params: &PlasmaParams) -> f32 {
     let lz = params.extent[2];
@@ -28,7 +27,7 @@ fn energy(z: f32, params: &PlasmaParams) -> f32 {
     e
 }
 
-fn main() -> panda::core::Result<()> {
+fn main() -> Result<()> {
     let params = PlasmaParams::default();
     let all = plasma::generate(300_000, &params, 17);
 
@@ -59,13 +58,13 @@ fn main() -> panda::core::Result<()> {
 
     let cfg = TreeConfig::default().with_parallel(true).with_threads(4);
     let index = KnnIndex::build(&train, &cfg)?;
-    let (results, _) = index.query_batch(&test, 8)?;
+    let res = NnBackend::query(&index, &QueryRequest::knn(&test, 8))?;
 
     let mut se_mean = 0.0f64;
     let mut se_idw = 0.0f64;
     let mut se_null = 0.0f64;
     let global_mean: f32 = energies[..n_train].iter().sum::<f32>() / n_train as f32;
-    for (i, neighbors) in results.iter().enumerate() {
+    for (i, neighbors) in res.neighbors.iter().enumerate() {
         let truth = energy(test.point(i)[2], &params);
         let pred_mean = regress_mean(neighbors, |id| energies[id as usize]).expect("neighbors");
         let pred_idw = regress_idw(neighbors, |id| energies[id as usize], 1e-9).expect("neighbors");

@@ -4,12 +4,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use panda::baselines::BruteForce;
-use panda::core::knn::KnnIndex;
-use panda::core::{PointSet, TreeConfig};
 use panda::data::uniform;
+use panda::prelude::*;
 
-fn main() -> panda::core::Result<()> {
+fn main() -> Result<()> {
     // 1. Some points. Any `Vec<f32>` in point-major order works; every
     //    point gets a global id (0..n by default).
     let points: PointSet = uniform::generate(100_000, 3, 1.0, 42);
@@ -36,23 +34,34 @@ fn main() -> panda::core::Result<()> {
         println!("  id {:>6}  dist {:.5}", n.id, n.dist());
     }
 
-    // 4. They are exact — verify against brute force.
+    // 4. They are exact — verify against brute force. Both engines sit
+    //    behind the same `NnBackend` trait, so the check is a replay of
+    //    one request against a second backend.
+    let queries = uniform::generate(10_000, 3, 1.0, 43);
+    let req = QueryRequest::knn(&queries, 5);
+    let res = NnBackend::query(&index, &req)?;
     let brute = BruteForce::new(&points);
-    let expect = brute.query(&q, 5)?;
+    let spot = PointSet::from_coords(3, q.to_vec())?;
+    let expect = NnBackend::query(&brute, &QueryRequest::knn(&spot, 5))?;
     assert_eq!(
         neighbors.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
-        expect.iter().map(|n| n.dist_sq).collect::<Vec<_>>(),
+        expect
+            .neighbors
+            .row(0)
+            .iter()
+            .map(|n| n.dist_sq)
+            .collect::<Vec<_>>(),
     );
     println!("\nverified exact against brute force ✓");
 
-    // 5. Batched queries run in parallel and report traversal counters.
-    let queries = uniform::generate(10_000, 3, 1.0, 43);
-    let (results, counters) = index.query_batch(&queries, 5)?;
+    // 5. Batched responses carry the CSR neighbor table (one flat arena,
+    //    per-query slices) plus traversal counters and wall time.
     println!(
-        "\nbatch: {} queries, {:.1} nodes and {:.1} point-distances per query",
-        results.len(),
-        counters.nodes_visited as f64 / results.len() as f64,
-        counters.points_scanned as f64 / results.len() as f64,
+        "\nbatch: {} queries in {:.3}s, {:.1} nodes and {:.1} point-distances per query",
+        res.len(),
+        res.wall_seconds,
+        res.counters.nodes_visited as f64 / res.len() as f64,
+        res.counters.points_scanned as f64 / res.len() as f64,
     );
     Ok(())
 }

@@ -2,15 +2,66 @@
 //!
 //! Re-exports the full PANDA reproduction surface:
 //!
-//! * [`core`](panda_core) — distributed kd-tree construction and exact KNN
+//! * [`core`] — distributed kd-tree construction and exact KNN
 //!   querying (the paper's contribution);
-//! * [`comm`](panda_comm) — the simulated distributed runtime substrate;
-//! * [`data`](panda_data) — synthetic science-dataset generators;
-//! * [`baselines`](panda_baselines) — brute force, FLANN-like, ANN-like and
+//! * [`comm`] — the simulated distributed runtime substrate;
+//! * [`data`] — synthetic science-dataset generators;
+//! * [`baselines`] — brute force, FLANN-like, ANN-like and
 //!   local-trees comparison implementations.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
+//!
+//! ## Quickstart: the query-session API
+//!
+//! One vocabulary drives every engine. Build a backend, describe a batch
+//! with a [`QueryRequest`](prelude::QueryRequest), get a
+//! [`QueryResponse`](prelude::QueryResponse) whose neighbors live in a
+//! flat CSR [`NeighborTable`](prelude::NeighborTable):
+//!
+//! ```
+//! use panda::prelude::*;
+//!
+//! // four points on a line, three queries
+//! let points = PointSet::from_coords(1, vec![0.0, 1.0, 2.0, 10.0])?;
+//! let queries = PointSet::from_coords(1, vec![1.2, 9.0, 0.1])?;
+//!
+//! // any engine behind the same trait: panda's kd-tree, brute force, …
+//! let index = KnnIndex::build(&points, &TreeConfig::default())?;
+//! let backend: &dyn NnBackend = &index;
+//!
+//! let req = QueryRequest::knn(&queries, 2); // + .with_radius / .with_order / …
+//! let res = backend.query(&req)?;
+//!
+//! assert_eq!(res.len(), 3);
+//! assert_eq!(res.neighbors.row(0)[0].id, 1); // nearest to 1.2 is x = 1.0
+//! for row in res.neighbors.iter() {
+//!     assert_eq!(row.len(), 2); // k neighbors per query, ascending
+//! }
+//! assert_eq!(res.counters.queries, 3);
+//! # Ok::<(), PandaError>(())
+//! ```
+//!
+//! The same request replays against any backend — the parity suite in
+//! `tests/backend_parity.rs` holds every engine to bit-identical answers.
+//! Distributed engines ([`panda_core::engine::DistIndex`],
+//! [`panda_baselines::LocalTreesBackend`]) are built per rank with their
+//! `build_on` constructors inside a `run_cluster` closure and queried
+//! through the identical trait.
+//!
+//! ## Migrating from the pre-session (tuple) API
+//!
+//! The 0.1 tuple methods survive one release as `#[deprecated]` shims:
+//!
+//! | old (0.1) | new (0.2) |
+//! |---|---|
+//! | `index.query_batch(&q, k)` → `(Vec<Vec<Neighbor>>, QueryCounters)` | `backend.query(&QueryRequest::knn(&q, k))` → `QueryResponse` |
+//! | `index.query_batch_ordered(&q, k, order)` | `QueryRequest::knn(&q, k).with_order(order)` |
+//! | `query_distributed(comm, &tree, &q, &cfg)` → `DistQueryResult` | `DistIndex::build_on(comm, pts, &cfg)` then `backend.query(&req)` |
+//! | `brute.query_batch(&q, k, parallel)` | `QueryRequest::knn(&q, k).with_parallel(parallel)` |
+//! | `flann.query_batch(&q, k, parallel)` / `ann.query_batch(&q, k)` | same request, any backend |
+//! | `results[i]` (a `Vec<Neighbor>`) | `res.neighbors.row(i)` (a `&[Neighbor]` into one arena) |
+//! | `QueryConfig { initial_radius, .. }` | `QueryRequest::with_radius` (validated: positive finite) |
 
 #![warn(missing_docs)]
 
@@ -18,6 +69,20 @@ pub use panda_baselines as baselines;
 pub use panda_comm as comm;
 pub use panda_core as core;
 pub use panda_data as data;
+
+/// The working vocabulary of the query-session API, re-exported flat so
+/// callers stop reaching through `panda::core::...` internals.
+pub mod prelude {
+    pub use panda_baselines::{AnnLikeTree, BruteForce, FlannLikeTree, LocalTreesBackend};
+    pub use panda_core::engine::{
+        DistIndex, NeighborTable, NnBackend, QueryRequest, QueryResponse,
+    };
+    pub use panda_core::knn::KnnIndex;
+    pub use panda_core::{
+        BoundMode, DistConfig, Neighbor, PandaError, PointSet, QueryCounters, QueryOrder, Result,
+        TreeConfig,
+    };
+}
 
 /// Crate version of the facade (matches the workspace version).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -2,12 +2,10 @@
 //! classification must land in the paper's accuracy band.
 
 use panda::comm::{run_cluster, ClusterConfig};
-use panda::core::build_distributed::build_distributed;
 use panda::core::classify::{majority_vote, ConfusionMatrix};
-use panda::core::query_distributed::query_distributed;
-use panda::core::{DistConfig, QueryConfig};
 use panda::data::dayabay::{self, DayaBayParams};
 use panda::data::scatter;
+use panda::prelude::*;
 
 #[test]
 fn distributed_dayabay_accuracy_in_paper_band() {
@@ -19,14 +17,14 @@ fn distributed_dayabay_accuracy_in_paper_band() {
 
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&train, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&test, comm.rank(), comm.size());
-        let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).expect("query");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&test, index.rank(), index.size());
+        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
         (0..myq.len())
             .map(|i| {
                 let truth = labels[myq.id(i) as usize];
-                let pred =
-                    majority_vote(&res.neighbors[i], |id| labels[id as usize]).expect("neighbors");
+                let pred = majority_vote(res.neighbors.row(i), |id| labels[id as usize])
+                    .expect("neighbors");
                 (truth, pred)
             })
             .collect::<Vec<_>>()
@@ -51,16 +49,15 @@ fn distributed_dayabay_accuracy_in_paper_band() {
 
 #[test]
 fn distributed_equals_single_node_classification() {
-    use panda::core::knn::KnnIndex;
-    use panda::core::TreeConfig;
     let lp = dayabay::generate(4000, &DayaBayParams::default(), 7);
     let (train, test) = lp.split(0.3, 8);
     let labels = lp.labels.clone();
 
     // single node
     let index = KnnIndex::build(&train, &TreeConfig::default()).unwrap();
-    let (results, _) = index.query_batch(&test, 5).unwrap();
-    let single: Vec<u32> = results
+    let res = NnBackend::query(&index, &QueryRequest::knn(&test, 5)).unwrap();
+    let single: Vec<u32> = res
+        .neighbors
         .iter()
         .map(|ns| majority_vote(ns, |id| labels[id as usize]).unwrap())
         .collect();
@@ -68,14 +65,14 @@ fn distributed_equals_single_node_classification() {
     // distributed
     let out = run_cluster(&ClusterConfig::new(3), |comm| {
         let mine = scatter(&train, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&test, comm.rank(), comm.size());
-        let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).expect("query");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&test, index.rank(), index.size());
+        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.id(i),
-                    majority_vote(&res.neighbors[i], |id| labels[id as usize]).unwrap(),
+                    majority_vote(res.neighbors.row(i), |id| labels[id as usize]).unwrap(),
                 )
             })
             .collect::<Vec<_>>()

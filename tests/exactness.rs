@@ -3,14 +3,11 @@
 //! every dataset family the paper uses, across rank counts, dimensions,
 //! k values and batch sizes.
 
-use panda::baselines::BruteForce;
 use panda::comm::{run_cluster, ClusterConfig};
-use panda::core::build_distributed::build_distributed;
-use panda::core::query_distributed::query_distributed;
-use panda::core::{DistConfig, PointSet, QueryConfig};
 use panda::data::dayabay::DayaBayParams;
 use panda::data::plasma::PlasmaParams;
 use panda::data::{cosmology, dayabay, plasma, queries_from, scatter, sdss, uniform};
+use panda::prelude::*;
 
 /// Run the full distributed pipeline and compare every query against
 /// brute force (distances must be bit-identical; ids checked through the
@@ -25,19 +22,16 @@ fn assert_distributed_exact(
     let bf = BruteForce::new(all);
     let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
         let mine = scatter(all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(queries, comm.rank(), comm.size());
-        let cfg = QueryConfig {
-            k,
-            batch_size: batch,
-            ..QueryConfig::default()
-        };
-        let res = query_distributed(comm, &tree, &myq, &cfg).expect("query");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(queries, index.rank(), index.size());
+        let req = QueryRequest::knn(&myq, k).with_batch_size(batch);
+        let res = index.query(&req).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.point(i).to_vec(),
-                    res.neighbors[i]
+                    res.neighbors
+                        .row(i)
                         .iter()
                         .map(|n| n.dist_sq)
                         .collect::<Vec<f32>>(),
@@ -151,19 +145,16 @@ fn radius_limited_distributed_knn() {
     let bf = BruteForce::new(&all);
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, comm.rank(), comm.size());
-        let cfg = QueryConfig {
-            k: 10,
-            initial_radius: radius,
-            ..QueryConfig::default()
-        };
-        let res = query_distributed(comm, &tree, &myq, &cfg).expect("query");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, index.rank(), index.size());
+        let req = QueryRequest::knn(&myq, 10).with_radius(radius);
+        let res = index.query(&req).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.point(i).to_vec(),
-                    res.neighbors[i]
+                    res.neighbors
+                        .row(i)
                         .iter()
                         .map(|n| n.dist_sq)
                         .collect::<Vec<f32>>(),
@@ -187,15 +178,14 @@ fn radius_limited_distributed_knn() {
 
 #[test]
 fn distributed_radius_search_matches_brute() {
-    use panda::core::radius::radius_search_distributed;
     let all = cosmology::generate(2500, &Default::default(), 22);
     let queries = queries_from(&all, 30, 0.02, 23);
     let radius = 0.05f32;
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, comm.rank(), comm.size());
-        let res = radius_search_distributed(comm, &tree, &myq, radius).expect("radius");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, index.rank(), index.size());
+        let res = index.query_radius_all(&myq, radius).expect("radius");
         (0..myq.len())
             .map(|i| {
                 (
@@ -221,21 +211,25 @@ fn distributed_radius_search_matches_brute() {
 
 #[test]
 fn local_trees_baseline_is_also_exact() {
-    use panda::baselines::LocalTreesKnn;
-    use panda::core::TreeConfig;
     let all = cosmology::generate(2000, &Default::default(), 16);
     let queries = queries_from(&all, 30, 0.01, 17);
     let bf = BruteForce::new(&all);
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
-        let mine = scatter(&all, comm.rank(), comm.size());
-        let engine = LocalTreesKnn::build(comm, &mine, &TreeConfig::default()).expect("build");
-        let myq = scatter(&queries, comm.rank(), comm.size());
-        let (res, _stats, _c) = engine.query(comm, &myq, 5).expect("query");
+        let (rank, size) = (comm.rank(), comm.size());
+        let mine = scatter(&all, rank, size);
+        let engine =
+            LocalTreesBackend::build_on(comm, &mine, &TreeConfig::default()).expect("build");
+        let myq = scatter(&queries, rank, size);
+        let res = engine.query(&QueryRequest::knn(&myq, 5)).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.point(i).to_vec(),
-                    res[i].iter().map(|n| n.dist_sq).collect::<Vec<f32>>(),
+                    res.neighbors
+                        .row(i)
+                        .iter()
+                        .map(|n| n.dist_sq)
+                        .collect::<Vec<f32>>(),
                 )
             })
             .collect::<Vec<_>>()

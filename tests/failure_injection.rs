@@ -3,9 +3,8 @@
 
 use panda::comm::{run_cluster, ClusterConfig};
 use panda::core::build_distributed::build_distributed;
-use panda::core::query_distributed::query_distributed;
-use panda::core::{DistConfig, PandaError, PointSet, QueryConfig, TreeConfig};
 use panda::data::{scatter, uniform};
+use panda::prelude::*;
 
 #[test]
 fn nan_coordinates_rejected_at_ingest() {
@@ -24,12 +23,12 @@ fn nan_queries_rejected_by_distributed_engine() {
     let all = uniform::generate(500, 3, 1.0, 1);
     let out = run_cluster(&ClusterConfig::new(3), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
         // craft a query set with a NaN smuggled in via push (push skips
-        // validation; query_distributed must still catch it)
+        // validation; the request validation must still catch it)
         let mut q = PointSet::new(3).unwrap();
         q.push(&[0.5, f32::NAN, 0.5], 0);
-        let r = query_distributed(comm, &tree, &q, &QueryConfig::with_k(3));
+        let r = index.query(&QueryRequest::knn(&q, 3));
         matches!(r, Err(PandaError::NonFiniteCoordinate { .. }))
     });
     assert!(
@@ -43,35 +42,21 @@ fn zero_k_and_bad_configs_rejected() {
     let all = uniform::generate(200, 3, 1.0, 2);
     let out = run_cluster(&ClusterConfig::new(2), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let q = scatter(&all, comm.rank(), comm.size());
-        let e1 = query_distributed(comm, &tree, &q, &QueryConfig::with_k(0));
-        let e2 = query_distributed(
-            comm,
-            &tree,
-            &q,
-            &QueryConfig {
-                batch_size: 0,
-                ..QueryConfig::with_k(2)
-            },
-        );
-        let e3 = query_distributed(
-            comm,
-            &tree,
-            &q,
-            &QueryConfig {
-                initial_radius: -1.0,
-                ..QueryConfig::with_k(2)
-            },
-        );
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let q = scatter(&all, index.rank(), index.size());
+        let e1 = index.query(&QueryRequest::knn(&q, 0));
+        let e2 = index.query(&QueryRequest::knn(&q, 2).with_batch_size(0));
+        let e3 = index.query(&QueryRequest::knn(&q, 2).with_radius(-1.0));
+        let e4 = index.query(&QueryRequest::knn(&q, 2).with_radius(f32::INFINITY));
         (
             matches!(e1, Err(PandaError::ZeroK)),
             matches!(e2, Err(PandaError::BadConfig(_))),
-            matches!(e3, Err(PandaError::BadConfig(_))),
+            matches!(e3, Err(PandaError::BadRadius { .. })),
+            matches!(e4, Err(PandaError::BadRadius { .. })),
         )
     });
     for o in &out {
-        assert!(o.result.0 && o.result.1 && o.result.2);
+        assert!(o.result.0 && o.result.1 && o.result.2 && o.result.3);
     }
 }
 
@@ -80,7 +65,7 @@ fn bad_tree_configs_rejected_before_any_work() {
     let ps = uniform::generate(100, 3, 1.0, 3);
     let bad = TreeConfig::default().with_bucket_size(0);
     assert!(matches!(
-        panda::core::knn::KnnIndex::build(&ps, &bad),
+        KnnIndex::build(&ps, &bad),
         Err(PandaError::BadConfig(_))
     ));
     let bad = DistConfig {
@@ -145,7 +130,7 @@ fn rank_panic_tears_down_the_cluster() {
 #[test]
 fn queries_with_wrong_dims_rejected_locally() {
     let ps = uniform::generate(300, 10, 1.0, 6);
-    let idx = panda::core::knn::KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
+    let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
     assert!(matches!(
         idx.query(&[0.0; 3], 5),
         Err(PandaError::DimsMismatch {

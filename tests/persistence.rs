@@ -1,9 +1,8 @@
 //! Dataset persistence: save → load → identical query behaviour.
 
-use panda::core::knn::KnnIndex;
-use panda::core::TreeConfig;
 use panda::data::dayabay::DayaBayParams;
 use panda::data::{dayabay, io, queries_from, uniform};
+use panda::prelude::*;
 
 fn tmp(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("panda-persist-{}-{name}", std::process::id()))
@@ -42,9 +41,9 @@ fn labeled_roundtrip_preserves_classification() {
 
     let (train, test) = loaded.split(0.3, 4);
     let index = KnnIndex::build(&train, &TreeConfig::default()).unwrap();
-    let (results, _) = index.query_batch(&test, 5).unwrap();
+    let res = NnBackend::query(&index, &QueryRequest::knn(&test, 5)).unwrap();
     let mut correct = 0usize;
-    for (i, ns) in results.iter().enumerate() {
+    for (i, ns) in res.neighbors.iter().enumerate() {
         let pred = majority_vote(ns, |id| loaded.label_of(id)).unwrap();
         if pred == loaded.label_of(test.id(i)) {
             correct += 1;
@@ -58,7 +57,7 @@ fn labeled_roundtrip_preserves_classification() {
 #[test]
 fn large_ids_survive() {
     // ids are u64 globals; make sure the io path doesn't truncate them
-    let mut ps = panda::core::PointSet::new(2).unwrap();
+    let mut ps = PointSet::new(2).unwrap();
     ps.push(&[1.0, 2.0], u64::MAX - 1);
     ps.push(&[3.0, 4.0], 1 << 40);
     let path = tmp("bigids.pnda");

@@ -4,24 +4,26 @@
 //! to only ever *lose* neighbors, never invent closer ones.)
 
 use panda::comm::{run_cluster, ClusterConfig};
-use panda::core::build_distributed::build_distributed;
-use panda::core::query_distributed::query_distributed;
-use panda::core::{BoundMode, DistConfig, QueryConfig};
 use panda::data::{cosmology, queries_from, scatter};
+use panda::prelude::*;
 
-fn run_with(cfg: QueryConfig, ranks: usize, seed: u64) -> Vec<Vec<f32>> {
+fn run_with<F>(make_req: F, ranks: usize, seed: u64) -> Vec<Vec<f32>>
+where
+    F: for<'q> Fn(&'q PointSet) -> QueryRequest<'q> + Send + Sync + Clone + 'static,
+{
     let all = cosmology::generate(3000, &Default::default(), seed);
     let queries = queries_from(&all, 64, 0.01, seed + 1);
     let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, comm.rank(), comm.size());
-        let res = query_distributed(comm, &tree, &myq, &cfg).expect("query");
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, index.rank(), index.size());
+        let res = index.query(&make_req(&myq)).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
                     myq.id(i),
-                    res.neighbors[i]
+                    res.neighbors
+                        .row(i)
                         .iter()
                         .map(|n| n.dist_sq)
                         .collect::<Vec<f32>>(),
@@ -37,20 +39,10 @@ fn run_with(cfg: QueryConfig, ranks: usize, seed: u64) -> Vec<Vec<f32>> {
 
 #[test]
 fn batch_size_is_result_invariant() {
-    let base = run_with(
-        QueryConfig {
-            batch_size: 4096,
-            ..QueryConfig::with_k(5)
-        },
-        4,
-        1,
-    );
+    let base = run_with(|q| QueryRequest::knn(q, 5).with_batch_size(4096), 4, 1);
     for batch in [1usize, 7, 64, 1000] {
         let got = run_with(
-            QueryConfig {
-                batch_size: batch,
-                ..QueryConfig::with_k(5)
-            },
+            move |q| QueryRequest::knn(q, 5).with_batch_size(batch),
             4,
             1,
         );
@@ -60,51 +52,23 @@ fn batch_size_is_result_invariant() {
 
 #[test]
 fn pipeline_flag_is_result_invariant() {
-    let on = run_with(
-        QueryConfig {
-            pipeline: true,
-            ..QueryConfig::with_k(5)
-        },
-        4,
-        2,
-    );
-    let off = run_with(
-        QueryConfig {
-            pipeline: false,
-            ..QueryConfig::with_k(5)
-        },
-        4,
-        2,
-    );
+    let on = run_with(|q| QueryRequest::knn(q, 5).with_pipeline(true), 4, 2);
+    let off = run_with(|q| QueryRequest::knn(q, 5).with_pipeline(false), 4, 2);
     assert_eq!(on, off);
 }
 
 #[test]
 fn bbox_routing_is_result_invariant() {
-    let on = run_with(
-        QueryConfig {
-            bbox_routing: true,
-            ..QueryConfig::with_k(5)
-        },
-        4,
-        3,
-    );
-    let off = run_with(
-        QueryConfig {
-            bbox_routing: false,
-            ..QueryConfig::with_k(5)
-        },
-        4,
-        3,
-    );
+    let on = run_with(|q| QueryRequest::knn(q, 5).with_bbox_routing(true), 4, 3);
+    let off = run_with(|q| QueryRequest::knn(q, 5).with_bbox_routing(false), 4, 3);
     assert_eq!(on, off);
 }
 
 #[test]
 fn rank_count_is_result_invariant() {
-    let base = run_with(QueryConfig::with_k(5), 1, 4);
+    let base = run_with(|q| QueryRequest::knn(q, 5), 1, 4);
     for ranks in [2usize, 3, 4, 8] {
-        let got = run_with(QueryConfig::with_k(5), ranks, 4);
+        let got = run_with(|q| QueryRequest::knn(q, 5), ranks, 4);
         assert_eq!(got, base, "ranks={ranks}");
     }
 }
@@ -112,18 +76,12 @@ fn rank_count_is_result_invariant() {
 #[test]
 fn paper_scalar_bound_never_invents_closer_neighbors() {
     let exact = run_with(
-        QueryConfig {
-            bound_mode: BoundMode::Exact,
-            ..QueryConfig::with_k(5)
-        },
+        |q| QueryRequest::knn(q, 5).with_bound_mode(BoundMode::Exact),
         4,
         5,
     );
     let scalar = run_with(
-        QueryConfig {
-            bound_mode: BoundMode::PaperScalar,
-            ..QueryConfig::with_k(5)
-        },
+        |q| QueryRequest::knn(q, 5).with_bound_mode(BoundMode::PaperScalar),
         4,
         5,
     );

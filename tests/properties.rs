@@ -2,13 +2,9 @@
 
 use proptest::prelude::*;
 
-use panda::baselines::BruteForce;
 use panda::comm::{run_cluster, ClusterConfig};
-use panda::core::build_distributed::build_distributed;
-use panda::core::knn::KnnIndex;
-use panda::core::query_distributed::query_distributed;
-use panda::core::{DistConfig, PointSet, QueryConfig, TreeConfig};
 use panda::data::scatter;
+use panda::prelude::*;
 
 /// Random point set: n points, dims, values drawn from a small lattice so
 /// duplicate coordinates (the hard case) occur often.
@@ -109,15 +105,14 @@ proptest! {
         ];
         let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
             let mine = scatter(&ps, comm.rank(), comm.size());
-            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let index = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
             let mut myq = PointSet::new(ps.dims()).unwrap();
-            if comm.rank() == 0 {
+            if index.rank() == 0 {
                 for (i, q) in queries.iter().enumerate() {
                     myq.push(q, i as u64);
                 }
             }
-            let cfg = QueryConfig { k, ..QueryConfig::default() };
-            let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
+            let res = index.query(&QueryRequest::knn(&myq, k)).unwrap();
             res.neighbors
                 .iter()
                 .map(|ns| ns.iter().map(|n| n.dist_sq).collect::<Vec<f32>>())
@@ -138,8 +133,8 @@ proptest! {
     ) {
         let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
             let mine = scatter(&ps, comm.rank(), comm.size());
-            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
-            tree.points.ids().to_vec()
+            let index = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
+            index.tree().points.ids().to_vec()
         });
         let mut ids: Vec<u64> = out.iter().flat_map(|o| o.result.clone()).collect();
         ids.sort_unstable();

@@ -3,11 +3,8 @@
 //! breakdown accounting.
 
 use panda::comm::{run_cluster, ClusterConfig, MachineProfile};
-use panda::core::build_distributed::build_distributed;
-use panda::core::knn::KnnIndex;
-use panda::core::query_distributed::query_distributed;
-use panda::core::{DistConfig, QueryConfig, TreeConfig};
 use panda::data::{cosmology, queries_from, scatter};
+use panda::prelude::*;
 
 fn run_times(ranks: usize, n: usize, seed: u64) -> (f64, f64) {
     let all = cosmology::generate(n, &Default::default(), seed);
@@ -15,13 +12,14 @@ fn run_times(ranks: usize, n: usize, seed: u64) -> (f64, f64) {
     let cluster = ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
     let out = run_cluster(&cluster, |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        comm.barrier();
-        let t_build = comm.now();
-        let myq = scatter(&queries, comm.rank(), comm.size());
-        let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).expect("query");
-        comm.barrier();
-        (t_build, comm.now() - t_build, res.breakdown)
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        index.with_comm(|c| c.barrier());
+        let t_build = index.with_comm(|c| c.now());
+        let myq = scatter(&queries, index.rank(), index.size());
+        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
+        index.with_comm(|c| c.barrier());
+        let t_total = index.with_comm(|c| c.now());
+        (t_build, t_total - t_build, res.breakdown)
     });
     let build = out.iter().map(|o| o.result.0).fold(0.0, f64::max);
     let query = out.iter().map(|o| o.result.1).fold(0.0, f64::max);
@@ -73,16 +71,16 @@ fn breakdown_accounts_for_total() {
     let queries = queries_from(&all, 2000, 0.01, 5);
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, comm.rank(), comm.size());
-        let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).expect("query");
-        (tree.breakdown, res.breakdown)
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, index.rank(), index.size());
+        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
+        (index.tree().breakdown, res.breakdown)
     });
     for o in &out {
         let b = &o.result.0;
         let pct: f64 = b.percentages().iter().sum();
         assert!((pct - 100.0).abs() < 1e-6, "build breakdown sums to {pct}%");
-        let q = &o.result.1;
+        let q = o.result.1.as_ref().expect("distributed breakdown");
         assert!(q.total_pipelined() <= q.total_synchronous() + 1e-12);
         assert!(q.comm_non_overlapped() <= q.comm_total + 1e-9);
         // step log must cover the whole batched phase
@@ -98,7 +96,9 @@ fn modeled_thread_scaling_bands() {
     let queries = queries_from(&points, 3000, 0.01, 7);
     let cost = MachineProfile::EdisonNode.cost_model();
     let index = KnnIndex::build(&points, &TreeConfig::default()).unwrap();
-    let (_r, counters) = index.query_batch(&queries, 5).unwrap();
+    let counters = NnBackend::query(&index, &QueryRequest::knn(&queries, 5))
+        .unwrap()
+        .counters;
 
     let c1 = index.tree().modeled_build_at(&cost, 1, false).total();
     let c24 = index.tree().modeled_build_at(&cost, 24, false).total();
@@ -129,9 +129,9 @@ fn communication_grows_with_ranks() {
     for ranks in [2usize, 8] {
         let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
             let mine = scatter(&all, comm.rank(), comm.size());
-            let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
-            let myq = scatter(&queries, comm.rank(), comm.size());
-            let _ = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(5)).expect("q");
+            let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+            let myq = scatter(&queries, index.rank(), index.size());
+            let _ = index.query(&QueryRequest::knn(&myq, 5)).expect("q");
         });
         totals.push(panda::comm::total_stats(&out).total_bytes());
     }
