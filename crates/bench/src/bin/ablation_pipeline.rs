@@ -42,7 +42,9 @@ fn main() {
             f(m.query_s, 4),
             format!("{:.1}%", 100.0 * (1.0 - m.query_s / m.query_sync_s)),
             f(exposed, 4),
-            m.query_breakdown.steps.len().to_string(),
+            // the step log carries one epilogue entry (origin return)
+            // after the pipeline batches; report the batch count only
+            (m.query_breakdown.steps.len().saturating_sub(1)).to_string(),
         ]);
     }
     table.print();

@@ -4,7 +4,7 @@
 //! PR 1's `query_batch` allocated one `Vec<Neighbor>` per query (worker
 //! chunks produced `(slot, Vec<Neighbor>)` pairs that were re-boxed into
 //! the final `Vec<Vec<Neighbor>>`). PR 2's session API fills chunk-local
-//! arenas that are spliced into one flat CSR [`NeighborTable`] — zero
+//! arenas that are spliced into one flat CSR `NeighborTable` — zero
 //! per-query heap allocation. This runner measures both on the PR 1
 //! workloads (sequential and 2-thread parallel), verifies they agree
 //! bit-for-bit, and writes `BENCH_PR2.json` (override with `--out`).

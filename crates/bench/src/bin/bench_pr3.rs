@@ -1,0 +1,369 @@
+//! PR 3 perf evidence — the CSR-native, Morton-batched distributed query
+//! engine vs the reproduced PR 2 path.
+//!
+//! PR 2's `DistIndex::query` drove a nested five-stage loop: one
+//! `KnnHeap` + `Vec<Neighbor>` allocated per query per step, request
+//! streams that echoed a qid per request, responses framed as
+//! `(qid, id)` u64 pairs per neighbor, a header-per-query origin-return
+//! leg, a `Vec<(u64, Vec<Neighbor>)>` finalize buffer, and a trailing
+//! `NeighborTable::from_nested` copy. PR 3's engine assembles flat CSR
+//! end to end with persistent workspaces and optional Morton ordering of
+//! each rank's owned queries. This runner reproduces the PR 2 path
+//! faithfully from public APIs, verifies both paths agree bit-for-bit,
+//! measures throughput on a simulated cluster, and writes
+//! `BENCH_PR3.json` (override with `--out`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use panda_bench::Args;
+use panda_comm::{ClusterConfig, Comm, ReduceOp};
+use panda_core::build_distributed::{build_distributed, DistKdTree};
+use panda_core::engine::{DistIndex, NeighborTable, NnBackend, QueryRequest};
+use panda_core::rng::SplitRng;
+use panda_core::{
+    BoundMode, DistConfig, KnnHeap, Neighbor, PointSet, QueryCounters, QueryOrder, QueryWorkspace,
+};
+use panda_data::scatter;
+
+const QID_SHIFT: u32 = 32;
+
+fn qid(origin: usize, idx: usize) -> u64 {
+    ((origin as u64) << QID_SHIFT) | idx as u64
+}
+
+fn qid_origin(q: u64) -> usize {
+    (q >> QID_SHIFT) as usize
+}
+
+fn qid_idx(q: u64) -> usize {
+    (q & ((1u64 << QID_SHIFT) - 1)) as usize
+}
+
+fn charge(comm: &mut Comm, c: &QueryCounters, dims: usize) {
+    let cost = *comm.cost();
+    comm.work_parallel(c.cpu_seconds(&cost.ops, dims), c.mem_bytes(dims));
+}
+
+/// The PR 2 distributed engine, reproduced in shape from the public
+/// traversal and collective APIs (the in-tree engine is now CSR-native):
+/// per-query heap and `Vec<Neighbor>` allocations, qid-echo request
+/// streams, `(qid, id)` pair response framing, header-per-query return
+/// framing, and a final `from_nested` copy into the CSR table.
+fn nested_query_distributed(
+    comm: &mut Comm,
+    tree: &DistKdTree,
+    queries: &PointSet,
+    k: usize,
+    batch_size: usize,
+) -> NeighborTable {
+    let dims = tree.global.dims();
+    let p = comm.size();
+    let me = comm.rank();
+
+    let mut ws = QueryWorkspace::new();
+
+    // (1) route to owners
+    let mut route_counters = QueryCounters::default();
+    let mut coord_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut qid_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+    for i in 0..queries.len() {
+        let q = queries.point(i);
+        let owner = tree.global.owner(q, &mut route_counters);
+        coord_sends[owner].extend_from_slice(q);
+        qid_sends[owner].push(qid(me, i));
+    }
+    charge(comm, &route_counters, dims);
+    let coords_in = comm.world().alltoallv(coord_sends);
+    let qids_in = comm.world().alltoallv(qid_sends);
+    let owned_coords: Vec<f32> = coords_in.into_iter().flatten().collect();
+    let owned_qids: Vec<u64> = qids_in.into_iter().flatten().collect();
+    let n_owned = owned_qids.len();
+
+    let steps = {
+        let most = comm.world().allreduce_u64(n_owned as u64, ReduceOp::Max);
+        (most as usize).div_ceil(batch_size)
+    };
+
+    let mut finalized: Vec<(u64, Vec<Neighbor>)> = Vec::with_capacity(n_owned);
+    let mut rank_scratch: Vec<usize> = Vec::new();
+    let stride = dims + 1;
+
+    for step in 0..steps {
+        let lo = (step * batch_size).min(n_owned);
+        let hi = ((step + 1) * batch_size).min(n_owned);
+
+        // (2) local KNN — one fresh heap per query
+        let mut local_counters = QueryCounters::default();
+        let mut heaps: Vec<KnnHeap> = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let q = &owned_coords[i * dims..(i + 1) * dims];
+            let mut heap = KnnHeap::new(k);
+            tree.local
+                .query_into(q, &mut heap, BoundMode::Exact, &mut ws, &mut local_counters);
+            heaps.push(heap);
+        }
+        charge(comm, &local_counters, dims);
+
+        // (3) identify remote ranks; request streams echo a qid each
+        let mut ident_counters = QueryCounters::default();
+        let mut req_coord_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+        let mut req_qid_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+        for (bi, i) in (lo..hi).enumerate() {
+            let q = &owned_coords[i * dims..(i + 1) * dims];
+            let r_sq = heaps[bi].bound_sq();
+            rank_scratch.clear();
+            tree.global
+                .ranks_in_ball(q, r_sq, true, &mut rank_scratch, &mut ident_counters);
+            for &r in &rank_scratch {
+                if r == me {
+                    continue;
+                }
+                req_coord_sends[r].extend_from_slice(q);
+                req_coord_sends[r].push(r_sq);
+                req_qid_sends[r].push(owned_qids[i]);
+            }
+        }
+        charge(comm, &ident_counters, dims);
+        let req_coords_in = comm.world().alltoallv(req_coord_sends);
+        let req_qids_in = comm.world().alltoallv(req_qid_sends);
+
+        // (4) serve requests; responses are (qid, id) pairs + dists
+        let mut remote_counters = QueryCounters::default();
+        let mut resp_meta_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+        let mut resp_dist_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+        for src in 0..p {
+            let coords = &req_coords_in[src];
+            let qids = &req_qids_in[src];
+            for (j, &rq) in qids.iter().enumerate() {
+                let q = &coords[j * stride..j * stride + dims];
+                let r_sq = coords[j * stride + dims];
+                let mut heap = KnnHeap::with_radius_sq(k, r_sq);
+                tree.local.query_into(
+                    q,
+                    &mut heap,
+                    BoundMode::Exact,
+                    &mut ws,
+                    &mut remote_counters,
+                );
+                for n in heap.into_sorted() {
+                    resp_meta_sends[src].push(rq);
+                    resp_meta_sends[src].push(n.id);
+                    resp_dist_sends[src].push(n.dist_sq);
+                }
+            }
+        }
+        charge(comm, &remote_counters, dims);
+        let resp_meta_in = comm.world().alltoallv(resp_meta_sends);
+        let resp_dist_in = comm.world().alltoallv(resp_dist_sends);
+
+        // (5) merge via forward-scanning qid cursor, then finalize into
+        // one Vec<Neighbor> per query
+        let mut merge_counters = QueryCounters::default();
+        for (meta, dists) in resp_meta_in.iter().zip(&resp_dist_in) {
+            let mut cursor = lo;
+            for (pair, &d) in meta.chunks_exact(2).zip(dists) {
+                let (rq, id) = (pair[0], pair[1]);
+                let bi = (cursor..hi)
+                    .chain(lo..cursor)
+                    .find(|&i| owned_qids[i] == rq)
+                    .expect("response qid in batch");
+                cursor = bi;
+                merge_counters.merge_candidates += 1;
+                heaps[bi - lo].offer(d, id);
+            }
+        }
+        for (bi, heap) in heaps.into_iter().enumerate() {
+            finalized.push((owned_qids[lo + bi], heap.into_sorted()));
+        }
+        charge(comm, &merge_counters, dims);
+    }
+
+    // return to origins with header-per-query framing
+    let mut ret_meta_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+    let mut ret_dist_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+    for (rq, neighbors) in &finalized {
+        let origin = qid_origin(*rq);
+        ret_meta_sends[origin].push(*rq);
+        ret_meta_sends[origin].push(neighbors.len() as u64);
+        for n in neighbors {
+            ret_meta_sends[origin].push(n.id);
+            ret_dist_sends[origin].push(n.dist_sq);
+        }
+    }
+    let ret_meta_in = comm.world().alltoallv(ret_meta_sends);
+    let ret_dist_in = comm.world().alltoallv(ret_dist_sends);
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+    for (meta, dists) in ret_meta_in.iter().zip(&ret_dist_in) {
+        let mut mi = 0usize;
+        let mut di = 0usize;
+        while mi < meta.len() {
+            let rq = meta[mi];
+            let count = meta[mi + 1] as usize;
+            mi += 2;
+            let slot = &mut results[qid_idx(rq)];
+            slot.reserve(count);
+            for _ in 0..count {
+                slot.push(Neighbor {
+                    dist_sq: dists[di],
+                    id: meta[mi],
+                });
+                mi += 1;
+                di += 1;
+            }
+        }
+    }
+    NeighborTable::from_nested(results)
+}
+
+struct Workload {
+    name: &'static str,
+    dims: usize,
+    n_points: usize,
+    n_queries: usize,
+    k: usize,
+    batch: usize,
+    ranks: usize,
+}
+
+fn uniform(n: usize, dims: usize, span: f64, seed: u64) -> PointSet {
+    let mut rng = SplitRng::new(seed);
+    PointSet::from_coords(
+        dims,
+        (0..n * dims)
+            .map(|_| (rng.next_f64() * span) as f32)
+            .collect(),
+    )
+    .expect("valid points")
+}
+
+fn main() {
+    let args = Args::from_env();
+    let reps = args.usize("reps", 5);
+    let seed = args.u64("seed", 42);
+    let out_path = args.string("out", "BENCH_PR3.json");
+
+    let workloads = [
+        Workload {
+            name: "uniform_3d",
+            dims: 3,
+            n_points: 120_000,
+            n_queries: 16_384,
+            k: 5,
+            batch: 512,
+            ranks: 8,
+        },
+        Workload {
+            name: "uniform_10d",
+            dims: 10,
+            n_points: 40_000,
+            n_queries: 6_144,
+            k: 5,
+            batch: 256,
+            ranks: 8,
+        },
+    ];
+
+    let mut json = String::from(
+        "{\n  \"bench\": \"nested (PR 2) vs CSR-native + Morton distributed querying (PR 3)\",\n",
+    );
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"workloads\": [\n");
+
+    let mut speedup_3d = 0.0f64;
+    for (wi, w) in workloads.iter().enumerate() {
+        let all = uniform(w.n_points, w.dims, 100.0, seed + wi as u64);
+        let queries = uniform(w.n_queries, w.dims, 100.0, seed + 100 + wi as u64);
+        let (k, batch) = (w.k, w.batch);
+
+        // per-rank best-of-reps wall seconds for each path
+        let out = panda_comm::run_cluster(&ClusterConfig::new(w.ranks), move |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let idx = DistIndex::from_tree(comm, tree);
+            let req_input = QueryRequest::knn(&myq, k).with_batch_size(batch);
+            let req_morton = req_input.with_order(QueryOrder::Morton);
+
+            // correctness gate: all three paths agree bit-for-bit
+            let nested = idx.with_comm(|c| nested_query_distributed(c, idx.tree(), &myq, k, batch));
+            let csr_input = idx.query(&req_input).expect("query").neighbors;
+            let csr_morton = idx.query(&req_morton).expect("query").neighbors;
+            assert_eq!(nested, csr_input, "CSR path diverged from nested path");
+            assert_eq!(csr_input, csr_morton, "Morton order changed results");
+
+            let mut best = [f64::INFINITY; 3];
+            for _ in 0..reps {
+                idx.with_comm(|c| c.barrier());
+                let t0 = Instant::now();
+                std::hint::black_box(
+                    idx.with_comm(|c| nested_query_distributed(c, idx.tree(), &myq, k, batch)),
+                );
+                best[0] = best[0].min(t0.elapsed().as_secs_f64());
+
+                idx.with_comm(|c| c.barrier());
+                let t0 = Instant::now();
+                std::hint::black_box(idx.query(&req_input).expect("query"));
+                best[1] = best[1].min(t0.elapsed().as_secs_f64());
+
+                idx.with_comm(|c| c.barrier());
+                let t0 = Instant::now();
+                std::hint::black_box(idx.query(&req_morton).expect("query"));
+                best[2] = best[2].min(t0.elapsed().as_secs_f64());
+            }
+            best
+        });
+
+        // makespan: the slowest rank bounds the collective call
+        let mut t = [0.0f64; 3];
+        for o in &out {
+            for (i, v) in o.result.iter().enumerate() {
+                t[i] = t[i].max(*v);
+            }
+        }
+        let qps = |secs: f64| w.n_queries as f64 / secs;
+        let su_input = t[0] / t[1];
+        let su_morton = t[0] / t[2];
+        if w.name == "uniform_3d" {
+            speedup_3d = su_morton;
+        }
+        println!(
+            "{}: dims={} n={} q={} k={} batch={} ranks={}",
+            w.name, w.dims, w.n_points, w.n_queries, w.k, w.batch, w.ranks
+        );
+        println!(
+            "  nested (PR2)  {:>9.0} q/s\n  csr input     {:>9.0} q/s ({su_input:.2}x)\n  csr morton    {:>9.0} q/s ({su_morton:.2}x)",
+            qps(t[0]),
+            qps(t[1]),
+            qps(t[2])
+        );
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(
+            json,
+            "      \"dims\": {}, \"n_points\": {}, \"n_queries\": {}, \"k\": {}, \"batch\": {}, \"ranks\": {},",
+            w.dims, w.n_points, w.n_queries, w.k, w.batch, w.ranks
+        );
+        let _ = writeln!(json, "      \"nested_qps\": {:.1},", qps(t[0]));
+        let _ = writeln!(json, "      \"csr_input_qps\": {:.1},", qps(t[1]));
+        let _ = writeln!(json, "      \"csr_morton_qps\": {:.1},", qps(t[2]));
+        let _ = writeln!(json, "      \"csr_input_vs_nested\": {su_input:.4},");
+        let _ = writeln!(json, "      \"csr_morton_vs_nested\": {su_morton:.4}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"csr_morton_vs_nested_3d\": {speedup_3d:.4}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
+    println!("\nwrote {out_path}");
+    assert!(
+        speedup_3d >= 0.95,
+        "CSR+Morton distributed path regressed vs the nested path on 3-D: {speedup_3d:.3}x"
+    );
+}

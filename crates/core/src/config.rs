@@ -221,6 +221,13 @@ pub struct QueryConfig {
     pub bound_mode: BoundMode,
     /// Initial search radius (`∞` for plain KNN). Squared internally.
     pub initial_radius: f32,
+    /// Execution order of each rank's *owned* queries (after routing).
+    /// [`QueryOrder::Morton`] sorts them along a Z-order curve so every
+    /// pipeline step's local KNN and remote request streams touch
+    /// spatially coherent leaves; results are always returned in
+    /// submission order, so this is a locality knob only — it never
+    /// changes values.
+    pub order: QueryOrder,
 }
 
 impl Default for QueryConfig {
@@ -232,6 +239,7 @@ impl Default for QueryConfig {
             bbox_routing: true,
             bound_mode: BoundMode::default(),
             initial_radius: f32::INFINITY,
+            order: QueryOrder::default(),
         }
     }
 }
@@ -319,6 +327,7 @@ mod tests {
         assert_eq!(d.global_samples_per_rank, 256);
         let q = QueryConfig::default();
         assert_eq!(q.bound_mode, BoundMode::Exact);
+        assert_eq!(q.order, QueryOrder::Input);
         assert_eq!(t.query_order, QueryOrder::Input);
     }
 

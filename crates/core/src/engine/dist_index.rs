@@ -14,7 +14,7 @@ use panda_comm::Comm;
 
 use crate::build_distributed::{build_distributed, DistKdTree};
 use crate::config::DistConfig;
-use crate::engine::{NeighborTable, NnBackend, QueryRequest, QueryResponse};
+use crate::engine::{NnBackend, QueryRequest, QueryResponse};
 use crate::error::Result;
 use crate::heap::Neighbor;
 use crate::point::PointSet;
@@ -110,15 +110,17 @@ impl NnBackend for DistIndex<'_> {
         let t0 = std::time::Instant::now();
         req.validate()?;
         let cfg = req.to_query_config();
-        #[allow(deprecated)]
-        let res = crate::query_distributed::query_distributed(
+        // CSR-native: the distributed engine assembles the flat
+        // `NeighborTable` directly — no `Vec<Vec<Neighbor>>` intermediate
+        // and no `from_nested` conversion on this path.
+        let res = crate::query_distributed::query_distributed_impl(
             &mut self.comm.borrow_mut(),
             &self.tree,
             req.queries(),
             &cfg,
         )?;
         Ok(QueryResponse {
-            neighbors: NeighborTable::from_nested(res.neighbors),
+            neighbors: res.neighbors,
             counters: res.counters,
             wall_seconds: t0.elapsed().as_secs_f64(),
             remote: Some(res.remote),

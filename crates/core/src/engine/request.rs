@@ -190,6 +190,12 @@ impl<'a> QueryRequest<'a> {
             .with_batch_size(cfg.batch_size)
             .with_pipeline(cfg.pipeline)
             .with_bbox_routing(cfg.bbox_routing);
+        // `Input` is the config default; leaving the request's order as
+        // "not overridden" preserves a local index's own configured order
+        // when the same request is replayed against it.
+        if cfg.order != QueryOrder::Input {
+            req = req.with_order(cfg.order);
+        }
         // `+inf` is the config's "no limit" sentinel and maps to no radius;
         // every other value (including NaN / -inf / ≤ 0) is carried over so
         // `validate` rejects exactly what `QueryConfig::validate` rejects.
@@ -208,6 +214,7 @@ impl<'a> QueryRequest<'a> {
             bbox_routing: self.bbox_routing,
             bound_mode: self.bound_mode,
             initial_radius: self.radius.unwrap_or(f32::INFINITY),
+            order: self.order.unwrap_or_default(),
         }
     }
 }
@@ -244,7 +251,26 @@ mod tests {
         assert!(!cfg.pipeline);
         assert!(!cfg.bbox_routing);
         assert_eq!(cfg.initial_radius, 2.5);
+        assert_eq!(cfg.order, QueryOrder::Morton);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn order_round_trips_through_query_config() {
+        let queries = qs();
+        // Morton survives the round trip
+        let cfg = QueryConfig {
+            order: QueryOrder::Morton,
+            ..QueryConfig::with_k(2)
+        };
+        let req = QueryRequest::from_config(&queries, &cfg);
+        assert_eq!(req.order(), Some(QueryOrder::Morton));
+        assert_eq!(req.to_query_config(), cfg);
+        // Input (the default) lifts to "no override" so a local index's
+        // configured order still applies on replay
+        let req = QueryRequest::from_config(&queries, &QueryConfig::with_k(2));
+        assert_eq!(req.order(), None);
+        assert_eq!(req.to_query_config().order, QueryOrder::Input);
     }
 
     #[test]

@@ -15,10 +15,19 @@ use crate::timers::QueryBreakdown;
 /// (ascending distance, ties by id). `offsets` always has `len() + 1`
 /// entries with `offsets[0] == 0`; rows may be empty (radius-limited
 /// queries with no match).
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NeighborTable {
     offsets: Vec<u32>,
     arena: Vec<Neighbor>,
+}
+
+impl Default for NeighborTable {
+    /// Same as [`Self::new`]: a derived default would leave `offsets`
+    /// empty, violating the `len() + 1` invariant every accessor relies
+    /// on.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl NeighborTable {
@@ -57,15 +66,6 @@ impl NeighborTable {
         Ok(Self { offsets, arena })
     }
 
-    /// `from_parts` for internal callers that construct valid CSR by
-    /// construction (checked in debug builds only).
-    pub(crate) fn from_parts_unchecked(offsets: Vec<u32>, arena: Vec<Neighbor>) -> Self {
-        debug_assert_eq!(offsets.first(), Some(&0));
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        debug_assert_eq!(offsets.last().copied(), Some(arena.len() as u32));
-        Self { offsets, arena }
-    }
-
     /// Convert from the legacy nested representation.
     pub fn from_nested(nested: Vec<Vec<Neighbor>>) -> Self {
         let total: usize = nested.iter().map(Vec::len).sum();
@@ -83,9 +83,57 @@ impl NeighborTable {
         self.iter().map(<[Neighbor]>::to_vec).collect()
     }
 
-    /// Consuming variant of [`Self::to_nested`].
+    /// Consuming variant of [`Self::to_nested`]: drains the arena into
+    /// the per-query vectors instead of cloning it, so the table's
+    /// backing storage is released as the rows are produced.
     pub fn into_nested(self) -> Vec<Vec<Neighbor>> {
-        self.to_nested()
+        let Self { offsets, arena } = self;
+        let mut rows = Vec::with_capacity(offsets.len() - 1);
+        let mut drain = arena.into_iter();
+        for w in offsets.windows(2) {
+            rows.push(drain.by_ref().take((w[1] - w[0]) as usize).collect());
+        }
+        rows
+    }
+
+    /// Allocate a table with the given per-row neighbor counts, every row
+    /// zero-filled, for in-place assembly through [`Self::row_mut`]. This
+    /// is the arena-building primitive behind the batch and distributed
+    /// engines: compute row sizes first, then let each producer write its
+    /// rows directly into the final storage — no intermediate
+    /// `Vec<Vec<Neighbor>>`.
+    ///
+    /// Errors with [`PandaError::BadConfig`] when the total neighbor
+    /// count exceeds the `u32` arena limit.
+    pub fn with_row_counts(counts: &[u32]) -> Result<Self> {
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        if total > u64::from(u32::MAX) {
+            return Err(PandaError::BadConfig(
+                "neighbor arena exceeds the 2^32 CSR limit; split the batch".into(),
+            ));
+        }
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let arena = vec![
+            Neighbor {
+                dist_sq: 0.0,
+                id: 0
+            };
+            total as usize
+        ];
+        Ok(Self { offsets, arena })
+    }
+
+    /// Mutable access to row `i` for in-place assembly (see
+    /// [`Self::with_row_counts`]). Panics when out of range.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Neighbor] {
+        &mut self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Number of queries (rows).
@@ -239,12 +287,48 @@ mod tests {
     }
 
     #[test]
+    fn into_nested_drains_and_matches_to_nested() {
+        let nested = vec![vec![n(0.5, 1), n(1.0, 2)], vec![], vec![n(0.25, 7)]];
+        let t = NeighborTable::from_nested(nested.clone());
+        assert_eq!(t.to_nested(), nested);
+        assert_eq!(t.into_nested(), nested);
+        // degenerate: empty table drains to no rows
+        assert!(NeighborTable::new().into_nested().is_empty());
+    }
+
+    #[test]
+    fn with_row_counts_and_row_mut_assemble_in_place() {
+        let mut t = NeighborTable::with_row_counts(&[2, 0, 1]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_neighbors(), 3);
+        t.row_mut(0).copy_from_slice(&[n(0.5, 9), n(1.5, 3)]);
+        t.row_mut(2)[0] = n(0.1, 7);
+        assert_eq!(t.row(0), &[n(0.5, 9), n(1.5, 3)]);
+        assert_eq!(t.row(1), &[] as &[Neighbor]);
+        assert_eq!(t.row(2), &[n(0.1, 7)]);
+        assert_eq!(t.offsets(), &[0, 2, 2, 3]);
+    }
+
+    #[test]
+    fn with_row_counts_rejects_u32_overflow() {
+        // the total is checked before any allocation happens
+        let err = NeighborTable::with_row_counts(&[u32::MAX, u32::MAX]).unwrap_err();
+        assert!(matches!(err, PandaError::BadConfig(_)));
+        assert!(err.to_string().contains("2^32"));
+    }
+
+    #[test]
     fn empty_table() {
         let t = NeighborTable::new();
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
         assert_eq!(t.iter().count(), 0);
         assert_eq!(t.total_neighbors(), 0);
+        // Default upholds the offsets invariant (a derived default would
+        // panic in len()/into_nested())
+        let d = NeighborTable::default();
+        assert_eq!(d, t);
+        assert!(d.into_nested().is_empty());
     }
 
     #[test]

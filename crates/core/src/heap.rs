@@ -84,9 +84,25 @@ impl KnnHeap {
 
     /// Offer a candidate; returns true if it was kept. Strict `<` against
     /// the current bound.
+    ///
+    /// A NaN distance is rejected (debug builds assert): were it admitted,
+    /// it would poison `bound_sq` — every later comparison against a NaN
+    /// bound is false, so all pruning would silently switch off and
+    /// [`Self::into_sorted`] would panic on the unordered distance. An
+    /// infinite distance (finite coordinates whose squared distance
+    /// overflows `f32`) is rejected by the ordinary bound comparison,
+    /// since the bound never exceeds `+∞`.
     #[inline]
     pub fn offer(&mut self, dist_sq: f32, id: u64) -> bool {
-        if dist_sq >= self.bound_sq {
+        debug_assert!(
+            !dist_sq.is_nan(),
+            "NaN distance offered to KnnHeap (id {id})"
+        );
+        // `!(a < b)` rather than `a >= b`: NaN fails every ordered
+        // comparison, so the negated form also rejects NaN in release
+        // builds where the assert above compiles out.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(dist_sq < self.bound_sq) {
             return false;
         }
         if self.items.len() < self.k {
@@ -305,6 +321,49 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_panics() {
         let _ = KnnHeap::new(0);
+    }
+
+    /// Finite coordinates can still square-overflow to `+∞` (e.g. two
+    /// points at ±3e38 in one dimension): the ordinary bound comparison
+    /// must reject it even while the heap is unbounded, and sorting must
+    /// not panic afterwards.
+    #[test]
+    fn infinite_distance_is_rejected_not_poisoning() {
+        let mut h = KnnHeap::new(2);
+        assert!(!h.offer(f32::INFINITY, 0)); // ∞ ≥ ∞ bound: rejected
+        assert!(h.offer(1.0, 1));
+        assert!(!h.offer(f32::INFINITY, 2));
+        assert!(h.offer(2.0, 3));
+        assert_eq!(h.bound_sq(), 2.0);
+        assert!(!h.offer(f32::INFINITY, 4));
+        let out = h.into_sorted(); // must not panic on unordered values
+        let ids: Vec<u64> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    /// Release builds must reject NaN outright instead of letting it
+    /// poison the bound (debug builds assert instead — see below).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn nan_distance_is_rejected_in_release() {
+        let mut h = KnnHeap::new(2);
+        assert!(!h.offer(f32::NAN, 0));
+        assert!(h.offer(1.0, 1));
+        assert!(h.offer(2.0, 2));
+        assert!(!h.offer(f32::NAN, 3));
+        // the bound is still the real k-th distance, so pruning works
+        assert_eq!(h.bound_sq(), 2.0);
+        assert!(!h.offer(3.0, 4));
+        let out = h.into_sorted(); // no "finite distances" panic
+        assert_eq!(out.len(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "NaN distance offered")]
+    fn nan_distance_asserts_in_debug() {
+        let mut h = KnnHeap::new(2);
+        h.offer(f32::NAN, 0);
     }
 
     #[test]

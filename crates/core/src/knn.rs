@@ -228,49 +228,28 @@ impl KnnIndex {
             }
             vec![(runs, arena, c)]
         };
-        // Splice: counts → prefix-sum offsets (input order), then copy
-        // each chunk's runs into their final rows.
+        // Splice: counts → CSR table (input order), then copy each
+        // chunk's runs into their final rows in place.
         let mut counts = vec![0u32; n];
         for (runs, _, _) in &chunks {
             for &(slot, count) in runs {
                 counts[slot as usize] = count;
             }
         }
-        let total: u64 = counts.iter().map(|&c| c as u64).sum();
-        if total > u32::MAX as u64 {
-            return Err(PandaError::BadConfig(
-                "batch result exceeds the 2^32-neighbor CSR arena limit; split the batch".into(),
-            ));
-        }
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            offsets.push(acc);
-        }
-        let mut arena = vec![
-            Neighbor {
-                dist_sq: 0.0,
-                id: 0
-            };
-            total as usize
-        ];
+        let mut table = NeighborTable::with_row_counts(&counts)?;
         let mut counters = QueryCounters::default();
         for (runs, chunk_arena, c) in chunks {
             counters.add(&c);
             let mut cursor = 0usize;
             for (slot, count) in runs {
                 let count = count as usize;
-                let dst = offsets[slot as usize] as usize;
-                arena[dst..dst + count].copy_from_slice(&chunk_arena[cursor..cursor + count]);
+                table
+                    .row_mut(slot as usize)
+                    .copy_from_slice(&chunk_arena[cursor..cursor + count]);
                 cursor += count;
             }
         }
-        Ok((
-            NeighborTable::from_parts_unchecked(offsets, arena),
-            counters,
-        ))
+        Ok((table, counters))
     }
 
     /// The k-nearest-neighbor **graph** of the indexed points themselves

@@ -35,16 +35,32 @@ pub fn morton_key(p: &[f32], lo: &[f32], scale: &[f64], bits: u32) -> u64 {
 /// Execution schedule visiting `queries` in Morton order: a permutation of
 /// `0..queries.len()` (deterministic; key ties break by input index).
 pub fn morton_schedule(queries: &PointSet) -> Vec<u32> {
-    let n = queries.len();
-    let dims = queries.dims();
-    let Some(bb) = queries.bounding_box() else {
+    morton_schedule_coords(queries.dims(), queries.coords())
+}
+
+/// [`morton_schedule`] over a flat coordinate buffer (`coords.len()` must
+/// be a multiple of `dims`). The distributed query engine routes queries
+/// as flat `f32` streams; this variant orders them without materializing
+/// a [`PointSet`].
+pub fn morton_schedule_coords(dims: usize, coords: &[f32]) -> Vec<u32> {
+    debug_assert!((1..=MAX_DIMS).contains(&dims));
+    debug_assert_eq!(coords.len() % dims, 0);
+    let n = coords.len() / dims;
+    if n == 0 {
         return Vec::new();
-    };
+    }
+    let mut lo = vec![f32::INFINITY; dims];
+    let mut hi = vec![f32::NEG_INFINITY; dims];
+    for p in coords.chunks_exact(dims) {
+        for d in 0..dims {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
     let bits = (63 / dims as u32).clamp(1, 21);
-    let lo = bb.lo();
     let scale: Vec<f64> = (0..dims)
         .map(|d| {
-            let ext = (bb.hi()[d] - bb.lo()[d]) as f64;
+            let ext = (hi[d] - lo[d]) as f64;
             if ext > 0.0 {
                 ((1u64 << bits) - 1) as f64 / ext
             } else {
@@ -52,8 +68,10 @@ pub fn morton_schedule(queries: &PointSet) -> Vec<u32> {
             }
         })
         .collect();
-    let mut keyed: Vec<(u64, u32)> = (0..n)
-        .map(|i| (morton_key(queries.point(i), lo, &scale, bits), i as u32))
+    let mut keyed: Vec<(u64, u32)> = coords
+        .chunks_exact(dims)
+        .enumerate()
+        .map(|(i, p)| (morton_key(p, &lo, &scale, bits), i as u32))
         .collect();
     keyed.sort_unstable();
     keyed.into_iter().map(|(_, i)| i).collect()
@@ -111,6 +129,14 @@ mod tests {
         // in 1-D, Morton order is plain coordinate order
         let q = ps(1, vec![5.0, 1.0, 9.0, 3.0]);
         assert_eq!(morton_schedule(&q), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn coords_variant_matches_pointset_schedule() {
+        let q = ps(3, (0..300).map(|i| ((i * 37) % 100) as f32).collect());
+        assert_eq!(morton_schedule(&q), morton_schedule_coords(3, q.coords()));
+        // empty buffer
+        assert!(morton_schedule_coords(2, &[]).is_empty());
     }
 
     #[test]

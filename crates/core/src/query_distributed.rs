@@ -18,15 +18,38 @@
 //! Batching (steps of `batch_size` queries per rank) load-balances the
 //! exchange; software pipelining is modeled on the recorded per-step
 //! compute/communication durations (see [`crate::timers::QueryBreakdown`]).
+//!
+//! The engine is **CSR-native and locality-aware** end to end:
+//!
+//! * Owned queries are optionally re-sorted along a Morton curve after
+//!   routing ([`crate::config::QueryConfig::order`]), so each pipeline
+//!   step's local KNN and remote request streams touch spatially coherent
+//!   leaves; results are always scattered back to submission order.
+//! * Per-step heaps and the per-destination send buffers are persistent
+//!   workspaces: heaps are recycled with [`KnnHeap::reset`] +
+//!   [`KnnHeap::append_sorted_into`], and each exchange's received
+//!   buffers become the next step's send buffers, so the steady state
+//!   allocates nothing per query.
+//! * Every exchange is flat: requests carry `dims + 1` floats per query
+//!   (coordinates + `r'²`) with the per-destination request order
+//!   remembered locally instead of echoing qids; responses stream
+//!   per-request counts plus flat id/distance arrays; the origin-return
+//!   leg streams one packed `(submission index, count)` word per query
+//!   plus flat id/distance arrays — no header-per-query framing anywhere.
+//! * Results are assembled directly into a flat CSR
+//!   [`crate::engine::NeighborTable`] (counts first, then rows written in
+//!   place) — no intermediate `Vec<Vec<Neighbor>>` on any path.
 
 use panda_comm::{Comm, ReduceOp};
 
 use crate::build_distributed::DistKdTree;
-use crate::config::QueryConfig;
+use crate::config::{QueryConfig, QueryOrder};
 use crate::counters::QueryCounters;
+use crate::engine::NeighborTable;
 use crate::error::{PandaError, Result};
 use crate::heap::{KnnHeap, Neighbor};
 use crate::local_tree::QueryWorkspace;
+use crate::morton::morton_schedule_coords;
 use crate::point::PointSet;
 use crate::timers::{QueryBreakdown, StepTiming};
 
@@ -105,9 +128,37 @@ fn clock_delta(comm: &Comm, before: panda_comm::ClockSummary) -> (f64, f64) {
 }
 
 const QID_SHIFT: u32 = 32;
+const QID_IDX_MASK: u64 = (1u64 << QID_SHIFT) - 1;
+
+/// Largest per-rank query count the qid packing can address: indices live
+/// in the low [`QID_SHIFT`] bits, so at most `2³²` queries per rank.
+pub(crate) const MAX_QUERIES_PER_RANK: u64 = 1u64 << QID_SHIFT;
+
+/// Guard the qid packing: a rank submitting more queries than the index
+/// field can hold would silently corrupt the origin rank and misroute
+/// results, so it is rejected up front.
+pub(crate) fn check_qid_capacity(n_queries: usize, ranks: usize) -> Result<()> {
+    if n_queries as u64 > MAX_QUERIES_PER_RANK {
+        return Err(PandaError::BadConfig(format!(
+            "{n_queries} queries on one rank exceed the 2^{QID_SHIFT} qid \
+             index space; split the request into smaller batches"
+        )));
+    }
+    if ranks as u64 > MAX_QUERIES_PER_RANK {
+        return Err(PandaError::BadConfig(format!(
+            "{ranks} ranks exceed the 2^{QID_SHIFT} qid origin space"
+        )));
+    }
+    Ok(())
+}
 
 #[inline]
 fn qid(origin: usize, idx: usize) -> u64 {
+    debug_assert!((idx as u64) < MAX_QUERIES_PER_RANK, "qid index overflow");
+    debug_assert!(
+        (origin as u64) < MAX_QUERIES_PER_RANK,
+        "qid origin overflow"
+    );
     ((origin as u64) << QID_SHIFT) | idx as u64
 }
 
@@ -118,7 +169,7 @@ fn qid_origin(q: u64) -> usize {
 
 #[inline]
 fn qid_idx(q: u64) -> usize {
-    (q & ((1u64 << QID_SHIFT) - 1)) as usize
+    (q & QID_IDX_MASK) as usize
 }
 
 /// Owned queries after routing: flat coords + qids.
@@ -135,6 +186,34 @@ impl Owned {
     fn point(&self, i: usize, dims: usize) -> &[f32] {
         &self.coords[i * dims..(i + 1) * dims]
     }
+
+    /// Re-sort the owned queries along a Morton curve so consecutive
+    /// queries (and therefore each pipeline batch) are spatially
+    /// coherent. Results are keyed by qid, so the permutation is
+    /// invisible to callers — submission order is restored when results
+    /// return to their origins.
+    fn reorder_morton(&mut self, dims: usize) {
+        let schedule = morton_schedule_coords(dims, &self.coords);
+        let mut coords = Vec::with_capacity(self.coords.len());
+        let mut qids = Vec::with_capacity(self.qids.len());
+        for &s in &schedule {
+            let s = s as usize;
+            coords.extend_from_slice(&self.coords[s * dims..(s + 1) * dims]);
+            qids.push(self.qids[s]);
+        }
+        self.coords = coords;
+        self.qids = qids;
+    }
+}
+
+/// CSR-native result of [`query_distributed_impl`]: what
+/// [`crate::engine::DistIndex`] wraps into a `QueryResponse` without any
+/// nested intermediate.
+pub(crate) struct DistQueryCsr {
+    pub(crate) neighbors: NeighborTable,
+    pub(crate) breakdown: QueryBreakdown,
+    pub(crate) counters: QueryCounters,
+    pub(crate) remote: RemoteStats,
 }
 
 /// Distributed KNN (SPMD). Every rank passes its own `queries`; results
@@ -152,7 +231,13 @@ pub fn query_distributed(
     queries: &PointSet,
     cfg: &QueryConfig,
 ) -> Result<DistQueryResult> {
-    query_distributed_impl(comm, tree, queries, cfg)
+    let res = query_distributed_impl(comm, tree, queries, cfg)?;
+    Ok(DistQueryResult {
+        neighbors: res.neighbors.into_nested(),
+        breakdown: res.breakdown,
+        counters: res.counters,
+        remote: res.remote,
+    })
 }
 
 /// The SPMD engine behind [`crate::engine::DistIndex`] and the deprecated
@@ -162,7 +247,7 @@ pub(crate) fn query_distributed_impl(
     tree: &DistKdTree,
     queries: &PointSet,
     cfg: &QueryConfig,
-) -> Result<DistQueryResult> {
+) -> Result<DistQueryCsr> {
     cfg.validate()?;
     queries.validate()?;
     let dims = tree.global.dims();
@@ -172,10 +257,16 @@ pub(crate) fn query_distributed_impl(
             got: queries.dims(),
         });
     }
+    check_qid_capacity(queries.len(), comm.size())?;
     let p = comm.size();
     let me = comm.rank();
     let k = cfg.k;
     let use_bbox = cfg.bbox_routing;
+    let r0_sq = if cfg.initial_radius.is_finite() {
+        cfg.initial_radius * cfg.initial_radius
+    } else {
+        f32::INFINITY
+    };
 
     let mut breakdown = QueryBreakdown::default();
     let mut counters = QueryCounters::default();
@@ -185,8 +276,8 @@ pub(crate) fn query_distributed_impl(
     // ---- Stage 1: find owner & route ----------------------------------
     let before = comm.clock();
     let mut route_counters = QueryCounters::default();
-    let mut coord_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
-    let mut qid_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+    let mut coord_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut qid_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
     for i in 0..queries.len() {
         let q = queries.point(i);
         let owner = tree.global.owner(q, &mut route_counters);
@@ -197,10 +288,17 @@ pub(crate) fn query_distributed_impl(
     counters.add(&route_counters);
     let coords_in = comm.world().alltoallv(coord_sends);
     let qids_in = comm.world().alltoallv(qid_sends);
-    let owned = Owned {
+    let mut owned = Owned {
         coords: coords_in.into_iter().flatten().collect(),
         qids: qids_in.into_iter().flatten().collect(),
     };
+    // Locality pass: sort the owned queries along the Morton curve so
+    // every batch (and its request streams) touches coherent leaves. The
+    // O(n log n) key sort is negligible next to traversal and is not
+    // charged to the virtual clock.
+    if cfg.order == QueryOrder::Morton && owned.len() > 1 {
+        owned.reorder_morton(dims);
+    }
     remote.owned_queries = owned.len() as u64;
     let (d_comp, d_comm) = clock_delta(comm, before);
     breakdown.find_owner = d_comp;
@@ -214,33 +312,49 @@ pub(crate) fn query_distributed_impl(
         (most as usize).div_ceil(cfg.batch_size)
     };
 
-    // finalized results per owned query: (qid, neighbors)
-    let mut finalized: Vec<(u64, Vec<Neighbor>)> = Vec::with_capacity(owned.len());
+    // Persistent per-step workspaces. The send lanes are recycled through
+    // the exchange: `alltoallv` consumes the send vectors and returns the
+    // received ones, which become the next step's (cleared) send buffers,
+    // so lane capacity is allocated once and reused for the whole call.
+    let mut heaps: Vec<KnnHeap> = Vec::new();
+    let mut req_coord_ws: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut sent_bi: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut resp_cnt_ws: Vec<Vec<u32>> = vec![Vec::new(); p];
+    let mut resp_id_ws: Vec<Vec<u64>> = vec![Vec::new(); p];
+    let mut resp_dist_ws: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut serve_heap = KnnHeap::new(k);
+    let mut serve_out: Vec<Neighbor> = Vec::new();
     let mut rank_scratch: Vec<usize> = Vec::new();
 
+    // Finalized owned results, CSR-style in owned (processing) order: one
+    // count per owned query plus one flat arena — no per-query `Vec`.
+    let mut fin_counts: Vec<u32> = Vec::with_capacity(owned.len());
+    let mut fin_arena: Vec<Neighbor> = Vec::new();
+
+    let stride = dims + 1;
     for step in 0..steps {
         let lo = (step * cfg.batch_size).min(owned.len());
         let hi = ((step + 1) * cfg.batch_size).min(owned.len());
+        let blen = hi - lo;
         let mut step_compute = 0.0f64;
         let mut step_comm = 0.0f64;
 
-        // (2) local KNN for the batch
+        // (2) local KNN for the batch — heaps recycled via `reset`
         let before = comm.clock();
         let mut local_counters = QueryCounters::default();
-        let mut heaps: Vec<KnnHeap> = Vec::with_capacity(hi - lo);
-        for i in lo..hi {
-            let q = owned.point(i, dims);
-            let mut heap = KnnHeap::with_radius_sq(
-                k,
-                if cfg.initial_radius.is_finite() {
-                    cfg.initial_radius * cfg.initial_radius
-                } else {
-                    f32::INFINITY
-                },
+        while heaps.len() < blen {
+            heaps.push(KnnHeap::new(k));
+        }
+        for (bi, i) in (lo..hi).enumerate() {
+            let heap = &mut heaps[bi];
+            heap.reset(k, r0_sq);
+            tree.local.query_into(
+                owned.point(i, dims),
+                heap,
+                cfg.bound_mode,
+                &mut ws,
+                &mut local_counters,
             );
-            tree.local
-                .query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut local_counters);
-            heaps.push(heap);
         }
         charge(comm, &local_counters, dims);
         counters.add(&local_counters);
@@ -250,13 +364,19 @@ pub(crate) fn query_distributed_impl(
         step_compute += d_comp;
         step_comm += d_comm;
 
-        // (3) identify remote ranks; assemble request streams
-        // request stream to rank r: coords (dims+1 floats per query, the
-        // extra float is r'²) + qids
+        // (3) identify remote ranks; assemble flat request streams. A
+        // request is `dims + 1` floats (coordinates + r'²); the order of
+        // requests per destination is remembered in `sent_bi`, so
+        // responses — which come back in request order — need no qid
+        // echo at all.
         let before = comm.clock();
         let mut ident_counters = QueryCounters::default();
-        let mut req_coord_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
-        let mut req_qid_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
+        for lane in &mut req_coord_ws {
+            lane.clear();
+        }
+        for lane in &mut sent_bi {
+            lane.clear();
+        }
         for (bi, i) in (lo..hi).enumerate() {
             let q = owned.point(i, dims);
             let r_sq = heaps[bi].bound_sq();
@@ -270,9 +390,9 @@ pub(crate) fn query_distributed_impl(
                 }
                 any = true;
                 remote.remote_pairs_sent += 1;
-                req_coord_sends[r].extend_from_slice(q);
-                req_coord_sends[r].push(r_sq);
-                req_qid_sends[r].push(owned.qids[i]);
+                req_coord_ws[r].extend_from_slice(q);
+                req_coord_ws[r].push(r_sq);
+                sent_bi[r].push(bi as u32);
             }
             if any {
                 remote.queries_with_remote += 1;
@@ -286,38 +406,51 @@ pub(crate) fn query_distributed_impl(
         step_compute += d_comp;
         step_comm += d_comm;
 
-        // exchange requests
+        // exchange requests (compute observed during the exchange is
+        // attributed to identify_remote so phase totals cover the steps)
         let before = comm.clock();
-        let req_coords_in = comm.world().alltoallv(req_coord_sends);
-        let req_qids_in = comm.world().alltoallv(req_qid_sends);
+        let req_coords_in = comm.world().alltoallv(std::mem::take(&mut req_coord_ws));
         let (d_comp, d_comm) = clock_delta(comm, before);
+        breakdown.identify_remote += d_comp;
+        breakdown.comm_total += d_comm;
         step_compute += d_comp;
         step_comm += d_comm;
-        breakdown.comm_total += d_comm;
 
-        // (4) serve received requests with pruned local KNN
+        // (4) serve received requests with pruned local KNN. The response
+        // to each source is flat: one neighbor count per request plus
+        // flat id/distance arrays, in request order.
         let before = comm.clock();
         let mut remote_counters = QueryCounters::default();
-        // response stream back to owner rank: (qid, point id) u64 pairs +
-        // f32 distances, one triple per neighbor found
-        let mut resp_meta_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
-        let mut resp_dist_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
-        let stride = dims + 1;
-        for src in 0..p {
-            let coords = &req_coords_in[src];
-            let qids = &req_qids_in[src];
-            debug_assert_eq!(coords.len(), qids.len() * stride);
-            remote.remote_requests_served += qids.len() as u64;
-            for (j, &rq) in qids.iter().enumerate() {
+        for lane in &mut resp_cnt_ws {
+            lane.clear();
+        }
+        for lane in &mut resp_id_ws {
+            lane.clear();
+        }
+        for lane in &mut resp_dist_ws {
+            lane.clear();
+        }
+        for (src, coords) in req_coords_in.iter().enumerate() {
+            debug_assert_eq!(coords.len() % stride, 0);
+            let nreq = coords.len() / stride;
+            remote.remote_requests_served += nreq as u64;
+            for j in 0..nreq {
                 let q = &coords[j * stride..j * stride + dims];
                 let r_sq = coords[j * stride + dims];
-                let mut heap = KnnHeap::with_radius_sq(k, r_sq);
-                tree.local
-                    .query_into(q, &mut heap, cfg.bound_mode, &mut ws, &mut remote_counters);
-                for n in heap.into_sorted() {
-                    resp_meta_sends[src].push(rq);
-                    resp_meta_sends[src].push(n.id);
-                    resp_dist_sends[src].push(n.dist_sq);
+                serve_heap.reset(k, r_sq);
+                tree.local.query_into(
+                    q,
+                    &mut serve_heap,
+                    cfg.bound_mode,
+                    &mut ws,
+                    &mut remote_counters,
+                );
+                serve_out.clear();
+                serve_heap.append_sorted_into(&mut serve_out);
+                resp_cnt_ws[src].push(serve_out.len() as u32);
+                for n in &serve_out {
+                    resp_id_ws[src].push(n.id);
+                    resp_dist_ws[src].push(n.dist_sq);
                 }
             }
         }
@@ -329,34 +462,48 @@ pub(crate) fn query_distributed_impl(
         step_compute += d_comp;
         step_comm += d_comm;
 
-        // exchange responses
+        // exchange responses (exchange-side compute goes to merge, the
+        // phase that consumes these streams)
         let before = comm.clock();
-        let resp_meta_in = comm.world().alltoallv(resp_meta_sends);
-        let resp_dist_in = comm.world().alltoallv(resp_dist_sends);
+        let resp_cnt_in = comm.world().alltoallv(std::mem::take(&mut resp_cnt_ws));
+        let resp_id_in = comm.world().alltoallv(std::mem::take(&mut resp_id_ws));
+        let resp_dist_in = comm.world().alltoallv(std::mem::take(&mut resp_dist_ws));
         let (d_comp, d_comm) = clock_delta(comm, before);
+        breakdown.merge += d_comp;
+        breakdown.comm_total += d_comm;
         step_compute += d_comp;
         step_comm += d_comm;
-        breakdown.comm_total += d_comm;
 
-        // (5) merge responses into the batch heaps. Each source's
-        // response stream references qids in this batch's order (requests
-        // were sent in batch order and served FIFO), so a forward-moving
-        // cursor per source finds each qid in amortized O(1).
+        // (5) merge responses into the batch heaps. Responses from rank r
+        // arrive in exactly the order this rank sent requests to r
+        // (`sent_bi[r]`), so the merge walks both in lockstep — no qid
+        // lookup at all.
         let before = comm.clock();
         let mut merge_counters = QueryCounters::default();
-        for (meta, dists) in resp_meta_in.iter().zip(&resp_dist_in) {
-            debug_assert_eq!(meta.len(), dists.len() * 2);
-            let mut cursor = lo;
-            for (pair, &d) in meta.chunks_exact(2).zip(dists) {
-                let (rq, id) = (pair[0], pair[1]);
-                let bi = qid_owned_index(&owned, lo, hi, &mut cursor, rq);
-                merge_counters.merge_candidates += 1;
-                remote.remote_neighbors_received += 1;
-                heaps[bi - lo].offer(d, id);
+        for r in 0..p {
+            let cnts = &resp_cnt_in[r];
+            let ids = &resp_id_in[r];
+            let dists = &resp_dist_in[r];
+            debug_assert_eq!(cnts.len(), sent_bi[r].len());
+            debug_assert_eq!(ids.len(), dists.len());
+            let mut cur = 0usize;
+            for (&bi, &cnt) in sent_bi[r].iter().zip(cnts) {
+                let heap = &mut heaps[bi as usize];
+                for t in cur..cur + cnt as usize {
+                    merge_counters.merge_candidates += 1;
+                    remote.remote_neighbors_received += 1;
+                    heap.offer(dists[t], ids[t]);
+                }
+                cur += cnt as usize;
             }
+            debug_assert_eq!(cur, dists.len());
         }
-        for (bi, heap) in heaps.into_iter().enumerate() {
-            finalized.push((owned.qids[lo + bi], heap.into_sorted()));
+        // finalize the batch into the owned-order arena, draining each
+        // heap in place so its buffer is ready for the next step
+        for heap in heaps[..blen].iter_mut() {
+            let start = fin_arena.len();
+            heap.append_sorted_into(&mut fin_arena);
+            fin_counts.push((fin_arena.len() - start) as u32);
         }
         charge(comm, &merge_counters, dims);
         counters.add(&merge_counters);
@@ -366,74 +513,87 @@ pub(crate) fn query_distributed_impl(
         step_compute += d_comp;
         step_comm += d_comm;
 
+        // recycle the received buffers as the next step's send lanes
+        req_coord_ws = req_coords_in;
+        resp_cnt_ws = resp_cnt_in;
+        resp_id_ws = resp_id_in;
+        resp_dist_ws = resp_dist_in;
+
         breakdown.steps.push(StepTiming {
             compute: step_compute,
             comm: step_comm,
         });
     }
 
-    // ---- return results to origins -------------------------------------
+    // ---- return results to origins (flat framing) -----------------------
+    // One packed meta word per finalized query — `(submission idx << 32) |
+    // count` (the origin rank is implied by the lane) — plus flat
+    // id/distance arrays. No header-per-query framing.
     let before = comm.clock();
-    let mut ret_meta_sends: Vec<Vec<u64>> = (0..p).map(|_| Vec::new()).collect();
-    let mut ret_dist_sends: Vec<Vec<f32>> = (0..p).map(|_| Vec::new()).collect();
-    for (rq, neighbors) in &finalized {
-        let origin = qid_origin(*rq);
-        // header: qid, count — then count (id) u64s and count dists
-        ret_meta_sends[origin].push(*rq);
-        ret_meta_sends[origin].push(neighbors.len() as u64);
-        for n in neighbors {
-            ret_meta_sends[origin].push(n.id);
+    let mut ret_meta_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+    let mut ret_id_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+    let mut ret_dist_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut cur = 0usize;
+    for (oi, &cnt) in fin_counts.iter().enumerate() {
+        let rq = owned.qids[oi];
+        let origin = qid_origin(rq);
+        ret_meta_sends[origin].push(((qid_idx(rq) as u64) << QID_SHIFT) | u64::from(cnt));
+        for n in &fin_arena[cur..cur + cnt as usize] {
+            ret_id_sends[origin].push(n.id);
             ret_dist_sends[origin].push(n.dist_sq);
         }
+        cur += cnt as usize;
     }
+    debug_assert_eq!(cur, fin_arena.len());
     let ret_meta_in = comm.world().alltoallv(ret_meta_sends);
+    let ret_id_in = comm.world().alltoallv(ret_id_sends);
     let ret_dist_in = comm.world().alltoallv(ret_dist_sends);
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
-    for (meta, dists) in ret_meta_in.iter().zip(&ret_dist_in) {
-        let mut mi = 0usize;
-        let mut di = 0usize;
-        while mi < meta.len() {
-            let rq = meta[mi];
-            let count = meta[mi + 1] as usize;
-            mi += 2;
-            debug_assert_eq!(qid_origin(rq), me);
-            let slot = &mut results[qid_idx(rq)];
-            debug_assert!(slot.is_empty(), "duplicate result for qid {rq:#x}");
-            slot.reserve(count);
-            for _ in 0..count {
-                slot.push(Neighbor {
-                    dist_sq: dists[di],
-                    id: meta[mi],
-                });
-                mi += 1;
-                di += 1;
-            }
+
+    // Assemble the CSR response in submission order: row counts first,
+    // then each stream is copied into its final rows in place.
+    let mut row_counts = vec![0u32; queries.len()];
+    let mut answered = 0usize;
+    for meta in &ret_meta_in {
+        for &m in meta {
+            row_counts[(m >> QID_SHIFT) as usize] = (m & QID_IDX_MASK) as u32;
+            answered += 1;
         }
-        debug_assert_eq!(di, dists.len());
+    }
+    debug_assert_eq!(answered, queries.len(), "every query answered exactly once");
+    let mut table = NeighborTable::with_row_counts(&row_counts)?;
+    for ((meta, ids), dists) in ret_meta_in.iter().zip(&ret_id_in).zip(&ret_dist_in) {
+        let mut cur = 0usize;
+        for &m in meta {
+            let idx = (m >> QID_SHIFT) as usize;
+            let cnt = (m & QID_IDX_MASK) as usize;
+            let row = table.row_mut(idx);
+            for t in 0..cnt {
+                row[t] = Neighbor {
+                    dist_sq: dists[cur + t],
+                    id: ids[cur + t],
+                };
+            }
+            cur += cnt;
+        }
+        debug_assert_eq!(cur, dists.len());
     }
     let (d_comp, d_comm) = clock_delta(comm, before);
     breakdown.merge += d_comp;
     breakdown.comm_total += d_comm;
+    // The return leg is the pipeline's epilogue step: logging it keeps
+    // `Σ steps.compute` equal to the four in-pipeline phase totals (the
+    // accounting invariant on `QueryBreakdown`).
+    breakdown.steps.push(StepTiming {
+        compute: d_comp,
+        comm: d_comm,
+    });
 
-    Ok(DistQueryResult {
-        neighbors: results,
+    Ok(DistQueryCsr {
+        neighbors: table,
         breakdown,
         counters,
         remote,
     })
-}
-
-/// Locate the batch-local index of `rq` within `owned[lo..hi]`, scanning
-/// forward from `cursor` (amortized O(1) for in-order response streams)
-/// and wrapping once for robustness against any reordering.
-fn qid_owned_index(owned: &Owned, lo: usize, hi: usize, cursor: &mut usize, rq: u64) -> usize {
-    for i in (*cursor..hi).chain(lo..*cursor) {
-        if owned.qids[i] == rq {
-            *cursor = i;
-            return i;
-        }
-    }
-    panic!("response for unknown qid {rq:#x} in batch {lo}..{hi}");
 }
 
 #[cfg(test)]
@@ -490,7 +650,7 @@ mod tests {
             // pair each local query with its result distances
             (0..myq.len())
                 .map(|i| {
-                    let dists: Vec<f32> = res.neighbors[i].iter().map(|n| n.dist_sq).collect();
+                    let dists: Vec<f32> = res.neighbors.row(i).iter().map(|n| n.dist_sq).collect();
                     (myq.point(i).to_vec(), dists)
                 })
                 .collect::<Vec<_>>()
@@ -551,7 +711,7 @@ mod tests {
                 ..QueryConfig::default()
             };
             let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
-            res.neighbors.first().map(|n| n.len())
+            res.neighbors.get(0).map(<[Neighbor]>::len)
         });
         assert_eq!(out[0].result, Some(40));
     }
@@ -619,6 +779,8 @@ mod tests {
                 .iter()
                 .map(|v| v.iter().map(|n| n.dist_sq).collect())
                 .collect();
+            // CSR tables compare whole (offsets + arena) too
+            assert_eq!(on.neighbors, off.neighbors);
             assert_eq!(da, db);
             // bbox routing must not *increase* remote traffic
             (on.remote.remote_pairs_sent, off.remote.remote_pairs_sent)
@@ -669,7 +831,7 @@ mod tests {
             };
             let res = query_distributed(comm, &tree, &myq, &cfg).unwrap();
             (0..myq.len())
-                .map(|i| (myq.point(i).to_vec(), res.neighbors[i].len()))
+                .map(|i| (myq.point(i).to_vec(), res.neighbors.row(i).len()))
                 .collect::<Vec<_>>()
         });
         for o in &out {
@@ -706,7 +868,7 @@ mod tests {
             let res = query_distributed(comm, &tree, &myq, &QueryConfig::with_k(7)).unwrap();
             (0..myq.len())
                 .map(|i| {
-                    let d: Vec<f32> = res.neighbors[i].iter().map(|n| n.dist_sq).collect();
+                    let d: Vec<f32> = res.neighbors.row(i).iter().map(|n| n.dist_sq).collect();
                     (myq.point(i).to_vec(), d)
                 })
                 .collect::<Vec<_>>()
@@ -714,6 +876,118 @@ mod tests {
         for o in &out {
             for (q, dists) in &o.result {
                 assert_eq!(dists, &brute(&all, q, 7));
+            }
+        }
+    }
+
+    #[test]
+    fn qid_packing_round_trips_at_the_boundary() {
+        // max addressable index and origin survive the round trip
+        let max = (u32::MAX) as usize;
+        for (origin, idx) in [(0, 0), (0, max), (max, 0), (max, max), (3, 12345)] {
+            let q = qid(origin, idx);
+            assert_eq!(qid_origin(q), origin, "origin for {q:#x}");
+            assert_eq!(qid_idx(q), idx, "idx for {q:#x}");
+        }
+    }
+
+    #[test]
+    fn qid_capacity_guard_rejects_oversized_batches() {
+        assert!(check_qid_capacity(0, 1).is_ok());
+        assert!(check_qid_capacity(u32::MAX as usize, 8).is_ok());
+        // 2^32 queries still fit (indices 0..2^32-1); one more does not
+        assert!(check_qid_capacity(MAX_QUERIES_PER_RANK as usize, 8).is_ok());
+        let err = check_qid_capacity(MAX_QUERIES_PER_RANK as usize + 1, 8).unwrap_err();
+        assert!(matches!(err, PandaError::BadConfig(_)));
+        assert!(err.to_string().contains("qid"), "{err}");
+        // absurd rank counts are rejected too
+        assert!(check_qid_capacity(10, MAX_QUERIES_PER_RANK as usize + 1).is_err());
+    }
+
+    /// The accounting invariant from the `QueryBreakdown` docs: every
+    /// compute delta recorded into a step is attributed to exactly one
+    /// phase field, so the step log and the phase totals agree.
+    #[test]
+    fn step_accounting_matches_phase_totals() {
+        let all = random_ps(2000, 3, 30);
+        let queries = random_ps(300, 3, 31);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let cfg = QueryConfig {
+                k: 5,
+                batch_size: 32, // several steps
+                ..QueryConfig::default()
+            };
+            query_distributed(comm, &tree, &myq, &cfg)
+                .unwrap()
+                .breakdown
+        });
+        for o in &out {
+            let b = &o.result;
+            let phases = b.local_knn + b.identify_remote + b.remote_knn + b.merge;
+            assert!(
+                (b.steps_compute() - phases).abs() <= 1e-9 * phases.max(1.0),
+                "steps {} vs phases {phases}",
+                b.steps_compute()
+            );
+            // comm: everything outside the routing prologue is in a step
+            assert!(b.steps_comm() <= b.comm_total + 1e-12);
+            // the epilogue (origin-return) step is recorded
+            assert!(b.steps.len() >= 2);
+        }
+    }
+
+    /// Morton execution order is a locality knob only: results must be
+    /// bit-identical to input order and exact vs brute force.
+    #[test]
+    fn morton_order_is_bit_identical_and_exact() {
+        let all = random_ps(1500, 3, 32);
+        let queries = random_ps(90, 3, 33);
+        let out = run_cluster(&ClusterConfig::new(4), |comm| {
+            let mine = scatter(&all, comm.rank(), comm.size());
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let input = query_distributed(
+                comm,
+                &tree,
+                &myq,
+                &QueryConfig {
+                    k: 5,
+                    batch_size: 16,
+                    ..QueryConfig::default()
+                },
+            )
+            .unwrap();
+            let morton = query_distributed(
+                comm,
+                &tree,
+                &myq,
+                &QueryConfig {
+                    k: 5,
+                    batch_size: 16,
+                    order: crate::config::QueryOrder::Morton,
+                    ..QueryConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(input.neighbors, morton.neighbors, "order changed results");
+            // same queries, same bounds: the remote fan-out is identical
+            assert_eq!(
+                input.remote.remote_pairs_sent,
+                morton.remote.remote_pairs_sent
+            );
+            (0..myq.len())
+                .map(|i| {
+                    let d: Vec<f32> = morton.neighbors.row(i).iter().map(|n| n.dist_sq).collect();
+                    (myq.point(i).to_vec(), d)
+                })
+                .collect::<Vec<_>>()
+        });
+        for o in &out {
+            for (q, dists) in &o.result {
+                assert_eq!(dists, &brute(&all, q, 5));
             }
         }
     }

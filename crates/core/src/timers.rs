@@ -98,6 +98,13 @@ pub struct StepTiming {
 
 /// Query time split into the paper's categories (Fig. 5(c)) plus the
 /// per-step log that drives the software-pipelining model.
+///
+/// The step log holds one entry per pipeline batch **plus a final
+/// epilogue entry** for the origin-return exchange, and the engine
+/// attributes every compute delta it records into a step to exactly one
+/// phase field, so the accounting invariant
+/// `Σ steps.compute == local_knn + identify_remote + remote_knn + merge`
+/// holds (`find_owner` is the prologue, outside the step log).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryBreakdown {
     /// Routing queries to their owning ranks (traversal + exchange).
@@ -137,6 +144,17 @@ impl QueryBreakdown {
             + self.comm_total
     }
 
+    /// Sum of per-step compute seconds (equals the four in-pipeline phase
+    /// fields — see the accounting invariant on the type docs).
+    pub fn steps_compute(&self) -> f64 {
+        self.steps.iter().map(|s| s.compute).sum()
+    }
+
+    /// Sum of per-step communication seconds.
+    pub fn steps_comm(&self) -> f64 {
+        self.steps.iter().map(|s| s.comm).sum()
+    }
+
     /// Communication that cannot hide behind compute when the pipeline
     /// overlaps adjacent batches: `Σ max(0, comm_s − compute_s)` over steps
     /// (steady-state software-pipeline model).
@@ -159,8 +177,10 @@ impl QueryBreakdown {
             + self.residual_compute()
     }
 
-    /// Compute not captured in the step log (e.g. result merging after the
-    /// final exchange).
+    /// Compute not captured in the step log. Zero for breakdowns produced
+    /// by the engine (every phase delta lands in a step — see the type
+    /// docs); kept as a safety net for hand-built or aggregated
+    /// breakdowns whose step logs were truncated.
     fn residual_compute(&self) -> f64 {
         let step_compute: f64 = self.steps.iter().map(|s| s.compute).sum();
         let all_compute = self.local_knn + self.identify_remote + self.remote_knn + self.merge;

@@ -37,10 +37,107 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// A materialized "parallel" iterator: items are staged in a vector and
-/// each adapter executes eagerly across scoped threads.
+/// The staged item source of a [`ParIter`]. Collections are held as-is;
+/// index ranges stay **lazy** — chunk boundaries are computed
+/// arithmetically and each worker materializes only its own indices, so
+/// an index-only loop (`(0..n).into_par_iter()`) never allocates O(n)
+/// staging memory.
+enum Source<T> {
+    Items(Vec<T>),
+    Range {
+        start: u64,
+        end: u64,
+        conv: fn(u64) -> T,
+    },
+}
+
+impl<T> Source<T> {
+    fn len(&self) -> usize {
+        match self {
+            Source::Items(v) => v.len(),
+            Source::Range { start, end, .. } => (end - start) as usize,
+        }
+    }
+
+    /// Split into contiguous chunks of `chunk` items, in index order.
+    /// Range sources split into subranges without materializing.
+    fn split(self, chunk: usize) -> Vec<Source<T>> {
+        match self {
+            Source::Items(items) => {
+                let mut chunks = Vec::new();
+                let mut it = items.into_iter();
+                loop {
+                    let c: Vec<T> = it.by_ref().take(chunk).collect();
+                    if c.is_empty() {
+                        break;
+                    }
+                    chunks.push(Source::Items(c));
+                }
+                chunks
+            }
+            Source::Range { start, end, conv } => {
+                let mut chunks = Vec::new();
+                let mut lo = start;
+                while lo < end {
+                    let hi = (lo + chunk as u64).min(end);
+                    chunks.push(Source::Range {
+                        start: lo,
+                        end: hi,
+                        conv,
+                    });
+                    lo = hi;
+                }
+                chunks
+            }
+        }
+    }
+
+    fn into_items_iter(self) -> SourceIter<T> {
+        match self {
+            Source::Items(v) => SourceIter::Items(v.into_iter()),
+            Source::Range { start, end, conv } => SourceIter::Range {
+                cur: start,
+                end,
+                conv,
+            },
+        }
+    }
+}
+
+/// Iterator over one chunk of a [`Source`].
+enum SourceIter<T> {
+    Items(std::vec::IntoIter<T>),
+    Range {
+        cur: u64,
+        end: u64,
+        conv: fn(u64) -> T,
+    },
+}
+
+impl<T> Iterator for SourceIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            SourceIter::Items(it) => it.next(),
+            SourceIter::Range { cur, end, conv } => {
+                if cur < end {
+                    let v = conv(*cur);
+                    *cur += 1;
+                    Some(v)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A staged "parallel" iterator: each adapter executes eagerly across
+/// scoped threads. Collection-backed sources are held materialized; index
+/// ranges are chunked lazily (see `Source` above).
 pub struct ParIter<T> {
-    items: Vec<T>,
+    source: Source<T>,
     min_len: usize,
 }
 
@@ -71,7 +168,7 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
     fn into_par_iter(self) -> ParIter<T> {
         ParIter {
-            items: self,
+            source: Source::Items(self),
             min_len: 1,
         }
     }
@@ -81,7 +178,11 @@ impl IntoParallelIterator for Range<usize> {
     type Item = usize;
     fn into_par_iter(self) -> ParIter<usize> {
         ParIter {
-            items: self.collect(),
+            source: Source::Range {
+                start: self.start as u64,
+                end: self.end.max(self.start) as u64,
+                conv: |i| i as usize,
+            },
             min_len: 1,
         }
     }
@@ -91,7 +192,11 @@ impl IntoParallelIterator for Range<u32> {
     type Item = u32;
     fn into_par_iter(self) -> ParIter<u32> {
         ParIter {
-            items: self.collect(),
+            source: Source::Range {
+                start: u64::from(self.start),
+                end: u64::from(self.end.max(self.start)),
+                conv: |i| i as u32,
+            },
             min_len: 1,
         }
     }
@@ -101,7 +206,7 @@ impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
     type Item = &'a T;
     fn into_par_iter(self) -> ParIter<&'a T> {
         ParIter {
-            items: self.iter().collect(),
+            source: Source::Items(self.iter().collect()),
             min_len: 1,
         }
     }
@@ -111,7 +216,7 @@ impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
     type Item = &'a T;
     fn into_par_iter(self) -> ParIter<&'a T> {
         ParIter {
-            items: self.iter().collect(),
+            source: Source::Items(self.iter().collect()),
             min_len: 1,
         }
     }
@@ -121,7 +226,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
         ParIter {
-            items: self.iter().collect(),
+            source: Source::Items(self.iter().collect()),
             min_len: 1,
         }
     }
@@ -131,44 +236,37 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
         ParIter {
-            items: self.iter().collect(),
+            source: Source::Items(self.iter().collect()),
             min_len: 1,
         }
     }
 }
 
-/// Split `items` into at most `current_num_threads()` contiguous chunks of
-/// at least `min_len` items and run `work` on each chunk on its own scoped
-/// thread; chunk outputs are returned in index order.
+/// Split a [`Source`] into at most `current_num_threads()` contiguous
+/// chunks of at least `min_len` items and run `work` on each chunk on its
+/// own scoped thread; chunk outputs are returned in index order. Range
+/// sources hand each worker a lazy subrange iterator.
 fn run_chunks<T: Send, U: Send>(
-    items: Vec<T>,
+    source: Source<T>,
     min_len: usize,
-    work: impl Fn(Vec<T>) -> U + Sync,
+    work: impl Fn(SourceIter<T>) -> U + Sync,
 ) -> Vec<U> {
-    let n = items.len();
+    let n = source.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = current_num_threads().max(1);
     let chunk = n.div_ceil(threads).max(min_len.max(1));
-    let mut chunks: Vec<Vec<T>> = Vec::new();
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<T> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
+    let mut chunks = source.split(chunk);
     if chunks.len() == 1 {
         let c = chunks.pop().expect("one chunk");
-        return vec![work(c)];
+        return vec![work(c.into_items_iter())];
     }
     let work = &work;
     std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| s.spawn(move || work(c)))
+            .map(|c| s.spawn(move || work(c.into_items_iter())))
             .collect();
         handles
             .into_iter()
@@ -191,11 +289,11 @@ impl<T: Send> ParIter<T> {
         F: Fn(T) -> U + Sync,
     {
         let min_len = self.min_len;
-        let out = run_chunks(self.items, min_len, |chunk| {
-            chunk.into_iter().map(&f).collect::<Vec<U>>()
+        let out = run_chunks(self.source, min_len, |chunk| {
+            chunk.map(&f).collect::<Vec<U>>()
         });
         ParIter {
-            items: out.into_iter().flatten().collect(),
+            source: Source::Items(out.into_iter().flatten().collect()),
             min_len,
         }
     }
@@ -208,11 +306,11 @@ impl<T: Send> ParIter<T> {
         F: Fn(Acc, T) -> Acc + Sync,
     {
         let min_len = self.min_len;
-        let out = run_chunks(self.items, min_len, |chunk| {
-            chunk.into_iter().fold(identity(), &fold_op)
+        let out = run_chunks(self.source, min_len, |chunk| {
+            chunk.fold(identity(), &fold_op)
         });
         ParIter {
-            items: out,
+            source: Source::Items(out),
             min_len,
         }
     }
@@ -226,14 +324,19 @@ impl<T: Send> ParIter<T> {
         let min_len = self.min_len;
         let b = other.into_par_iter();
         ParIter {
-            items: self.items.into_iter().zip(b.items).collect(),
+            source: Source::Items(
+                self.source
+                    .into_items_iter()
+                    .zip(b.source.into_items_iter())
+                    .collect(),
+            ),
             min_len,
         }
     }
 
     /// Collect the staged items (already computed by the eager adapters).
     pub fn collect<C: FromIterator<T>>(self) -> C {
-        self.items.into_iter().collect()
+        self.source.into_items_iter().collect()
     }
 }
 
@@ -309,6 +412,47 @@ mod tests {
             .map(|i| i)
             .collect();
         assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn range_sources_chunk_lazily_and_in_order() {
+        // fold over a range: each chunk accumulator sees its indices in
+        // order, and the chunks themselves are in index order — without
+        // the range ever being staged into a Vec
+        let folded: Vec<Vec<u32>> = (0u32..1000)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, i| {
+                acc.push(i);
+                acc
+            })
+            .collect();
+        assert!(folded.iter().all(|c| c.windows(2).all(|w| w[0] < w[1])));
+        let flat: Vec<u32> = folded.into_iter().flatten().collect();
+        assert_eq!(flat, (0u32..1000).collect::<Vec<_>>());
+
+        // a range far larger than any sane staging vector still folds
+        // in O(threads) memory (one accumulator per chunk)
+        let total: usize = (0usize..4_000_000)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, _| acc + 1)
+            .collect::<Vec<usize>>()
+            .iter()
+            .sum();
+        assert_eq!(total, 4_000_000);
+
+        // empty and reversed-degenerate ranges
+        let empty: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn range_map_preserves_order_with_min_len() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .with_min_len(7)
+            .map(|i| i * 3)
+            .collect();
+        assert_eq!(v, (0..100usize).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

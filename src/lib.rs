@@ -49,6 +49,21 @@
 //! `build_on` constructors inside a `run_cluster` closure and queried
 //! through the identical trait.
 //!
+//! ### Locality on the distributed path
+//!
+//! `QueryRequest::with_order(QueryOrder::Morton)` is honored by
+//! [`DistIndex`](prelude::DistIndex) too: after queries are routed to
+//! their owning ranks, each rank re-sorts its *owned* queries along a
+//! Morton (Z-order) curve, so every pipeline step's local KNN and remote
+//! request streams touch spatially coherent leaves. Results always come
+//! back in submission order — the knob changes locality, never values
+//! (`tests/dist_order_parity.rs` pins bit-identical results under skewed
+//! query distributions). The distributed engine is CSR-native end to
+//! end: responses are assembled directly into the flat
+//! [`NeighborTable`](prelude::NeighborTable) with no nested
+//! `Vec<Vec<Neighbor>>` intermediate (see `BENCH_PR3.json`, written by
+//! `cargo run --release --bin bench_pr3`).
+//!
 //! ## Migrating from the pre-session (tuple) API
 //!
 //! The 0.1 tuple methods survive one release as `#[deprecated]` shims:
