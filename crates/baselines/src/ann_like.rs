@@ -40,22 +40,6 @@ impl AnnLikeTree {
         self.inner.query_counted(q, k, counters)
     }
 
-    /// Batched queries. The paper did **not** parallelize ANN ("the code
-    /// uses many global variables … making the code unsuitable for
-    /// parallelization"), so only a sequential batch is offered.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `NnBackend` trait: `backend.query(&QueryRequest::knn(queries, k))` \
-                returns a CSR `QueryResponse`"
-    )]
-    pub fn query_batch(
-        &self,
-        queries: &PointSet,
-        k: usize,
-    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
-        self.inner.query_batch(queries, k, false)
-    }
-
     /// Tree statistics (depth, node counts, build work).
     pub fn stats(&self) -> &SimpleTreeStats {
         self.inner.stats()

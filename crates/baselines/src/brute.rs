@@ -60,22 +60,6 @@ impl BruteForce {
         }
         Ok(heap.into_sorted())
     }
-
-    /// Batched queries, optionally rayon-parallel over queries.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `NnBackend` trait: `backend.query(&QueryRequest::knn(queries, k))` \
-                returns a CSR `QueryResponse`"
-    )]
-    pub fn query_batch(
-        &self,
-        queries: &PointSet,
-        k: usize,
-        parallel: bool,
-    ) -> Result<Vec<Vec<Neighbor>>> {
-        let req = QueryRequest::knn(queries, k).with_parallel(parallel);
-        Ok(NnBackend::query(self, &req)?.neighbors.into_nested())
-    }
 }
 
 impl NnBackend for BruteForce {
@@ -201,17 +185,6 @@ mod tests {
         // strictly within 1.0 of 10.2: only 10 and 11
         let ids: Vec<u64> = res.neighbors.row(0).iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![10, 11]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_batch_shim_matches_trait_path() {
-        let ps = crate::tests_support::random_ps(500, 2, 3);
-        let qs = crate::tests_support::random_ps(20, 2, 4);
-        let bf = BruteForce::new(&ps);
-        let nested = bf.query_batch(&qs, 4, false).unwrap();
-        let res = NnBackend::query(&bf, &QueryRequest::knn(&qs, 4)).unwrap();
-        assert_eq!(res.neighbors.to_nested(), nested);
     }
 
     #[test]

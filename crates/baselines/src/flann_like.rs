@@ -37,21 +37,6 @@ impl FlannLikeTree {
         self.inner.query_counted(q, k, counters)
     }
 
-    /// Batched queries (outer-loop parallelism optional, as in §V-B2).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `NnBackend` trait: `backend.query(&QueryRequest::knn(queries, k))` \
-                returns a CSR `QueryResponse`"
-    )]
-    pub fn query_batch(
-        &self,
-        queries: &PointSet,
-        k: usize,
-        parallel: bool,
-    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
-        self.inner.query_batch(queries, k, parallel)
-    }
-
     /// Tree statistics (depth, node counts, build work).
     pub fn stats(&self) -> &SimpleTreeStats {
         self.inner.stats()

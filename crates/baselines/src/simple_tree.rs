@@ -342,46 +342,6 @@ impl SimpleKdTree {
             t0.elapsed().as_secs_f64(),
         ))
     }
-
-    /// Batched queries with aggregate counters; optionally parallel over
-    /// queries (the paper parallelized FLANN's queries with the same
-    /// outer loop as PANDA's).
-    pub fn query_batch(
-        &self,
-        queries: &PointSet,
-        k: usize,
-        parallel: bool,
-    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
-        if queries.dims() != self.dims() {
-            return Err(PandaError::DimsMismatch {
-                expected: self.dims(),
-                got: queries.dims(),
-            });
-        }
-        if parallel {
-            let per: Vec<(Vec<Neighbor>, QueryCounters)> = (0..queries.len())
-                .into_par_iter()
-                .map(|i| {
-                    let mut c = QueryCounters::default();
-                    let r = self.query_counted(queries.point(i), k, &mut c)?;
-                    Ok::<_, PandaError>((r, c))
-                })
-                .collect::<Result<_>>()?;
-            let mut counters = QueryCounters::default();
-            let mut out = Vec::with_capacity(per.len());
-            for (r, c) in per {
-                counters.add(&c);
-                out.push(r);
-            }
-            Ok((out, counters))
-        } else {
-            let mut counters = QueryCounters::default();
-            let out = (0..queries.len())
-                .map(|i| self.query_counted(queries.point(i), k, &mut counters))
-                .collect::<Result<_>>()?;
-            Ok((out, counters))
-        }
-    }
 }
 
 fn partition(ps: &PointSet, idx: &mut [u32], dim: usize, val: f32) -> usize {
@@ -490,14 +450,15 @@ mod tests {
         let ps = random_ps(2000, 3, 4);
         let qs = random_ps(100, 3, 5);
         let tree = SimpleKdTree::build(&ps, Heuristic::FlannLike).unwrap();
-        let (a, ca) = tree.query_batch(&qs, 5, false).unwrap();
-        let (b, cb) = tree.query_batch(&qs, 5, true).unwrap();
-        for (x, y) in a.iter().zip(&b) {
+        let req = QueryRequest::knn(&qs, 5);
+        let a = tree.query_session(&req, false).unwrap();
+        let b = tree.query_session(&req, true).unwrap();
+        for (x, y) in a.neighbors.iter().zip(b.neighbors.iter()) {
             let dx: Vec<f32> = x.iter().map(|n| n.dist_sq).collect();
             let dy: Vec<f32> = y.iter().map(|n| n.dist_sq).collect();
             assert_eq!(dx, dy);
         }
-        assert_eq!(ca, cb, "identical traversal counters");
+        assert_eq!(a.counters, b.counters, "identical traversal counters");
     }
 
     #[test]

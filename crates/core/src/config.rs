@@ -116,7 +116,7 @@ pub struct TreeConfig {
     pub exact_median_below: usize,
     /// RNG seed for all sampling, making construction deterministic.
     pub seed: u64,
-    /// Default execution order for `KnnIndex::query_batch`.
+    /// Default execution order for `KnnIndex::query_session`.
     pub query_order: QueryOrder,
 }
 

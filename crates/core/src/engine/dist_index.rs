@@ -14,9 +14,8 @@ use panda_comm::Comm;
 
 use crate::build_distributed::{build_distributed, DistKdTree};
 use crate::config::DistConfig;
-use crate::engine::{NnBackend, QueryRequest, QueryResponse};
+use crate::engine::{NeighborTable, NnBackend, QueryRequest, QueryResponse};
 use crate::error::Result;
-use crate::heap::Neighbor;
 use crate::point::PointSet;
 
 /// The distributed kd-tree plus this rank's communicator handle, bundled
@@ -28,6 +27,15 @@ use crate::point::PointSet;
 /// communicator lives in a `RefCell` so `query(&self, ..)` matches the
 /// object-safe trait signature; the interior borrow is taken only for
 /// the duration of one collective query round.
+///
+/// **Service-ineligible by design**: the `RefCell` (and the `&mut Comm`
+/// borrow inside it) makes `DistIndex` neither `Send` nor `Sync`, so it
+/// cannot be wrapped in the `panda_service` query service's
+/// `Arc<dyn NnBackend + Send + Sync>` — queries against a distributed
+/// index are SPMD collectives that every rank must enter in lockstep,
+/// which a free-running concurrent scheduler cannot guarantee. Serve
+/// concurrent clients from a rank-local [`crate::knn::KnnIndex`] (or
+/// any backend pinned thread-safe by `tests/thread_safety.rs`) instead.
 pub struct DistIndex<'a> {
     comm: RefCell<&'a mut Comm>,
     tree: DistKdTree,
@@ -81,8 +89,10 @@ impl<'a> DistIndex<'a> {
     }
 
     /// Distributed fixed-radius search (SPMD collective): per query,
-    /// **all** dataset points strictly within `radius`, ascending.
-    pub fn query_radius_all(&self, queries: &PointSet, radius: f32) -> Result<Vec<Vec<Neighbor>>> {
+    /// **all** dataset points strictly within `radius`, ascending, as a
+    /// flat CSR [`crate::engine::NeighborTable`] (row `i` answers
+    /// `queries.point(i)`).
+    pub fn query_radius_all(&self, queries: &PointSet, radius: f32) -> Result<NeighborTable> {
         crate::radius::radius_search_distributed(
             &mut self.comm.borrow_mut(),
             &self.tree,

@@ -62,6 +62,22 @@ pub enum PandaError {
     BadConfig(String),
     /// An I/O error (dataset persistence).
     Io(String),
+    /// A query service's bounded submission queue is full and its
+    /// overflow policy rejects rather than blocks. Retry later, raise
+    /// the queue capacity, or switch the service to the blocking policy.
+    Overloaded {
+        /// Queued query points at the time of rejection.
+        depth: usize,
+        /// Configured queue capacity (query points).
+        capacity: usize,
+    },
+    /// The query service was shut down; no further submissions are
+    /// accepted (tickets issued before shutdown still resolve).
+    ServiceStopped,
+    /// A backend panicked while executing a service batch. The service
+    /// stays up (the panic is contained to the batch); the message
+    /// carries whatever context the panic payload offered.
+    BackendPanicked(String),
 }
 
 impl fmt::Display for PandaError {
@@ -102,6 +118,17 @@ impl fmt::Display for PandaError {
             ),
             PandaError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PandaError::Io(msg) => write!(f, "i/o error: {msg}"),
+            PandaError::Overloaded { depth, capacity } => write!(
+                f,
+                "service queue overloaded ({depth} queries queued, capacity {capacity}); \
+                 retry later or raise the capacity"
+            ),
+            PandaError::ServiceStopped => {
+                write!(f, "query service was shut down; submissions are closed")
+            }
+            PandaError::BackendPanicked(msg) => {
+                write!(f, "backend panicked while executing a service batch: {msg}")
+            }
         }
     }
 }

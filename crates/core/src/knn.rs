@@ -107,55 +107,10 @@ impl KnnIndex {
         ))
     }
 
-    /// Batched queries in the index's configured [`QueryOrder`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `query_session` with a `QueryRequest` (or the `NnBackend` trait); \
-                the CSR `QueryResponse` replaces the `(Vec<Vec<Neighbor>>, QueryCounters)` tuple"
-    )]
-    pub fn query_batch(
-        &self,
-        queries: &PointSet,
-        k: usize,
-    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
-        let (table, counters) = self.batch_csr(
-            queries,
-            k,
-            f32::INFINITY,
-            self.query_order,
-            BoundMode::Exact,
-            self.parallel,
-        )?;
-        Ok((table.into_nested(), counters))
-    }
-
-    /// Batched queries with an explicit execution order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `query_session` with `QueryRequest::with_order`; \
-                the CSR `QueryResponse` replaces the `(Vec<Vec<Neighbor>>, QueryCounters)` tuple"
-    )]
-    pub fn query_batch_ordered(
-        &self,
-        queries: &PointSet,
-        k: usize,
-        order: QueryOrder,
-    ) -> Result<(Vec<Vec<Neighbor>>, QueryCounters)> {
-        let (table, counters) = self.batch_csr(
-            queries,
-            k,
-            f32::INFINITY,
-            order,
-            BoundMode::Exact,
-            self.parallel,
-        )?;
-        Ok((table.into_nested(), counters))
-    }
-
-    /// The CSR batch engine behind [`Self::query_session`] and the
-    /// deprecated tuple shims. The execution order affects locality
-    /// only: results and aggregate counters are identical for any order
-    /// (each query's traversal is independent).
+    /// The CSR batch engine behind [`Self::query_session`]. The
+    /// execution order affects locality only: results and aggregate
+    /// counters are identical for any order (each query's traversal is
+    /// independent).
     pub(crate) fn batch_csr(
         &self,
         queries: &PointSet,
@@ -349,27 +304,6 @@ mod tests {
             let b: Vec<f32> = single.iter().map(|n| n.dist_sq).collect();
             assert_eq!(a, b, "query {i}");
         }
-    }
-
-    /// The deprecated tuple shims must stay bit-for-bit equal to the CSR
-    /// session path until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_tuple_shims_match_session_path() {
-        let ps = random_ps(2000, 3, 50);
-        let queries = random_ps(120, 3, 51);
-        let idx = KnnIndex::build(&ps, &TreeConfig::default()).unwrap();
-        let (nested, c_old) = idx.query_batch(&queries, 5).unwrap();
-        let res = idx.query_session(&QueryRequest::knn(&queries, 5)).unwrap();
-        assert_eq!(res.neighbors.to_nested(), nested);
-        assert_eq!(res.counters, c_old);
-        let (ordered, _) = idx
-            .query_batch_ordered(&queries, 5, QueryOrder::Morton)
-            .unwrap();
-        let res_m = idx
-            .query_session(&QueryRequest::knn(&queries, 5).with_order(QueryOrder::Morton))
-            .unwrap();
-        assert_eq!(res_m.neighbors.to_nested(), ordered);
     }
 
     #[test]

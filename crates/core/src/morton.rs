@@ -3,7 +3,7 @@
 //! Sorting a query batch along a space-filling curve makes consecutive
 //! queries spatially adjacent, so they traverse mostly the same tree path
 //! and re-touch the same leaf buckets while those are still cached. The
-//! batch engine ([`crate::knn::KnnIndex::query_batch`]) uses this behind
+//! batch engine ([`crate::knn::KnnIndex::query_session`]) uses this behind
 //! the [`crate::config::QueryOrder::Morton`] knob; results are always
 //! scattered back to input order, so the reordering is invisible in the
 //! API — it is purely a constant-factor play.

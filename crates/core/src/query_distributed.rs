@@ -98,20 +98,6 @@ impl RemoteStats {
     }
 }
 
-/// What one rank gets back from a distributed query call.
-#[derive(Clone, Debug)]
-pub struct DistQueryResult {
-    /// `neighbors[i]` answers this rank's `queries[i]` (ascending
-    /// distance; fewer than `k` only if the whole dataset is smaller).
-    pub neighbors: Vec<Vec<Neighbor>>,
-    /// Per-phase timing (virtual seconds, this rank).
-    pub breakdown: QueryBreakdown,
-    /// Traversal work counters (this rank).
-    pub counters: QueryCounters,
-    /// Remote-traffic statistics (this rank).
-    pub remote: RemoteStats,
-}
-
 /// Charge query-side work counters to the rank's virtual clock.
 fn charge(comm: &mut Comm, c: &QueryCounters, dims: usize) {
     let cost = *comm.cost();
@@ -216,32 +202,10 @@ pub(crate) struct DistQueryCsr {
     pub(crate) remote: RemoteStats,
 }
 
-/// Distributed KNN (SPMD). Every rank passes its own `queries`; results
-/// come back in the same order. `tree` must be the product of
+/// The SPMD engine behind [`crate::engine::DistIndex`]. Every rank
+/// passes its own `queries`; results come back in the same order. `tree`
+/// must be the product of
 /// [`crate::build_distributed::build_distributed`] on the same cluster.
-#[deprecated(
-    since = "0.2.0",
-    note = "construct an `engine::DistIndex` (which owns the tree + comm handles) and drive it \
-            through `NnBackend::query` with a `QueryRequest`; the CSR `QueryResponse` replaces \
-            `DistQueryResult`"
-)]
-pub fn query_distributed(
-    comm: &mut Comm,
-    tree: &DistKdTree,
-    queries: &PointSet,
-    cfg: &QueryConfig,
-) -> Result<DistQueryResult> {
-    let res = query_distributed_impl(comm, tree, queries, cfg)?;
-    Ok(DistQueryResult {
-        neighbors: res.neighbors.into_nested(),
-        breakdown: res.breakdown,
-        counters: res.counters,
-        remote: res.remote,
-    })
-}
-
-/// The SPMD engine behind [`crate::engine::DistIndex`] and the deprecated
-/// [`query_distributed`] shim.
 pub(crate) fn query_distributed_impl(
     comm: &mut Comm,
     tree: &DistKdTree,

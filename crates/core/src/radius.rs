@@ -11,6 +11,7 @@ use panda_comm::{Comm, ReduceOp};
 
 use crate::build_distributed::DistKdTree;
 use crate::counters::QueryCounters;
+use crate::engine::NeighborTable;
 use crate::error::{PandaError, Result};
 use crate::heap::Neighbor;
 use crate::local_tree::{LocalKdTree, QueryWorkspace, TraversalEntry, NO_APPLY};
@@ -115,12 +116,18 @@ impl LocalKdTree {
 /// Distributed fixed-radius search (SPMD): every rank passes its own
 /// queries; each gets, per query, **all** dataset points strictly within
 /// `radius`, ascending by distance.
+///
+/// Results come back as a flat CSR [`NeighborTable`] (row `i` answers
+/// `queries.point(i)`), assembled in place via
+/// [`NeighborTable::with_row_counts`] + [`NeighborTable::row_mut`] —
+/// the same arena-building path as the batched and distributed KNN
+/// engines, with no nested `Vec<Vec<Neighbor>>` intermediate.
 pub fn radius_search_distributed(
     comm: &mut Comm,
     tree: &DistKdTree,
     queries: &PointSet,
     radius: f32,
-) -> Result<Vec<Vec<Neighbor>>> {
+) -> Result<NeighborTable> {
     if radius.is_nan() || radius <= 0.0 {
         return Err(PandaError::BadConfig("radius must be positive".into()));
     }
@@ -182,19 +189,30 @@ pub fn radius_search_distributed(
     let meta_in = comm.world().alltoallv(meta_sends);
     let dist_in = comm.world().alltoallv(dist_sends);
 
-    // Assemble per local query.
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+    // Assemble CSR in place: count each local query's hits across all
+    // response streams, allocate the table once, then write every hit
+    // directly into its final row.
+    let mut row_counts = vec![0u32; queries.len()];
+    for meta in &meta_in {
+        for pair in meta.chunks_exact(2) {
+            row_counts[(pair[0] & 0xFFFF_FFFF) as usize] += 1;
+        }
+    }
+    let mut table = NeighborTable::with_row_counts(&row_counts)?;
+    let mut written = vec![0u32; queries.len()];
     for (meta, dists) in meta_in.iter().zip(&dist_in) {
         for (pair, &d) in meta.chunks_exact(2).zip(dists) {
             let idx = (pair[0] & 0xFFFF_FFFF) as usize;
-            results[idx].push(Neighbor {
+            table.row_mut(idx)[written[idx] as usize] = Neighbor {
                 dist_sq: d,
                 id: pair[1],
-            });
+            };
+            written[idx] += 1;
         }
     }
-    for r in &mut results {
-        r.sort_by(|a, b| {
+    debug_assert_eq!(written, row_counts);
+    for i in 0..queries.len() {
+        table.row_mut(i).sort_by(|a, b| {
             a.dist_sq
                 .partial_cmp(&b.dist_sq)
                 .expect("finite")
@@ -203,7 +221,7 @@ pub fn radius_search_distributed(
     }
     // sanity: total candidate volume is globally conserved
     let _total = comm.world().allreduce_u64(counters.heap_ops, ReduceOp::Sum);
-    Ok(results)
+    Ok(table)
 }
 
 #[cfg(test)]
@@ -278,11 +296,15 @@ mod tests {
                 myq.push(queries.point(i), queries.id(i));
             }
             let res = radius_search_distributed(comm, &tree, &myq, radius).unwrap();
+            assert_eq!(res.len(), myq.len());
             (0..myq.len())
                 .map(|i| {
                     (
                         myq.point(i).to_vec(),
-                        res[i].iter().map(|n| (n.dist_sq, n.id)).collect::<Vec<_>>(),
+                        res.row(i)
+                            .iter()
+                            .map(|n| (n.dist_sq, n.id))
+                            .collect::<Vec<_>>(),
                     )
                 })
                 .collect::<Vec<_>>()
@@ -313,6 +335,6 @@ mod tests {
             };
             radius_search_distributed(comm, &tree, &myq, 0.5).unwrap()
         });
-        assert!(out[0].result[0].is_empty());
+        assert!(out[0].result.row(0).is_empty());
     }
 }

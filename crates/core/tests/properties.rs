@@ -212,11 +212,10 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 
     /// CSR `NeighborTable` structural invariants, and bit-for-bit
-    /// agreement between the session path and the deprecated
-    /// `Vec<Vec<Neighbor>>` tuple path, for arbitrary data, k, radius,
-    /// and parallelism.
+    /// agreement between the batched session path and the single-query
+    /// reference path, for arbitrary data, k, radius, and parallelism.
     #[test]
-    fn csr_table_matches_deprecated_nested_path(
+    fn csr_table_matches_single_query_path(
         ps in lattice_points(250, 4),
         k in 1usize..10,
         radius in proptest::option::of(0.1f32..4.0),
@@ -253,13 +252,13 @@ proptest! {
             NeighborTable::from_parts(offs.to_vec(), table.arena().to_vec()).is_ok()
         );
 
-        // --- bit-for-bit vs the deprecated tuple path ----------------
+        // --- bit-for-bit vs the single-query reference path ----------
         if radius.is_none() {
-            #[allow(deprecated)]
-            let (nested, c_old) = idx.query_batch(&queries, k).unwrap();
-            prop_assert_eq!(table.to_nested(), nested.clone(), "CSR rows == nested rows");
-            prop_assert_eq!(&res.counters, &c_old, "identical traversal work");
-            // per-row slice accessors agree with the nested rows
+            let nested: Vec<Vec<Neighbor>> = (0..queries.len())
+                .map(|i| idx.query(queries.point(i), k).unwrap())
+                .collect();
+            prop_assert_eq!(table.to_nested(), nested.clone(), "CSR rows == single-query rows");
+            // per-row slice accessors agree with the reference rows
             for (i, row) in nested.iter().enumerate() {
                 prop_assert_eq!(table.row(i), row.as_slice());
                 prop_assert_eq!(table.get(i).unwrap(), row.as_slice());

@@ -1,0 +1,84 @@
+//! # `panda_service` — concurrent query serving with dynamic micro-batching
+//!
+//! PANDA's throughput comes from **batching**: queries executed together
+//! share tree paths and cached leaves (the Morton-ordered batch engine),
+//! and per-call dispatch overhead amortizes across the batch. But a
+//! process serving many independent clients sees queries one at a time —
+//! calling [`NnBackend::query`](panda_core::engine::NnBackend) per
+//! client forfeits all of it.
+//!
+//! This crate closes that gap with an in-process service:
+//!
+//! * [`QueryService::new`] wraps any thread-safe backend
+//!   (`Arc<dyn NnBackend + Send + Sync>`) and starts one scheduler
+//!   thread;
+//! * clients clone a cheap [`ServiceHandle`] and call
+//!   [`ServiceHandle::submit`], which enqueues the request and returns a
+//!   [`Ticket`] immediately;
+//! * the scheduler **coalesces** the queue into micro-batches — flushed
+//!   as soon as [`ServiceConfig::max_batch`] query points accumulate
+//!   *or* the oldest submission has waited
+//!   [`ServiceConfig::max_delay`] — Morton-orders each batch, and
+//!   executes it on the persistent worker pool behind the engine's
+//!   parallel path;
+//! * each [`Ticket`] resolves to a [`TicketReply`]: a **zero-copy**
+//!   row-slice into the shared batch response (`Arc`ed CSR
+//!   `NeighborTable`), so scatter-back copies no neighbors;
+//! * the submission queue is **bounded** ([`ServiceConfig::queue_capacity`]);
+//!   beyond it `submit` blocks or fails fast with
+//!   [`PandaError::Overloaded`](panda_core::PandaError::Overloaded)
+//!   ([`OverflowPolicy`]);
+//! * [`QueryService::drain`] flushes everything outstanding,
+//!   [`QueryService::shutdown`] additionally stops intake and joins the
+//!   scheduler, and [`QueryService::stats`] surfaces queue depth, a
+//!   batch-size histogram, and p50/p99 submit→resolve latency
+//!   ([`ServiceStats`]).
+//!
+//! Exactness is untouched: coalescing and Morton ordering are locality
+//! plays — every client gets bit-identical neighbors to a direct
+//! `query_session` call (pinned by `tests/service_parity.rs`).
+//!
+//! Distributed backends (`DistIndex`, `LocalTreesBackend`) are
+//! **service-ineligible**: their queries are SPMD collectives entered by
+//! every rank in lockstep, and their `RefCell`-held communicators make
+//! them deliberately `!Sync`, which the `Send + Sync` bound rejects at
+//! compile time. Serve each rank's local tree instead.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use panda_core::engine::QueryRequest;
+//! use panda_core::knn::KnnIndex;
+//! use panda_core::{PointSet, TreeConfig};
+//! use panda_service::{QueryService, ServiceConfig};
+//!
+//! let points = PointSet::from_coords(1, vec![0.0, 1.0, 2.0, 10.0])?;
+//! let index = Arc::new(KnnIndex::build(&points, &TreeConfig::default())?);
+//! let service = QueryService::new(index, ServiceConfig::default())?;
+//!
+//! // clients submit concurrently through cheap clonable handles
+//! let handle = service.handle();
+//! let worker = std::thread::spawn(move || {
+//!     let q = PointSet::from_coords(1, vec![1.2]).unwrap();
+//!     let ticket = handle.submit(&QueryRequest::knn(&q, 2)).unwrap();
+//!     let reply = ticket.wait().unwrap();
+//!     reply.row(0)[0].id // nearest to 1.2 is x = 1.0 → id 1
+//! });
+//! assert_eq!(worker.join().unwrap(), 1);
+//!
+//! let stats = service.stats();
+//! assert_eq!(stats.queries, 1);
+//! service.shutdown(); // graceful: flushes, resolves, joins
+//! # Ok::<(), panda_core::PandaError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod metrics;
+mod service;
+mod ticket;
+
+pub use config::{OverflowPolicy, ServiceConfig};
+pub use metrics::{ServiceStats, BATCH_BUCKETS, LATENCY_BUCKETS};
+pub use service::{QueryService, ServiceHandle};
+pub use ticket::{Ticket, TicketReply};

@@ -1,0 +1,227 @@
+//! Service observability: lock-free counters, a batch-size histogram,
+//! and a latency histogram with quantile readout — surfaced as a
+//! [`ServiceStats`] snapshot the way distributed responses surface
+//! `QueryBreakdown`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Power-of-two batch-size buckets: bucket `i` counts batches of
+/// `2^i ..= 2^(i+1) - 1` query points (bucket 0 is size 1).
+pub const BATCH_BUCKETS: usize = 21;
+
+/// Power-of-two latency buckets: bucket `i` counts requests that
+/// resolved in `2^i ..= 2^(i+1) - 1` nanoseconds (~36 minutes tops).
+pub const LATENCY_BUCKETS: usize = 41;
+
+#[inline]
+fn pow2_bucket(v: u64, buckets: usize) -> usize {
+    ((64 - v.max(1).leading_zeros() as usize) - 1).min(buckets - 1)
+}
+
+/// Live atomic counters updated by submitters and the scheduler.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub submitted: AtomicU64,
+    pub queries: AtomicU64,
+    pub rejected: AtomicU64,
+    pub batches: AtomicU64,
+    pub queue_depth: AtomicUsize,
+    pub max_queue_depth: AtomicUsize,
+    pub batch_hist: [AtomicU64; BATCH_BUCKETS],
+    pub latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    pub latency_sum_ns: AtomicU64,
+}
+
+impl Default for Metrics {
+    // arrays beyond 32 entries have no derived `Default`
+    fn default() -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    pub(crate) fn record_batch(&self, queries: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_hist[pow2_bucket(queries as u64, BATCH_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, waited: Duration) {
+        let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.latency_hist[pow2_bucket(ns, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Track the current queued query-point count; remembers the high
+    /// water mark.
+    pub(crate) fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
+            latency_hist: std::array::from_fn(|i| self.latency_hist[i].load(Ordering::Relaxed)),
+            latency_sum_seconds: self.latency_sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
+
+/// Point-in-time snapshot of a service's counters (cheap to take; the
+/// live counters are relaxed atomics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceStats {
+    /// Accepted `submit` calls.
+    pub submitted: u64,
+    /// Query points accepted across all submissions.
+    pub queries: u64,
+    /// Submissions rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Micro-batches dispatched to the backend.
+    pub batches: u64,
+    /// Query points queued at snapshot time.
+    pub queue_depth: usize,
+    /// Largest queued query-point count ever observed.
+    pub max_queue_depth: usize,
+    /// Batch-size histogram: bucket `i` counts batches of
+    /// `2^i ..= 2^(i+1) - 1` query points.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Request-latency histogram (submit → ticket resolved): bucket `i`
+    /// counts requests in `2^i ..= 2^(i+1) - 1` nanoseconds.
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Sum of all request latencies, for means.
+    pub latency_sum_seconds: f64,
+}
+
+impl ServiceStats {
+    /// Requests resolved so far (latency histogram total).
+    pub fn resolved(&self) -> u64 {
+        self.latency_hist.iter().sum()
+    }
+
+    /// Mean query points per dispatched batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean submit→resolve latency in seconds.
+    pub fn mean_latency_seconds(&self) -> f64 {
+        let n = self.resolved();
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum_seconds / n as f64
+        }
+    }
+
+    /// Latency quantile in seconds (`q` in `[0, 1]`), reported as the
+    /// upper edge of the histogram bucket containing the quantile —
+    /// conservative to within the 2× bucket resolution.
+    pub fn latency_quantile_seconds(&self, q: f64) -> f64 {
+        let total = self.resolved();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &count) in self.latency_hist.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                return ((1u64 << (i + 1)) - 1) as f64 * 1e-9;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Median submit→resolve latency (seconds, bucket-resolution).
+    pub fn p50_latency_seconds(&self) -> f64 {
+        self.latency_quantile_seconds(0.50)
+    }
+
+    /// 99th-percentile submit→resolve latency (seconds,
+    /// bucket-resolution).
+    pub fn p99_latency_seconds(&self) -> f64 {
+        self.latency_quantile_seconds(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_buckets_cover_the_range() {
+        assert_eq!(pow2_bucket(0, 8), 0);
+        assert_eq!(pow2_bucket(1, 8), 0);
+        assert_eq!(pow2_bucket(2, 8), 1);
+        assert_eq!(pow2_bucket(3, 8), 1);
+        assert_eq!(pow2_bucket(4, 8), 2);
+        assert_eq!(pow2_bucket(u64::MAX, 8), 7, "clamped to the last bucket");
+    }
+
+    #[test]
+    fn batch_and_latency_metrics_accumulate() {
+        let m = Metrics::default();
+        m.record_batch(1);
+        m.record_batch(64);
+        m.record_batch(65);
+        m.record_latency(Duration::from_micros(10));
+        m.record_latency(Duration::from_micros(10));
+        m.record_latency(Duration::from_millis(5));
+        m.set_queue_depth(7);
+        m.set_queue_depth(3);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batch_hist[0], 1); // size 1
+        assert_eq!(s.batch_hist[6], 2); // sizes 64..=127
+        assert_eq!(s.resolved(), 3);
+        assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.max_queue_depth, 7);
+        assert!(s.mean_latency_seconds() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_bucket_edges() {
+        let m = Metrics::default();
+        for _ in 0..99 {
+            m.record_latency(Duration::from_nanos(1000)); // bucket 9 (512..1023)
+        }
+        m.record_latency(Duration::from_nanos(1 << 20));
+        let s = m.snapshot();
+        let p50 = s.p50_latency_seconds();
+        // upper edge of the 1000ns bucket: 2^10 - 1 ns
+        assert!((p50 - 1023e-9).abs() < 1e-12, "p50={p50}");
+        let p99 = s.p99_latency_seconds();
+        assert!(
+            (p99 - 1023e-9).abs() < 1e-12,
+            "p99 stays in the fast bucket"
+        );
+        assert!(
+            s.latency_quantile_seconds(1.0) >= 1e-3,
+            "max sees the slow one"
+        );
+        // empty histogram
+        assert_eq!(Metrics::default().snapshot().p99_latency_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,482 @@
+//! The service proper: bounded submission queue, scheduler thread,
+//! micro-batch assembly, and zero-copy scatter-back.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use panda_core::engine::{NnBackend, QueryRequest, QueryResponse};
+use panda_core::{BoundMode, NeighborTable, PandaError, PointSet, QueryCounters, Result};
+
+use crate::config::{OverflowPolicy, ServiceConfig};
+use crate::metrics::{Metrics, ServiceStats};
+use crate::ticket::{Ticket, TicketReply, TicketShared, WakeHub};
+
+/// Requests can only be coalesced into one engine batch when they agree
+/// on everything that changes answers: `k`, the radius limit, and the
+/// traversal bound mode. Submissions with distinct keys flush as
+/// separate batches of the same drain cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BatchKey {
+    k: usize,
+    radius_bits: Option<u32>,
+    bound_mode: BoundMode,
+}
+
+/// One queued submission: owned coordinates plus the ticket to resolve.
+struct Pending {
+    coords: Vec<f32>,
+    n_queries: usize,
+    key: BatchKey,
+    ticket: Arc<TicketShared>,
+    enqueued_at: Instant,
+}
+
+/// Queue state guarded by the service mutex.
+struct QueueState {
+    pending: Vec<Pending>,
+    /// Total query points across `pending`.
+    queued_queries: usize,
+    /// Submissions taken by the scheduler but not yet resolved.
+    in_flight: usize,
+    /// Drain callers currently waiting (forces immediate flushes).
+    drain_waiters: usize,
+    stopped: bool,
+}
+
+struct ServiceInner {
+    backend: Arc<dyn NnBackend + Send + Sync>,
+    cfg: ServiceConfig,
+    dims: usize,
+    state: Mutex<QueueState>,
+    /// Scheduler wake-up: new work, a drain, or shutdown.
+    not_empty: Condvar,
+    /// Blocked submitters wake-up: queue space freed (or shutdown).
+    space: Condvar,
+    /// Drain wake-up: queue empty and nothing in flight.
+    idle: Condvar,
+    /// Ticket wake-up: one broadcast per resolved micro-batch.
+    wake: Arc<WakeHub>,
+    metrics: Metrics,
+}
+
+impl ServiceInner {
+    fn submit(&self, req: &QueryRequest<'_>) -> Result<Ticket> {
+        req.validate()?;
+        let queries = req.queries();
+        if queries.dims() != self.dims {
+            return Err(PandaError::DimsMismatch {
+                expected: self.dims,
+                got: queries.dims(),
+            });
+        }
+        let n = queries.len();
+        if n == 0 {
+            // Nothing to schedule: resolve immediately with an empty
+            // slice of an empty response.
+            self.metrics
+                .submitted
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let empty = Arc::new(QueryResponse::local(
+                NeighborTable::new(),
+                QueryCounters::default(),
+                0.0,
+            ));
+            return Ok(Ticket {
+                shared: TicketShared::resolved(
+                    Arc::clone(&self.wake),
+                    Ok(TicketReply::new(empty, 0, 0)),
+                ),
+            });
+        }
+        if n > self.cfg.queue_capacity {
+            return Err(PandaError::BadConfig(format!(
+                "one submission of {n} queries exceeds the queue capacity {}; \
+                 split it or raise the capacity",
+                self.cfg.queue_capacity
+            )));
+        }
+        let key = BatchKey {
+            k: req.k(),
+            radius_bits: req.radius().map(f32::to_bits),
+            bound_mode: req.bound_mode(),
+        };
+        let ticket = TicketShared::pending(Arc::clone(&self.wake));
+        // Stamped before any capacity wait, so the latency histogram
+        // reflects what the client observed — including time parked on
+        // a full queue under the Block policy.
+        let enqueued_at = Instant::now();
+        // Copied outside the state lock: the memcpy of a large
+        // submission must not serialize other submitters/the scheduler.
+        let coords = queries.coords().to_vec();
+        let wake_scheduler;
+        {
+            let mut st = self.state.lock().expect("service state");
+            loop {
+                if st.stopped {
+                    return Err(PandaError::ServiceStopped);
+                }
+                if st.queued_queries + n <= self.cfg.queue_capacity {
+                    break;
+                }
+                match self.cfg.overflow {
+                    OverflowPolicy::Reject => {
+                        self.metrics
+                            .rejected
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Err(PandaError::Overloaded {
+                            depth: st.queued_queries,
+                            capacity: self.cfg.queue_capacity,
+                        });
+                    }
+                    OverflowPolicy::Block => {
+                        st = self.space.wait(st).expect("space wait");
+                    }
+                }
+            }
+            st.pending.push(Pending {
+                coords,
+                n_queries: n,
+                key,
+                ticket: Arc::clone(&ticket),
+                enqueued_at,
+            });
+            st.queued_queries += n;
+            self.metrics
+                .submitted
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics
+                .queries
+                .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.set_queue_depth(st.queued_queries);
+            // Wake the scheduler only when this submission changes what
+            // it is waiting for: the queue just became non-empty (a new
+            // deadline exists) or the size trigger fired. Intermediate
+            // submissions leave the deadline untouched — waking the
+            // scheduler for each one is a context-switch per request.
+            wake_scheduler = st.pending.len() == 1 || st.queued_queries >= self.cfg.max_batch;
+        }
+        if wake_scheduler {
+            self.not_empty.notify_one();
+        }
+        Ok(Ticket { shared: ticket })
+    }
+
+    /// Block until every queued and in-flight submission has resolved.
+    fn drain(&self) {
+        let mut st = self.state.lock().expect("service state");
+        if st.pending.is_empty() && st.in_flight == 0 {
+            return;
+        }
+        st.drain_waiters += 1;
+        self.not_empty.notify_one();
+        while !(st.pending.is_empty() && st.in_flight == 0) {
+            st = self.idle.wait(st).expect("idle wait");
+        }
+        st.drain_waiters -= 1;
+    }
+
+    fn stop(&self) {
+        let mut st = self.state.lock().expect("service state");
+        st.stopped = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Resolve one submission and record its end-to-end latency. The
+    /// waiter is *not* woken here — [`Self::execute`] broadcasts once
+    /// per drain cycle.
+    fn resolve(&self, pending: Pending, result: Result<TicketReply>) {
+        self.metrics.record_latency(pending.enqueued_at.elapsed());
+        pending.ticket.resolve(result);
+    }
+
+    /// Group one drained queue by [`BatchKey`] (stable order) and run
+    /// each group as a single coalesced engine batch. Each group's
+    /// clients are woken with one broadcast as soon as *their* group
+    /// resolves — a fast group must not sleep through a slow group's
+    /// backend execution.
+    fn execute(&self, taken: Vec<Pending>) {
+        let mut groups: Vec<(BatchKey, Vec<Pending>)> = Vec::new();
+        for p in taken {
+            match groups.iter_mut().find(|(k, _)| *k == p.key) {
+                Some((_, members)) => members.push(p),
+                None => groups.push((p.key, vec![p])),
+            }
+        }
+        for (key, members) in groups {
+            self.execute_group(key, members);
+            self.wake.wake_all();
+        }
+    }
+
+    fn execute_group(&self, key: BatchKey, members: Vec<Pending>) {
+        let total: usize = members.iter().map(|m| m.n_queries).sum();
+        let mut coords = Vec::with_capacity(total * self.dims);
+        for m in &members {
+            coords.extend_from_slice(&m.coords);
+        }
+        let points = match PointSet::from_coords(self.dims, coords) {
+            Ok(p) => p,
+            Err(e) => {
+                for m in members {
+                    self.resolve(m, Err(e.clone()));
+                }
+                return;
+            }
+        };
+        let mut req = QueryRequest::knn(&points, key.k)
+            .with_order(self.cfg.order)
+            .with_bound_mode(key.bound_mode);
+        if let Some(bits) = key.radius_bits {
+            req = req.with_radius(f32::from_bits(bits));
+        }
+        if let Some(parallel) = self.cfg.parallel {
+            req = req.with_parallel(parallel);
+        }
+        self.metrics.record_batch(total);
+        // A panicking backend must not strand tickets in Pending —
+        // clients blocked in `wait` would hang forever. Catch, resolve
+        // everyone with an error, and let the scheduler keep serving.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| self.backend.query(&req)));
+        match outcome {
+            Ok(Ok(response)) => {
+                let shared = Arc::new(response);
+                let mut row = 0u32;
+                for m in members {
+                    let n = m.n_queries as u32;
+                    let reply = TicketReply::new(Arc::clone(&shared), row, n);
+                    row += n;
+                    self.resolve(m, Ok(reply));
+                }
+            }
+            Ok(Err(e)) => {
+                for m in members {
+                    self.resolve(m, Err(e.clone()));
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                for m in members {
+                    self.resolve(m, Err(PandaError::BackendPanicked(msg.clone())));
+                }
+            }
+        }
+    }
+}
+
+fn scheduler_loop(inner: &ServiceInner) {
+    loop {
+        let taken: Vec<Pending>;
+        {
+            let mut st = inner.state.lock().expect("service state");
+            loop {
+                if st.pending.is_empty() {
+                    if st.stopped {
+                        return;
+                    }
+                    st = inner.not_empty.wait(st).expect("scheduler wait");
+                    continue;
+                }
+                // Flush triggers: size, shutdown/drain pressure, or the
+                // oldest submission's deadline.
+                if st.stopped || st.drain_waiters > 0 || st.queued_queries >= inner.cfg.max_batch {
+                    break;
+                }
+                let waited = st.pending[0].enqueued_at.elapsed();
+                if waited >= inner.cfg.max_delay {
+                    break;
+                }
+                let remaining = inner.cfg.max_delay - waited;
+                let (guard, _timeout) = inner
+                    .not_empty
+                    .wait_timeout(st, remaining)
+                    .expect("scheduler wait");
+                st = guard;
+            }
+            // `max_batch` is a cap as well as a trigger: dispatch whole
+            // submissions until the next one would overflow it (always
+            // at least one, so an oversized multi-query submission still
+            // flows). Anything left stays queued — its head is already
+            // past its deadline, so the next cycle flushes immediately.
+            let mut take_n = 0usize;
+            let mut take_q = 0usize;
+            for p in &st.pending {
+                if take_n > 0 && take_q + p.n_queries > inner.cfg.max_batch {
+                    break;
+                }
+                take_q += p.n_queries;
+                take_n += 1;
+            }
+            taken = st.pending.drain(..take_n).collect();
+            st.queued_queries -= take_q;
+            st.in_flight += take_n;
+            inner.metrics.set_queue_depth(st.queued_queries);
+        }
+        // Queue space freed: wake any blocked submitters before the
+        // (possibly long) batch execution.
+        inner.space.notify_all();
+        let n_taken = taken.len();
+        inner.execute(taken);
+        {
+            let mut st = inner.state.lock().expect("service state");
+            st.in_flight -= n_taken;
+            if st.in_flight == 0 && st.pending.is_empty() {
+                inner.idle.notify_all();
+            }
+        }
+    }
+}
+
+/// A cheap clonable submission handle onto a [`QueryService`].
+///
+/// Handles share the service's queue and scheduler; clone one per
+/// client thread. Handles do not keep the service alive — once the
+/// owning [`QueryService`] is shut down (or dropped), `submit` returns
+/// [`PandaError::ServiceStopped`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<ServiceInner>,
+}
+
+impl ServiceHandle {
+    /// Queue a batch of queries described by `req`; returns immediately
+    /// with a [`Ticket`] unless the bounded queue is full (then the
+    /// configured [`OverflowPolicy`] applies). The request's `k`,
+    /// radius, and bound mode are honored; its order/parallel knobs are
+    /// service-level configuration and are ignored here.
+    pub fn submit(&self, req: &QueryRequest<'_>) -> Result<Ticket> {
+        self.inner.submit(req)
+    }
+
+    /// Snapshot the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.metrics.snapshot()
+    }
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("backend", &self.inner.backend.name())
+            .finish()
+    }
+}
+
+/// An in-process concurrent query service over one thread-safe
+/// [`NnBackend`].
+///
+/// See the crate docs for the execution model; in short: `submit`
+/// enqueues, a dedicated scheduler coalesces the queue into
+/// Morton-ordered micro-batches (flushing on size *or* deadline),
+/// batches execute on the persistent worker pool, and each client's
+/// ticket resolves to a zero-copy slice of the shared batch response.
+pub struct QueryService {
+    inner: Arc<ServiceInner>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Start a service over `backend`. Validates `cfg` and spawns the
+    /// scheduler thread.
+    pub fn new(backend: Arc<dyn NnBackend + Send + Sync>, cfg: ServiceConfig) -> Result<Self> {
+        cfg.validate()?;
+        let dims = backend.dims();
+        let inner = Arc::new(ServiceInner {
+            backend,
+            cfg,
+            dims,
+            state: Mutex::new(QueueState {
+                pending: Vec::new(),
+                queued_queries: 0,
+                in_flight: 0,
+                drain_waiters: 0,
+                stopped: false,
+            }),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            idle: Condvar::new(),
+            wake: WakeHub::new(),
+            metrics: Metrics::default(),
+        });
+        let scheduler = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("panda-service".into())
+                .spawn(move || scheduler_loop(&inner))
+                .map_err(|e| PandaError::BadConfig(format!("spawn scheduler: {e}")))?
+        };
+        Ok(Self {
+            inner,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// A clonable submission handle (one per client thread).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Submit directly on the service (same as going through a handle).
+    pub fn submit(&self, req: &QueryRequest<'_>) -> Result<Ticket> {
+        self.inner.submit(req)
+    }
+
+    /// Block until every queued and in-flight submission has resolved
+    /// (their tickets are ready). New submissions remain welcome; this
+    /// only flushes what was accepted before and during the call.
+    pub fn drain(&self) {
+        self.inner.drain();
+    }
+
+    /// Snapshot the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.metrics.snapshot()
+    }
+
+    /// The backend's stable name (e.g. `"panda-local"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend.name()
+    }
+
+    /// Graceful shutdown: stop accepting submissions, flush everything
+    /// already queued (all outstanding tickets resolve), and join the
+    /// scheduler thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inner.stop();
+        if let Some(handle) = self.scheduler.take() {
+            // A scheduler panic has already resolved or abandoned its
+            // tickets; nothing useful to do beyond not propagating.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for QueryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock().expect("service state");
+        f.debug_struct("QueryService")
+            .field("backend", &self.inner.backend.name())
+            .field("queued_queries", &st.queued_queries)
+            .field("in_flight", &st.in_flight)
+            .field("stopped", &st.stopped)
+            .finish()
+    }
+}

@@ -1,0 +1,201 @@
+//! Tickets: the future-like handle a client holds between `submit` and
+//! the scheduler resolving its micro-batch.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use panda_core::engine::QueryResponse;
+use panda_core::{Neighbor, Result};
+
+/// A client's view of its slice of a coalesced batch response.
+///
+/// The neighbor storage is the **shared** batch
+/// [`QueryResponse`] behind an `Arc` — `row` hands out slices into the
+/// one CSR arena the engine produced, so scattering a batch back to its
+/// clients copies no [`Neighbor`] at all.
+#[derive(Clone, Debug)]
+pub struct TicketReply {
+    response: Arc<QueryResponse>,
+    start: u32,
+    len: u32,
+}
+
+impl TicketReply {
+    pub(crate) fn new(response: Arc<QueryResponse>, start: u32, len: u32) -> Self {
+        Self {
+            response,
+            start,
+            len,
+        }
+    }
+
+    /// Number of queries this submission asked (and rows it owns).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the submission had no queries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Neighbors of this submission's query `i` (ascending distance) —
+    /// a zero-copy slice into the shared batch arena. Panics when `i >=
+    /// len()`.
+    pub fn row(&self, i: usize) -> &[Neighbor] {
+        assert!(i < self.len(), "reply row {i} out of {}", self.len());
+        self.response.neighbors.row(self.start as usize + i)
+    }
+
+    /// Iterate this submission's rows in submission order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Neighbor]> + '_ {
+        (0..self.len()).map(|i| self.row(i))
+    }
+
+    /// This submission's row range inside the shared batch response.
+    pub fn rows(&self) -> Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+
+    /// The whole coalesced batch response this reply slices into
+    /// (counters and timings there are **batch-wide**, shared by every
+    /// client coalesced into it).
+    pub fn response(&self) -> &QueryResponse {
+        &self.response
+    }
+}
+
+/// One wake-up channel per service, shared by every ticket.
+///
+/// Resolving a micro-batch of `n` submissions stores `n` results and
+/// then broadcasts **once** — one `notify_all` instead of `n` per-ticket
+/// notifies, so the scheduler's hand-back costs O(1) syscalls per batch
+/// rather than one per client. Waiters from a batch that has not
+/// resolved yet observe a spurious wake, recheck their `done` flag, and
+/// sleep again.
+pub(crate) struct WakeHub {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl WakeHub {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Broadcast to every waiting ticket of this service. Must be
+    /// called after the `done` flags it is announcing are stored (the
+    /// flag stores happen-before this lock acquisition, and waiters
+    /// check the flag under the same lock — no lost wake-ups).
+    pub(crate) fn wake_all(&self) {
+        let _guard = self.lock.lock().expect("wake hub");
+        self.cv.notify_all();
+    }
+}
+
+pub(crate) struct TicketShared {
+    /// Set (release) after `result` is stored; checked by waiters.
+    done: AtomicBool,
+    result: Mutex<Option<Result<TicketReply>>>,
+    wake: Arc<WakeHub>,
+}
+
+impl TicketShared {
+    pub(crate) fn pending(wake: Arc<WakeHub>) -> Arc<Self> {
+        Arc::new(Self {
+            done: AtomicBool::new(false),
+            result: Mutex::new(None),
+            wake,
+        })
+    }
+
+    pub(crate) fn resolved(wake: Arc<WakeHub>, result: Result<TicketReply>) -> Arc<Self> {
+        Arc::new(Self {
+            done: AtomicBool::new(true),
+            result: Mutex::new(Some(result)),
+            wake,
+        })
+    }
+
+    /// Store the outcome. Does **not** wake the waiter — the scheduler
+    /// resolves the whole batch and then broadcasts once through the
+    /// [`WakeHub`].
+    pub(crate) fn resolve(&self, result: Result<TicketReply>) {
+        let mut slot = self.result.lock().expect("ticket result");
+        debug_assert!(slot.is_none(), "double resolve");
+        *slot = Some(result);
+        drop(slot);
+        self.done.store(true, Ordering::Release);
+    }
+
+    fn take(&self) -> Result<TicketReply> {
+        self.result
+            .lock()
+            .expect("ticket result")
+            .take()
+            .expect("resolved ticket has a result")
+    }
+}
+
+/// The pending side of one `submit` call. Resolved exactly once by the
+/// service scheduler; consumed by [`Ticket::wait`].
+pub struct Ticket {
+    pub(crate) shared: Arc<TicketShared>,
+}
+
+impl Ticket {
+    /// Block until the micro-batch containing this submission has been
+    /// executed, then return this client's slice of it.
+    pub fn wait(self) -> Result<TicketReply> {
+        if !self.shared.done.load(Ordering::Acquire) {
+            let hub = Arc::clone(&self.shared.wake);
+            let mut guard = hub.lock.lock().expect("wake hub");
+            while !self.shared.done.load(Ordering::Acquire) {
+                guard = hub.cv.wait(guard).expect("ticket wait");
+            }
+        }
+        self.shared.take()
+    }
+
+    /// Like [`Self::wait`] but give up after `timeout`; `Err(self)`
+    /// hands the ticket back so the caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> std::result::Result<Result<TicketReply>, Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        if !self.shared.done.load(Ordering::Acquire) {
+            let hub = Arc::clone(&self.shared.wake);
+            let mut guard = hub.lock.lock().expect("wake hub");
+            while !self.shared.done.load(Ordering::Acquire) {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    drop(guard);
+                    return Err(self);
+                }
+                let (g, _) = hub
+                    .cv
+                    .wait_timeout(guard, deadline - now)
+                    .expect("ticket wait");
+                guard = g;
+            }
+        }
+        Ok(self.shared.take())
+    }
+
+    /// True once the scheduler has resolved this ticket ([`Self::wait`]
+    /// will not block).
+    pub fn is_ready(&self) -> bool {
+        self.shared.done.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}

@@ -3,7 +3,7 @@
 //! The build environment has no network access, so this crate provides the
 //! exact parallel-iterator subset the workspace uses — `into_par_iter` /
 //! `par_iter`, `map`, `fold`, `zip`, `with_min_len`, `collect` — executed
-//! on real OS threads via `std::thread::scope`. Semantics mirror rayon
+//! on a persistent pool of real OS threads. Semantics mirror rayon
 //! where the workspace depends on them:
 //!
 //! * `fold` produces one accumulator per contiguous chunk, chunks are in
@@ -14,22 +14,23 @@
 //! * `collect::<Result<_, E>>()` short-circuits on the first error by
 //!   index order, like sequential `collect`.
 //!
-//! Unlike rayon there is no work-stealing pool: each parallel call spawns
-//! scoped threads over even chunks. `RAYON_NUM_THREADS` is honored.
+//! Parallel calls execute on one **persistent worker pool** (the
+//! [`ThreadPool`] in [`pool`], with a process-global registry honoring
+//! `RAYON_NUM_THREADS`) instead of spawning scoped threads per call —
+//! dispatch onto even chunks costs a queue push, not a thread spawn/join
+//! round trip. The calling thread runs one chunk itself and helps drain
+//! the queue while waiting, so nesting cannot deadlock.
 
 use std::ops::Range;
 
-/// Number of worker threads a parallel call fans out to.
+pub mod pool;
+
+pub use pool::{global_pool, ThreadPool};
+
+/// Number of worker lanes a parallel call fans out to (the global
+/// pool's size, fixed at first use from `RAYON_NUM_THREADS`).
 pub fn current_num_threads() -> usize {
-    match std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    global_pool().num_threads()
 }
 
 /// Re-exports that mirror `rayon::prelude`.
@@ -243,9 +244,9 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
 }
 
 /// Split a [`Source`] into at most `current_num_threads()` contiguous
-/// chunks of at least `min_len` items and run `work` on each chunk on its
-/// own scoped thread; chunk outputs are returned in index order. Range
-/// sources hand each worker a lazy subrange iterator.
+/// chunks of at least `min_len` items and run `work` on each chunk on
+/// the persistent global pool; chunk outputs are returned in index
+/// order. Range sources hand each worker a lazy subrange iterator.
 fn run_chunks<T: Send, U: Send>(
     source: Source<T>,
     min_len: usize,
@@ -255,7 +256,8 @@ fn run_chunks<T: Send, U: Send>(
     if n == 0 {
         return Vec::new();
     }
-    let threads = current_num_threads().max(1);
+    let pool = global_pool();
+    let threads = pool.num_threads().max(1);
     let chunk = n.div_ceil(threads).max(min_len.max(1));
     let mut chunks = source.split(chunk);
     if chunks.len() == 1 {
@@ -263,16 +265,21 @@ fn run_chunks<T: Send, U: Send>(
         return vec![work(c.into_items_iter())];
     }
     let work = &work;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || work(c.into_items_iter())))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
+    let mut results: Vec<Option<U>> = std::iter::repeat_with(|| None).take(chunks.len()).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(results.iter_mut())
+        .map(|(c, slot)| {
+            Box::new(move || {
+                *slot = Some(work(c.into_items_iter()));
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.scope(tasks);
+    results
+        .into_iter()
+        .map(|r| r.expect("every chunk executed"))
+        .collect()
 }
 
 impl<T: Send> ParIter<T> {
@@ -345,8 +352,8 @@ impl<T: Send> ParIter<T> {
 pub trait ParallelIterator {}
 impl<T> ParallelIterator for ParIter<T> {}
 
-/// Run two closures, potentially in parallel, returning both results
-/// (mirrors `rayon::join`).
+/// Run two closures, potentially in parallel on the persistent global
+/// pool, returning both results (mirrors `rayon::join`).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -354,11 +361,17 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("join worker panicked"))
-    })
+    let mut ra = None;
+    let mut rb = None;
+    {
+        let sa = &mut ra;
+        let sb = &mut rb;
+        global_pool().scope(vec![
+            Box::new(move || *sa = Some(a())),
+            Box::new(move || *sb = Some(b())),
+        ]);
+    }
+    (ra.expect("join left ran"), rb.expect("join right ran"))
 }
 
 #[cfg(test)]

@@ -7,7 +7,10 @@
 //! * [`comm`] — the simulated distributed runtime substrate;
 //! * [`data`] — synthetic science-dataset generators;
 //! * [`baselines`] — brute force, FLANN-like, ANN-like and
-//!   local-trees comparison implementations.
+//!   local-trees comparison implementations;
+//! * [`service`] — the concurrent query service: dynamic
+//!   micro-batching of many small client requests over a persistent
+//!   worker pool.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -49,6 +52,69 @@
 //! `build_on` constructors inside a `run_cluster` closure and queried
 //! through the identical trait.
 //!
+//! ## Quickstart: serving concurrent clients
+//!
+//! One-shot `query` calls forfeit the batching the engine is fast at.
+//! [`QueryService`](prelude::QueryService) recovers it for many
+//! independent clients: submissions are coalesced into Morton-ordered
+//! micro-batches (flushed on size *or* deadline) executed on the
+//! persistent worker pool, and every client gets a zero-copy slice of
+//! the shared batch response. This closed loop is exactly the
+//! `bench_pr5` workload:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use panda::prelude::*;
+//!
+//! let points = PointSet::from_coords(1, (0..64).map(|i| i as f32).collect())?;
+//! let index = Arc::new(KnnIndex::build(&points, &TreeConfig::default())?);
+//! let service = QueryService::new(
+//!     index,
+//!     ServiceConfig::default()
+//!         .with_max_batch(32)
+//!         .with_max_delay(std::time::Duration::from_micros(200)),
+//! )?;
+//!
+//! // four clients, each a closed loop: submit one query, wait, repeat
+//! let workers: Vec<_> = (0..4u64)
+//!     .map(|c| {
+//!         let handle = service.handle(); // cheap clonable submitter
+//!         std::thread::spawn(move || {
+//!             let mut nearest = Vec::new();
+//!             for r in 0..8u64 {
+//!                 let x = (c * 8 + r) as f32 + 0.3;
+//!                 let q = PointSet::from_coords(1, vec![x]).unwrap();
+//!                 let ticket = handle.submit(&QueryRequest::knn(&q, 1)).unwrap();
+//!                 let reply = ticket.wait().unwrap(); // zero-copy row slice
+//!                 nearest.push(reply.row(0)[0].id);
+//!             }
+//!             nearest
+//!         })
+//!     })
+//!     .collect();
+//! for (c, w) in workers.into_iter().enumerate() {
+//!     let ids = w.join().unwrap();
+//!     let expect: Vec<u64> = (0..8).map(|r| (c * 8 + r) as u64).collect();
+//!     assert_eq!(ids, expect); // exact — identical to direct queries
+//! }
+//!
+//! let stats = service.stats();
+//! assert_eq!(stats.queries, 32);
+//! assert!(stats.batches >= 1); // singles were coalesced
+//! service.shutdown();
+//! # Ok::<(), PandaError>(())
+//! ```
+//!
+//! Backpressure is built in: the submission queue is bounded, and
+//! `submit` either blocks or fails fast with `PandaError::Overloaded`
+//! ([`OverflowPolicy`](prelude::OverflowPolicy)). `drain` flushes all
+//! outstanding tickets; `stats` exposes queue depth, the batch-size
+//! histogram, and p50/p99 submit→resolve latency. The service requires
+//! `Send + Sync` backends (pinned by `tests/thread_safety.rs`);
+//! distributed engines are deliberately ineligible — their queries are
+//! SPMD collectives, and their `RefCell`-held communicators make them
+//! `!Sync` so the mistake cannot compile.
+//!
 //! ### Locality on the distributed path
 //!
 //! `QueryRequest::with_order(QueryOrder::Morton)` is honored by
@@ -66,9 +132,11 @@
 //!
 //! ## Migrating from the pre-session (tuple) API
 //!
-//! The 0.1 tuple methods survive one release as `#[deprecated]` shims:
+//! The 0.1 tuple methods (`query_batch`, `query_batch_ordered`, the
+//! free `query_distributed`, the baselines' `query_batch`s) survived
+//! one release as `#[deprecated]` shims and are now **removed**:
 //!
-//! | old (0.1) | new (0.2) |
+//! | old (0.1, removed) | new |
 //! |---|---|
 //! | `index.query_batch(&q, k)` → `(Vec<Vec<Neighbor>>, QueryCounters)` | `backend.query(&QueryRequest::knn(&q, k))` → `QueryResponse` |
 //! | `index.query_batch_ordered(&q, k, order)` | `QueryRequest::knn(&q, k).with_order(order)` |
@@ -77,6 +145,7 @@
 //! | `flann.query_batch(&q, k, parallel)` / `ann.query_batch(&q, k)` | same request, any backend |
 //! | `results[i]` (a `Vec<Neighbor>`) | `res.neighbors.row(i)` (a `&[Neighbor]` into one arena) |
 //! | `QueryConfig { initial_radius, .. }` | `QueryRequest::with_radius` (validated: positive finite) |
+//! | `radius_search_distributed(..)` → `Vec<Vec<Neighbor>>` | same call → flat CSR `NeighborTable` |
 
 #![warn(missing_docs)]
 
@@ -84,6 +153,7 @@ pub use panda_baselines as baselines;
 pub use panda_comm as comm;
 pub use panda_core as core;
 pub use panda_data as data;
+pub use panda_service as service;
 
 /// The working vocabulary of the query-session API, re-exported flat so
 /// callers stop reaching through `panda::core::...` internals.
@@ -96,6 +166,10 @@ pub mod prelude {
     pub use panda_core::{
         BoundMode, DistConfig, Neighbor, PandaError, PointSet, QueryCounters, QueryOrder, Result,
         TreeConfig,
+    };
+    pub use panda_service::{
+        OverflowPolicy, QueryService, ServiceConfig, ServiceHandle, ServiceStats, Ticket,
+        TicketReply,
     };
 }
 

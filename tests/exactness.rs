@@ -186,11 +186,16 @@ fn distributed_radius_search_matches_brute() {
         let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
         let myq = scatter(&queries, index.rank(), index.size());
         let res = index.query_radius_all(&myq, radius).expect("radius");
+        // CSR response: one row per local query, in submission order
+        assert_eq!(res.len(), myq.len());
         (0..myq.len())
             .map(|i| {
                 (
                     myq.point(i).to_vec(),
-                    res[i].iter().map(|n| (n.dist_sq, n.id)).collect::<Vec<_>>(),
+                    res.row(i)
+                        .iter()
+                        .map(|n| (n.dist_sq, n.id))
+                        .collect::<Vec<_>>(),
                 )
             })
             .collect::<Vec<_>>()

@@ -1,0 +1,51 @@
+//! Compile-time thread-safety pins for the query service.
+//!
+//! `QueryService` fronts an `Arc<dyn NnBackend + Send + Sync>`; every
+//! backend listed here is part of that contract. If a future change
+//! sneaks interior mutability (`RefCell`, `Rc`, raw `Cell`) into one of
+//! these engines, this file stops **compiling** — the regression is
+//! caught at `cargo build`, not as a data race in a serving process.
+//!
+//! Deliberately absent: `DistIndex` and `LocalTreesBackend`. Their
+//! queries are SPMD collectives (every rank must enter in lockstep) and
+//! their communicators live in `RefCell`s, so they are `!Sync` **by
+//! design** — the service's `Send + Sync` bound turns misuse into a
+//! compile error rather than a deadlocked cluster.
+
+use panda::prelude::*;
+
+/// A backend is service-eligible iff it satisfies exactly this bound
+/// (what `Arc<dyn NnBackend + Send + Sync>` demands).
+fn assert_service_eligible<T: NnBackend + Send + Sync + 'static>() {}
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn local_backends_are_service_eligible() {
+    assert_service_eligible::<KnnIndex>();
+    assert_service_eligible::<BruteForce>();
+    assert_service_eligible::<FlannLikeTree>();
+    assert_service_eligible::<AnnLikeTree>();
+}
+
+#[test]
+fn service_types_cross_threads() {
+    // handles are cloned into client threads
+    assert_send_sync::<ServiceHandle>();
+    // tickets and replies may be handed to other threads
+    assert_send::<Ticket>();
+    assert_send_sync::<TicketReply>();
+    // the service itself can be owned by a supervisor thread
+    assert_send_sync::<QueryService>();
+    assert_send_sync::<ServiceConfig>();
+    assert_send_sync::<ServiceStats>();
+}
+
+#[test]
+fn shared_result_types_cross_threads() {
+    // zero-copy scatter-back shares these across clients
+    assert_send_sync::<NeighborTable>();
+    assert_send_sync::<QueryResponse>();
+    assert_send_sync::<Neighbor>();
+}
