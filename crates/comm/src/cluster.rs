@@ -8,6 +8,7 @@ use crate::clock::ClockSummary;
 use crate::comm::Comm;
 use crate::cost::{CostModel, MachineProfile};
 use crate::mailbox::Envelope;
+use crate::retry::RetryPolicy;
 use crate::stats::CommStats;
 
 /// Configuration for a simulated cluster run.
@@ -18,8 +19,13 @@ pub struct ClusterConfig {
     /// Cost model used for virtual-time accounting.
     pub cost: CostModel,
     /// Blocking-receive timeout; hitting it aborts the run with a deadlock
-    /// diagnostic instead of hanging forever.
+    /// diagnostic instead of hanging forever. The fallible collectives
+    /// apply it per attempt, governed by `retry`.
     pub recv_timeout: Duration,
+    /// Retry schedule for the fallible collectives (`try_alltoallv`):
+    /// bounded attempts with jittered backoff before a typed
+    /// [`crate::CommError::Timeout`] surfaces.
+    pub retry: RetryPolicy,
 }
 
 impl ClusterConfig {
@@ -29,6 +35,7 @@ impl ClusterConfig {
             ranks,
             cost: CostModel::default(),
             recv_timeout: Duration::from_secs(120),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -47,6 +54,12 @@ impl ClusterConfig {
     /// Replace the deadlock-detection timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Replace the retry policy for fallible collectives.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -96,11 +109,12 @@ where
             let senders = senders.clone();
             let cost = cfg.cost;
             let timeout = cfg.recv_timeout;
+            let retry = cfg.retry;
             let handle = std::thread::Builder::new()
                 .name(format!("panda-rank-{rank}"))
                 .stack_size(8 << 20)
                 .spawn_scoped(scope, move || {
-                    let mut comm = Comm::new(rank, p, senders, rx, cost, timeout);
+                    let mut comm = Comm::new(rank, p, senders, rx, cost, timeout, retry);
                     let result = f(&mut comm);
                     RankOutcome {
                         rank,

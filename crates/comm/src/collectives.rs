@@ -212,7 +212,31 @@ impl Group<'_> {
     /// `sends[j]` goes to group-relative rank `j`; returns `recvs[i]` from
     /// group-relative rank `i`. This is the workhorse of both point
     /// redistribution (construction) and query routing.
-    pub fn alltoallv<T: Send + 'static>(&mut self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    ///
+    /// # Panics
+    /// On timeout (mirroring an MPI abort). Recoverable callers use
+    /// [`Group::try_alltoallv`].
+    pub fn alltoallv<T: Send + 'static>(&mut self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        // The panic message carries the typed error's Display, which
+        // contains "timed out" — run_cluster relies on that marker to
+        // separate symptom panics from the root cause.
+        self.try_alltoallv(sends).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Group::alltoallv`]: a peer stalled past the configured
+    /// receive timeout (after every retry the [`crate::RetryPolicy`]
+    /// allows, with jittered backoff between attempts) surfaces as
+    /// [`crate::CommError::Timeout`] instead of aborting the run.
+    ///
+    /// On error the exchange is torn: sends were already posted and some
+    /// peer payloads may have been consumed, so the collective sequence
+    /// numbers across ranks can no longer be trusted. Call
+    /// [`crate::Comm::quiesce`] on every rank (same epoch) before reusing
+    /// the communicator for further collectives.
+    pub fn try_alltoallv<T: Send + 'static>(
+        &mut self,
+        mut sends: Vec<Vec<T>>,
+    ) -> crate::Result<Vec<Vec<T>>> {
         let g = self.size();
         assert_eq!(
             sends.len(),
@@ -222,7 +246,7 @@ impl Group<'_> {
         let me = self.rank();
         self.comm.stats.collectives += 1;
         if g == 1 {
-            return sends;
+            return Ok(sends);
         }
         let tag = self.coll_tag(CollKind::AllToAllV);
         let elem = std::mem::size_of::<T>();
@@ -249,7 +273,7 @@ impl Group<'_> {
         for j in 0..g {
             if j != me {
                 let src = self.world_rank(j);
-                let env = self.comm.recv_env(src, tag);
+                let env = self.comm.try_recv_env_retry(src, tag)?;
                 max_vt = max_vt.max(env.vtime);
                 in_bytes += env.bytes;
                 out[j] = Some(*env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
@@ -267,9 +291,10 @@ impl Group<'_> {
         self.comm.clock.sync_to(max_vt);
         self.comm.clock.advance_comm(cost);
         self.comm.stats.collective_bytes_in += in_bytes;
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|o| o.expect("alltoallv slot"))
-            .collect()
+            .collect())
     }
 
     /// All-reduce one `u64`.

@@ -14,8 +14,10 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::clock::{ClockSummary, VirtualClock};
 use crate::cost::CostModel;
+use crate::error::CommError;
 use crate::group::Group;
 use crate::mailbox::{Envelope, PendingStore};
+use crate::retry::RetryPolicy;
 use crate::stats::CommStats;
 
 /// Message tag. The top bit is reserved for collective traffic; user tags
@@ -34,7 +36,9 @@ pub struct Comm {
     pub(crate) cost: CostModel,
     pub(crate) stats: CommStats,
     pub(crate) coll_seq: HashMap<(usize, usize), u64>,
+    pub(crate) coll_seq_base: u64,
     timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl Comm {
@@ -48,6 +52,7 @@ impl Comm {
         inbox: Receiver<Envelope>,
         cost: CostModel,
         timeout: Duration,
+        retry: RetryPolicy,
     ) -> Self {
         Self {
             rank,
@@ -59,7 +64,9 @@ impl Comm {
             cost,
             stats: CommStats::new(),
             coll_seq: HashMap::new(),
+            coll_seq_base: 0,
             timeout,
+            retry,
         }
     }
 
@@ -95,6 +102,46 @@ impl Comm {
     /// Snapshot of this rank's communication counters.
     pub fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    /// The per-attempt blocking-receive timeout this rank was configured
+    /// with (see [`crate::ClusterConfig::with_timeout`]).
+    #[inline]
+    pub fn recv_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The retry policy applied by the fallible collectives (see
+    /// [`crate::ClusterConfig::with_retry`]).
+    #[inline]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Number of messages parked in this rank's pending store (arrived but
+    /// not yet matched by a receive). Useful for asserting that an aborted
+    /// exchange did not leak mailbox state.
+    pub fn pending_messages(&mut self) -> usize {
+        self.drain_inbox();
+        self.pending.len()
+    }
+
+    /// Abandon all in-flight exchange state after a failed collective.
+    ///
+    /// An aborted collective leaves ranks with diverged collective
+    /// sequence numbers and possibly-parked stale envelopes; reusing the
+    /// communicator would cross-match old traffic with new. `quiesce`
+    /// drains and discards everything parked or queued, then jumps every
+    /// group's collective sequence into a fresh tag region derived from
+    /// `epoch` — call it **on every rank with the same epoch** (e.g. a
+    /// count of recovery rounds) before issuing new collectives.
+    pub fn quiesce(&mut self, epoch: u64) {
+        self.drain_inbox();
+        self.pending.clear();
+        self.coll_seq.clear();
+        // 27-bit seq space; reserve a 2^20-wide region per epoch (epochs
+        // cycle mod 128, far beyond any realistic recovery count).
+        self.coll_seq_base = (epoch & 0x7f) << 20;
     }
 
     // ------------------------------------------------------------------
@@ -236,31 +283,81 @@ impl Comm {
 
     /// Blocking envelope receive with no clock side effects (collectives
     /// apply their own timing model).
+    ///
+    /// # Panics
+    /// On timeout or peer death — the infallible collectives mirror an MPI
+    /// abort. The fallible paths use [`Comm::try_recv_env_retry`] instead.
     pub(crate) fn recv_env(&mut self, src: usize, tag: Tag) -> Envelope {
+        match self.try_recv_env_once(src, tag) {
+            Ok(env) => env,
+            Err(CommError::Timeout { .. }) => panic!(
+                "rank {}: receive from rank {src} (tag {tag:#x}) timed out after {:?} — \
+                 likely deadlock ({} messages parked)",
+                self.rank,
+                self.timeout,
+                self.pending.len(),
+            ),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// One bounded receive attempt: wait up to the configured timeout for
+    /// a matching envelope, parking non-matching arrivals. No clock side
+    /// effects, no panic — timeout and peer death come back typed.
+    pub(crate) fn try_recv_env_once(&mut self, src: usize, tag: Tag) -> crate::Result<Envelope> {
         if let Some(env) = self.pending.pop(src, tag) {
-            return env;
+            return Ok(env);
         }
         loop {
             match self.inbox.recv_timeout(self.timeout) {
                 Ok(env) => {
                     if env.src == src && env.tag == tag {
-                        return env;
+                        return Ok(env);
                     }
                     self.pending.push(env);
                 }
-                Err(RecvTimeoutError::Timeout) => panic!(
-                    "rank {}: receive from rank {src} (tag {tag:#x}) timed out after {:?} — \
-                     likely deadlock ({} messages parked)",
-                    self.rank,
-                    self.timeout,
-                    self.pending.len(),
-                ),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        attempts: 1,
+                    })
+                }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
+                    return Err(CommError::PeerFailure(format!(
                         "rank {}: all peers disconnected while waiting for rank {src}",
                         self.rank
-                    )
+                    )))
                 }
+            }
+        }
+    }
+
+    /// Bounded-retry envelope receive: applies the configured
+    /// [`RetryPolicy`] on timeout (counted in `stats.recv_retries`,
+    /// jittered backoff between attempts) before surfacing
+    /// [`CommError::Timeout`] with the attempt total.
+    pub(crate) fn try_recv_env_retry(&mut self, src: usize, tag: Tag) -> crate::Result<Envelope> {
+        let max = self.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            match self.try_recv_env_once(src, tag) {
+                Ok(env) => return Ok(env),
+                Err(CommError::Timeout { .. }) if attempt < max => {
+                    self.stats.recv_retries += 1;
+                    std::thread::sleep(self.retry.backoff(attempt, self.rank as u64));
+                    attempt += 1;
+                }
+                Err(CommError::Timeout { rank, src, tag, .. }) => {
+                    return Err(CommError::Timeout {
+                        rank,
+                        src,
+                        tag,
+                        attempts: attempt,
+                    })
+                }
+                Err(e) => return Err(e),
             }
         }
     }

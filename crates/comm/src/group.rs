@@ -93,7 +93,8 @@ impl<'a> Group<'a> {
             self.lo < (1 << 16) && self.hi <= (1 << 16),
             "group range too large for tag encoding"
         );
-        let seq = self.comm.coll_seq.entry((self.lo, self.hi)).or_insert(0);
+        let base = self.comm.coll_seq_base;
+        let seq = self.comm.coll_seq.entry((self.lo, self.hi)).or_insert(base);
         let s = *seq & ((1 << 27) - 1);
         *seq = seq.wrapping_add(1);
         (1 << 63) | ((self.lo as u64) << 47) | ((self.hi as u64) << 31) | (s << 4) | kind as u64

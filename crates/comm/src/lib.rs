@@ -49,6 +49,7 @@ pub mod cost;
 pub mod error;
 pub mod group;
 pub(crate) mod mailbox;
+pub mod retry;
 pub mod stats;
 
 pub use clock::{ClockSummary, VirtualClock};
@@ -58,6 +59,7 @@ pub use comm::{Comm, Tag};
 pub use cost::{log2_ceil, ComputeCosts, CostModel, MachineProfile, NetworkCosts, ThreadModel};
 pub use error::CommError;
 pub use group::Group;
+pub use retry::RetryPolicy;
 pub use stats::CommStats;
 
 /// Convenience alias: result type used throughout the crate.

@@ -74,6 +74,12 @@ impl PendingStore {
     pub fn len(&self) -> usize {
         self.len
     }
+
+    /// Discard every parked envelope (post-abort quiesce).
+    pub fn clear(&mut self) {
+        self.queues.clear();
+        self.len = 0;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,149 @@
+//! Retry policy for fallible exchanges.
+//!
+//! A stalled peer and a dead peer look identical from one receive: the
+//! timeout fires. The difference is what happens on the *next* attempt —
+//! a straggler's message eventually arrives, a dead rank's never does. A
+//! [`RetryPolicy`] encodes that distinction as bounded receive attempts
+//! with deterministic jittered exponential backoff between them, so the
+//! fallible collectives ([`crate::Group::try_alltoallv`]) mask transient
+//! stalls and surface hard failures as [`crate::CommError::Timeout`].
+
+use std::time::Duration;
+
+/// Bounded-attempt retry schedule with deterministic jittered backoff.
+///
+/// Attempt `i` (1-based) waits the communicator's `recv_timeout`; between
+/// attempts the receiver sleeps `min(base_backoff · 2^(i-1), max_backoff)`
+/// scaled by a jitter factor in `[0.5, 1.0)` derived from `jitter_seed`
+/// and the attempt counter — deterministic for a given seed, so simulated
+/// runs stay reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total receive attempts before a [`crate::CommError::Timeout`]
+    /// surfaces (≥ 1; 1 disables retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (pre-jitter).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, then the typed error.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Set the attempt bound (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Set the base (first) backoff; later backoffs double from it.
+    #[must_use]
+    pub fn with_base_backoff(mut self, base: Duration) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Set the backoff ceiling.
+    #[must_use]
+    pub fn with_max_backoff(mut self, max: Duration) -> Self {
+        self.max_backoff = max;
+        self
+    }
+
+    /// Set the jitter seed (runs with equal seeds back off identically).
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The sleep before retry number `attempt` (1 = the first *re*try),
+    /// salted by `salt` (callers pass e.g. the waiting rank) so
+    /// co-waiting ranks don't thunder in lockstep.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        // splitmix64 over (seed, attempt, salt): jitter factor in [0.5, 1.0)
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add(salt.wrapping_mul(0xbf58476d1ce4e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let frac = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        raw.mul_f64(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=10 {
+            let a = p.backoff(attempt, 3);
+            let b = p.backoff(attempt, 3);
+            assert_eq!(a, b, "same inputs, same backoff");
+            assert!(a <= p.max_backoff, "capped at max_backoff");
+        }
+        // jitter keeps at least half the nominal delay
+        assert!(p.backoff(1, 0) >= p.base_backoff / 2);
+    }
+
+    #[test]
+    fn backoff_grows_then_saturates() {
+        let p = RetryPolicy::default()
+            .with_base_backoff(Duration::from_millis(1))
+            .with_max_backoff(Duration::from_millis(8));
+        // pre-jitter schedule: 1, 2, 4, 8, 8, ... — compare upper bounds
+        assert!(p.backoff(1, 0) <= Duration::from_millis(1));
+        assert!(p.backoff(4, 0) <= Duration::from_millis(8));
+        assert!(p.backoff(9, 0) <= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn salt_desynchronizes_ranks() {
+        let p = RetryPolicy::default();
+        assert_ne!(p.backoff(1, 0), p.backoff(1, 1));
+    }
+
+    #[test]
+    fn builders_and_clamps() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(RetryPolicy::default().with_max_attempts(0).max_attempts, 1);
+        let p = RetryPolicy::default()
+            .with_jitter_seed(7)
+            .with_base_backoff(Duration::from_micros(100))
+            .with_max_backoff(Duration::from_millis(1));
+        assert_eq!(p.jitter_seed, 7);
+        assert!(p.backoff(1, 0) <= Duration::from_micros(100));
+    }
+}

@@ -2,6 +2,8 @@
 //! radius-limited kNN, and the execution knobs that used to be scattered
 //! across `query_batch` arguments and `QueryConfig` fields.
 
+use std::time::Duration;
+
 use crate::config::{BoundMode, QueryConfig, QueryOrder};
 use crate::error::{PandaError, Result};
 use crate::point::PointSet;
@@ -38,6 +40,7 @@ pub struct QueryRequest<'a> {
     batch_size: usize,
     pipeline: bool,
     bbox_routing: bool,
+    deadline: Option<Duration>,
 }
 
 impl<'a> QueryRequest<'a> {
@@ -54,6 +57,7 @@ impl<'a> QueryRequest<'a> {
             batch_size: defaults.batch_size,
             pipeline: defaults.pipeline,
             bbox_routing: defaults.bbox_routing,
+            deadline: None,
         }
     }
 
@@ -112,6 +116,19 @@ impl<'a> QueryRequest<'a> {
         self
     }
 
+    /// Give the request a deadline, measured from submission. A query
+    /// service sheds submissions whose deadline has already elapsed when
+    /// their micro-batch is flushed, resolving the ticket with
+    /// [`PandaError::DeadlineExceeded`] instead of burning backend time
+    /// on an answer the client no longer wants. Direct (non-service)
+    /// backends ignore the knob, like any other unknown-to-a-backend
+    /// option.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The query points.
     pub fn queries(&self) -> &'a PointSet {
         self.queries
@@ -161,6 +178,11 @@ impl<'a> QueryRequest<'a> {
     /// Whether distributed routing refines with per-rank bounding boxes.
     pub fn bbox_routing(&self) -> bool {
         self.bbox_routing
+    }
+
+    /// Optional deadline, relative to submission time.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// Validate the request: `k ≥ 1` ([`PandaError::ZeroK`]), a radius —
@@ -340,6 +362,18 @@ mod tests {
                 Err(PandaError::BadRadius { .. })
             ));
         }
+    }
+
+    #[test]
+    fn deadline_is_carried_and_optional() {
+        let queries = qs();
+        assert_eq!(QueryRequest::knn(&queries, 1).deadline(), None);
+        let req = QueryRequest::knn(&queries, 1).with_deadline(Duration::from_millis(250));
+        assert_eq!(req.deadline(), Some(Duration::from_millis(250)));
+        assert!(req.validate().is_ok());
+        // the request stays Copy with the knob set
+        let copy = req;
+        assert_eq!(copy.deadline(), req.deadline());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Error type for the PANDA core library.
 
 use std::fmt;
+use std::time::Duration;
+
+use panda_comm::CommError;
 
 /// Errors reported by tree construction and querying APIs.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +81,27 @@ pub enum PandaError {
     /// stays up (the panic is contained to the batch); the message
     /// carries whatever context the panic payload offered.
     BackendPanicked(String),
+    /// The query's deadline elapsed before the scheduler could execute
+    /// it; the query was shed unexecuted (see
+    /// [`crate::engine::QueryRequest::with_deadline`]).
+    DeadlineExceeded {
+        /// The deadline the submission carried (relative to submit time).
+        deadline: Duration,
+        /// How long the query had actually waited when it was shed.
+        waited: Duration,
+    },
+    /// The client cancelled the submission before execution; its queue
+    /// slot was reclaimed and the query never ran.
+    Cancelled,
+    /// A communication-layer failure (stalled peer, exhausted retries)
+    /// surfaced through a distributed query instead of aborting the run.
+    Comm(CommError),
+    /// An armed fault point fired (test harness only — see
+    /// [`crate::faultpoint`]). Never produced in production runs.
+    FaultInjected {
+        /// Name of the fault point that fired.
+        point: String,
+    },
 }
 
 impl fmt::Display for PandaError {
@@ -129,6 +153,18 @@ impl fmt::Display for PandaError {
             PandaError::BackendPanicked(msg) => {
                 write!(f, "backend panicked while executing a service batch: {msg}")
             }
+            PandaError::DeadlineExceeded { deadline, waited } => write!(
+                f,
+                "query deadline of {deadline:?} exceeded (waited {waited:?}); \
+                 the query was shed before execution"
+            ),
+            PandaError::Cancelled => {
+                write!(f, "submission was cancelled before execution")
+            }
+            PandaError::Comm(e) => write!(f, "communication failure: {e}"),
+            PandaError::FaultInjected { point } => {
+                write!(f, "injected fault fired at point {point:?}")
+            }
         }
     }
 }
@@ -138,6 +174,12 @@ impl std::error::Error for PandaError {}
 impl From<std::io::Error> for PandaError {
     fn from(e: std::io::Error) -> Self {
         PandaError::Io(e.to_string())
+    }
+}
+
+impl From<CommError> for PandaError {
+    fn from(e: CommError) -> Self {
+        PandaError::Comm(e)
     }
 }
 
@@ -173,5 +215,33 @@ mod tests {
         let e: PandaError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(matches!(e, PandaError::Io(_)));
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn comm_conversion_preserves_the_typed_error() {
+        let inner = CommError::Timeout {
+            rank: 2,
+            src: 0,
+            tag: 0x8000_0000_0000_0004,
+            attempts: 3,
+        };
+        let e: PandaError = inner.clone().into();
+        assert_eq!(e, PandaError::Comm(inner));
+        assert!(e.to_string().contains("timed out"), "{e}");
+    }
+
+    #[test]
+    fn robustness_variants_display_their_context() {
+        let e = PandaError::DeadlineExceeded {
+            deadline: Duration::from_millis(5),
+            waited: Duration::from_millis(9),
+        };
+        assert!(e.to_string().contains("5ms"), "{e}");
+        assert!(e.to_string().contains("shed"), "{e}");
+        assert!(PandaError::Cancelled.to_string().contains("cancelled"));
+        let e = PandaError::FaultInjected {
+            point: "service.drain".into(),
+        };
+        assert!(e.to_string().contains("service.drain"), "{e}");
     }
 }

@@ -129,6 +129,7 @@ impl KnnIndex {
                 got: queries.dims(),
             });
         }
+        crate::faultpoint::maybe_fail(crate::faultpoint::points::ENGINE_LEAF_DISPATCH)?;
         let n = queries.len();
         let schedule: Vec<u32> = match order {
             QueryOrder::Input => (0..n as u32).collect(),

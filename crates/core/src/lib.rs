@@ -80,6 +80,7 @@ pub mod config;
 pub mod counters;
 pub mod engine;
 pub mod error;
+pub mod faultpoint;
 pub mod global_tree;
 pub mod heap;
 pub mod hist;

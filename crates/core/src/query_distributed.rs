@@ -47,6 +47,7 @@ use crate::config::{QueryConfig, QueryOrder};
 use crate::counters::QueryCounters;
 use crate::engine::NeighborTable;
 use crate::error::{PandaError, Result};
+use crate::faultpoint::{self, points};
 use crate::heap::{KnnHeap, Neighbor};
 use crate::local_tree::QueryWorkspace;
 use crate::morton::morton_schedule_coords;
@@ -250,8 +251,9 @@ pub(crate) fn query_distributed_impl(
     }
     charge(comm, &route_counters, dims);
     counters.add(&route_counters);
-    let coords_in = comm.world().alltoallv(coord_sends);
-    let qids_in = comm.world().alltoallv(qid_sends);
+    faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_ROUTE, me as u64)?;
+    let coords_in = comm.world().try_alltoallv(coord_sends)?;
+    let qids_in = comm.world().try_alltoallv(qid_sends)?;
     let mut owned = Owned {
         coords: coords_in.into_iter().flatten().collect(),
         qids: qids_in.into_iter().flatten().collect(),
@@ -373,7 +375,10 @@ pub(crate) fn query_distributed_impl(
         // exchange requests (compute observed during the exchange is
         // attributed to identify_remote so phase totals cover the steps)
         let before = comm.clock();
-        let req_coords_in = comm.world().alltoallv(std::mem::take(&mut req_coord_ws));
+        faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_REQUESTS, me as u64)?;
+        let req_coords_in = comm
+            .world()
+            .try_alltoallv(std::mem::take(&mut req_coord_ws))?;
         let (d_comp, d_comm) = clock_delta(comm, before);
         breakdown.identify_remote += d_comp;
         breakdown.comm_total += d_comm;
@@ -429,9 +434,16 @@ pub(crate) fn query_distributed_impl(
         // exchange responses (exchange-side compute goes to merge, the
         // phase that consumes these streams)
         let before = comm.clock();
-        let resp_cnt_in = comm.world().alltoallv(std::mem::take(&mut resp_cnt_ws));
-        let resp_id_in = comm.world().alltoallv(std::mem::take(&mut resp_id_ws));
-        let resp_dist_in = comm.world().alltoallv(std::mem::take(&mut resp_dist_ws));
+        faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_RESPONSES, me as u64)?;
+        let resp_cnt_in = comm
+            .world()
+            .try_alltoallv(std::mem::take(&mut resp_cnt_ws))?;
+        let resp_id_in = comm
+            .world()
+            .try_alltoallv(std::mem::take(&mut resp_id_ws))?;
+        let resp_dist_in = comm
+            .world()
+            .try_alltoallv(std::mem::take(&mut resp_dist_ws))?;
         let (d_comp, d_comm) = clock_delta(comm, before);
         breakdown.merge += d_comp;
         breakdown.comm_total += d_comm;
@@ -509,9 +521,10 @@ pub(crate) fn query_distributed_impl(
         cur += cnt as usize;
     }
     debug_assert_eq!(cur, fin_arena.len());
-    let ret_meta_in = comm.world().alltoallv(ret_meta_sends);
-    let ret_id_in = comm.world().alltoallv(ret_id_sends);
-    let ret_dist_in = comm.world().alltoallv(ret_dist_sends);
+    faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_RETURN, me as u64)?;
+    let ret_meta_in = comm.world().try_alltoallv(ret_meta_sends)?;
+    let ret_id_in = comm.world().try_alltoallv(ret_id_sends)?;
+    let ret_dist_in = comm.world().try_alltoallv(ret_dist_sends)?;
 
     // Assemble the CSR response in submission order: row counts first,
     // then each stream is copied into its final rows in place.

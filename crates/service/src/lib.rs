@@ -31,8 +31,38 @@
 //! * [`QueryService::drain`] flushes everything outstanding,
 //!   [`QueryService::shutdown`] additionally stops intake and joins the
 //!   scheduler, and [`QueryService::stats`] surfaces queue depth, a
-//!   batch-size histogram, and p50/p99 submit→resolve latency
+//!   batch-size histogram, p50/p99/p999 submit→resolve latency (overall
+//!   and per batch-size bucket), and the robustness counters
 //!   ([`ServiceStats`]).
+//!
+//! ## Degrading gracefully
+//!
+//! The service is built to lose work loudly, never hang:
+//!
+//! * **Deadlines** — a submission carrying
+//!   [`QueryRequest::with_deadline`](panda_core::engine::QueryRequest::with_deadline)
+//!   that is still queued when the deadline passes is **shed at flush
+//!   time**: its ticket resolves with
+//!   [`PandaError::DeadlineExceeded`](panda_core::PandaError::DeadlineExceeded)
+//!   instead of occupying a backend slot, and `ServiceStats::deadline_exceeded`
+//!   counts it.
+//! * **Cancellation** — [`Ticket::cancel`] detaches a submission; an
+//!   unflushed one gives its queue slot back at the next flush
+//!   (`ServiceStats::cancelled`).
+//! * **Abandonment** — dropping a pending ticket (e.g. after a
+//!   [`Ticket::wait_timeout`] miss) discards the eventual reply and is
+//!   counted in `ServiceStats::abandoned`; the full lifecycle contract
+//!   is documented on [`Ticket`].
+//! * **Supervision** — the scheduler thread runs under a supervisor: a
+//!   panic that escapes the scheduler loop (backend panics are already
+//!   caught per batch) resolves every in-flight ticket with
+//!   [`PandaError::BackendPanicked`](panda_core::PandaError::BackendPanicked),
+//!   repairs the queue, and restarts the loop after a bounded
+//!   exponential backoff (`ServiceStats::scheduler_restarts`). The
+//!   service keeps accepting and serving work across crashes.
+//!
+//! The chaos suite (`tests/chaos.rs` at the workspace root) drives all
+//! of these through `panda_core::faultpoint`.
 //!
 //! Exactness is untouched: coalescing and Morton ordering are locality
 //! plays — every client gets bit-identical neighbors to a direct

@@ -1,7 +1,9 @@
-//! Service observability: lock-free counters, a batch-size histogram,
-//! and a latency histogram with quantile readout — surfaced as a
-//! [`ServiceStats`] snapshot the way distributed responses surface
-//! `QueryBreakdown`.
+//! Service observability: lock-free counters (including the robustness
+//! set: deadline sheds, cancellations, scheduler restarts, abandoned
+//! tickets), a batch-size histogram, and latency histograms with
+//! quantile readout — overall and split per batch-size bucket — all
+//! surfaced as a [`ServiceStats`] snapshot the way distributed
+//! responses surface `QueryBreakdown`.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -26,10 +28,15 @@ pub(crate) struct Metrics {
     pub queries: AtomicU64,
     pub rejected: AtomicU64,
     pub batches: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub scheduler_restarts: AtomicU64,
+    pub abandoned: AtomicU64,
     pub queue_depth: AtomicUsize,
     pub max_queue_depth: AtomicUsize,
     pub batch_hist: [AtomicU64; BATCH_BUCKETS],
     pub latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    pub latency_by_batch: [[AtomicU64; LATENCY_BUCKETS]; BATCH_BUCKETS],
     pub latency_sum_ns: AtomicU64,
 }
 
@@ -41,10 +48,15 @@ impl Default for Metrics {
             queries: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            scheduler_restarts: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             max_queue_depth: AtomicUsize::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_by_batch: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             latency_sum_ns: AtomicU64::new(0),
         }
     }
@@ -56,10 +68,20 @@ impl Metrics {
         self.batch_hist[pow2_bucket(queries as u64, BATCH_BUCKETS)].fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_latency(&self, waited: Duration) {
+    /// Record a submit→resolve latency. `batch_queries` is the size of
+    /// the coalesced batch the submission executed in — `None` for
+    /// requests that never reached a backend (shed, cancelled, repaired
+    /// after a scheduler panic), which therefore appear in the overall
+    /// histogram but not the per-batch-size ones.
+    pub(crate) fn record_latency(&self, waited: Duration, batch_queries: Option<usize>) {
         let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
-        self.latency_hist[pow2_bucket(ns, LATENCY_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+        let lb = pow2_bucket(ns, LATENCY_BUCKETS);
+        self.latency_hist[lb].fetch_add(1, Ordering::Relaxed);
         self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        if let Some(q) = batch_queries {
+            self.latency_by_batch[pow2_bucket(q as u64, BATCH_BUCKETS)][lb]
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Track the current queued query-point count; remembers the high
@@ -75,10 +97,17 @@ impl Metrics {
             queries: self.queries.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            scheduler_restarts: self.scheduler_restarts.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
             latency_hist: std::array::from_fn(|i| self.latency_hist[i].load(Ordering::Relaxed)),
+            latency_by_batch: std::array::from_fn(|b| {
+                std::array::from_fn(|i| self.latency_by_batch[b][i].load(Ordering::Relaxed))
+            }),
             latency_sum_seconds: self.latency_sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
         }
     }
@@ -96,6 +125,19 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Micro-batches dispatched to the backend.
     pub batches: u64,
+    /// Submissions shed at flush time because their
+    /// [`deadline`](panda_core::engine::QueryRequest::with_deadline) had
+    /// already expired; resolved with `PandaError::DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Submissions detached via `Ticket::cancel` and reclaimed at flush
+    /// time; resolved with `PandaError::Cancelled`.
+    pub cancelled: u64,
+    /// Times the supervisor restarted the scheduler thread after a
+    /// panic escaped the scheduler loop.
+    pub scheduler_restarts: u64,
+    /// Tickets whose client dropped the handle before the reply arrived
+    /// (e.g. after a `wait_timeout` miss); the reply was discarded.
+    pub abandoned: u64,
     /// Query points queued at snapshot time.
     pub queue_depth: usize,
     /// Largest queued query-point count ever observed.
@@ -106,6 +148,12 @@ pub struct ServiceStats {
     /// Request-latency histogram (submit → ticket resolved): bucket `i`
     /// counts requests in `2^i ..= 2^(i+1) - 1` nanoseconds.
     pub latency_hist: [u64; LATENCY_BUCKETS],
+    /// Latency histograms split by the batch size a request executed in:
+    /// `latency_by_batch[b]` is the latency histogram of requests whose
+    /// coalesced batch fell in batch-size bucket `b`. Shed / cancelled /
+    /// repaired requests never executed, so they appear only in
+    /// [`latency_hist`](Self::latency_hist).
+    pub latency_by_batch: [[u64; LATENCY_BUCKETS]; BATCH_BUCKETS],
     /// Sum of all request latencies, for means.
     pub latency_sum_seconds: f64,
 }
@@ -139,19 +187,18 @@ impl ServiceStats {
     /// upper edge of the histogram bucket containing the quantile —
     /// conservative to within the 2× bucket resolution.
     pub fn latency_quantile_seconds(&self, q: f64) -> f64 {
-        let total = self.resolved();
-        if total == 0 {
-            return 0.0;
-        }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (i, &count) in self.latency_hist.iter().enumerate() {
-            cum += count;
-            if cum >= target {
-                return ((1u64 << (i + 1)) - 1) as f64 * 1e-9;
-            }
-        }
-        f64::INFINITY
+        hist_quantile_seconds(&self.latency_hist, q)
+    }
+
+    /// Latency quantile restricted to requests whose coalesced batch
+    /// held `batch_size` query points (same power-of-two bucketing as
+    /// [`batch_hist`](Self::batch_hist)). Returns `0.0` when no request
+    /// has resolved in that batch-size bucket yet.
+    pub fn latency_quantile_for_batch_seconds(&self, batch_size: usize, q: f64) -> f64 {
+        hist_quantile_seconds(
+            &self.latency_by_batch[pow2_bucket(batch_size as u64, BATCH_BUCKETS)],
+            q,
+        )
     }
 
     /// Median submit→resolve latency (seconds, bucket-resolution).
@@ -164,6 +211,30 @@ impl ServiceStats {
     pub fn p99_latency_seconds(&self) -> f64 {
         self.latency_quantile_seconds(0.99)
     }
+
+    /// 99.9th-percentile submit→resolve latency (seconds,
+    /// bucket-resolution) — the tail the robustness work watches.
+    pub fn p999_latency_seconds(&self) -> f64 {
+        self.latency_quantile_seconds(0.999)
+    }
+}
+
+/// Walk a power-of-two latency histogram to the bucket containing
+/// quantile `q` and report that bucket's upper edge in seconds.
+fn hist_quantile_seconds(hist: &[u64], q: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &count) in hist.iter().enumerate() {
+        cum += count;
+        if cum >= target {
+            return ((1u64 << (i + 1)) - 1) as f64 * 1e-9;
+        }
+    }
+    f64::INFINITY
 }
 
 #[cfg(test)]
@@ -186,9 +257,9 @@ mod tests {
         m.record_batch(1);
         m.record_batch(64);
         m.record_batch(65);
-        m.record_latency(Duration::from_micros(10));
-        m.record_latency(Duration::from_micros(10));
-        m.record_latency(Duration::from_millis(5));
+        m.record_latency(Duration::from_micros(10), Some(64));
+        m.record_latency(Duration::from_micros(10), Some(64));
+        m.record_latency(Duration::from_millis(5), None);
         m.set_queue_depth(7);
         m.set_queue_depth(3);
         let s = m.snapshot();
@@ -199,15 +270,67 @@ mod tests {
         assert_eq!(s.queue_depth, 3);
         assert_eq!(s.max_queue_depth, 7);
         assert!(s.mean_latency_seconds() > 0.0);
+        // the two batched requests landed in the size-64 bucket's
+        // histogram; the batch-less one only in the overall histogram
+        let per_batch: u64 = s.latency_by_batch[6].iter().sum();
+        assert_eq!(per_batch, 2);
+        let all_batched: u64 = s.latency_by_batch.iter().flatten().sum();
+        assert_eq!(all_batched, 2);
+    }
+
+    #[test]
+    fn per_batch_quantiles_are_isolated_by_bucket() {
+        let m = Metrics::default();
+        // singleton batches resolve fast, big batches slowly
+        for _ in 0..10 {
+            m.record_latency(Duration::from_nanos(1000), Some(1));
+            m.record_latency(Duration::from_micros(100), Some(1000));
+        }
+        let s = m.snapshot();
+        let fast = s.latency_quantile_for_batch_seconds(1, 0.99);
+        let slow = s.latency_quantile_for_batch_seconds(1000, 0.99);
+        assert!((fast - 1023e-9).abs() < 1e-12, "fast={fast}");
+        assert!(slow > 50e-6, "slow={slow}");
+        // the overall p99 is dominated by the slow half
+        assert!(s.p99_latency_seconds() > 50e-6);
+        // an untouched bucket reads zero
+        assert_eq!(s.latency_quantile_for_batch_seconds(32, 0.99), 0.0);
+    }
+
+    #[test]
+    fn p999_separates_the_extreme_tail() {
+        let m = Metrics::default();
+        // 1 straggler in 501: beyond the 99.9th percentile, inside 99th
+        for _ in 0..500 {
+            m.record_latency(Duration::from_nanos(1000), None);
+        }
+        m.record_latency(Duration::from_millis(8), None);
+        let s = m.snapshot();
+        assert!((s.p99_latency_seconds() - 1023e-9).abs() < 1e-12);
+        assert!(s.p999_latency_seconds() >= 8e-3, "p999 sees the straggler");
+    }
+
+    #[test]
+    fn robustness_counters_round_trip_through_snapshots() {
+        let m = Metrics::default();
+        m.deadline_exceeded.fetch_add(2, Ordering::Relaxed);
+        m.cancelled.fetch_add(3, Ordering::Relaxed);
+        m.scheduler_restarts.fetch_add(1, Ordering::Relaxed);
+        m.abandoned.fetch_add(4, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.deadline_exceeded, 2);
+        assert_eq!(s.cancelled, 3);
+        assert_eq!(s.scheduler_restarts, 1);
+        assert_eq!(s.abandoned, 4);
     }
 
     #[test]
     fn quantiles_are_conservative_bucket_edges() {
         let m = Metrics::default();
         for _ in 0..99 {
-            m.record_latency(Duration::from_nanos(1000)); // bucket 9 (512..1023)
+            m.record_latency(Duration::from_nanos(1000), None); // bucket 9 (512..1023)
         }
-        m.record_latency(Duration::from_nanos(1 << 20));
+        m.record_latency(Duration::from_nanos(1 << 20), None);
         let s = m.snapshot();
         let p50 = s.p50_latency_seconds();
         // upper edge of the 1000ns bucket: 2^10 - 1 ns

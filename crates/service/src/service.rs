@@ -1,16 +1,29 @@
-//! The service proper: bounded submission queue, scheduler thread,
-//! micro-batch assembly, and zero-copy scatter-back.
+//! The service proper: bounded submission queue, supervised scheduler
+//! thread, micro-batch assembly with deadline/cancellation shedding,
+//! and zero-copy scatter-back.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use panda_core::engine::{NnBackend, QueryRequest, QueryResponse};
-use panda_core::{BoundMode, NeighborTable, PandaError, PointSet, QueryCounters, Result};
+use panda_core::{
+    faultpoint, BoundMode, NeighborTable, PandaError, PointSet, QueryCounters, Result,
+};
 
 use crate::config::{OverflowPolicy, ServiceConfig};
 use crate::metrics::{Metrics, ServiceStats};
 use crate::ticket::{Ticket, TicketReply, TicketShared, WakeHub};
+
+/// First restart delay after a scheduler panic; doubles per consecutive
+/// panic up to [`RESTART_BACKOFF_MAX`].
+const RESTART_BACKOFF_BASE: Duration = Duration::from_millis(5);
+/// Upper bound on the supervisor's restart backoff.
+const RESTART_BACKOFF_MAX: Duration = Duration::from_millis(250);
+/// A scheduler incarnation that survives this long resets the
+/// consecutive-panic count (the fault was transient, not systemic).
+const RESTART_HEALTHY_RESET: Duration = Duration::from_secs(5);
 
 /// Requests can only be coalesced into one engine batch when they agree
 /// on everything that changes answers: `k`, the radius limit, and the
@@ -30,6 +43,10 @@ struct Pending {
     key: BatchKey,
     ticket: Arc<TicketShared>,
     enqueued_at: Instant,
+    /// Relative deadline from `QueryRequest::with_deadline`: if the
+    /// submission is still queued when `enqueued_at + deadline` passes,
+    /// the scheduler sheds it at flush time instead of executing it.
+    deadline: Option<Duration>,
 }
 
 /// Queue state guarded by the service mutex.
@@ -39,6 +56,10 @@ struct QueueState {
     queued_queries: usize,
     /// Submissions taken by the scheduler but not yet resolved.
     in_flight: usize,
+    /// Tickets of the batch currently executing, registered before the
+    /// state lock is released so a panicking scheduler iteration leaves
+    /// the supervisor enough to resolve every stranded client.
+    in_flight_tickets: Vec<Arc<TicketShared>>,
     /// Drain callers currently waiting (forces immediate flushes).
     drain_waiters: usize,
     stopped: bool,
@@ -61,6 +82,14 @@ struct ServiceInner {
 }
 
 impl ServiceInner {
+    /// Poison-tolerant state lock: a panicking scheduler iteration must
+    /// degrade the service, not brick it. The supervisor restores the
+    /// queue invariants in `repair_after_panic` before anyone relies on
+    /// them again.
+    fn state_lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn submit(&self, req: &QueryRequest<'_>) -> Result<Ticket> {
         req.validate()?;
         let queries = req.queries();
@@ -74,9 +103,7 @@ impl ServiceInner {
         if n == 0 {
             // Nothing to schedule: resolve immediately with an empty
             // slice of an empty response.
-            self.metrics
-                .submitted
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.submitted.fetch_add(1, Relaxed);
             let empty = Arc::new(QueryResponse::local(
                 NeighborTable::new(),
                 QueryCounters::default(),
@@ -104,14 +131,15 @@ impl ServiceInner {
         let ticket = TicketShared::pending(Arc::clone(&self.wake));
         // Stamped before any capacity wait, so the latency histogram
         // reflects what the client observed — including time parked on
-        // a full queue under the Block policy.
+        // a full queue under the Block policy. The deadline clock starts
+        // here too: time spent blocked on a full queue counts against it.
         let enqueued_at = Instant::now();
         // Copied outside the state lock: the memcpy of a large
         // submission must not serialize other submitters/the scheduler.
         let coords = queries.coords().to_vec();
         let wake_scheduler;
         {
-            let mut st = self.state.lock().expect("service state");
+            let mut st = self.state_lock();
             loop {
                 if st.stopped {
                     return Err(PandaError::ServiceStopped);
@@ -121,16 +149,14 @@ impl ServiceInner {
                 }
                 match self.cfg.overflow {
                     OverflowPolicy::Reject => {
-                        self.metrics
-                            .rejected
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        self.metrics.rejected.fetch_add(1, Relaxed);
                         return Err(PandaError::Overloaded {
                             depth: st.queued_queries,
                             capacity: self.cfg.queue_capacity,
                         });
                     }
                     OverflowPolicy::Block => {
-                        st = self.space.wait(st).expect("space wait");
+                        st = self.space.wait(st).unwrap_or_else(PoisonError::into_inner);
                     }
                 }
             }
@@ -140,14 +166,11 @@ impl ServiceInner {
                 key,
                 ticket: Arc::clone(&ticket),
                 enqueued_at,
+                deadline: req.deadline(),
             });
             st.queued_queries += n;
-            self.metrics
-                .submitted
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            self.metrics
-                .queries
-                .fetch_add(n as u64, std::sync::atomic::Ordering::Relaxed);
+            self.metrics.submitted.fetch_add(1, Relaxed);
+            self.metrics.queries.fetch_add(n as u64, Relaxed);
             self.metrics.set_queue_depth(st.queued_queries);
             // Wake the scheduler only when this submission changes what
             // it is waiting for: the queue just became non-empty (a new
@@ -164,32 +187,54 @@ impl ServiceInner {
 
     /// Block until every queued and in-flight submission has resolved.
     fn drain(&self) {
-        let mut st = self.state.lock().expect("service state");
+        let mut st = self.state_lock();
         if st.pending.is_empty() && st.in_flight == 0 {
             return;
         }
         st.drain_waiters += 1;
         self.not_empty.notify_one();
         while !(st.pending.is_empty() && st.in_flight == 0) {
-            st = self.idle.wait(st).expect("idle wait");
+            st = self.idle.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.drain_waiters -= 1;
     }
 
     fn stop(&self) {
-        let mut st = self.state.lock().expect("service state");
+        let mut st = self.state_lock();
         st.stopped = true;
         drop(st);
         self.not_empty.notify_all();
         self.space.notify_all();
     }
 
-    /// Resolve one submission and record its end-to-end latency. The
-    /// waiter is *not* woken here — [`Self::execute`] broadcasts once
-    /// per drain cycle.
-    fn resolve(&self, pending: Pending, result: Result<TicketReply>) {
-        self.metrics.record_latency(pending.enqueued_at.elapsed());
+    /// Resolve one submission and record its end-to-end latency.
+    /// `batch_queries` is the coalesced batch size it executed in
+    /// (`None` when it never reached a backend). The waiter is *not*
+    /// woken here — callers broadcast once per drain cycle. A client
+    /// that already walked away (dropped its ticket while pending) is
+    /// counted as abandoned.
+    fn resolve(&self, pending: Pending, result: Result<TicketReply>, batch_queries: Option<usize>) {
+        self.metrics
+            .record_latency(pending.enqueued_at.elapsed(), batch_queries);
         pending.ticket.resolve(result);
+        if pending.ticket.is_abandoned() {
+            self.metrics.abandoned.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Resolve a submission that was shed before execution (cancelled or
+    /// past its deadline), bumping the matching counter.
+    fn resolve_shed(&self, pending: Pending, err: PandaError) {
+        match &err {
+            PandaError::Cancelled => {
+                self.metrics.cancelled.fetch_add(1, Relaxed);
+            }
+            PandaError::DeadlineExceeded { .. } => {
+                self.metrics.deadline_exceeded.fetch_add(1, Relaxed);
+            }
+            _ => {}
+        }
+        self.resolve(pending, Err(err), None);
     }
 
     /// Group one drained queue by [`BatchKey`] (stable order) and run
@@ -198,6 +243,17 @@ impl ServiceInner {
     /// resolves — a fast group must not sleep through a slow group's
     /// backend execution.
     fn execute(&self, taken: Vec<Pending>) {
+        // Chaos hook on the drain path. `Fail`/`Timeout` degrade the
+        // whole flush to typed errors (clients see them, the service
+        // keeps serving); `Panic` escapes to the supervisor, which
+        // resolves these tickets via the in-flight registry.
+        if let Err(e) = faultpoint::maybe_fail(faultpoint::points::SERVICE_DRAIN) {
+            for m in taken {
+                self.resolve(m, Err(e.clone()), None);
+            }
+            self.wake.wake_all();
+            return;
+        }
         let mut groups: Vec<(BatchKey, Vec<Pending>)> = Vec::new();
         for p in taken {
             match groups.iter_mut().find(|(k, _)| *k == p.key) {
@@ -221,7 +277,7 @@ impl ServiceInner {
             Ok(p) => p,
             Err(e) => {
                 for m in members {
-                    self.resolve(m, Err(e.clone()));
+                    self.resolve(m, Err(e.clone()), None);
                 }
                 return;
             }
@@ -248,43 +304,93 @@ impl ServiceInner {
                     let n = m.n_queries as u32;
                     let reply = TicketReply::new(Arc::clone(&shared), row, n);
                     row += n;
-                    self.resolve(m, Ok(reply));
+                    self.resolve(m, Ok(reply), Some(total));
                 }
             }
             Ok(Err(e)) => {
                 for m in members {
-                    self.resolve(m, Err(e.clone()));
+                    self.resolve(m, Err(e.clone()), Some(total));
                 }
             }
             Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
+                let msg = panic_message(panic);
                 for m in members {
-                    self.resolve(m, Err(PandaError::BackendPanicked(msg.clone())));
+                    self.resolve(
+                        m,
+                        Err(PandaError::BackendPanicked(msg.clone())),
+                        Some(total),
+                    );
                 }
             }
         }
     }
+
+    /// Post-panic repair, run by the supervisor before restarting the
+    /// scheduler: resolve every ticket the dead incarnation had in
+    /// flight with [`PandaError::BackendPanicked`], rebuild the queue
+    /// accounting from what is still pending, and release anyone blocked
+    /// on queue space or idleness.
+    fn repair_after_panic(&self, msg: &str) {
+        let stranded: Vec<Arc<TicketShared>>;
+        {
+            let mut st = self.state_lock();
+            stranded = std::mem::take(&mut st.in_flight_tickets);
+            st.in_flight = 0;
+            st.queued_queries = st.pending.iter().map(|p| p.n_queries).sum();
+            self.metrics.set_queue_depth(st.queued_queries);
+            if st.pending.is_empty() {
+                self.idle.notify_all();
+            }
+        }
+        self.space.notify_all();
+        let mut resolved_any = false;
+        for ticket in stranded {
+            // Anything the dying iteration already resolved stays as it
+            // was; only still-pending tickets get the panic error.
+            if !ticket.is_done() {
+                ticket.resolve(Err(PandaError::BackendPanicked(format!(
+                    "scheduler panicked mid-batch: {msg}"
+                ))));
+                if ticket.is_abandoned() {
+                    self.metrics.abandoned.fetch_add(1, Relaxed);
+                }
+                resolved_any = true;
+            }
+        }
+        if resolved_any {
+            self.wake.wake_all();
+        }
+    }
+}
+
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 fn scheduler_loop(inner: &ServiceInner) {
     loop {
         let taken: Vec<Pending>;
+        let shed: Vec<(Pending, PandaError)>;
         {
-            let mut st = inner.state.lock().expect("service state");
+            let mut st = inner.state_lock();
             loop {
                 if st.pending.is_empty() {
                     if st.stopped {
                         return;
                     }
-                    st = inner.not_empty.wait(st).expect("scheduler wait");
+                    st = inner
+                        .not_empty
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
                 // Flush triggers: size, shutdown/drain pressure, or the
-                // oldest submission's deadline.
+                // oldest submission's batching delay.
                 if st.stopped || st.drain_waiters > 0 || st.queued_queries >= inner.cfg.max_batch {
                     break;
                 }
@@ -296,9 +402,34 @@ fn scheduler_loop(inner: &ServiceInner) {
                 let (guard, _timeout) = inner
                     .not_empty
                     .wait_timeout(st, remaining)
-                    .expect("scheduler wait");
+                    .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
             }
+            // Shed before assembling the batch: cancelled submissions
+            // and ones whose request deadline already expired give their
+            // queue slots back here instead of wasting backend work.
+            // (Resolved outside the lock, below.)
+            let mut shed_acc: Vec<(Pending, PandaError)> = Vec::new();
+            let mut i = 0;
+            while i < st.pending.len() {
+                if st.pending[i].ticket.is_cancelled() {
+                    let p = st.pending.remove(i);
+                    st.queued_queries -= p.n_queries;
+                    shed_acc.push((p, PandaError::Cancelled));
+                    continue;
+                }
+                if let Some(deadline) = st.pending[i].deadline {
+                    let waited = st.pending[i].enqueued_at.elapsed();
+                    if waited >= deadline {
+                        let p = st.pending.remove(i);
+                        st.queued_queries -= p.n_queries;
+                        shed_acc.push((p, PandaError::DeadlineExceeded { deadline, waited }));
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            shed = shed_acc;
             // `max_batch` is a cap as well as a trigger: dispatch whole
             // submissions until the next one would overflow it (always
             // at least one, so an oversized multi-query submission still
@@ -316,18 +447,71 @@ fn scheduler_loop(inner: &ServiceInner) {
             taken = st.pending.drain(..take_n).collect();
             st.queued_queries -= take_q;
             st.in_flight += take_n;
+            // Register the batch's tickets while still holding the lock:
+            // if this iteration panics mid-execute, the supervisor finds
+            // them here and resolves every stranded client.
+            st.in_flight_tickets = taken.iter().map(|p| Arc::clone(&p.ticket)).collect();
             inner.metrics.set_queue_depth(st.queued_queries);
+            if taken.is_empty() && st.pending.is_empty() && st.in_flight == 0 {
+                // Everything queued was shed; drain waiters are idle.
+                inner.idle.notify_all();
+            }
         }
         // Queue space freed: wake any blocked submitters before the
         // (possibly long) batch execution.
         inner.space.notify_all();
+        if !shed.is_empty() {
+            for (p, e) in shed {
+                inner.resolve_shed(p, e);
+            }
+            inner.wake.wake_all();
+        }
+        if taken.is_empty() {
+            continue;
+        }
         let n_taken = taken.len();
         inner.execute(taken);
         {
-            let mut st = inner.state.lock().expect("service state");
+            let mut st = inner.state_lock();
             st.in_flight -= n_taken;
+            st.in_flight_tickets.clear();
             if st.in_flight == 0 && st.pending.is_empty() {
                 inner.idle.notify_all();
+            }
+        }
+    }
+}
+
+/// Supervised scheduler entry point: run [`scheduler_loop`]; when a
+/// panic escapes it (an injected fault, or a bug outside the backend
+/// `catch_unwind`), repair the queue state, resolve stranded tickets,
+/// and restart the loop after a bounded exponential backoff. A clean
+/// return (shutdown) ends supervision. The service therefore keeps
+/// accepting and serving work across scheduler crashes instead of
+/// silently dying with clients blocked forever.
+fn supervisor_loop(inner: &ServiceInner) {
+    let mut consecutive = 0u32;
+    loop {
+        let started = Instant::now();
+        match std::panic::catch_unwind(AssertUnwindSafe(|| scheduler_loop(inner))) {
+            Ok(()) => return,
+            Err(panic) => {
+                let msg = panic_message(panic);
+                inner.metrics.scheduler_restarts.fetch_add(1, Relaxed);
+                inner.repair_after_panic(&msg);
+                if started.elapsed() >= RESTART_HEALTHY_RESET {
+                    consecutive = 0;
+                }
+                let backoff = RESTART_BACKOFF_BASE
+                    .saturating_mul(1u32 << consecutive.min(16))
+                    .min(RESTART_BACKOFF_MAX);
+                consecutive = consecutive.saturating_add(1);
+                // Restart even when stopped: a shutdown-concurrent panic
+                // still leaves queued submissions to flush, and the loop
+                // exits cleanly once the queue is empty. Progress is
+                // guaranteed — every incarnation takes at least one
+                // submission out of the queue.
+                std::thread::sleep(backoff);
             }
         }
     }
@@ -395,6 +579,7 @@ impl QueryService {
                 pending: Vec::new(),
                 queued_queries: 0,
                 in_flight: 0,
+                in_flight_tickets: Vec::new(),
                 drain_waiters: 0,
                 stopped: false,
             }),
@@ -408,7 +593,7 @@ impl QueryService {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("panda-service".into())
-                .spawn(move || scheduler_loop(&inner))
+                .spawn(move || supervisor_loop(&inner))
                 .map_err(|e| PandaError::BadConfig(format!("spawn scheduler: {e}")))?
         };
         Ok(Self {
@@ -456,8 +641,10 @@ impl QueryService {
     fn shutdown_in_place(&mut self) {
         self.inner.stop();
         if let Some(handle) = self.scheduler.take() {
-            // A scheduler panic has already resolved or abandoned its
-            // tickets; nothing useful to do beyond not propagating.
+            // The supervisor absorbs scheduler panics (restarting after
+            // repair), so a normal join returns once the queue is
+            // flushed; `let _` only guards against panics in the
+            // supervisor itself.
             let _ = handle.join();
         }
     }
@@ -471,7 +658,7 @@ impl Drop for QueryService {
 
 impl std::fmt::Debug for QueryService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.inner.state.lock().expect("service state");
+        let st = self.inner.state_lock();
         f.debug_struct("QueryService")
             .field("backend", &self.inner.backend.name())
             .field("queued_queries", &st.queued_queries)

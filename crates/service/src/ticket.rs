@@ -1,9 +1,30 @@
 //! Tickets: the future-like handle a client holds between `submit` and
 //! the scheduler resolving its micro-batch.
+//!
+//! # Lifecycle contract
+//!
+//! A ticket ends in exactly one of three ways:
+//!
+//! * **Consumed** — [`Ticket::wait`] / [`Ticket::wait_timeout`] returns
+//!   the result. The normal path.
+//! * **Cancelled** — [`Ticket::cancel`] detaches the submission. If the
+//!   scheduler has not flushed it yet, the queued slot is reclaimed at
+//!   flush time and the ticket is resolved with `PandaError::Cancelled`
+//!   (nobody observes that resolution — the handle is gone).
+//! * **Abandoned** — the ticket is dropped while still pending (most
+//!   commonly after a [`Ticket::wait_timeout`] miss hands it back and
+//!   the caller lets it fall). The scheduler still executes the work and
+//!   resolves the ticket; the reply is silently discarded, and the
+//!   service counts it in `ServiceStats::abandoned` so walked-away
+//!   clients are visible instead of vanishing.
+//!
+//! Dropping a ticket *after* it resolved (without taking the reply) is
+//! none of these — the client raced the scheduler and chose not to look;
+//! nothing is counted.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use panda_core::engine::QueryResponse;
@@ -75,6 +96,11 @@ impl TicketReply {
 /// rather than one per client. Waiters from a batch that has not
 /// resolved yet observe a spurious wake, recheck their `done` flag, and
 /// sleep again.
+///
+/// All hub locking is poison-tolerant: the guarded state is the empty
+/// tuple, so a panicking holder leaves nothing inconsistent behind and
+/// waiters must keep working after a scheduler panic (the supervisor
+/// resolves their tickets through this same hub).
 pub(crate) struct WakeHub {
     lock: Mutex<()>,
     cv: Condvar,
@@ -93,7 +119,7 @@ impl WakeHub {
     /// flag stores happen-before this lock acquisition, and waiters
     /// check the flag under the same lock — no lost wake-ups).
     pub(crate) fn wake_all(&self) {
-        let _guard = self.lock.lock().expect("wake hub");
+        let _guard = self.lock.lock().unwrap_or_else(PoisonError::into_inner);
         self.cv.notify_all();
     }
 }
@@ -101,6 +127,12 @@ impl WakeHub {
 pub(crate) struct TicketShared {
     /// Set (release) after `result` is stored; checked by waiters.
     done: AtomicBool,
+    /// Set by [`Ticket::cancel`]; the scheduler skips execution for
+    /// flushed-but-cancelled submissions.
+    cancelled: AtomicBool,
+    /// Set by `Ticket`'s `Drop` when the handle dies before resolution;
+    /// the scheduler counts it when it later resolves the ticket.
+    abandoned: AtomicBool,
     result: Mutex<Option<Result<TicketReply>>>,
     wake: Arc<WakeHub>,
 }
@@ -109,6 +141,8 @@ impl TicketShared {
     pub(crate) fn pending(wake: Arc<WakeHub>) -> Arc<Self> {
         Arc::new(Self {
             done: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            abandoned: AtomicBool::new(false),
             result: Mutex::new(None),
             wake,
         })
@@ -117,6 +151,8 @@ impl TicketShared {
     pub(crate) fn resolved(wake: Arc<WakeHub>, result: Result<TicketReply>) -> Arc<Self> {
         Arc::new(Self {
             done: AtomicBool::new(true),
+            cancelled: AtomicBool::new(false),
+            abandoned: AtomicBool::new(false),
             result: Mutex::new(Some(result)),
             wake,
         })
@@ -126,24 +162,54 @@ impl TicketShared {
     /// resolves the whole batch and then broadcasts once through the
     /// [`WakeHub`].
     pub(crate) fn resolve(&self, result: Result<TicketReply>) {
-        let mut slot = self.result.lock().expect("ticket result");
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(slot.is_none(), "double resolve");
         *slot = Some(result);
         drop(slot);
         self.done.store(true, Ordering::Release);
     }
 
+    pub(crate) fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+
     fn take(&self) -> Result<TicketReply> {
         self.result
             .lock()
-            .expect("ticket result")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .expect("resolved ticket has a result")
     }
 }
 
 /// The pending side of one `submit` call. Resolved exactly once by the
-/// service scheduler; consumed by [`Ticket::wait`].
+/// service scheduler.
+///
+/// # Lifecycle contract
+///
+/// A ticket ends in exactly one of three ways:
+///
+/// * **Consumed** — [`Ticket::wait`] / [`Ticket::wait_timeout`] returns
+///   the result. The normal path.
+/// * **Cancelled** — [`Ticket::cancel`] detaches the submission; an
+///   unflushed one has its queue slot reclaimed at the next flush.
+/// * **Abandoned** — dropped while still pending (most commonly after a
+///   [`Ticket::wait_timeout`] miss hands it back and the caller lets it
+///   fall). The scheduler still executes and resolves it; the reply is
+///   silently discarded, and the service counts it in
+///   `ServiceStats::abandoned` so walked-away clients are visible.
+///
+/// Dropping a ticket *after* it resolved (without taking the reply) is
+/// none of these — the client raced the scheduler and chose not to
+/// look; nothing is counted.
 pub struct Ticket {
     pub(crate) shared: Arc<TicketShared>,
 }
@@ -154,9 +220,9 @@ impl Ticket {
     pub fn wait(self) -> Result<TicketReply> {
         if !self.shared.done.load(Ordering::Acquire) {
             let hub = Arc::clone(&self.shared.wake);
-            let mut guard = hub.lock.lock().expect("wake hub");
+            let mut guard = hub.lock.lock().unwrap_or_else(PoisonError::into_inner);
             while !self.shared.done.load(Ordering::Acquire) {
-                guard = hub.cv.wait(guard).expect("ticket wait");
+                guard = hub.cv.wait(guard).unwrap_or_else(PoisonError::into_inner);
             }
         }
         self.shared.take()
@@ -164,11 +230,21 @@ impl Ticket {
 
     /// Like [`Self::wait`] but give up after `timeout`; `Err(self)`
     /// hands the ticket back so the caller can keep waiting.
+    ///
+    /// # Contract after a timeout
+    ///
+    /// A timeout does **not** withdraw the submission — the scheduler
+    /// still executes it. The caller owns the returned ticket and must
+    /// choose: keep waiting (call `wait`/`wait_timeout` again),
+    /// [`cancel`](Self::cancel) it so an unflushed submission's queue
+    /// slot is reclaimed, or drop it — in which case the eventual reply
+    /// is discarded and the service counts the ticket in
+    /// `ServiceStats::abandoned`.
     pub fn wait_timeout(self, timeout: Duration) -> std::result::Result<Result<TicketReply>, Self> {
         let deadline = std::time::Instant::now() + timeout;
         if !self.shared.done.load(Ordering::Acquire) {
             let hub = Arc::clone(&self.shared.wake);
-            let mut guard = hub.lock.lock().expect("wake hub");
+            let mut guard = hub.lock.lock().unwrap_or_else(PoisonError::into_inner);
             while !self.shared.done.load(Ordering::Acquire) {
                 let now = std::time::Instant::now();
                 if now >= deadline {
@@ -178,17 +254,48 @@ impl Ticket {
                 let (g, _) = hub
                     .cv
                     .wait_timeout(guard, deadline - now)
-                    .expect("ticket wait");
+                    .unwrap_or_else(PoisonError::into_inner);
                 guard = g;
             }
         }
         Ok(self.shared.take())
     }
 
+    /// Detach this submission and discard any result.
+    ///
+    /// Returns `true` when the cancellation was registered while the
+    /// submission was still pending: if the scheduler has not flushed it
+    /// into a micro-batch yet, its queue slot is reclaimed at the next
+    /// flush (it is resolved internally with `PandaError::Cancelled` and
+    /// counted in `ServiceStats::cancelled`) — the backend never sees
+    /// it. Returns `false` when the result was already available; it is
+    /// simply discarded (and not counted as abandoned).
+    ///
+    /// Cancellation is advisory about *work*: a submission already
+    /// flushed into an executing batch still runs, but its reply is
+    /// dropped.
+    pub fn cancel(self) -> bool {
+        self.shared.cancelled.store(true, Ordering::SeqCst);
+        !self.shared.done.load(Ordering::SeqCst)
+    }
+
     /// True once the scheduler has resolved this ticket ([`Self::wait`]
     /// will not block).
     pub fn is_ready(&self) -> bool {
         self.shared.done.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for Ticket {
+    /// A ticket dropped while still pending (and not cancelled) is
+    /// *abandoned*: the scheduler will still resolve it, notice the
+    /// flag, and count the discarded reply in `ServiceStats::abandoned`.
+    fn drop(&mut self) {
+        if !self.shared.done.load(Ordering::Acquire)
+            && !self.shared.cancelled.load(Ordering::Acquire)
+        {
+            self.shared.abandoned.store(true, Ordering::SeqCst);
+        }
     }
 }
 

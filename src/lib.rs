@@ -109,11 +109,53 @@
 //! `submit` either blocks or fails fast with `PandaError::Overloaded`
 //! ([`OverflowPolicy`](prelude::OverflowPolicy)). `drain` flushes all
 //! outstanding tickets; `stats` exposes queue depth, the batch-size
-//! histogram, and p50/p99 submit→resolve latency. The service requires
-//! `Send + Sync` backends (pinned by `tests/thread_safety.rs`);
-//! distributed engines are deliberately ineligible — their queries are
-//! SPMD collectives, and their `RefCell`-held communicators make them
-//! `!Sync` so the mistake cannot compile.
+//! histogram, and p50/p99/p999 submit→resolve latency (overall and per
+//! batch-size bucket). The service requires `Send + Sync` backends
+//! (pinned by `tests/thread_safety.rs`); distributed engines are
+//! deliberately ineligible — their queries are SPMD collectives, and
+//! their `RefCell`-held communicators make them `!Sync` so the mistake
+//! cannot compile.
+//!
+//! ## Failure semantics
+//!
+//! Every failure mode surfaces as a **typed error or a clean degraded
+//! result — never a hang**:
+//!
+//! * **Deadlines.** `QueryRequest::with_deadline(d)` bounds how long a
+//!   submission may sit in the service queue. If it is still queued when
+//!   `d` elapses (measured from `submit`, including time blocked on a
+//!   full queue), the scheduler sheds it at flush time and its ticket
+//!   resolves with `PandaError::DeadlineExceeded { deadline, waited }` —
+//!   the backend never runs it. Counted in
+//!   `ServiceStats::deadline_exceeded`.
+//! * **Cancellation.** `Ticket::cancel()` detaches a submission; an
+//!   unflushed one gives its queue slot back at the next flush
+//!   (`PandaError::Cancelled` internally, `ServiceStats::cancelled`).
+//!   Dropping a still-pending ticket instead (e.g. after a
+//!   `wait_timeout` miss) *abandons* it: the work still runs, the reply
+//!   is discarded, and `ServiceStats::abandoned` counts it.
+//! * **Backend panics and scheduler crashes.** A panicking backend
+//!   resolves its whole micro-batch with `PandaError::BackendPanicked`.
+//!   A panic that escapes the scheduler loop itself is absorbed by a
+//!   **supervisor**: in-flight tickets resolve with `BackendPanicked`,
+//!   the queue is repaired, and the scheduler restarts after a bounded
+//!   exponential backoff (`ServiceStats::scheduler_restarts`) — the
+//!   service keeps serving.
+//! * **Distributed communication.** A stalled or dead peer inside a
+//!   `DistIndex` query surfaces as
+//!   `PandaError::Comm(CommError::Timeout { .. })` on **every** rank
+//!   instead of aborting the process; transient stalls are absorbed by a
+//!   per-exchange retry with jittered exponential backoff
+//!   ([`RetryPolicy`](comm::RetryPolicy), configurable via
+//!   `ClusterConfig::with_retry`). After an error the communicator is
+//!   reusable once every rank calls `Comm::quiesce` with a common epoch.
+//! * **Fault injection.** All of the above is provable on demand:
+//!   [`panda_core::faultpoint`] compiles named fault points into the
+//!   comm exchanges, the leaf-kernel dispatch, and the service drain
+//!   path (near-zero cost while disarmed), and a `FaultPlan` arms them
+//!   deterministically — fail the Nth hit, delay, panic, or time out.
+//!   The chaos suite (`tests/chaos.rs`) drives every injected fault to a
+//!   typed error and a still-healthy system.
 //!
 //! ### Locality on the distributed path
 //!

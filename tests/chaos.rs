@@ -1,0 +1,471 @@
+//! Chaos suite: every injected fault must surface as a **typed error or
+//! a clean degraded result** — never a hang, a stranded ticket, or a
+//! poisoned worker pool.
+//!
+//! Faults are driven through `panda_core::faultpoint`: deterministic
+//! plans (fail the Nth hit, synthetic timeout, panic, delay) armed
+//! against the named points compiled into the comm exchanges, the leaf
+//! kernel dispatch, and the service drain path. Arming takes a
+//! process-wide exclusivity lock, so the tests in this file serialize
+//! instead of cross-arming each other; tests that inject nothing still
+//! arm an **empty** plan for the same exclusion.
+//!
+//! `PANDA_FAULT_SEED` (CI pins `42`) seeds the comm retry jitter so a
+//! red run replays identically. No test here relies on a timeout longer
+//! than 5 seconds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use panda::comm::{run_cluster, ClusterConfig, CommError, RetryPolicy};
+use panda::core::faultpoint::{self, points, FaultAction, FaultPlan, FaultSpec};
+use panda::data::{scatter, uniform};
+use panda::prelude::*;
+
+fn fault_seed() -> u64 {
+    std::env::var("PANDA_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn line_points(n: usize) -> PointSet {
+    PointSet::from_coords(1, (0..n).map(|i| i as f32).collect()).unwrap()
+}
+
+fn service_over(n: usize, cfg: ServiceConfig) -> QueryService {
+    let index = Arc::new(KnnIndex::build(&line_points(n), &TreeConfig::default()).unwrap());
+    QueryService::new(index, cfg).unwrap()
+}
+
+fn single_query(x: f32) -> PointSet {
+    PointSet::from_coords(1, vec![x]).unwrap()
+}
+
+// ---------------------------------------------------------------- service
+
+/// A submission whose deadline already passed when the scheduler flushes
+/// is shed with `DeadlineExceeded` — the backend never runs it — while
+/// deadline-less traffic on the same service is untouched.
+#[test]
+fn expired_deadline_submissions_are_shed_with_typed_errors() {
+    let _guard = faultpoint::arm(FaultPlan::new());
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(16)
+            .with_max_delay(Duration::from_millis(5)),
+    );
+
+    let q = single_query(3.3);
+    let doomed = service
+        .submit(&QueryRequest::knn(&q, 2).with_deadline(Duration::ZERO))
+        .unwrap();
+    let healthy = service.submit(&QueryRequest::knn(&q, 2)).unwrap();
+
+    match doomed.wait() {
+        Err(PandaError::DeadlineExceeded { deadline, waited }) => {
+            assert_eq!(deadline, Duration::ZERO);
+            assert!(waited >= deadline);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let reply = healthy.wait().unwrap();
+    assert_eq!(reply.row(0)[0].id, 3);
+
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.cancelled, 0);
+    service.shutdown();
+}
+
+/// `Ticket::cancel` detaches an unflushed submission: its queue slot is
+/// reclaimed at the next flush, the backend never sees it, and the
+/// cancellation is counted. Cancelling an already-resolved ticket just
+/// discards the reply and reports `false`.
+#[test]
+fn cancel_detaches_pending_submissions() {
+    let _guard = faultpoint::arm(FaultPlan::new());
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(1024)
+            .with_max_delay(Duration::from_millis(500)),
+    );
+
+    let q = single_query(7.4);
+    let keep_a = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    let doomed = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    let keep_b = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    assert!(doomed.cancel(), "still pending: cancellation registered");
+    service.drain();
+
+    assert_eq!(keep_a.wait().unwrap().row(0)[0].id, 7);
+    assert_eq!(keep_b.wait().unwrap().row(0)[0].id, 7);
+    let stats = service.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.deadline_exceeded, 0);
+
+    // cancel after resolution: too late to shed, reply is discarded
+    let late = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    service.drain();
+    assert!(!late.cancel(), "already resolved");
+    assert_eq!(service.stats().cancelled, 1, "late cancel not counted");
+    service.shutdown();
+}
+
+/// Dropping a still-pending ticket abandons it: the work still runs, the
+/// reply is discarded, and the walked-away client shows up in
+/// `ServiceStats::abandoned`.
+#[test]
+fn abandoned_tickets_are_counted_when_their_reply_arrives() {
+    let _guard = faultpoint::arm(FaultPlan::new());
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(1024)
+            .with_max_delay(Duration::from_millis(200)),
+    );
+
+    let q = single_query(1.2);
+    let walker = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    // a wait_timeout miss hands the ticket back; the client gives up
+    let walker = match walker.wait_timeout(Duration::from_millis(1)) {
+        Err(t) => t,
+        Ok(r) => panic!("resolved before the queue even flushed: {r:?}"),
+    };
+    drop(walker);
+    service.drain();
+    assert_eq!(service.stats().abandoned, 1);
+
+    // consumed and cancelled tickets are NOT abandoned
+    let consumed = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    consumed.wait().unwrap();
+    let cancelled = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    cancelled.cancel();
+    service.drain();
+    assert_eq!(service.stats().abandoned, 1);
+    service.shutdown();
+}
+
+/// A `Fail` fault on the drain path degrades one flush to typed errors —
+/// every ticket of the flush resolves with `FaultInjected`, nothing
+/// hangs, and the very next flush serves normally.
+#[test]
+fn drain_fault_degrades_one_flush_and_the_service_recovers() {
+    let guard = faultpoint::arm(
+        FaultPlan::new().with(FaultSpec::new(points::SERVICE_DRAIN, FaultAction::Fail).times(1)),
+    );
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(16)
+            .with_max_delay(Duration::from_millis(2)),
+    );
+
+    let q = single_query(5.1);
+    let hit = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    match hit.wait() {
+        Err(PandaError::FaultInjected { point }) => assert_eq!(point, points::SERVICE_DRAIN),
+        other => panic!("expected FaultInjected, got {other:?}"),
+    }
+    let ok = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    assert_eq!(ok.wait().unwrap().row(0)[0].id, 5);
+    assert!(guard.hits(points::SERVICE_DRAIN) >= 2);
+    assert_eq!(service.stats().scheduler_restarts, 0, "no panic involved");
+    service.shutdown();
+}
+
+/// A fault inside the engine's leaf dispatch surfaces through the
+/// service as the backend error it is — resolved to every member of the
+/// batch, with the pool healthy afterwards.
+#[test]
+fn leaf_dispatch_fault_surfaces_through_the_service() {
+    let _guard = faultpoint::arm(FaultPlan::new().fail(points::ENGINE_LEAF_DISPATCH, 1));
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(16)
+            .with_max_delay(Duration::from_millis(2)),
+    );
+
+    let q = single_query(9.2);
+    let hit = service.submit(&QueryRequest::knn(&q, 2)).unwrap();
+    match hit.wait() {
+        Err(PandaError::FaultInjected { point }) => {
+            assert_eq!(point, points::ENGINE_LEAF_DISPATCH);
+        }
+        other => panic!("expected FaultInjected, got {other:?}"),
+    }
+    let ok = service.submit(&QueryRequest::knn(&q, 2)).unwrap();
+    assert_eq!(ok.wait().unwrap().row(0)[0].id, 9);
+    service.shutdown();
+}
+
+/// A panic escaping the scheduler loop (injected on the drain path,
+/// outside the per-batch backend `catch_unwind`) is absorbed by the
+/// supervisor: every in-flight ticket resolves with `BackendPanicked`,
+/// the restart is counted, and the service keeps accepting and serving
+/// work afterwards.
+#[test]
+fn scheduler_panic_restarts_and_the_service_keeps_serving() {
+    let guard = faultpoint::arm(FaultPlan::new().panic(points::SERVICE_DRAIN, 1));
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(1024)
+            .with_max_delay(Duration::from_millis(20)),
+    );
+
+    let q = single_query(4.4);
+    // two submissions coalesced into the flush that panics
+    let a = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    let b = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    for (name, t) in [("a", a), ("b", b)] {
+        match t.wait() {
+            Err(PandaError::BackendPanicked(msg)) => {
+                assert!(
+                    msg.contains("injected fault panic"),
+                    "{name}: root cause preserved: {msg}"
+                );
+            }
+            other => panic!("{name}: expected BackendPanicked, got {other:?}"),
+        }
+    }
+    drop(guard); // disarm: the restarted scheduler must serve cleanly
+
+    let after = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    assert_eq!(after.wait().unwrap().row(0)[0].id, 4);
+    let stats = service.stats();
+    assert_eq!(stats.scheduler_restarts, 1);
+    service.shutdown(); // joins cleanly: the supervisor exits on stop
+}
+
+/// Repeated scheduler panics keep being absorbed — the supervisor's
+/// backoff is bounded, restarts accumulate, and the service still ends
+/// in a healthy, shutdown-able state.
+#[test]
+fn repeated_scheduler_panics_stay_supervised() {
+    let guard = faultpoint::arm(
+        FaultPlan::new().with(FaultSpec::new(points::SERVICE_DRAIN, FaultAction::Panic).times(3)),
+    );
+    let service = service_over(
+        64,
+        ServiceConfig::default()
+            .with_max_batch(16)
+            .with_max_delay(Duration::from_millis(2)),
+    );
+    let q = single_query(2.9);
+    for _ in 0..3 {
+        let t = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+        assert!(matches!(t.wait(), Err(PandaError::BackendPanicked(_))));
+    }
+    drop(guard);
+    let t = service.submit(&QueryRequest::knn(&q, 1)).unwrap();
+    assert_eq!(t.wait().unwrap().row(0)[0].id, 3);
+    assert_eq!(service.stats().scheduler_restarts, 3);
+    service.shutdown();
+}
+
+// ------------------------------------------------------------------ comm
+
+/// A rank failing before the routing exchange stalls everyone else's
+/// receive — which must surface as `PandaError::Comm(Timeout)` on every
+/// waiting rank (typed, attempts counted, no process abort), and after a
+/// collective `quiesce` the same communicators serve an exact query
+/// again with no leaked mailbox state.
+#[test]
+fn stalled_rank_yields_typed_timeouts_and_quiesce_recovers() {
+    let _guard = faultpoint::arm(
+        FaultPlan::new().with(
+            FaultSpec::new(points::DIST_EXCHANGE_ROUTE, FaultAction::Fail)
+                .on_ctx(1)
+                .times(1),
+        ),
+    );
+    let all = uniform::generate(400, 3, 1.0, 7);
+    let cfg = ClusterConfig::new(3)
+        .with_timeout(Duration::from_millis(100))
+        .with_retry(
+            RetryPolicy::default()
+                .with_max_attempts(2)
+                .with_base_backoff(Duration::from_millis(1))
+                .with_jitter_seed(fault_seed()),
+        );
+    // Stands in for a real recovery protocol's agreement step: the
+    // faulted rank errors instantly while the others are still timing
+    // out, so ranks must agree "the torn exchange is over" before
+    // quiescing, and "everyone has quiesced" before re-querying
+    // (otherwise a late quiesce would drain a peer's fresh messages).
+    let torn_over = std::sync::Barrier::new(3);
+    let all_quiesced = std::sync::Barrier::new(3);
+    let out = run_cluster(&cfg, |comm| {
+        let rank = comm.rank();
+        let mine = scatter(&all, rank, comm.size());
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&all, index.rank(), index.size());
+
+        let first = index.query(&QueryRequest::knn(&myq, 4));
+        let first_kind = match (rank, first) {
+            (1, Err(PandaError::FaultInjected { point })) => {
+                assert_eq!(point, points::DIST_EXCHANGE_ROUTE);
+                "injected"
+            }
+            (_, Err(PandaError::Comm(CommError::Timeout { attempts, .. }))) => {
+                assert_eq!(attempts, 2, "retry policy exhausted before giving up");
+                "timeout"
+            }
+            (r, other) => panic!("rank {r}: unexpected first outcome: {other:?}"),
+        };
+
+        torn_over.wait();
+        // same epoch on every rank: drop leftovers, rebase collective tags
+        index.with_comm(|c| c.quiesce(1));
+        let parked = index.with_comm(|c| c.pending_messages());
+        // the faulted rank consumed nothing, but quiesce cleared it all
+        assert_eq!(parked, 0, "rank {rank}: mailbox leaked after quiesce");
+        all_quiesced.wait();
+
+        let second = index
+            .query(&QueryRequest::knn(&myq, 4))
+            .expect("post-quiesce query succeeds");
+        assert_eq!(second.len(), myq.len());
+        assert!(second.neighbors.iter().all(|row| row.len() == 4));
+        first_kind
+    });
+    assert_eq!(out[0].result, "timeout");
+    assert_eq!(out[1].result, "injected");
+    assert_eq!(out[2].result, "timeout");
+    // the waiting ranks burned retry attempts on the stalled exchange
+    assert!(out[0].stats.recv_retries >= 1);
+    assert!(out[2].stats.recv_retries >= 1);
+}
+
+/// A straggling rank (delay shorter than retry budget × timeout) is
+/// absorbed by the receive retry: the exchange completes, results are
+/// exact, and the only trace is a nonzero retry counter.
+#[test]
+fn straggler_delay_is_masked_by_receive_retry() {
+    let _guard = faultpoint::arm(
+        FaultPlan::new().with(
+            FaultSpec::new(
+                points::DIST_EXCHANGE_ROUTE,
+                FaultAction::Delay(Duration::from_millis(150)),
+            )
+            .on_ctx(1)
+            .times(1),
+        ),
+    );
+    let all = uniform::generate(300, 2, 1.0, 8);
+    let expect = {
+        let local = KnnIndex::build(&all, &TreeConfig::default()).unwrap();
+        local.query_session(&QueryRequest::knn(&all, 3)).unwrap()
+    };
+    let cfg = ClusterConfig::new(3)
+        .with_timeout(Duration::from_millis(100))
+        .with_retry(
+            RetryPolicy::default()
+                .with_max_attempts(3)
+                .with_base_backoff(Duration::from_millis(1))
+                .with_jitter_seed(fault_seed()),
+        );
+    let out = run_cluster(&cfg, |comm| {
+        let mine = scatter(&all, comm.rank(), comm.size());
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let p = index.size();
+        let rank = index.rank();
+        let myq = scatter(&all, rank, p);
+        let res = index
+            .query(&QueryRequest::knn(&myq, 3))
+            .expect("straggler absorbed, query exact");
+        // strided scatter: local row i answers global query rank + i*p
+        res.neighbors
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                (
+                    rank + i * p,
+                    row.iter().map(|n| (n.dist_sq, n.id)).collect::<Vec<_>>(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    let total_retries: u64 = out.iter().map(|o| o.stats.recv_retries).sum();
+    assert!(total_retries >= 1, "the stall was really absorbed by retry");
+    for o in &out {
+        for (slot, got) in &o.result {
+            let want: Vec<(f32, u64)> = expect
+                .neighbors
+                .row(*slot)
+                .iter()
+                .map(|n| (n.dist_sq, n.id))
+                .collect();
+            assert_eq!(got, &want, "query {slot} bit-identical despite straggler");
+        }
+    }
+}
+
+/// Response-stage faults (deep in the pipeline, after state has been
+/// exchanged) also come back typed on every rank and recover after
+/// quiesce — the error path is not special to stage 1.
+#[test]
+fn late_stage_exchange_fault_is_also_typed_and_recoverable() {
+    let _guard = faultpoint::arm(
+        FaultPlan::new().with(
+            FaultSpec::new(points::DIST_EXCHANGE_RETURN, FaultAction::Fail)
+                .on_ctx(0)
+                .times(1),
+        ),
+    );
+    let all = uniform::generate(300, 3, 1.0, 9);
+    let cfg = ClusterConfig::new(2)
+        .with_timeout(Duration::from_millis(100))
+        .with_retry(
+            RetryPolicy::default()
+                .with_max_attempts(2)
+                .with_base_backoff(Duration::from_millis(1))
+                .with_jitter_seed(fault_seed()),
+        );
+    // out-of-band recovery agreement, as in the stalled-rank test
+    let torn_over = std::sync::Barrier::new(2);
+    let all_quiesced = std::sync::Barrier::new(2);
+    let out = run_cluster(&cfg, |comm| {
+        let rank = comm.rank();
+        let mine = scatter(&all, rank, comm.size());
+        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&all, index.rank(), index.size());
+        let first = index.query(&QueryRequest::knn(&myq, 3));
+        let typed = matches!(
+            first,
+            Err(PandaError::FaultInjected { .. })
+                | Err(PandaError::Comm(CommError::Timeout { .. }))
+        );
+        torn_over.wait();
+        index.with_comm(|c| c.quiesce(2));
+        all_quiesced.wait();
+        let second = index.query(&QueryRequest::knn(&myq, 3));
+        (typed, second.is_ok())
+    });
+    for o in &out {
+        assert!(o.result.0, "rank {}: first error was typed", o.rank);
+        assert!(o.result.1, "rank {}: recovered after quiesce", o.rank);
+    }
+}
+
+/// With no plan armed, every fault point is dormant: the full service
+/// path and the distributed path behave exactly as un-instrumented code.
+#[test]
+fn disarmed_points_change_nothing() {
+    let _guard = faultpoint::arm(FaultPlan::new()); // empty: exclusion only
+    let service = service_over(32, ServiceConfig::default());
+    let q = single_query(11.7);
+    let t = service.submit(&QueryRequest::knn(&q, 3)).unwrap();
+    let reply = t.wait().unwrap();
+    assert_eq!(reply.row(0)[0].id, 12);
+    let stats = service.stats();
+    assert_eq!(stats.deadline_exceeded, 0);
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.scheduler_restarts, 0);
+    assert_eq!(stats.abandoned, 0);
+    service.shutdown();
+}
