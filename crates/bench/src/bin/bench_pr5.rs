@@ -13,6 +13,24 @@
 //! Both modes are verified **bit-identical** per client request before
 //! timing. Writes `BENCH_PR5.json` (override with `--out`); `--smoke`
 //! shrinks every dimension for CI.
+//!
+//! ## Thread sweep
+//!
+//! The execution-side parallelism comes from the persistent rayon pool,
+//! sized by `RAYON_NUM_THREADS` (the recorded `rayon_threads` field says
+//! what a given JSON actually measured — published numbers from 1-worker
+//! hosts are single-core results). To sweep:
+//!
+//! ```text
+//! for t in 1 2 4 8; do
+//!   RAYON_NUM_THREADS=$t cargo run --release --bin bench_pr5 -- \
+//!     --out BENCH_PR5_t$t.json
+//! done
+//! ```
+//!
+//! `--min-threads N` makes the run *refuse* to publish numbers from a
+//! smaller pool (exit with an error instead of silently recording a
+//! 1-core measurement as if it were a parallel one).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -228,6 +246,14 @@ fn main() {
     };
 
     let hotspots = args.usize("hotspots", 256);
+    let min_threads = args.usize("min-threads", 0);
+    let threads = rayon::current_num_threads();
+    assert!(
+        threads >= min_threads,
+        "pool has {threads} worker(s) but --min-threads {min_threads} was requested; \
+         set RAYON_NUM_THREADS (this guard exists so multi-core claims are never \
+         backed by a single-core run)"
+    );
     let points = uniform::generate(n_points, dims, 1.0, 42);
     let backend = Arc::new(
         KnnIndex::build(&points, &TreeConfig::default().with_parallel(true)).expect("build"),
@@ -245,6 +271,7 @@ fn main() {
         "  \"n_points\": {n_points}, \"dims\": {dims}, \"k\": {k}, \"requests_per_client\": {requests}, \"hotspots\": {hotspots},"
     );
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"rayon_threads\": {threads},");
     json.push_str("  \"client_counts\": [\n");
 
     let reps = args.usize("reps", if smoke { 1 } else { 3 });

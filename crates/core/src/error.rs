@@ -96,6 +96,14 @@ pub enum PandaError {
     /// A communication-layer failure (stalled peer, exhausted retries)
     /// surfaced through a distributed query instead of aborting the run.
     Comm(CommError),
+    /// An insert supplied a global id that is already live in a mutable
+    /// index. Ids are the identity deletions and updates address, so a
+    /// live duplicate would make results ambiguous; `remove` the old
+    /// point first to update it.
+    DuplicateId {
+        /// The already-live id.
+        id: u64,
+    },
     /// An armed fault point fired (test harness only — see
     /// [`crate::faultpoint`]). Never produced in production runs.
     FaultInjected {
@@ -162,6 +170,10 @@ impl fmt::Display for PandaError {
                 write!(f, "submission was cancelled before execution")
             }
             PandaError::Comm(e) => write!(f, "communication failure: {e}"),
+            PandaError::DuplicateId { id } => write!(
+                f,
+                "point id {id} is already live in the index; remove it before re-inserting"
+            ),
             PandaError::FaultInjected { point } => {
                 write!(f, "injected fault fired at point {point:?}")
             }
@@ -239,6 +251,8 @@ mod tests {
         assert!(e.to_string().contains("5ms"), "{e}");
         assert!(e.to_string().contains("shed"), "{e}");
         assert!(PandaError::Cancelled.to_string().contains("cancelled"));
+        let e = PandaError::DuplicateId { id: 42 };
+        assert!(e.to_string().contains("42"), "{e}");
         let e = PandaError::FaultInjected {
             point: "service.drain".into(),
         };

@@ -52,6 +52,15 @@ pub mod points {
     pub const ENGINE_LEAF_DISPATCH: &str = "engine.leaf_dispatch";
     /// Query-service micro-batch drain/execute path.
     pub const SERVICE_DRAIN: &str = "service.drain";
+    /// Mutable-index write-log append (`MutableIndex::insert`).
+    pub const STORE_LOG_APPEND: &str = "store.log.append";
+    /// Background compaction: tree rebuild phase (before any state is
+    /// published — a failure here must leave the old tree serving).
+    pub const STORE_COMPACT_BUILD: &str = "store.compact.build";
+    /// Background compaction: atomic swap point (under the write lock,
+    /// immediately before the new tree is published — a failure here
+    /// must not leave a torn view).
+    pub const STORE_COMPACT_SWAP: &str = "store.compact.swap";
 }
 
 /// What an armed fault point does when its schedule says "fire".

@@ -146,6 +146,23 @@ impl PointSet {
         self.ids.extend_from_slice(ids);
     }
 
+    /// Remove point `i` in O(dims) by moving the last point into its
+    /// slot (order is not preserved). Returns the removed point's id.
+    /// Panics if `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: usize) -> u64 {
+        let removed = self.ids[i];
+        let last = self.len() - 1;
+        if i != last {
+            for d in 0..self.dims {
+                self.coords[i * self.dims + d] = self.coords[last * self.dims + d];
+            }
+            self.ids[i] = self.ids[last];
+        }
+        self.coords.truncate(last * self.dims);
+        self.ids.truncate(last);
+        removed
+    }
+
     /// Pre-allocate for `n` additional points.
     pub fn reserve(&mut self, n: usize) {
         self.coords.reserve(n * self.dims);
@@ -378,6 +395,22 @@ mod tests {
         assert_eq!(sel.len(), 2);
         assert_eq!(sel.id(0), 30);
         assert_eq!(sel.point(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_into_slot() {
+        let mut ps = ps3();
+        assert_eq!(ps.swap_remove(0), 0);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(0), &[-1.0, -2.0, -3.0], "last point moved in");
+        assert_eq!(ps.id(0), 2);
+        assert_eq!(ps.id(1), 1);
+        assert_eq!(ps.swap_remove(1), 1, "removing the last slot");
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.id(0), 2);
+        assert_eq!(ps.swap_remove(0), 2);
+        assert!(ps.is_empty());
+        assert!(ps.coords().is_empty());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Offline stand-in for [arc-swap](https://crates.io/crates/arc-swap).
+//!
+//! The mutable index only needs the core of the real crate's API — an
+//! atomically replaceable `Arc<T>` slot with `load_full` / `store` /
+//! `swap` — and none of its lock-free hazard-pointer machinery. This
+//! shim provides exactly that subset over an `RwLock<Arc<T>>`: loads
+//! take a brief read lock and clone the `Arc` (two atomic ops), stores
+//! take the write lock and replace the slot. Readers never observe a
+//! torn value and writers are serialized, which is the entire contract
+//! the workspace relies on. Swapping in the real crate is a one-line
+//! change in the workspace manifest.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// An atomically replaceable [`Arc`] slot.
+///
+/// `load_full` returns a clone of the currently stored `Arc`; `store`
+/// replaces it. A reader that loaded the old value keeps its `Arc`
+/// alive independently — replacement never invalidates snapshots.
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Slot initially holding `val`.
+    pub fn new(val: Arc<T>) -> Self {
+        Self {
+            slot: RwLock::new(val),
+        }
+    }
+
+    /// Slot initially holding `Arc::new(val)` (mirrors the real crate).
+    pub fn from_pointee(val: T) -> Self {
+        Self::new(Arc::new(val))
+    }
+
+    /// A clone of the currently stored `Arc`.
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Replace the stored `Arc`, dropping the previous value's handle.
+    pub fn store(&self, val: Arc<T>) {
+        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = val;
+    }
+
+    /// Replace the stored `Arc`, returning the previous one.
+    pub fn swap(&self, val: Arc<T>) -> Arc<T> {
+        std::mem::replace(
+            &mut self.slot.write().unwrap_or_else(PoisonError::into_inner),
+            val,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let s = ArcSwap::from_pointee(1u32);
+        assert_eq!(*s.load_full(), 1);
+        s.store(Arc::new(2));
+        assert_eq!(*s.load_full(), 2);
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let s = ArcSwap::new(Arc::new("old"));
+        let prev = s.swap(Arc::new("new"));
+        assert_eq!(*prev, "old");
+        assert_eq!(*s.load_full(), "new");
+    }
+
+    #[test]
+    fn snapshots_survive_replacement() {
+        let s = ArcSwap::from_pointee(vec![1, 2, 3]);
+        let snapshot = s.load_full();
+        s.store(Arc::new(vec![9]));
+        assert_eq!(*snapshot, vec![1, 2, 3], "old readers keep old value");
+        assert_eq!(*s.load_full(), vec![9]);
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_are_consistent() {
+        let s = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let writer = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 1..=1000u64 {
+                    s.store(Arc::new((i, i * 2)));
+                }
+            })
+        };
+        for _ in 0..1000 {
+            let v = s.load_full();
+            assert_eq!(v.1, v.0 * 2, "never a torn pair");
+        }
+        writer.join().unwrap();
+        assert_eq!(*s.load_full(), (1000, 2000));
+    }
+}

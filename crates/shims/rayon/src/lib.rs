@@ -33,6 +33,13 @@ pub fn current_num_threads() -> usize {
     global_pool().num_threads()
 }
 
+/// Fire-and-forget a task onto the global pool (mirrors `rayon::spawn`).
+/// See [`ThreadPool::spawn`] for the sequential-pool (inline) and panic
+/// semantics.
+pub fn spawn(f: impl FnOnce() + Send + 'static) {
+    global_pool().spawn(f)
+}
+
 /// Re-exports that mirror `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};

@@ -185,6 +185,28 @@ impl ThreadPool {
         }
     }
 
+    /// Fire-and-forget: enqueue `f` for a worker and return immediately
+    /// (mirrors `rayon::spawn`). On a sequential pool (`threads == 1`,
+    /// no workers) the task runs **inline** before `spawn` returns —
+    /// still correct, just synchronous. A panic in the task is contained
+    /// (caught and dropped, like a detached thread); tasks that care
+    /// about their own panics must catch them themselves.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        if self.workers.is_empty() {
+            let _ = catch_unwind(AssertUnwindSafe(f));
+            return;
+        }
+        // A 1-count latch nobody waits on: `execute` still completes it
+        // and routes a panic into its slot, which is simply dropped.
+        let scope = Arc::new(ScopeLatch::new(1));
+        let mut q = self.shared.queue.lock().expect("pool queue");
+        q.jobs.push_back(Job {
+            run: Box::new(f),
+            scope,
+        });
+        self.shared.job_ready.notify_all();
+    }
+
     /// Help-then-wait: drain queued jobs while this scope is live, then
     /// sleep on the latch. The short timeout covers the window where a
     /// nested scope enqueues new help-able work after we checked the
@@ -398,6 +420,57 @@ mod tests {
         }));
         assert!(result.is_err(), "panic must reach the caller");
         assert_eq!(ran.load(Ordering::Relaxed), 3, "siblings all ran");
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks() {
+        let pool = ThreadPool::new(3);
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..16u64 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(i + 1, Ordering::SeqCst);
+            });
+        }
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) != (1..=16).sum::<u64>() {
+            assert!(t0.elapsed() < Duration::from_secs(5), "spawned tasks lost");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn spawn_on_sequential_pool_runs_inline_and_contains_panics() {
+        let pool = ThreadPool::new(1);
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // inline execution: visible immediately, no waiting needed
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        pool.spawn(|| panic!("detached panic must not reach the caller"));
+        assert_eq!(done.load(Ordering::SeqCst), 1, "pool still alive");
+    }
+
+    #[test]
+    fn spawn_panic_does_not_kill_workers() {
+        let pool = ThreadPool::new(2);
+        pool.spawn(|| panic!("boom"));
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = std::time::Instant::now();
+        while done.load(Ordering::SeqCst) != 1 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "worker died");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! # panda_store — a mutable exact-KNN index
+//!
+//! The PANDA tree ([`panda_core::knn::KnnIndex`]) is immutable: superb
+//! for query throughput, useless for streams. This crate wraps it in a
+//! log-structured mutable layer, the classic LSM shape applied to a
+//! spatial index:
+//!
+//! * **Writes** append to an in-memory fresh log ([`MutableIndex::insert`])
+//!   or lay copy-on-write tombstones ([`MutableIndex::remove`]).
+//! * **Queries** run against the immutable tree generation, exactly
+//!   brute-force-scan the log through the same fused SIMD leaf kernel
+//!   the tree uses, and merge — results are bit-identical in distances
+//!   to a from-scratch brute-force scan of the live set, always.
+//! * **Compaction** runs in the background on the persistent rayon
+//!   pool: the log freezes, tree + log − tombstones rebuild into a new
+//!   generation, and an atomic swap publishes it (epoch + 1) without
+//!   blocking writers or readers. Failures roll back and surface as
+//!   typed errors; the old tree keeps serving.
+//!
+//! See [`MutableIndex`] for the full lifecycle contract and
+//! [`StoreConfig`] for the compaction policy knobs.
+
+#![warn(missing_docs)]
+
+mod config;
+mod index;
+mod stats;
+
+pub use config::StoreConfig;
+pub use index::MutableIndex;
+pub use stats::StoreStats;

@@ -1,0 +1,144 @@
+//! Store observability: relaxed atomic counters + a pow2 duration
+//! histogram, snapshotted into a plain [`StoreStats`] — the same
+//! reporting pattern as `panda_service`'s `ServiceStats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Pow2 nanosecond buckets covering ~1 ns .. ~18 min.
+const DUR_BUCKETS: usize = 41;
+
+#[inline]
+fn pow2_bucket(v: u64) -> usize {
+    ((64 - v.max(1).leading_zeros()) as usize - 1).min(DUR_BUCKETS - 1)
+}
+
+/// Walk the histogram to quantile `q`, reporting the bucket's upper
+/// edge in seconds (0.0 when no samples were recorded).
+fn hist_quantile_seconds(hist: &[u64], q: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return (1u64 << (b + 1)) as f64 / 1e9;
+        }
+    }
+    (1u64 << DUR_BUCKETS) as f64 / 1e9
+}
+
+/// Live counters, updated with relaxed atomics on the write and
+/// compaction paths.
+#[derive(Debug)]
+pub(crate) struct StoreMetrics {
+    pub inserted: AtomicU64,
+    pub removed: AtomicU64,
+    pub compactions: AtomicU64,
+    pub compaction_failures: AtomicU64,
+    compact_hist: [AtomicU64; DUR_BUCKETS],
+}
+
+impl StoreMetrics {
+    pub fn new() -> Self {
+        Self {
+            inserted: AtomicU64::new(0),
+            removed: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compaction_failures: AtomicU64::new(0),
+            compact_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one successful compaction's wall duration.
+    pub fn record_compaction(&self, dur: Duration) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compact_hist[pow2_bucket(dur.as_nanos() as u64)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn hist_snapshot(&self) -> [u64; DUR_BUCKETS] {
+        std::array::from_fn(|i| self.compact_hist[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A point-in-time snapshot of a [`crate::MutableIndex`]'s health,
+/// returned by [`crate::MutableIndex::stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoreStats {
+    /// Live (queryable) points: tree + frozen + fresh, minus tombstones.
+    pub live_points: usize,
+    /// Points in the current immutable tree generation (including ones
+    /// already tombstoned — they leave at the next compaction).
+    pub tree_points: usize,
+    /// Points in the fresh write log (brute-force-scanned per query).
+    pub log_points: usize,
+    /// Points in the frozen segment currently being compacted
+    /// (0 when no compaction is in flight).
+    pub frozen_points: usize,
+    /// Outstanding tombstones (tree + frozen targets). Each one inflates
+    /// query heaps by one slot until the next compaction clears it.
+    pub deleted: usize,
+    /// Total `insert` calls accepted.
+    pub inserted: u64,
+    /// Total `remove` calls that removed a live point.
+    pub removed: u64,
+    /// Compactions completed successfully (== number of tree swaps).
+    pub compactions: u64,
+    /// Compactions that failed or panicked and were rolled back.
+    pub compaction_failures: u64,
+    /// True while a background compaction is in flight.
+    pub compacting: bool,
+    /// Generation number of the serving tree; incremented by every
+    /// successful atomic swap.
+    pub epoch: u64,
+    /// Median successful-compaction duration (pow2 bucket upper edge).
+    pub compaction_p50_seconds: f64,
+    /// 99th-percentile successful-compaction duration.
+    pub compaction_p99_seconds: f64,
+}
+
+impl StoreStats {
+    pub(crate) fn quantiles(hist: &[u64]) -> (f64, f64) {
+        (
+            hist_quantile_seconds(hist, 0.50),
+            hist_quantile_seconds(hist, 0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let m = StoreMetrics::new();
+        let (p50, p99) = StoreStats::quantiles(&m.hist_snapshot());
+        assert_eq!((p50, p99), (0.0, 0.0));
+    }
+
+    #[test]
+    fn quantiles_walk_bucket_upper_edges() {
+        let m = StoreMetrics::new();
+        for _ in 0..99 {
+            m.record_compaction(Duration::from_nanos(1000)); // bucket edge ≤ 2^10 ns
+        }
+        m.record_compaction(Duration::from_millis(8));
+        let (p50, p99) = StoreStats::quantiles(&m.hist_snapshot());
+        assert!(p50 <= 3e-6, "p50 near the fast cluster, got {p50}");
+        assert!(p99 <= 3e-6, "99/100 samples are fast, got {p99}");
+        let p999 = hist_quantile_seconds(&m.hist_snapshot(), 0.999);
+        assert!(p999 >= 8e-3, "tail sees the slow sample, got {p999}");
+        assert_eq!(m.compactions.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bucket_indexing_is_clamped() {
+        assert_eq!(pow2_bucket(0), 0);
+        assert_eq!(pow2_bucket(1), 0);
+        assert_eq!(pow2_bucket(u64::MAX), DUR_BUCKETS - 1);
+    }
+}

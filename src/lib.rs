@@ -10,7 +10,9 @@
 //!   local-trees comparison implementations;
 //! * [`service`] — the concurrent query service: dynamic
 //!   micro-batching of many small client requests over a persistent
-//!   worker pool.
+//!   worker pool;
+//! * [`store`] — the mutable index: insert/delete log over the
+//!   immutable tree with background compaction and atomic tree swap.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -116,6 +118,51 @@
 //! their `RefCell`-held communicators make them `!Sync` so the mistake
 //! cannot compile.
 //!
+//! ## Quickstart: streaming updates
+//!
+//! The PANDA tree is immutable by design; [`MutableIndex`](prelude::MutableIndex)
+//! makes it a streaming store without giving up exactness. Inserts land
+//! in an in-memory log that every query brute-force-scans through the
+//! same fused SIMD leaf kernel the tree uses; deletes lay tombstones;
+//! when the log (or tombstone set) crosses the
+//! [`StoreConfig`](prelude::StoreConfig) thresholds, a background
+//! compaction rebuilds tree + log − tombstones into a fresh generation
+//! and swaps it in atomically. Writers and readers never block on the
+//! rebuild, and answers stay **bit-identical in distances to a
+//! brute-force scan of the live set** at every step:
+//!
+//! ```
+//! use panda::prelude::*;
+//!
+//! let store = MutableIndex::new(1, StoreConfig::default().with_compact_points(8))?;
+//! for i in 0..20u64 {
+//!     store.insert(&[i as f32], i)?;
+//! }
+//! store.remove(7)?; // tombstoned (or dropped from the log) immediately
+//!
+//! // same trait, same request vocabulary as every other backend
+//! let q = PointSet::from_coords(1, vec![6.9])?;
+//! let res = store.query(&QueryRequest::knn(&q, 2))?;
+//! assert_eq!(res.neighbors.row(0)[0].id, 6); // 7 is gone, exactly
+//!
+//! store.quiesce(); // wait out any in-flight background compaction
+//! let stats = store.stats();
+//! assert_eq!(stats.live_points, 19);
+//! assert!(stats.epoch >= 1); // at least one atomic tree swap happened
+//! # Ok::<(), PandaError>(())
+//! ```
+//!
+//! Updates address points by **global id**: inserting a live id fails
+//! with `PandaError::DuplicateId` (remove first to update), and removed
+//! ids can be re-inserted freely. The store is `Send + Sync` and
+//! clonable, so it serves behind a
+//! [`QueryService`](prelude::QueryService) while writers mutate it
+//! concurrently; `tests/store_parity.rs` holds interleaved
+//! insert/query/delete histories — including ones overlapping an
+//! in-flight compaction — to brute-force parity, and
+//! [`StoreStats`](prelude::StoreStats) reports log depth, tombstones,
+//! compaction counts/latency quantiles, and the swap epoch.
+//!
 //! ## Failure semantics
 //!
 //! Every failure mode surfaces as a **typed error or a clean degraded
@@ -196,6 +243,7 @@ pub use panda_comm as comm;
 pub use panda_core as core;
 pub use panda_data as data;
 pub use panda_service as service;
+pub use panda_store as store;
 
 /// The working vocabulary of the query-session API, re-exported flat so
 /// callers stop reaching through `panda::core::...` internals.
@@ -213,6 +261,7 @@ pub mod prelude {
         OverflowPolicy, QueryService, ServiceConfig, ServiceHandle, ServiceStats, Ticket,
         TicketReply,
     };
+    pub use panda_store::{MutableIndex, StoreConfig, StoreStats};
 }
 
 /// Crate version of the facade (matches the workspace version).

@@ -452,6 +452,121 @@ fn late_stage_exchange_fault_is_also_typed_and_recoverable() {
     }
 }
 
+// ----------------------------------------------------------------- store
+
+/// Distances from a store must be bit-identical to a from-scratch brute
+/// force over `live` (the store-parity standard; ids may differ at ties).
+fn assert_store_parity(store: &MutableIndex, live: &PointSet, queries: &PointSet, who: &str) {
+    let req = QueryRequest::knn(queries, 3.min(live.len().max(1)));
+    let got = store.query(&req).unwrap();
+    let want = NnBackend::query(&BruteForce::new(live), &req).unwrap();
+    let d =
+        |r: &QueryResponse| -> Vec<f32> { r.neighbors.arena().iter().map(|n| n.dist_sq).collect() };
+    assert_eq!(d(&got), d(&want), "{who}: store diverged from brute force");
+}
+
+/// A panic in the background compaction's build phase is supervised:
+/// the frozen log splices back, the old tree generation keeps serving
+/// exact answers, the typed error is surfaced, and the next compaction
+/// succeeds.
+#[test]
+fn compaction_build_panic_rolls_back_and_the_old_tree_keeps_serving() {
+    let _guard = faultpoint::arm(FaultPlan::new().panic(points::STORE_COMPACT_BUILD, 1));
+    let seed = line_points(16);
+    let store =
+        MutableIndex::from_points(&seed, StoreConfig::default().with_compact_points(4)).unwrap();
+    let mut live = seed.clone();
+    for i in 16..20u64 {
+        // the 4th insert crosses the threshold and triggers the doomed build
+        store.insert(&[i as f32], i).unwrap();
+        live.push(&[i as f32], i);
+    }
+    store.quiesce();
+
+    let err = store.take_last_compaction_error();
+    assert!(
+        matches!(err, Some(PandaError::BackendPanicked(_))),
+        "panic must surface as a typed error, got {err:?}"
+    );
+    assert!(store.take_last_compaction_error().is_none(), "taken once");
+    let stats = store.stats();
+    assert_eq!(stats.compaction_failures, 1);
+    assert_eq!(stats.epoch, 0, "no swap happened");
+    assert_eq!(stats.frozen_points, 0, "frozen segment was spliced back");
+    assert_eq!(stats.log_points, 4, "spliced points still queryable");
+    assert_store_parity(&store, &live, &single_query(17.8), "after rollback");
+
+    // The plan fired once; a retried compaction now succeeds.
+    store.compact_now().unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.log_points, 0);
+    assert_eq!(stats.compactions, 1);
+    assert_store_parity(&store, &live, &single_query(17.8), "after retry");
+}
+
+/// A fault at the swap point aborts the publication atomically: the
+/// epoch never advances, queries see either the complete old world or
+/// the complete new one (never a mix), and tombstones survive for the
+/// retry.
+#[test]
+fn swap_fault_leaves_no_torn_view() {
+    let _guard = faultpoint::arm(
+        FaultPlan::new()
+            .with(FaultSpec::new(points::STORE_COMPACT_SWAP, FaultAction::Fail).times(1)),
+    );
+    let seed = line_points(16);
+    let store = MutableIndex::from_points(&seed, StoreConfig::default()).unwrap();
+    for i in 16..21u64 {
+        store.insert(&[i as f32], i).unwrap();
+    }
+    assert!(store.remove(3).unwrap()); // tombstone on a tree-resident point
+    let mut live = PointSet::new(1).unwrap();
+    for i in (0..21u64).filter(|&i| i != 3) {
+        live.push(&[i as f32], i);
+    }
+
+    let err = store.compact_now();
+    assert!(
+        matches!(err, Err(PandaError::FaultInjected { ref point }) if point == points::STORE_COMPACT_SWAP),
+        "swap fault must be typed, got {err:?}"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.epoch, 0, "failed swap must not publish");
+    assert_eq!(stats.frozen_points, 0);
+    assert_eq!(stats.log_points, 5, "log restored");
+    assert_eq!(stats.deleted, 1, "tombstone survives for the retry");
+    assert_eq!(stats.compaction_failures, 1);
+    assert_store_parity(&store, &live, &single_query(3.4), "after failed swap");
+
+    store.compact_now().unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.epoch, 1);
+    assert_eq!((stats.log_points, stats.deleted), (0, 0));
+    assert_eq!(stats.tree_points, 20, "id 3 physically dropped");
+    assert_store_parity(&store, &live, &single_query(3.4), "after retried swap");
+}
+
+/// A fault on the log-append path rejects that one insert with a typed
+/// error before any state changes; the store stays consistent and the
+/// same id inserts cleanly afterwards.
+#[test]
+fn log_append_fault_is_typed_and_the_store_stays_consistent() {
+    let _guard = faultpoint::arm(FaultPlan::new().fail(points::STORE_LOG_APPEND, 2));
+    let store = MutableIndex::new(1, StoreConfig::default()).unwrap();
+    store.insert(&[0.0], 0).unwrap();
+    let err = store.insert(&[1.0], 1);
+    assert!(
+        matches!(err, Err(PandaError::FaultInjected { ref point }) if point == points::STORE_LOG_APPEND),
+        "got {err:?}"
+    );
+    assert_eq!(store.len(), 1, "failed insert changed nothing");
+    store.insert(&[1.0], 1).unwrap(); // same id is still insertable
+    assert_eq!(store.len(), 2);
+    let live = PointSet::from_coords(1, vec![0.0, 1.0]).unwrap();
+    assert_store_parity(&store, &live, &single_query(0.7), "after append fault");
+}
+
 /// With no plan armed, every fault point is dormant: the full service
 /// path and the distributed path behave exactly as un-instrumented code.
 #[test]

@@ -27,6 +27,16 @@ fn local_backends_are_service_eligible() {
     assert_service_eligible::<BruteForce>();
     assert_service_eligible::<FlannLikeTree>();
     assert_service_eligible::<AnnLikeTree>();
+    // the mutable store serves behind the service while writers mutate it
+    assert_service_eligible::<MutableIndex>();
+}
+
+#[test]
+fn store_types_cross_threads() {
+    // clones share one store and are handed to writer/reader threads
+    assert_send_sync::<MutableIndex>();
+    assert_send_sync::<StoreConfig>();
+    assert_send_sync::<StoreStats>();
 }
 
 #[test]
