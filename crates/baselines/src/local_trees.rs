@@ -129,8 +129,8 @@ impl LocalTreesKnn {
 
 /// [`LocalTreesKnn`] bundled with this rank's communicator handle so the
 /// strategy-(1) engine can ride the same [`NnBackend`] loops as PANDA's
-/// [`panda_core::engine::DistIndex`] (SPMD: every rank must call
-/// [`NnBackend::query`] collectively).
+/// SPMD pipeline (`query_distributed`): every rank must call
+/// [`NnBackend::query`] collectively.
 pub struct LocalTreesBackend<'a> {
     comm: RefCell<&'a mut Comm>,
     inner: LocalTreesKnn,

@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use panda_comm::{run_cluster, ClusterConfig, ReduceOp};
-use panda_core::engine::{DistIndex, NnBackend, QueryRequest};
+use panda_core::build_distributed::build_distributed;
+use panda_core::engine::QueryRequest;
+use panda_core::query_distributed::query_distributed;
 use panda_core::DistConfig;
 use panda_data::{queries_from, scatter, uniform};
 
@@ -48,10 +50,11 @@ fn bench_end_to_end(c: &mut Criterion) {
             b.iter(|| {
                 let out = run_cluster(&cfg, |comm| {
                     let mine = scatter(&points, comm.rank(), comm.size());
-                    let index = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
-                    let myq = scatter(&queries, index.rank(), index.size());
-                    let res = index.query(&QueryRequest::knn(&myq, 5)).unwrap();
-                    res.len()
+                    let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+                    let myq = scatter(&queries, comm.rank(), comm.size());
+                    let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+                    let res = query_distributed(comm, &tree, &myq, &qcfg).unwrap();
+                    res.neighbors.len()
                 });
                 black_box(out.len())
             })

@@ -19,7 +19,8 @@ use std::time::Instant;
 use panda_bench::Args;
 use panda_comm::{ClusterConfig, Comm, ReduceOp};
 use panda_core::build_distributed::{build_distributed, DistKdTree};
-use panda_core::engine::{DistIndex, NeighborTable, NnBackend, QueryRequest};
+use panda_core::engine::{NeighborTable, QueryRequest};
+use panda_core::query_distributed::query_distributed;
 use panda_core::rng::SplitRng;
 use panda_core::{
     BoundMode, DistConfig, KnnHeap, Neighbor, PointSet, QueryCounters, QueryOrder, QueryWorkspace,
@@ -281,34 +282,44 @@ fn main() {
             let mine = scatter(&all, comm.rank(), comm.size());
             let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
             let myq = scatter(&queries, comm.rank(), comm.size());
-            let idx = DistIndex::from_tree(comm, tree);
-            let req_input = QueryRequest::knn(&myq, k).with_batch_size(batch);
-            let req_morton = req_input.with_order(QueryOrder::Morton);
+            let cfg_input = QueryRequest::knn(&myq, k)
+                .with_batch_size(batch)
+                .to_query_config();
+            let cfg_morton = QueryRequest::knn(&myq, k)
+                .with_batch_size(batch)
+                .with_order(QueryOrder::Morton)
+                .to_query_config();
 
             // correctness gate: all three paths agree bit-for-bit
-            let nested = idx.with_comm(|c| nested_query_distributed(c, idx.tree(), &myq, k, batch));
-            let csr_input = idx.query(&req_input).expect("query").neighbors;
-            let csr_morton = idx.query(&req_morton).expect("query").neighbors;
+            let nested = nested_query_distributed(comm, &tree, &myq, k, batch);
+            let csr_input = query_distributed(comm, &tree, &myq, &cfg_input)
+                .expect("query")
+                .neighbors;
+            let csr_morton = query_distributed(comm, &tree, &myq, &cfg_morton)
+                .expect("query")
+                .neighbors;
             assert_eq!(nested, csr_input, "CSR path diverged from nested path");
             assert_eq!(csr_input, csr_morton, "Morton order changed results");
 
             let mut best = [f64::INFINITY; 3];
             for _ in 0..reps {
-                idx.with_comm(|c| c.barrier());
+                comm.barrier();
                 let t0 = Instant::now();
-                std::hint::black_box(
-                    idx.with_comm(|c| nested_query_distributed(c, idx.tree(), &myq, k, batch)),
-                );
+                std::hint::black_box(nested_query_distributed(comm, &tree, &myq, k, batch));
                 best[0] = best[0].min(t0.elapsed().as_secs_f64());
 
-                idx.with_comm(|c| c.barrier());
+                comm.barrier();
                 let t0 = Instant::now();
-                std::hint::black_box(idx.query(&req_input).expect("query"));
+                std::hint::black_box(
+                    query_distributed(comm, &tree, &myq, &cfg_input).expect("query"),
+                );
                 best[1] = best[1].min(t0.elapsed().as_secs_f64());
 
-                idx.with_comm(|c| c.barrier());
+                comm.barrier();
                 let t0 = Instant::now();
-                std::hint::black_box(idx.query(&req_morton).expect("query"));
+                std::hint::black_box(
+                    query_distributed(comm, &tree, &myq, &cfg_morton).expect("query"),
+                );
                 best[2] = best[2].min(t0.elapsed().as_secs_f64());
             }
             best

@@ -10,8 +10,10 @@
 use panda_bench::table::{f, Table};
 use panda_bench::Args;
 use panda_comm::{run_cluster, ClusterConfig, MachineProfile};
+use panda_core::build_distributed::build_distributed;
 use panda_core::classify::{majority_vote, weighted_vote, ConfusionMatrix};
-use panda_core::engine::{DistIndex, NnBackend, QueryRequest};
+use panda_core::engine::QueryRequest;
+use panda_core::query_distributed::query_distributed;
 use panda_core::DistConfig;
 use panda_data::dayabay::{self, DayaBayParams};
 use panda_data::scatter;
@@ -37,9 +39,10 @@ fn main() {
     let cluster = ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
     let outcomes = run_cluster(&cluster, |comm| {
         let mine = scatter(&train, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&test, index.rank(), index.size());
-        let res = index.query(&QueryRequest::knn(&myq, k)).expect("query");
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&test, comm.rank(), comm.size());
+        let qcfg = QueryRequest::knn(&myq, k).to_query_config();
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("query");
         // classify locally; return (truth, majority, weighted) triples
         (0..myq.len())
             .map(|i| {

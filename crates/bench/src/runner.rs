@@ -2,8 +2,8 @@
 //! cluster, with rank-aggregated metrics.
 
 use panda_comm::{run_cluster, ClusterConfig, CommStats, MachineProfile};
-use panda_core::engine::{DistIndex, NnBackend, QueryRequest};
-use panda_core::query_distributed::RemoteStats;
+use panda_core::build_distributed::build_distributed;
+use panda_core::query_distributed::{query_distributed, RemoteStats};
 use panda_core::timers::{BuildBreakdown, QueryBreakdown};
 use panda_core::{DistConfig, PointSet, QueryConfig, QueryCounters};
 use panda_data::scatter;
@@ -116,17 +116,15 @@ pub fn run_distributed(
 
     let outcomes = run_cluster(&cluster, |comm| {
         let mine = scatter(all_points, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &dist).expect("distributed build");
-        index.with_comm(|c| c.barrier());
-        let t_build = index.with_comm(|c| c.now());
-        let stats_at_build = index.with_comm(|c| c.stats());
-        let myq = scatter(all_queries, index.rank(), index.size());
-        let res = index
-            .query(&QueryRequest::from_config(&myq, &qcfg))
-            .expect("distributed query");
-        index.with_comm(|c| c.barrier());
-        let comm_query = index.with_comm(|c| c.stats()).since(&stats_at_build);
-        let t_query_sync = index.with_comm(|c| c.now()) - t_build;
+        let tree = build_distributed(comm, mine, &dist).expect("distributed build");
+        comm.barrier();
+        let t_build = comm.now();
+        let stats_at_build = comm.stats();
+        let myq = scatter(all_queries, comm.rank(), comm.size());
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("distributed query");
+        comm.barrier();
+        let comm_query = comm.stats().since(&stats_at_build);
+        let t_query_sync = comm.now() - t_build;
         let sample = if verify {
             (0..myq.len().min(5))
                 .map(|i| {
@@ -142,12 +140,12 @@ pub fn run_distributed(
         RankResult {
             t_build,
             t_query_sync,
-            build_breakdown: index.tree().breakdown,
-            query_breakdown: res.breakdown.expect("distributed breakdown"),
-            remote: res.remote.expect("distributed stats"),
+            build_breakdown: tree.breakdown,
+            query_breakdown: res.breakdown,
+            remote: res.remote,
             counters: res.counters,
             comm_query,
-            local_points: index.tree().points.len(),
+            local_points: tree.points.len(),
             sample,
         }
     });

@@ -154,6 +154,50 @@ where
     })
 }
 
+/// Build the channel mesh of a `cfg.ranks`-endpoint cluster and return
+/// every rank's communicator **without spawning threads**.
+///
+/// [`run_cluster`] owns the whole SPMD lifecycle: it spawns one closure
+/// per rank and tears everything down when the closures return. Long-lived
+/// owners — e.g. shard worker threads that each hold their endpoint for
+/// the lifetime of an index — need the opposite: endpoints they can move
+/// into threads they manage themselves. `Comm` is `Send`, so each element
+/// of the returned vector (index = world rank) can migrate into its
+/// worker; collectives work exactly as under `run_cluster`, including the
+/// `recv_timeout`/`retry` deadlock detection from `cfg`.
+///
+/// Dropping an endpoint closes its mailbox; peers blocked on it surface
+/// the usual timeout diagnostics rather than hanging.
+///
+/// # Panics
+/// If `cfg.ranks == 0`.
+pub fn make_endpoints(cfg: &ClusterConfig) -> Vec<Comm> {
+    assert!(cfg.ranks > 0, "cluster must have at least one rank");
+    let p = cfg.ranks;
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| {
+            Comm::new(
+                rank,
+                p,
+                senders.clone(),
+                rx,
+                cfg.cost,
+                cfg.recv_timeout,
+                cfg.retry,
+            )
+        })
+        .collect()
+}
+
 /// Simulated makespan of a run: the maximum final virtual time over ranks.
 pub fn makespan<R>(outcomes: &[RankOutcome<R>]) -> f64 {
     outcomes.iter().map(|o| o.clock.now).fold(0.0, f64::max)
@@ -231,6 +275,36 @@ mod tests {
         assert_eq!(t.sent_msgs, 1);
         assert_eq!(t.recv_msgs, 1);
         assert_eq!(t.sent_bytes, 10);
+    }
+
+    #[test]
+    fn endpoints_collect_like_a_cluster() {
+        // Endpoints moved into caller-managed threads behave exactly like
+        // run_cluster ranks: collectives complete and agree.
+        let endpoints = make_endpoints(&ClusterConfig::new(4));
+        let handles: Vec<_> = endpoints
+            .into_iter()
+            .map(|mut comm| {
+                std::thread::spawn(move || {
+                    let mine = comm.rank() as u64 + 1;
+                    let sum = comm
+                        .world()
+                        .allreduce_u64(mine, crate::collectives::ReduceOp::Sum);
+                    (comm.rank(), sum)
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let (rank, sum) = h.join().expect("endpoint thread");
+            assert_eq!(rank, i);
+            assert_eq!(sum, 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_endpoints_rejected() {
+        let _ = make_endpoints(&ClusterConfig::new(0));
     }
 
     #[test]

@@ -297,6 +297,59 @@ impl Group<'_> {
             .collect())
     }
 
+    /// Fallible [`Group::allgather`]: a stalled peer surfaces as
+    /// [`crate::CommError::Timeout`] (after the retry schedule) instead of
+    /// aborting the run. Same torn-exchange caveat as
+    /// [`Group::try_alltoallv`]: on error, quiesce every rank before
+    /// reusing the communicator for collectives.
+    pub fn try_allgather<T: Clone + Send + 'static>(
+        &mut self,
+        mine: Vec<T>,
+    ) -> crate::Result<Vec<Vec<T>>> {
+        let g = self.size();
+        let me = self.rank();
+        self.comm.stats.collectives += 1;
+        if g == 1 {
+            return Ok(vec![mine]);
+        }
+        let tag = self.coll_tag(CollKind::AllGather);
+        let bytes = (std::mem::size_of::<T>() * mine.len()) as u64;
+        for j in 0..g {
+            if j != me {
+                let dst = self.world_rank(j);
+                self.comm.post(dst, tag, bytes, Box::new(mine.clone()));
+            }
+        }
+        self.comm.stats.collective_bytes_out += bytes;
+        let mut out: Vec<Option<Vec<T>>> = (0..g).map(|_| None).collect();
+        out[me] = Some(mine);
+        let mut max_vt = self.comm.now();
+        let mut total_in = 0;
+        #[allow(clippy::needless_range_loop)] // j is a group rank, not just an index
+        for j in 0..g {
+            if j != me {
+                let src = self.world_rank(j);
+                let env = self.comm.try_recv_env_retry(src, tag)?;
+                max_vt = max_vt.max(env.vtime);
+                total_in += env.bytes;
+                out[j] = Some(*env.payload.downcast::<Vec<T>>().unwrap_or_else(|_| {
+                    panic!(
+                        "allgather payload type mismatch at rank {}",
+                        self.comm.rank()
+                    )
+                }));
+            }
+        }
+        let cost = self.comm.cost.net.collective(g, total_in);
+        self.comm.clock.sync_to(max_vt);
+        self.comm.clock.advance_comm(cost);
+        self.comm.stats.collective_bytes_in += total_in;
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("allgather slot"))
+            .collect())
+    }
+
     /// All-reduce one `u64`.
     pub fn allreduce_u64(&mut self, v: u64, op: ReduceOp) -> u64 {
         let all = self.allgather(vec![v]);
@@ -304,6 +357,17 @@ impl Group<'_> {
             .map(|x| x[0])
             .reduce(|a, b| op.fold_u64(a, b))
             .expect("non-empty group")
+    }
+
+    /// Fallible [`Group::allreduce_u64`] built on [`Group::try_allgather`];
+    /// timing and stats are identical to the infallible version.
+    pub fn try_allreduce_u64(&mut self, v: u64, op: ReduceOp) -> crate::Result<u64> {
+        let all = self.try_allgather(vec![v])?;
+        Ok(all
+            .iter()
+            .map(|x| x[0])
+            .reduce(|a, b| op.fold_u64(a, b))
+            .expect("non-empty group"))
     }
 
     /// All-reduce one `f64`.
@@ -508,6 +572,20 @@ mod tests {
             assert_eq!(o.result.1, 1);
             assert_eq!(o.result.2, 4);
             assert!((o.result.3 - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn try_allreduce_matches_infallible() {
+        let out = run_cluster(&cfg(4), |c| {
+            let v = (c.rank() + 1) as u64;
+            let mx = c.world().try_allreduce_u64(v, ReduceOp::Max).unwrap();
+            let all = c.world().try_allgather(vec![v]).unwrap();
+            (mx, all)
+        });
+        for o in &out {
+            assert_eq!(o.result.0, 4);
+            assert_eq!(o.result.1, vec![vec![1], vec![2], vec![3], vec![4]]);
         }
     }
 

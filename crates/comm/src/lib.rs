@@ -53,7 +53,7 @@ pub mod retry;
 pub mod stats;
 
 pub use clock::{ClockSummary, VirtualClock};
-pub use cluster::{makespan, run_cluster, total_stats, ClusterConfig, RankOutcome};
+pub use cluster::{make_endpoints, makespan, run_cluster, total_stats, ClusterConfig, RankOutcome};
 pub use collectives::ReduceOp;
 pub use comm::{Comm, Tag};
 pub use cost::{log2_ceil, ComputeCosts, CostModel, MachineProfile, NetworkCosts, ThreadModel};

@@ -13,8 +13,8 @@ use crate::point::PointSet;
 /// `Box<dyn NnBackend>` (or `&dyn NnBackend`) instead of re-plumbing each
 /// engine's build/query shape by hand. `build` is excluded from the
 /// vtable (`where Self: Sized`); backends that need more context than
-/// `(points, config)` — e.g. [`crate::engine::DistIndex`], which needs a
-/// cluster communicator — keep `build`'s rejecting default body and
+/// `(points, config)` — e.g. [`crate::engine::ShardedIndex`], which
+/// needs a shard count — keep `build`'s rejecting default body and
 /// provide inherent constructors instead.
 ///
 /// Exactness contract: every implementation in this workspace answers
@@ -26,9 +26,9 @@ pub trait NnBackend {
     /// that do not apply to them (e.g. brute force ignores all of it).
     ///
     /// The default body rejects the call: backends that need more context
-    /// than `(points, config)` — e.g. [`crate::engine::DistIndex`], which
-    /// needs a cluster communicator — keep the default and provide
-    /// inherent constructors instead.
+    /// than `(points, config)` — e.g. [`crate::engine::ShardedIndex`],
+    /// which needs a shard count — keep the default and provide inherent
+    /// constructors instead.
     fn build(points: &PointSet, cfg: &TreeConfig) -> Result<Self>
     where
         Self: Sized,
@@ -58,6 +58,14 @@ pub trait NnBackend {
 
     /// Dimensionality of the indexed points.
     fn dims(&self) -> usize;
+
+    /// Monotonic version stamp of the indexed data, used by caches to
+    /// invalidate memoized results. Immutable backends keep the default
+    /// constant `0`; mutable backends must return a value that changes
+    /// whenever a write could alter any query's answer.
+    fn data_epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl NnBackend for KnnIndex {

@@ -4,8 +4,8 @@
 //! interchangeable:
 //!
 //! * [`NnBackend`] — an object-safe trait over build + batch query,
-//!   implemented by [`crate::knn::KnnIndex`], [`DistIndex`], and the four
-//!   baselines in `panda-baselines`;
+//!   implemented by [`crate::knn::KnnIndex`], [`ShardedIndex`], and the
+//!   four baselines in `panda-baselines`;
 //! * [`QueryRequest`] — a validated builder unifying `k`, optional
 //!   radius, execution order, bound mode, and distributed knobs;
 //! * [`QueryResponse`] — a structured result whose neighbor storage is
@@ -27,11 +27,11 @@
 //! ```
 
 mod backend;
-mod dist_index;
 mod request;
 mod response;
+mod sharded;
 
 pub use backend::NnBackend;
-pub use dist_index::DistIndex;
 pub use request::QueryRequest;
 pub use response::{NeighborTable, QueryResponse};
+pub use sharded::ShardedIndex;

@@ -40,7 +40,8 @@ use crate::error::{PandaError, Result};
 /// Well-known fault point names wired into the engine, kept here so
 /// tests and call sites cannot drift apart.
 pub mod points {
-    /// Stage-1 query routing exchange of `DistIndex::query`.
+    /// Stage-1 query routing exchange of the distributed pipeline
+    /// (`query_distributed`'s prologue).
     pub const DIST_EXCHANGE_ROUTE: &str = "dist.exchange.route";
     /// Stage-3 remote-request exchange of the distributed pipeline.
     pub const DIST_EXCHANGE_REQUESTS: &str = "dist.exchange.requests";
@@ -50,6 +51,11 @@ pub mod points {
     pub const DIST_EXCHANGE_RETURN: &str = "dist.exchange.return";
     /// Local engine batch execution (leaf kernel dispatch).
     pub const ENGINE_LEAF_DISPATCH: &str = "engine.leaf_dispatch";
+    /// Shard worker, start of a KNN job (context = shard id). Fires on
+    /// the worker thread, before the collective pipeline is entered.
+    pub const SHARD_WORKER_QUERY: &str = "shard.worker.query";
+    /// Shard worker, start of a fixed-radius job (context = shard id).
+    pub const SHARD_WORKER_RADIUS: &str = "shard.worker.radius";
     /// Query-service micro-batch drain/execute path.
     pub const SERVICE_DRAIN: &str = "service.drain";
     /// Mutable-index write-log append (`MutableIndex::insert`).

@@ -14,9 +14,13 @@
 //!
 //! * Single-node usage: [`knn::KnnIndex`] (implements
 //!   [`engine::NnBackend`]).
-//! * Distributed usage (over the `panda-comm` simulated cluster):
-//!   [`build_distributed::build_distributed`] wrapped by
-//!   [`engine::DistIndex`], same trait.
+//! * Distributed usage: [`engine::ShardedIndex`], same trait — a
+//!   `Send + Sync` front handle over long-lived shard worker threads,
+//!   each owning its local tree and `panda-comm` endpoint. SPMD callers
+//!   (virtual-time scaling studies) drive
+//!   [`build_distributed::build_distributed`] +
+//!   [`query_distributed::query_distributed`] directly under
+//!   `run_cluster`.
 //!
 //! All querying is **exact**: results are verified bit-identical to brute
 //! force throughout the test suite (`BoundMode::Exact`, the default).
@@ -100,7 +104,7 @@ pub use config::{
     TreeConfig,
 };
 pub use counters::{BuildCounters, QueryCounters};
-pub use engine::{DistIndex, NeighborTable, NnBackend, QueryRequest, QueryResponse};
+pub use engine::{NeighborTable, NnBackend, QueryRequest, QueryResponse, ShardedIndex};
 pub use error::{PandaError, Result};
 pub use heap::{KnnHeap, Neighbor};
 pub use local_tree::{LocalKdTree, QueryWorkspace, TreeStats};

@@ -159,14 +159,20 @@ fn qid_idx(q: u64) -> usize {
     (q & QID_IDX_MASK) as usize
 }
 
-/// Owned queries after routing: flat coords + qids.
-struct Owned {
-    coords: Vec<f32>,
-    qids: Vec<u64>,
+/// Owned queries after routing: flat coords + opaque qids.
+///
+/// The pipeline never interprets qids — they ride along the (possibly
+/// Morton-permuted) processing order and come back in
+/// [`OwnedOutput::qids`]. The SPMD path packs `(origin rank, submission
+/// index)` into them; the sharded front-end passes plain submission
+/// indices.
+pub(crate) struct Owned {
+    pub(crate) coords: Vec<f32>,
+    pub(crate) qids: Vec<u64>,
 }
 
 impl Owned {
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.qids.len()
     }
 
@@ -193,36 +199,52 @@ impl Owned {
     }
 }
 
-/// CSR-native result of [`query_distributed_impl`]: what
-/// [`crate::engine::DistIndex`] wraps into a `QueryResponse` without any
-/// nested intermediate.
-pub(crate) struct DistQueryCsr {
-    pub(crate) neighbors: NeighborTable,
+/// CSR-native result of [`query_distributed`]: what callers (the SPMD
+/// benches, the shard workers' front-end) wrap into a `QueryResponse`
+/// without any nested intermediate.
+#[derive(Debug)]
+pub struct DistQueryOutput {
+    /// Results in submission order, CSR layout.
+    pub neighbors: NeighborTable,
+    /// Per-phase virtual-time breakdown (see [`QueryBreakdown`]).
+    pub breakdown: QueryBreakdown,
+    /// Work counters accumulated over every stage.
+    pub counters: QueryCounters,
+    /// Remote-traffic statistics.
+    pub remote: RemoteStats,
+}
+
+/// Result of [`owned_pipeline`]: finalized top-k for the queries this
+/// rank owns, CSR-style in **processing** order (`qids[i]` names the
+/// query whose `counts[i]` neighbors sit next in `arena`). The caller —
+/// the SPMD return leg, or the sharded front-end's gather — scatters rows
+/// back to submission order.
+pub(crate) struct OwnedOutput {
+    pub(crate) qids: Vec<u64>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) arena: Vec<Neighbor>,
     pub(crate) breakdown: QueryBreakdown,
     pub(crate) counters: QueryCounters,
     pub(crate) remote: RemoteStats,
 }
 
-/// The SPMD engine behind [`crate::engine::DistIndex`]. Every rank
-/// passes its own `queries`; results come back in the same order. `tree`
-/// must be the product of
-/// [`crate::build_distributed::build_distributed`] on the same cluster.
-pub(crate) fn query_distributed_impl(
+/// Stages 2–5 for the queries this rank owns: local KNN, identify remote
+/// ranks, remote KNN, merge — the batched collective pipeline that every
+/// rank of the communicator must enter in lockstep (even with zero owned
+/// queries; the step count is agreed by allreduce).
+///
+/// This is the per-shard step of the engine: under the SPMD driver it is
+/// called by [`query_distributed`] between the routing exchange and the
+/// origin-return leg; under [`crate::engine::ShardedIndex`] it runs
+/// inside each shard worker thread, with routing and assembly done by
+/// the front-end over channels.
+pub(crate) fn owned_pipeline(
     comm: &mut Comm,
     tree: &DistKdTree,
-    queries: &PointSet,
+    mut owned: Owned,
     cfg: &QueryConfig,
-) -> Result<DistQueryCsr> {
-    cfg.validate()?;
-    queries.validate()?;
+) -> Result<OwnedOutput> {
     let dims = tree.global.dims();
-    if !queries.is_empty() && queries.dims() != dims {
-        return Err(PandaError::DimsMismatch {
-            expected: dims,
-            got: queries.dims(),
-        });
-    }
-    check_qid_capacity(queries.len(), comm.size())?;
     let p = comm.size();
     let me = comm.rank();
     let k = cfg.k;
@@ -238,26 +260,6 @@ pub(crate) fn query_distributed_impl(
     let mut remote = RemoteStats::default();
     let mut ws = QueryWorkspace::new();
 
-    // ---- Stage 1: find owner & route ----------------------------------
-    let before = comm.clock();
-    let mut route_counters = QueryCounters::default();
-    let mut coord_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
-    let mut qid_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
-    for i in 0..queries.len() {
-        let q = queries.point(i);
-        let owner = tree.global.owner(q, &mut route_counters);
-        coord_sends[owner].extend_from_slice(q);
-        qid_sends[owner].push(qid(me, i));
-    }
-    charge(comm, &route_counters, dims);
-    counters.add(&route_counters);
-    faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_ROUTE, me as u64)?;
-    let coords_in = comm.world().try_alltoallv(coord_sends)?;
-    let qids_in = comm.world().try_alltoallv(qid_sends)?;
-    let mut owned = Owned {
-        coords: coords_in.into_iter().flatten().collect(),
-        qids: qids_in.into_iter().flatten().collect(),
-    };
     // Locality pass: sort the owned queries along the Morton curve so
     // every batch (and its request streams) touches coherent leaves. The
     // O(n log n) key sort is negligible next to traversal and is not
@@ -266,15 +268,12 @@ pub(crate) fn query_distributed_impl(
         owned.reorder_morton(dims);
     }
     remote.owned_queries = owned.len() as u64;
-    let (d_comp, d_comm) = clock_delta(comm, before);
-    breakdown.find_owner = d_comp;
-    breakdown.comm_total += d_comm;
 
     // ---- Batched pipeline ----------------------------------------------
     let steps = {
         let most = comm
             .world()
-            .allreduce_u64(owned.len() as u64, ReduceOp::Max);
+            .try_allreduce_u64(owned.len() as u64, ReduceOp::Max)?;
         (most as usize).div_ceil(cfg.batch_size)
     };
 
@@ -501,6 +500,76 @@ pub(crate) fn query_distributed_impl(
         });
     }
 
+    Ok(OwnedOutput {
+        qids: owned.qids,
+        counts: fin_counts,
+        arena: fin_arena,
+        breakdown,
+        counters,
+        remote,
+    })
+}
+
+/// The SPMD engine: every rank passes its own `queries`; results come
+/// back in the same order. `tree` must be the product of
+/// [`crate::build_distributed::build_distributed`] on the same cluster.
+///
+/// This is the low-level entry point for callers that drive the SPMD
+/// world themselves (virtual-time scaling studies under
+/// [`panda_comm::run_cluster`], chaos tests that manage
+/// [`panda_comm::Comm::quiesce`] epochs by hand). For serving real
+/// traffic, use [`crate::engine::ShardedIndex`], which runs this
+/// engine's pipeline inside supervised shard worker threads behind a
+/// `Send + Sync` handle.
+pub fn query_distributed(
+    comm: &mut Comm,
+    tree: &DistKdTree,
+    queries: &PointSet,
+    cfg: &QueryConfig,
+) -> Result<DistQueryOutput> {
+    cfg.validate()?;
+    queries.validate()?;
+    let dims = tree.global.dims();
+    if !queries.is_empty() && queries.dims() != dims {
+        return Err(PandaError::DimsMismatch {
+            expected: dims,
+            got: queries.dims(),
+        });
+    }
+    check_qid_capacity(queries.len(), comm.size())?;
+    let p = comm.size();
+    let me = comm.rank();
+
+    // ---- Stage 1: find owner & route ----------------------------------
+    let before = comm.clock();
+    let mut route_counters = QueryCounters::default();
+    let mut coord_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
+    let mut qid_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
+    for i in 0..queries.len() {
+        let q = queries.point(i);
+        let owner = tree.global.owner(q, &mut route_counters);
+        coord_sends[owner].extend_from_slice(q);
+        qid_sends[owner].push(qid(me, i));
+    }
+    charge(comm, &route_counters, dims);
+    faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_ROUTE, me as u64)?;
+    let coords_in = comm.world().try_alltoallv(coord_sends)?;
+    let qids_in = comm.world().try_alltoallv(qid_sends)?;
+    let owned = Owned {
+        coords: coords_in.into_iter().flatten().collect(),
+        qids: qids_in.into_iter().flatten().collect(),
+    };
+    let (d_comp, d_comm) = clock_delta(comm, before);
+
+    // ---- Stages 2–5 -----------------------------------------------------
+    let mut out = owned_pipeline(comm, tree, owned, cfg)?;
+    out.breakdown.find_owner += d_comp;
+    out.breakdown.comm_total += d_comm;
+    out.counters.add(&route_counters);
+    let mut breakdown = out.breakdown;
+    let counters = out.counters;
+    let remote = out.remote;
+
     // ---- return results to origins (flat framing) -----------------------
     // One packed meta word per finalized query — `(submission idx << 32) |
     // count` (the origin rank is implied by the lane) — plus flat
@@ -510,17 +579,17 @@ pub(crate) fn query_distributed_impl(
     let mut ret_id_sends: Vec<Vec<u64>> = vec![Vec::new(); p];
     let mut ret_dist_sends: Vec<Vec<f32>> = vec![Vec::new(); p];
     let mut cur = 0usize;
-    for (oi, &cnt) in fin_counts.iter().enumerate() {
-        let rq = owned.qids[oi];
+    for (oi, &cnt) in out.counts.iter().enumerate() {
+        let rq = out.qids[oi];
         let origin = qid_origin(rq);
         ret_meta_sends[origin].push(((qid_idx(rq) as u64) << QID_SHIFT) | u64::from(cnt));
-        for n in &fin_arena[cur..cur + cnt as usize] {
+        for n in &out.arena[cur..cur + cnt as usize] {
             ret_id_sends[origin].push(n.id);
             ret_dist_sends[origin].push(n.dist_sq);
         }
         cur += cnt as usize;
     }
-    debug_assert_eq!(cur, fin_arena.len());
+    debug_assert_eq!(cur, out.arena.len());
     faultpoint::maybe_fail_ctx(points::DIST_EXCHANGE_RETURN, me as u64)?;
     let ret_meta_in = comm.world().try_alltoallv(ret_meta_sends)?;
     let ret_id_in = comm.world().try_alltoallv(ret_id_sends)?;
@@ -565,7 +634,7 @@ pub(crate) fn query_distributed_impl(
         comm: d_comm,
     });
 
-    Ok(DistQueryCsr {
+    Ok(DistQueryOutput {
         neighbors: table,
         breakdown,
         counters,
@@ -575,7 +644,6 @@ pub(crate) fn query_distributed_impl(
 
 #[cfg(test)]
 mod tests {
-    use super::query_distributed_impl as query_distributed;
     use super::*;
     use crate::build_distributed::build_distributed;
     use crate::config::{BoundMode, DistConfig};

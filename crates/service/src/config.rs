@@ -58,6 +58,16 @@ pub struct ServiceConfig {
     /// Per-batch override of the backend's thread-parallel execution
     /// (`None` keeps whatever the backend was built with).
     pub parallel: Option<bool>,
+    /// Capacity (in submissions) of the hot-query result cache; `0`
+    /// (the default) disables caching entirely. When enabled, `submit`
+    /// resolves repeated submissions — same coordinate bit patterns,
+    /// `k`, radius, and bound mode — straight from an LRU memo without
+    /// touching the queue or the backend. The cache is invalidated
+    /// whenever the backend's
+    /// [`data_epoch`](panda_core::engine::NnBackend::data_epoch) moves,
+    /// so mutable backends never serve stale answers. Hits and misses
+    /// are counted in [`crate::ServiceStats`].
+    pub cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +79,7 @@ impl Default for ServiceConfig {
             overflow: OverflowPolicy::Block,
             order: QueryOrder::Morton,
             parallel: None,
+            cache_capacity: 0,
         }
     }
 }
@@ -113,6 +124,14 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = Some(parallel);
+        self
+    }
+
+    /// Set the hot-query result-cache capacity in submissions (`0`
+    /// disables the cache, the default).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
         self
     }
 

@@ -68,11 +68,31 @@
 //! plays — every client gets bit-identical neighbors to a direct
 //! `query_session` call (pinned by `tests/service_parity.rs`).
 //!
-//! Distributed backends (`DistIndex`, `LocalTreesBackend`) are
-//! **service-ineligible**: their queries are SPMD collectives entered by
-//! every rank in lockstep, and their `RefCell`-held communicators make
-//! them deliberately `!Sync`, which the `Send + Sync` bound rejects at
-//! compile time. Serve each rank's local tree instead.
+//! ## Caching hot queries
+//!
+//! Serving workloads repeat themselves; with
+//! [`ServiceConfig::with_cache_capacity`] the service memoizes resolved
+//! submissions in an LRU keyed on the coordinate **bit patterns**, `k`,
+//! radius, and bound mode — a repeat resolves straight from the memo
+//! (zero-copy, no queue, no backend) and is counted in
+//! [`ServiceStats::cache_hits`]. The cache invalidates itself whenever
+//! the backend's
+//! [`data_epoch`](panda_core::engine::NnBackend::data_epoch) moves, so
+//! mutable backends (`panda-store`) never serve stale answers. Off by
+//! default.
+//!
+//! ## Serving the distributed engine
+//!
+//! The sharded engine is a first-class backend here:
+//! [`ShardedIndex`](panda_core::engine::ShardedIndex) is `Send + Sync`
+//! (a front handle over long-lived shard worker threads, each owning
+//! its communicator exclusively), so
+//! `QueryService::new(Arc::new(sharded), cfg)` serves a whole
+//! distributed tree behind the same ticket API — see the
+//! `sharded_service` example. Only the SPMD entry points
+//! (`query_distributed` under `run_cluster`, used by the virtual-time
+//! scaling studies) remain outside the service, since every simulated
+//! rank must enter those collectives in lockstep.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -103,6 +123,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod config;
 mod metrics;
 mod service;

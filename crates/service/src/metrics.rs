@@ -32,6 +32,8 @@ pub(crate) struct Metrics {
     pub cancelled: AtomicU64,
     pub scheduler_restarts: AtomicU64,
     pub abandoned: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
     pub queue_depth: AtomicUsize,
     pub max_queue_depth: AtomicUsize,
     pub batch_hist: [AtomicU64; BATCH_BUCKETS],
@@ -52,6 +54,8 @@ impl Default for Metrics {
             cancelled: AtomicU64::new(0),
             scheduler_restarts: AtomicU64::new(0),
             abandoned: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             max_queue_depth: AtomicUsize::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -101,6 +105,8 @@ impl Metrics {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             scheduler_restarts: self.scheduler_restarts.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
@@ -138,6 +144,15 @@ pub struct ServiceStats {
     /// Tickets whose client dropped the handle before the reply arrived
     /// (e.g. after a `wait_timeout` miss); the reply was discarded.
     pub abandoned: u64,
+    /// Submissions answered straight from the hot-query result cache
+    /// (counted in [`submitted`](Self::submitted) but not in
+    /// [`queries`](Self::queries) — a hit never joins a batch, so batch
+    /// statistics stay honest). Always `0` when
+    /// [`crate::ServiceConfig::cache_capacity`] is `0`.
+    pub cache_hits: u64,
+    /// Cache probes that missed and fell through to the normal queue
+    /// path. `0` when the cache is disabled (disabled ≠ missing).
+    pub cache_misses: u64,
     /// Query points queued at snapshot time.
     pub queue_depth: usize,
     /// Largest queued query-point count ever observed.

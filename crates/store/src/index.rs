@@ -379,6 +379,15 @@ impl NnBackend for MutableIndex {
     fn dims(&self) -> usize {
         self.inner.dims
     }
+
+    /// The write counters, not the compaction [`epoch`](MutableIndex::epoch):
+    /// compaction swaps never change answers, while every insert/remove
+    /// can — and both counters are monotone, so their sum moves on every
+    /// mutation and result caches invalidate exactly when they must.
+    fn data_epoch(&self) -> u64 {
+        self.inner.metrics.inserted.load(Ordering::Relaxed)
+            + self.inner.metrics.removed.load(Ordering::Relaxed)
+    }
 }
 
 impl StoreInner {

@@ -26,19 +26,19 @@ fn main() {
     let outcomes = run_cluster(&cluster, |comm| {
         // Each rank starts with an arbitrary slice of the data …
         let mine = scatter(&points, comm.rank(), comm.size());
-        // … and ends with one spatial cell of it, plus a local tree —
-        // wrapped with the comm handle into one queryable backend.
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        index.with_comm(|c| c.barrier());
-        let t_build = index.with_comm(|c| c.now());
-        let myq = scatter(&queries, index.rank(), index.size());
-        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
+        // … and ends with one spatial cell of it, plus a local tree.
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        comm.barrier();
+        let t_build = comm.now();
+        let myq = scatter(&queries, comm.rank(), comm.size());
+        let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("query");
         (
             t_build,
-            index.tree().breakdown,
-            res.breakdown.expect("distributed breakdown"),
-            res.remote.expect("distributed stats"),
-            index.tree().points.len(),
+            tree.breakdown,
+            res.breakdown,
+            res.remote,
+            tree.points.len(),
         )
     });
 

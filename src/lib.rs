@@ -49,10 +49,37 @@
 //!
 //! The same request replays against any backend — the parity suite in
 //! `tests/backend_parity.rs` holds every engine to bit-identical answers.
-//! Distributed engines ([`panda_core::engine::DistIndex`],
-//! [`panda_baselines::LocalTreesBackend`]) are built per rank with their
-//! `build_on` constructors inside a `run_cluster` closure and queried
-//! through the identical trait.
+//! The distributed engine is [`ShardedIndex`](prelude::ShardedIndex):
+//! one `Send + Sync` handle over long-lived shard worker threads, each
+//! exclusively owning its local tree and communicator — build it with
+//! `ShardedIndex::build(&points, shards, &cfg)` and query it through the
+//! identical trait, no `run_cluster` closure required. (The SPMD
+//! entry points `build_distributed` + `query_distributed` remain public
+//! for virtual-time scaling studies that simulate thousands of ranks;
+//! `LocalTreesBackend` is likewise built per rank inside `run_cluster`.)
+//!
+//! ## Quickstart: sharded serving
+//!
+//! The sharded engine *is* a service backend — the front handle is
+//! `Send + Sync`, so a [`QueryService`](prelude::QueryService) can coalesce
+//! many clients' queries over a whole distributed tree:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use panda::prelude::*;
+//!
+//! let points = PointSet::from_coords(1, (0..64).map(|i| i as f32).collect())?;
+//! // two shard workers, each owning half the points and a comm endpoint
+//! let sharded = ShardedIndex::build(&points, 2, &DistConfig::default())?;
+//! let service = QueryService::new(Arc::new(sharded), ServiceConfig::default())?;
+//!
+//! let q = PointSet::from_coords(1, vec![7.3, 41.9])?;
+//! let reply = service.submit(&QueryRequest::knn(&q, 2))?.wait()?;
+//! assert_eq!(reply.row(0)[0].id, 7);  // exact, same as a local KnnIndex
+//! assert_eq!(reply.row(1)[0].id, 42);
+//! service.shutdown();
+//! # Ok::<(), PandaError>(())
+//! ```
 //!
 //! ## Quickstart: serving concurrent clients
 //!
@@ -113,10 +140,12 @@
 //! outstanding tickets; `stats` exposes queue depth, the batch-size
 //! histogram, and p50/p99/p999 submit→resolve latency (overall and per
 //! batch-size bucket). The service requires `Send + Sync` backends
-//! (pinned by `tests/thread_safety.rs`); distributed engines are
-//! deliberately ineligible — their queries are SPMD collectives, and
-//! their `RefCell`-held communicators make them `!Sync` so the mistake
-//! cannot compile.
+//! (pinned by `tests/thread_safety.rs`); `KnnIndex`, `MutableIndex`,
+//! the in-process baselines, **and** the sharded distributed engine all
+//! qualify. An optional hot-query result cache
+//! (`ServiceConfig::with_cache_capacity`) memoizes repeated
+//! submissions, invalidated automatically when a mutable backend's
+//! `data_epoch` moves.
 //!
 //! ## Quickstart: streaming updates
 //!
@@ -189,13 +218,21 @@
 //!   exponential backoff (`ServiceStats::scheduler_restarts`) — the
 //!   service keeps serving.
 //! * **Distributed communication.** A stalled or dead peer inside a
-//!   `DistIndex` query surfaces as
+//!   distributed query surfaces as
 //!   `PandaError::Comm(CommError::Timeout { .. })` on **every** rank
 //!   instead of aborting the process; transient stalls are absorbed by a
 //!   per-exchange retry with jittered exponential backoff
 //!   ([`RetryPolicy`](comm::RetryPolicy), configurable via
 //!   `ClusterConfig::with_retry`). After an error the communicator is
-//!   reusable once every rank calls `Comm::quiesce` with a common epoch.
+//!   reusable once every rank calls `Comm::quiesce` with a common epoch —
+//!   [`ShardedIndex`](prelude::ShardedIndex) runs that protocol
+//!   automatically across its workers after any failed round.
+//! * **Shard worker crashes.** Each shard of a
+//!   [`ShardedIndex`](prelude::ShardedIndex) runs supervised: a panic
+//!   mid-batch resolves the round with `PandaError::BackendPanicked`,
+//!   the worker restarts after a bounded exponential backoff
+//!   (`ShardedIndex::shard_restarts` counts them), and the next round
+//!   proceeds normally.
 //! * **Fault injection.** All of the above is provable on demand:
 //!   [`panda_core::faultpoint`] compiles named fault points into the
 //!   comm exchanges, the leaf-kernel dispatch, and the service drain
@@ -206,9 +243,10 @@
 //!
 //! ### Locality on the distributed path
 //!
-//! `QueryRequest::with_order(QueryOrder::Morton)` is honored by
-//! [`DistIndex`](prelude::DistIndex) too: after queries are routed to
-//! their owning ranks, each rank re-sorts its *owned* queries along a
+//! `QueryRequest::with_order(QueryOrder::Morton)` is honored by the
+//! distributed pipeline too (both [`ShardedIndex`](prelude::ShardedIndex)
+//! and the SPMD `query_distributed`): after queries are routed to
+//! their owning shards, each re-sorts its *owned* queries along a
 //! Morton (Z-order) curve, so every pipeline step's local KNN and remote
 //! request streams touch spatially coherent leaves. Results always come
 //! back in submission order — the knob changes locality, never values
@@ -229,7 +267,7 @@
 //! |---|---|
 //! | `index.query_batch(&q, k)` → `(Vec<Vec<Neighbor>>, QueryCounters)` | `backend.query(&QueryRequest::knn(&q, k))` → `QueryResponse` |
 //! | `index.query_batch_ordered(&q, k, order)` | `QueryRequest::knn(&q, k).with_order(order)` |
-//! | `query_distributed(comm, &tree, &q, &cfg)` → `DistQueryResult` | `DistIndex::build_on(comm, pts, &cfg)` then `backend.query(&req)` |
+//! | `query_distributed(comm, &tree, &q, &cfg)` → `DistQueryResult` | `ShardedIndex::build(&pts, shards, &cfg)` then `backend.query(&req)` (or the SPMD `query_distributed` → `DistQueryOutput` under `run_cluster`) |
 //! | `brute.query_batch(&q, k, parallel)` | `QueryRequest::knn(&q, k).with_parallel(parallel)` |
 //! | `flann.query_batch(&q, k, parallel)` / `ann.query_batch(&q, k)` | same request, any backend |
 //! | `results[i]` (a `Vec<Neighbor>`) | `res.neighbors.row(i)` (a `&[Neighbor]` into one arena) |
@@ -249,10 +287,13 @@ pub use panda_store as store;
 /// callers stop reaching through `panda::core::...` internals.
 pub mod prelude {
     pub use panda_baselines::{AnnLikeTree, BruteForce, FlannLikeTree, LocalTreesBackend};
+    pub use panda_core::build_distributed::{build_distributed, DistKdTree};
     pub use panda_core::engine::{
-        DistIndex, NeighborTable, NnBackend, QueryRequest, QueryResponse,
+        NeighborTable, NnBackend, QueryRequest, QueryResponse, ShardedIndex,
     };
     pub use panda_core::knn::KnnIndex;
+    pub use panda_core::query_distributed::{query_distributed, DistQueryOutput};
+    pub use panda_core::radius::radius_search_distributed;
     pub use panda_core::{
         BoundMode, DistConfig, Neighbor, PandaError, PointSet, QueryCounters, QueryOrder, Result,
         TreeConfig,

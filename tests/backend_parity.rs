@@ -7,9 +7,9 @@
 //! reported distance from the query.
 //!
 //! Covered backends: `panda-local` (`KnnIndex`), `brute-force`,
-//! `flann-like`, `ann-like` on the single-node side; `panda-dist`
-//! (`DistIndex`) and `local-trees` (`LocalTreesBackend`) on a simulated
-//! 4-rank cluster.
+//! `flann-like`, `ann-like` on the single-node side; the SPMD pipeline
+//! (`query_distributed`) and `local-trees` (`LocalTreesBackend`) on a
+//! simulated 4-rank cluster.
 
 use panda::comm::{run_cluster, ClusterConfig};
 use panda::data::dayabay::{self, DayaBayParams};
@@ -162,15 +162,14 @@ fn distributed_backends_agree_with_brute_force() {
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let (rank, size) = (comm.rank(), comm.size());
         let mine = scatter(&points, rank, size);
-        // both distributed engines share the cluster run; hand the comm
-        // borrow from one backend to the next
-        let dist = DistIndex::build_on(comm, mine.clone(), &DistConfig::default()).unwrap();
+        // both distributed engines share the cluster run; the SPMD
+        // pipeline only borrows the comm, so local-trees can follow it
+        let tree = build_distributed(comm, mine.clone(), &DistConfig::default()).unwrap();
         let myq = scatter(&queries, rank, size);
         let dist_res = {
-            let backend: &dyn NnBackend = &dist;
-            backend.query(&QueryRequest::knn(&myq, 5)).unwrap()
+            let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+            query_distributed(comm, &tree, &myq, &qcfg).unwrap()
         };
-        let (comm, _tree) = dist.into_parts();
         let lt = LocalTreesBackend::build_on(comm, &mine, &TreeConfig::default()).unwrap();
         let lt_res = {
             let backend: &dyn NnBackend = &lt;

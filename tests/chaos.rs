@@ -302,10 +302,11 @@ fn stalled_rank_yields_typed_timeouts_and_quiesce_recovers() {
     let out = run_cluster(&cfg, |comm| {
         let rank = comm.rank();
         let mine = scatter(&all, rank, comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&all, index.rank(), index.size());
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&all, rank, comm.size());
 
-        let first = index.query(&QueryRequest::knn(&myq, 4));
+        let qcfg = QueryRequest::knn(&myq, 4).to_query_config();
+        let first = query_distributed(comm, &tree, &myq, &qcfg);
         let first_kind = match (rank, first) {
             (1, Err(PandaError::FaultInjected { point })) => {
                 assert_eq!(point, points::DIST_EXCHANGE_ROUTE);
@@ -320,16 +321,15 @@ fn stalled_rank_yields_typed_timeouts_and_quiesce_recovers() {
 
         torn_over.wait();
         // same epoch on every rank: drop leftovers, rebase collective tags
-        index.with_comm(|c| c.quiesce(1));
-        let parked = index.with_comm(|c| c.pending_messages());
+        comm.quiesce(1);
+        let parked = comm.pending_messages();
         // the faulted rank consumed nothing, but quiesce cleared it all
         assert_eq!(parked, 0, "rank {rank}: mailbox leaked after quiesce");
         all_quiesced.wait();
 
-        let second = index
-            .query(&QueryRequest::knn(&myq, 4))
-            .expect("post-quiesce query succeeds");
-        assert_eq!(second.len(), myq.len());
+        let second =
+            query_distributed(comm, &tree, &myq, &qcfg).expect("post-quiesce query succeeds");
+        assert_eq!(second.neighbors.len(), myq.len());
         assert!(second.neighbors.iter().all(|row| row.len() == 4));
         first_kind
     });
@@ -371,13 +371,13 @@ fn straggler_delay_is_masked_by_receive_retry() {
         );
     let out = run_cluster(&cfg, |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let p = index.size();
-        let rank = index.rank();
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let p = comm.size();
+        let rank = comm.rank();
         let myq = scatter(&all, rank, p);
-        let res = index
-            .query(&QueryRequest::knn(&myq, 3))
-            .expect("straggler absorbed, query exact");
+        let qcfg = QueryRequest::knn(&myq, 3).to_query_config();
+        let res =
+            query_distributed(comm, &tree, &myq, &qcfg).expect("straggler absorbed, query exact");
         // strided scatter: local row i answers global query rank + i*p
         res.neighbors
             .iter()
@@ -432,24 +432,137 @@ fn late_stage_exchange_fault_is_also_typed_and_recoverable() {
     let out = run_cluster(&cfg, |comm| {
         let rank = comm.rank();
         let mine = scatter(&all, rank, comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&all, index.rank(), index.size());
-        let first = index.query(&QueryRequest::knn(&myq, 3));
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&all, rank, comm.size());
+        let qcfg = QueryRequest::knn(&myq, 3).to_query_config();
+        let first = query_distributed(comm, &tree, &myq, &qcfg);
         let typed = matches!(
             first,
             Err(PandaError::FaultInjected { .. })
                 | Err(PandaError::Comm(CommError::Timeout { .. }))
         );
         torn_over.wait();
-        index.with_comm(|c| c.quiesce(2));
+        comm.quiesce(2);
         all_quiesced.wait();
-        let second = index.query(&QueryRequest::knn(&myq, 3));
+        let second = query_distributed(comm, &tree, &myq, &qcfg);
         (typed, second.is_ok())
     });
     for o in &out {
         assert!(o.result.0, "rank {}: first error was typed", o.rank);
         assert!(o.result.1, "rank {}: recovered after quiesce", o.rank);
     }
+}
+
+// ---------------------------------------------------------------- shards
+
+fn short_timeout_cluster(shards: usize) -> ClusterConfig {
+    ClusterConfig::new(shards)
+        .with_timeout(Duration::from_millis(100))
+        .with_retry(
+            RetryPolicy::default()
+                .with_max_attempts(2)
+                .with_base_backoff(Duration::from_millis(1))
+                .with_jitter_seed(fault_seed()),
+        )
+}
+
+fn bit_rows(rows: impl Iterator<Item = impl AsRef<[Neighbor]>>) -> Vec<Vec<(u64, u32)>> {
+    rows.map(|row| {
+        row.as_ref()
+            .iter()
+            .map(|n| (n.id, n.dist_sq.to_bits()))
+            .collect()
+    })
+    .collect()
+}
+
+/// A shard worker panicking mid-batch inside a service-fronted
+/// [`ShardedIndex`] surfaces as `BackendPanicked` on the affected
+/// tickets — typed, naming the shard — while the supervised worker
+/// restarts (counted in `shard_restarts`) and, once the plan disarms,
+/// the same service serves answers bit-identical to the local engine.
+#[test]
+fn shard_panic_mid_batch_is_typed_and_the_worker_restarts() {
+    let guard = faultpoint::arm(
+        FaultPlan::new().with(
+            FaultSpec::new(points::SHARD_WORKER_QUERY, FaultAction::Panic)
+                .on_ctx(2)
+                .times(1),
+        ),
+    );
+    let all = uniform::generate(600, 2, 1.0, 10);
+    let expect = {
+        let local = KnnIndex::build(&all, &TreeConfig::default()).unwrap();
+        local.query_session(&QueryRequest::knn(&all, 4)).unwrap()
+    };
+    let sharded = Arc::new(
+        ShardedIndex::build_with_cluster(&all, &DistConfig::default(), &short_timeout_cluster(4))
+            .expect("build"),
+    );
+    let service = QueryService::new(
+        Arc::clone(&sharded) as Arc<dyn NnBackend + Send + Sync>,
+        ServiceConfig::default().with_max_delay(Duration::from_millis(2)),
+    )
+    .unwrap();
+
+    let hit = service.submit(&QueryRequest::knn(&all, 4)).unwrap();
+    match hit.wait() {
+        Err(PandaError::BackendPanicked(msg)) => {
+            assert!(msg.contains("shard 2"), "root cause names the shard: {msg}");
+        }
+        other => panic!("expected BackendPanicked, got {other:?}"),
+    }
+    assert!(
+        sharded.shard_restarts() >= 1,
+        "the panicked worker restarted"
+    );
+    drop(guard); // disarm: the restarted worker must serve cleanly
+
+    let reply = service
+        .submit(&QueryRequest::knn(&all, 4))
+        .unwrap()
+        .wait()
+        .expect("post-restart query succeeds");
+    assert_eq!(
+        bit_rows(reply.iter()),
+        bit_rows(expect.neighbors.iter()),
+        "recovered answers are bit-identical to the local engine"
+    );
+    service.shutdown();
+}
+
+/// An injected comm timeout inside a shard worker degrades the round to
+/// `PandaError::Comm` — typed on the caller, **never a hang**, no
+/// worker restart (nothing panicked) — and the front handle's automatic
+/// quiesce makes the very next round exact again.
+#[test]
+fn shard_comm_timeout_is_typed_never_a_hang() {
+    let _guard = faultpoint::arm(
+        FaultPlan::new().with(
+            FaultSpec::new(points::SHARD_WORKER_QUERY, FaultAction::Timeout)
+                .on_ctx(1)
+                .times(1),
+        ),
+    );
+    let all = uniform::generate(500, 3, 1.0, 11);
+    let sharded =
+        ShardedIndex::build_with_cluster(&all, &DistConfig::default(), &short_timeout_cluster(3))
+            .expect("build");
+    let req = QueryRequest::knn(&all, 3);
+    let first = sharded.query(&req);
+    assert!(
+        matches!(first, Err(PandaError::Comm(_))),
+        "expected a typed Comm error, got {first:?}"
+    );
+    assert_eq!(sharded.shard_restarts(), 0, "a timeout is not a panic");
+
+    let second = sharded.query(&req).expect("recovered after quiesce");
+    let local = KnnIndex::build(&all, &TreeConfig::default()).unwrap();
+    let expect = local.query_session(&req).unwrap();
+    assert_eq!(
+        bit_rows(second.neighbors.iter()),
+        bit_rows(expect.neighbors.iter())
+    );
 }
 
 // ----------------------------------------------------------------- store

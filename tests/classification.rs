@@ -17,9 +17,10 @@ fn distributed_dayabay_accuracy_in_paper_band() {
 
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&train, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&test, index.rank(), index.size());
-        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&test, comm.rank(), comm.size());
+        let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("query");
         (0..myq.len())
             .map(|i| {
                 let truth = labels[myq.id(i) as usize];
@@ -65,9 +66,10 @@ fn distributed_equals_single_node_classification() {
     // distributed
     let out = run_cluster(&ClusterConfig::new(3), |comm| {
         let mine = scatter(&train, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&test, index.rank(), index.size());
-        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&test, comm.rank(), comm.size());
+        let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("query");
         (0..myq.len())
             .map(|i| {
                 (

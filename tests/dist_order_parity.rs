@@ -42,21 +42,18 @@ where
         let queries_for_rank = queries_for_rank.clone();
         run_cluster(&ClusterConfig::new(ranks), move |comm| {
             let mine = scatter(&all, comm.rank(), comm.size());
-            let idx = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-            let myq = queries_for_rank(idx.rank(), idx.size());
-            let res = idx
-                .query(
-                    &QueryRequest::knn(&myq, k)
-                        .with_batch_size(batch_size)
-                        .with_order(order),
-                )
-                .expect("query");
+            let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+            let myq = queries_for_rank(comm.rank(), comm.size());
+            let req = QueryRequest::knn(&myq, k)
+                .with_batch_size(batch_size)
+                .with_order(order);
+            let res = query_distributed(comm, &tree, &myq, &req.to_query_config()).expect("query");
             let rows: Vec<Vec<(u64, f32)>> = res
                 .neighbors
                 .iter()
                 .map(|row| row.iter().map(|n| (n.id, n.dist_sq)).collect())
                 .collect();
-            (rows, res.remote.expect("remote stats").remote_pairs_sent)
+            (rows, res.remote.remote_pairs_sent)
         })
         .into_iter()
         .map(|o| o.result)
@@ -152,6 +149,42 @@ fn batch_size_smaller_than_k() {
     }
 }
 
+/// Ownership skew through the sharded front handle: every query falls
+/// in one shard's spatial corner (the other three shards only run empty
+/// collective steps) and the step batch is smaller than `k`, forcing
+/// many partially-filled exchanges. Results must stay **bit-identical**
+/// to a single-shard deployment and to the local engine.
+#[test]
+fn sharded_skewed_ownership_matches_single_shard() {
+    let all = random_ps(2000, 2, 78);
+    // queries clustered tightly near the origin corner → one owner shard
+    let mut rng = panda::core::rng::SplitRng::new(79);
+    let queries = PointSet::from_coords(
+        2,
+        (0..200)
+            .map(|_| (rng.next_f64() * 0.4) as f32)
+            .collect::<Vec<f32>>(),
+    )
+    .unwrap();
+    let req = QueryRequest::knn(&queries, 8).with_batch_size(3); // batch < k
+    let rows = |table: &NeighborTable| -> Vec<Vec<(u64, u32)>> {
+        table
+            .iter()
+            .map(|row| row.iter().map(|n| (n.id, n.dist_sq.to_bits())).collect())
+            .collect()
+    };
+    let single = ShardedIndex::build(&all, 1, &DistConfig::default()).unwrap();
+    let sharded = ShardedIndex::build(&all, 4, &DistConfig::default()).unwrap();
+    let a = single.query(&req).expect("single-shard query");
+    let b = sharded.query(&req).expect("sharded query");
+    assert_eq!(rows(&a.neighbors), rows(&b.neighbors));
+    // and both equal the plain local engine, bit for bit
+    let local = KnnIndex::build(&all, &TreeConfig::default()).unwrap();
+    let l = local.query_session(&req).expect("local query");
+    assert_eq!(rows(&l.neighbors), rows(&b.neighbors));
+    assert_eq!(sharded.shard_restarts(), 0);
+}
+
 /// Morton-ordered distributed results are still exact vs brute force
 /// (skewed case): the reordering must never lose a true neighbor.
 #[test]
@@ -161,19 +194,16 @@ fn morton_skewed_results_are_exact() {
     let q2 = queries.clone();
     let out = run_cluster(&ClusterConfig::new(3), move |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let idx = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = if idx.rank() == 1 {
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = if comm.rank() == 1 {
             q2.clone()
         } else {
             PointSet::new(3).unwrap()
         };
-        let res = idx
-            .query(
-                &QueryRequest::knn(&myq, 6)
-                    .with_batch_size(7)
-                    .with_order(QueryOrder::Morton),
-            )
-            .expect("query");
+        let req = QueryRequest::knn(&myq, 6)
+            .with_batch_size(7)
+            .with_order(QueryOrder::Morton);
+        let res = query_distributed(comm, &tree, &myq, &req.to_query_config()).expect("query");
         (0..myq.len())
             .map(|i| {
                 (

@@ -22,10 +22,10 @@ fn assert_distributed_exact(
     let bf = BruteForce::new(all);
     let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
         let mine = scatter(all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(queries, index.rank(), index.size());
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(queries, comm.rank(), comm.size());
         let req = QueryRequest::knn(&myq, k).with_batch_size(batch);
-        let res = index.query(&req).expect("query");
+        let res = query_distributed(comm, &tree, &myq, &req.to_query_config()).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
@@ -145,10 +145,10 @@ fn radius_limited_distributed_knn() {
     let bf = BruteForce::new(&all);
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, index.rank(), index.size());
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, comm.rank(), comm.size());
         let req = QueryRequest::knn(&myq, 10).with_radius(radius);
-        let res = index.query(&req).expect("query");
+        let res = query_distributed(comm, &tree, &myq, &req.to_query_config()).expect("query");
         (0..myq.len())
             .map(|i| {
                 (
@@ -183,9 +183,9 @@ fn distributed_radius_search_matches_brute() {
     let radius = 0.05f32;
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, index.rank(), index.size());
-        let res = index.query_radius_all(&myq, radius).expect("radius");
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, comm.rank(), comm.size());
+        let res = radius_search_distributed(comm, &tree, &myq, radius).expect("radius");
         // CSR response: one row per local query, in submission order
         assert_eq!(res.len(), myq.len());
         (0..myq.len())

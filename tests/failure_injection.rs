@@ -2,7 +2,6 @@
 //! errors, symmetric across ranks) — never silently mis-answered.
 
 use panda::comm::{run_cluster, ClusterConfig};
-use panda::core::build_distributed::build_distributed;
 use panda::data::{scatter, uniform};
 use panda::prelude::*;
 
@@ -23,12 +22,12 @@ fn nan_queries_rejected_by_distributed_engine() {
     let all = uniform::generate(500, 3, 1.0, 1);
     let out = run_cluster(&ClusterConfig::new(3), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
         // craft a query set with a NaN smuggled in via push (push skips
         // validation; the request validation must still catch it)
         let mut q = PointSet::new(3).unwrap();
         q.push(&[0.5, f32::NAN, 0.5], 0);
-        let r = index.query(&QueryRequest::knn(&q, 3));
+        let r = query_distributed(comm, &tree, &q, &QueryRequest::knn(&q, 3).to_query_config());
         matches!(r, Err(PandaError::NonFiniteCoordinate { .. }))
     });
     assert!(
@@ -42,12 +41,19 @@ fn zero_k_and_bad_configs_rejected() {
     let all = uniform::generate(200, 3, 1.0, 2);
     let out = run_cluster(&ClusterConfig::new(2), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let q = scatter(&all, index.rank(), index.size());
-        let e1 = index.query(&QueryRequest::knn(&q, 0));
-        let e2 = index.query(&QueryRequest::knn(&q, 2).with_batch_size(0));
-        let e3 = index.query(&QueryRequest::knn(&q, 2).with_radius(-1.0));
-        let e4 = index.query(&QueryRequest::knn(&q, 2).with_radius(f32::INFINITY));
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let q = scatter(&all, comm.rank(), comm.size());
+        let mut run = |cfg| query_distributed(comm, &tree, &q, &cfg);
+        let e1 = run(QueryRequest::knn(&q, 0).to_query_config());
+        let e2 = run(QueryRequest::knn(&q, 2)
+            .with_batch_size(0)
+            .to_query_config());
+        let e3 = run(QueryRequest::knn(&q, 2).with_radius(-1.0).to_query_config());
+        // `+inf` is the no-limit sentinel at the QueryConfig level, so the
+        // non-finite rejection case is exercised with NaN here
+        let e4 = run(QueryRequest::knn(&q, 2)
+            .with_radius(f32::NAN)
+            .to_query_config());
         (
             matches!(e1, Err(PandaError::ZeroK)),
             matches!(e2, Err(PandaError::BadConfig(_))),

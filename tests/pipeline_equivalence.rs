@@ -15,9 +15,10 @@ where
     let queries = queries_from(&all, 64, 0.01, seed + 1);
     let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, index.rank(), index.size());
-        let res = index.query(&make_req(&myq)).expect("query");
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, comm.rank(), comm.size());
+        let res =
+            query_distributed(comm, &tree, &myq, &make_req(&myq).to_query_config()).expect("query");
         (0..myq.len())
             .map(|i| {
                 (

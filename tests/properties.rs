@@ -105,14 +105,15 @@ proptest! {
         ];
         let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
             let mine = scatter(&ps, comm.rank(), comm.size());
-            let index = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
             let mut myq = PointSet::new(ps.dims()).unwrap();
-            if index.rank() == 0 {
+            if comm.rank() == 0 {
                 for (i, q) in queries.iter().enumerate() {
                     myq.push(q, i as u64);
                 }
             }
-            let res = index.query(&QueryRequest::knn(&myq, k)).unwrap();
+            let qcfg = QueryRequest::knn(&myq, k).to_query_config();
+            let res = query_distributed(comm, &tree, &myq, &qcfg).unwrap();
             res.neighbors
                 .iter()
                 .map(|ns| ns.iter().map(|n| n.dist_sq).collect::<Vec<f32>>())
@@ -133,8 +134,8 @@ proptest! {
     ) {
         let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
             let mine = scatter(&ps, comm.rank(), comm.size());
-            let index = DistIndex::build_on(comm, mine, &DistConfig::default()).unwrap();
-            index.tree().points.ids().to_vec()
+            let tree = build_distributed(comm, mine, &DistConfig::default()).unwrap();
+            tree.points.ids().to_vec()
         });
         let mut ids: Vec<u64> = out.iter().flat_map(|o| o.result.clone()).collect();
         ids.sort_unstable();

@@ -12,13 +12,14 @@ fn run_times(ranks: usize, n: usize, seed: u64) -> (f64, f64) {
     let cluster = ClusterConfig::new(ranks).with_cost(MachineProfile::EdisonNode.cost_model());
     let out = run_cluster(&cluster, |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        index.with_comm(|c| c.barrier());
-        let t_build = index.with_comm(|c| c.now());
-        let myq = scatter(&queries, index.rank(), index.size());
-        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
-        index.with_comm(|c| c.barrier());
-        let t_total = index.with_comm(|c| c.now());
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        comm.barrier();
+        let t_build = comm.now();
+        let myq = scatter(&queries, comm.rank(), comm.size());
+        let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("query");
+        comm.barrier();
+        let t_total = comm.now();
         (t_build, t_total - t_build, res.breakdown)
     });
     let build = out.iter().map(|o| o.result.0).fold(0.0, f64::max);
@@ -71,16 +72,17 @@ fn breakdown_accounts_for_total() {
     let queries = queries_from(&all, 2000, 0.01, 5);
     let out = run_cluster(&ClusterConfig::new(4), |comm| {
         let mine = scatter(&all, comm.rank(), comm.size());
-        let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-        let myq = scatter(&queries, index.rank(), index.size());
-        let res = index.query(&QueryRequest::knn(&myq, 5)).expect("query");
-        (index.tree().breakdown, res.breakdown)
+        let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+        let myq = scatter(&queries, comm.rank(), comm.size());
+        let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+        let res = query_distributed(comm, &tree, &myq, &qcfg).expect("query");
+        (tree.breakdown, res.breakdown)
     });
     for o in &out {
         let b = &o.result.0;
         let pct: f64 = b.percentages().iter().sum();
         assert!((pct - 100.0).abs() < 1e-6, "build breakdown sums to {pct}%");
-        let q = o.result.1.as_ref().expect("distributed breakdown");
+        let q = &o.result.1;
         assert!(q.total_pipelined() <= q.total_synchronous() + 1e-12);
         assert!(q.comm_non_overlapped() <= q.comm_total + 1e-9);
         // step log must cover the whole batched phase
@@ -129,9 +131,10 @@ fn communication_grows_with_ranks() {
     for ranks in [2usize, 8] {
         let out = run_cluster(&ClusterConfig::new(ranks), |comm| {
             let mine = scatter(&all, comm.rank(), comm.size());
-            let index = DistIndex::build_on(comm, mine, &DistConfig::default()).expect("build");
-            let myq = scatter(&queries, index.rank(), index.size());
-            let _ = index.query(&QueryRequest::knn(&myq, 5)).expect("q");
+            let tree = build_distributed(comm, mine, &DistConfig::default()).expect("build");
+            let myq = scatter(&queries, comm.rank(), comm.size());
+            let qcfg = QueryRequest::knn(&myq, 5).to_query_config();
+            let _ = query_distributed(comm, &tree, &myq, &qcfg).expect("q");
         });
         totals.push(panda::comm::total_stats(&out).total_bytes());
     }

@@ -533,3 +533,115 @@ fn degenerate_submissions() {
     ));
     service.shutdown();
 }
+
+/// The PR 8 acceptance gate: `QueryService` fronting a 4-shard
+/// `ShardedIndex` under 8 concurrent clients is bit-identical to a
+/// direct single-shard `query_session` over the same queries.
+#[test]
+fn sharded_backend_under_concurrent_clients_matches_single_shard() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 20;
+    let points = random_ps(3000, 3, 140);
+    let queries = random_ps(CLIENTS * PER_CLIENT, 3, 141);
+    let k = 6;
+
+    // ground truth: one shard, one direct collective query
+    let single = ShardedIndex::build(&points, 1, &DistConfig::default()).unwrap();
+    let direct = NnBackend::query(&single, &QueryRequest::knn(&queries, k)).unwrap();
+
+    let sharded = Arc::new(ShardedIndex::build(&points, 4, &DistConfig::default()).unwrap());
+    assert_eq!(sharded.shards(), 4);
+    let service = QueryService::new(
+        Arc::clone(&sharded) as Arc<dyn NnBackend + Send + Sync>,
+        ServiceConfig::default()
+            .with_max_batch(32)
+            .with_max_delay(Duration::from_millis(1)),
+    )
+    .unwrap();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let handle = service.handle();
+            let mine: Vec<Vec<f32>> = (0..PER_CLIENT)
+                .map(|i| queries.point(c * PER_CLIENT + i).to_vec())
+                .collect();
+            std::thread::spawn(move || {
+                let mut got = Vec::with_capacity(PER_CLIENT);
+                for q in mine {
+                    let qs = PointSet::from_coords(3, q).unwrap();
+                    let reply = handle
+                        .submit(&QueryRequest::knn(&qs, k))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                    assert_eq!(reply.len(), 1);
+                    got.push(
+                        reply
+                            .row(0)
+                            .iter()
+                            .map(|n| (n.dist_sq.to_bits(), n.id))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                got
+            })
+        })
+        .collect();
+
+    for (c, w) in workers.into_iter().enumerate() {
+        let got = w.join().unwrap();
+        for (i, row) in got.iter().enumerate() {
+            let want: Vec<(u32, u64)> = direct
+                .neighbors
+                .row(c * PER_CLIENT + i)
+                .iter()
+                .map(|n| (n.dist_sq.to_bits(), n.id))
+                .collect();
+            assert_eq!(row, &want, "client {c} query {i}");
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.queries, (CLIENTS * PER_CLIENT) as u64);
+    assert!(stats.mean_batch_size() > 1.0, "singles were coalesced");
+    assert_eq!(sharded.shard_restarts(), 0, "no worker faults under load");
+    service.shutdown();
+}
+
+/// The hot-query result cache (off by default, here capacity 64):
+/// repeats resolve from the cache with bit-identical rows, hits are
+/// counted, and a store write (data-epoch bump) invalidates everything.
+#[test]
+fn result_cache_hits_are_counted_and_epoch_invalidated() {
+    let points = random_ps(800, 3, 150);
+    let store = MutableIndex::from_points(&points, StoreConfig::default()).unwrap();
+    let service = QueryService::new(
+        Arc::new(store.clone()),
+        ServiceConfig::default()
+            .with_max_delay(Duration::from_micros(50))
+            .with_cache_capacity(64),
+    )
+    .unwrap();
+
+    let hot = PointSet::from_coords(3, points.point(7).to_vec()).unwrap();
+    let req = QueryRequest::knn(&hot, 5);
+    let first = rows(&service.submit(&req).unwrap().wait().unwrap());
+    let second = rows(&service.submit(&req).unwrap().wait().unwrap());
+    assert_eq!(first, second, "cached reply must be bit-identical");
+
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    // hits bypass the backend: only the miss ran as a query
+    assert_eq!(stats.queries, 1);
+    assert_eq!(stats.submitted, 2);
+
+    // a write moves the data epoch: the same key must miss again
+    store.insert(&[999.0, 999.0, 999.0], 777_000).unwrap();
+    let third = rows(&service.submit(&req).unwrap().wait().unwrap());
+    assert_eq!(first, third, "far-away insert does not change these rows");
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 1, "epoch change invalidated the entry");
+    assert_eq!(stats.cache_misses, 2);
+    service.shutdown();
+}

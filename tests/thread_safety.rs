@@ -6,11 +6,13 @@
 //! these engines, this file stops **compiling** — the regression is
 //! caught at `cargo build`, not as a data race in a serving process.
 //!
-//! Deliberately absent: `DistIndex` and `LocalTreesBackend`. Their
-//! queries are SPMD collectives (every rank must enter in lockstep) and
-//! their communicators live in `RefCell`s, so they are `!Sync` **by
-//! design** — the service's `Send + Sync` bound turns misuse into a
-//! compile error rather than a deadlocked cluster.
+//! Since PR 8 the distributed engine is covered too: `ShardedIndex`
+//! owns its shard workers behind plain channels (no `RefCell`d comm in
+//! the handle), so it is `Send + Sync` and fully service-eligible.
+//! Deliberately absent: `LocalTreesBackend` and the raw SPMD entry
+//! points (`query_distributed`). Those are rank-collectives (every rank
+//! must enter in lockstep) borrowing a `&mut Comm`, so they stay
+//! outside the service contract by design.
 
 use panda::prelude::*;
 
@@ -29,6 +31,15 @@ fn local_backends_are_service_eligible() {
     assert_service_eligible::<AnnLikeTree>();
     // the mutable store serves behind the service while writers mutate it
     assert_service_eligible::<MutableIndex>();
+    // the distributed engine: shard workers behind channels (PR 8).
+    // This line is the pin that keeps scale-out serving possible.
+    assert_service_eligible::<ShardedIndex>();
+}
+
+#[test]
+fn sharded_index_crosses_threads() {
+    // the front handle is shared across client threads via Arc
+    assert_send_sync::<ShardedIndex>();
 }
 
 #[test]
