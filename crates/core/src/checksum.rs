@@ -1,0 +1,108 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) for durable-format
+//! integrity checks.
+//!
+//! Used by the `.pnda` dataset format (whole-file checksum) and the
+//! mutable store's write-ahead log (per-record checksum). The table is
+//! built at compile time; throughput is a non-issue next to the disk
+//! writes these checksums guard.
+
+/// Streaming CRC-32 state. Feed bytes with [`update`](Self::update),
+/// read the digest with [`finalize`](Self::finalize).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The digest over everything absorbed so far. The state is not
+    /// consumed; more bytes may still be absorbed afterwards.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"length-prefixed, CRC-checksummed records";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_digest() {
+        let mut data = vec![0u8; 64];
+        let base = crc32(&data);
+        for i in 0..64 {
+            data[i] ^= 1 << (i % 8);
+            assert_ne!(crc32(&data), base, "bit flip at byte {i} undetected");
+            data[i] ^= 1 << (i % 8);
+        }
+    }
+}

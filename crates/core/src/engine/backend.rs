@@ -66,6 +66,15 @@ pub trait NnBackend {
     fn data_epoch(&self) -> u64 {
         0
     }
+
+    /// Number of independent shards serving this backend (`1` for every
+    /// single-node engine). Sizing hint for front-end caches: a sharded
+    /// backend fields proportionally more distinct hot traffic, so
+    /// per-shard capacities scale by this factor (see
+    /// `ServiceConfig::with_cache_capacity` in `panda_service`).
+    fn shard_count(&self) -> usize {
+        1
+    }
 }
 
 impl NnBackend for KnnIndex {

@@ -572,6 +572,10 @@ impl NnBackend for ShardedIndex {
     fn dims(&self) -> usize {
         self.dims
     }
+
+    fn shard_count(&self) -> usize {
+        self.n_shards
+    }
 }
 
 /// Worker thread body: collective build, publish the init result, then

@@ -65,6 +65,18 @@ pub enum PandaError {
     BadConfig(String),
     /// An I/O error (dataset persistence).
     Io(String),
+    /// A durable file (dataset, snapshot, or WAL header) failed its
+    /// integrity checks: bad magic, unsupported version, truncation, or
+    /// a checksum mismatch. Unlike a torn WAL *tail* (which recovery
+    /// silently truncates — it holds only unacknowledged writes), a
+    /// corrupt snapshot or header means acknowledged-durable data is
+    /// unreadable, so it must surface instead of being papered over.
+    Corrupt {
+        /// Path of the unreadable file.
+        path: String,
+        /// What check failed.
+        detail: String,
+    },
     /// A query service's bounded submission queue is full and its
     /// overflow policy rejects rather than blocks. Retry later, raise
     /// the queue capacity, or switch the service to the blocking policy.
@@ -150,6 +162,9 @@ impl fmt::Display for PandaError {
             ),
             PandaError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PandaError::Io(msg) => write!(f, "i/o error: {msg}"),
+            PandaError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {path:?}: {detail}")
+            }
             PandaError::Overloaded { depth, capacity } => write!(
                 f,
                 "service queue overloaded ({depth} queries queued, capacity {capacity}); \
@@ -257,5 +272,11 @@ mod tests {
             point: "service.drain".into(),
         };
         assert!(e.to_string().contains("service.drain"), "{e}");
+        let e = PandaError::Corrupt {
+            path: "/tmp/snap.pnda".into(),
+            detail: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("snap.pnda"), "{e}");
+        assert!(e.to_string().contains("checksum"), "{e}");
     }
 }

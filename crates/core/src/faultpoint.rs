@@ -67,6 +67,23 @@ pub mod points {
     /// immediately before the new tree is published — a failure here
     /// must not leave a torn view).
     pub const STORE_COMPACT_SWAP: &str = "store.compact.swap";
+    /// Mutable-index write-ahead log, mid-record: fires after the first
+    /// half of a record's bytes hit the file, so an injected failure
+    /// leaves a **torn record** on disk — exactly what a kill during
+    /// `write(2)` leaves. Recovery must truncate it away.
+    pub const STORE_WAL_APPEND: &str = "store.wal.append";
+    /// Mutable-index write-ahead log, at the fsync that would make the
+    /// just-appended record durable. On failure the record is rolled
+    /// back out of the log (truncated) and the write is rejected, so
+    /// the durable prefix stays exactly the acknowledged prefix.
+    pub const STORE_WAL_FSYNC: &str = "store.wal.fsync";
+    /// Snapshot checkpoint: temp-file write phase (before the atomic
+    /// rename — a failure leaves the previous snapshot + WAL intact).
+    pub const STORE_SNAPSHOT_WRITE: &str = "store.snapshot.write";
+    /// Snapshot checkpoint: atomic-rename publish point (after the temp
+    /// file is written and fsynced — a failure must leave recovery on
+    /// the previous snapshot + full WAL, never a half-visible one).
+    pub const STORE_SNAPSHOT_RENAME: &str = "store.snapshot.rename";
 }
 
 /// What an armed fault point does when its schedule says "fire".

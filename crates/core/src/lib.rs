@@ -79,6 +79,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod build_distributed;
+pub mod checksum;
 pub mod classify;
 pub mod config;
 pub mod counters;

@@ -7,19 +7,75 @@
 //! ```text
 //! magic "PNDA" | version u32 | dims u32 | n u64 | has_labels u8 |
 //! n_classes u32 | coords [f32; n*dims] | ids [u64; n] |
-//! labels [u32; n] (if has_labels)
+//! labels [u32; n] (if has_labels) | crc32 u32
 //! ```
+//!
+//! # Integrity
+//!
+//! Version 2 hardened the format: the trailing CRC-32 covers every byte
+//! before it (header included), and loaders verify the file's exact
+//! size against the header **before** allocating buffers. Truncation, a
+//! bit flip, a bad magic, or an unsupported version all surface as
+//! [`PandaError::Corrupt`] — never as a garbage `PointSet`. Plain
+//! open/read failures (missing file, permissions) stay
+//! [`PandaError::Io`]. The same framing (via [`save_points`] /
+//! [`load_points`]) carries the mutable store's snapshot checkpoints,
+//! so a flipped bit in a snapshot is a typed error too.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use panda_core::{PandaError, PointSet, Result};
+use panda_core::checksum::Crc32;
+use panda_core::{PandaError, PointSet, Result, MAX_DIMS};
 
 use crate::labels::LabeledPoints;
 
 const MAGIC: &[u8; 4] = b"PNDA";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// magic + version + dims + n + has_labels + n_classes.
+const HEADER_BYTES: u64 = 4 + 4 + 4 + 8 + 1 + 4;
+/// Trailing whole-file CRC-32.
+const TRAILER_BYTES: u64 = 4;
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> PandaError {
+    PandaError::Corrupt {
+        path: path.display().to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Tees everything written through a running CRC-32.
+struct CrcWrite<W> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Write for CrcWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Tees everything read through a running CRC-32.
+struct CrcRead<R> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Read for CrcRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
 
 fn w_u32(w: &mut impl Write, v: u32) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -42,27 +98,34 @@ fn r_u64(r: &mut impl Read) -> std::io::Result<u64> {
 }
 
 fn write_common(
-    w: &mut impl Write,
+    w: impl Write,
     ps: &PointSet,
     labels: Option<(&[u32], u32)>,
 ) -> std::io::Result<()> {
+    let mut w = CrcWrite {
+        inner: w,
+        crc: Crc32::new(),
+    };
     w.write_all(MAGIC)?;
-    w_u32(w, VERSION)?;
-    w_u32(w, ps.dims() as u32)?;
-    w_u64(w, ps.len() as u64)?;
+    w_u32(&mut w, VERSION)?;
+    w_u32(&mut w, ps.dims() as u32)?;
+    w_u64(&mut w, ps.len() as u64)?;
     w.write_all(&[u8::from(labels.is_some())])?;
-    w_u32(w, labels.map_or(0, |(_, c)| c))?;
+    w_u32(&mut w, labels.map_or(0, |(_, c)| c))?;
     for &v in ps.coords() {
         w.write_all(&v.to_le_bytes())?;
     }
     for &id in ps.ids() {
-        w_u64(w, id)?;
+        w_u64(&mut w, id)?;
     }
     if let Some((ls, _)) = labels {
         for &l in ls {
-            w_u32(w, l)?;
+            w_u32(&mut w, l)?;
         }
     }
+    let digest = w.crc.finalize();
+    w_u32(&mut w.inner, digest)?;
+    w.inner.flush()?;
     Ok(())
 }
 
@@ -73,20 +136,41 @@ struct Header {
     n_classes: u32,
 }
 
-fn read_header(r: &mut impl Read) -> Result<Header> {
+impl Header {
+    /// Exact on-disk size a file with this header must have. `u128` so
+    /// a corrupt astronomical count cannot overflow the arithmetic.
+    fn expected_file_bytes(&self) -> u128 {
+        let coords = (self.n as u128) * (self.dims as u128) * 4;
+        let ids = (self.n as u128) * 8;
+        let labels = if self.has_labels {
+            (self.n as u128) * 4
+        } else {
+            0
+        };
+        HEADER_BYTES as u128 + coords + ids + labels + TRAILER_BYTES as u128
+    }
+}
+
+fn read_header(r: &mut impl Read, path: &Path) -> Result<Header> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(PandaError::Io("bad magic (not a PNDA file)".into()));
+        return Err(corrupt(path, "bad magic (not a PNDA file)"));
     }
     let version = r_u32(r)?;
     if version != VERSION {
-        return Err(PandaError::Io(format!("unsupported version {version}")));
+        return Err(corrupt(path, format!("unsupported version {version}")));
     }
     let dims = r_u32(r)? as usize;
+    if dims == 0 || dims > MAX_DIMS {
+        return Err(corrupt(path, format!("implausible dims {dims}")));
+    }
     let n = r_u64(r)? as usize;
     let mut flag = [0u8; 1];
     r.read_exact(&mut flag)?;
+    if flag[0] > 1 {
+        return Err(corrupt(path, format!("bad has_labels flag {}", flag[0])));
+    }
     let n_classes = r_u32(r)?;
     Ok(Header {
         dims,
@@ -119,38 +203,79 @@ fn read_body(r: &mut impl Read, h: &Header) -> Result<(PointSet, Option<Vec<u32>
     Ok((PointSet::from_parts(h.dims, coords, ids)?, labels))
 }
 
+/// Open `path`, verify header plausibility, the exact file size, and
+/// (after the body is read) the trailing whole-file checksum.
+fn read_checked(path: &Path) -> Result<(Header, PointSet, Option<Vec<u32>>)> {
+    let file = File::open(path)?;
+    let actual_bytes = file.metadata()?.len();
+    if actual_bytes < HEADER_BYTES + TRAILER_BYTES {
+        return Err(corrupt(
+            path,
+            format!("file is {actual_bytes} bytes, smaller than any valid header"),
+        ));
+    }
+    let mut r = CrcRead {
+        inner: BufReader::new(file),
+        crc: Crc32::new(),
+    };
+    let h = read_header(&mut r, path)?;
+    // Size gate before the body allocation: a corrupt count field must
+    // not trigger a huge allocation or a misaligned parse.
+    let expected = h.expected_file_bytes();
+    if actual_bytes as u128 != expected {
+        return Err(corrupt(
+            path,
+            format!(
+                "file is {actual_bytes} bytes but the header implies {expected} \
+                 (truncated or trailing garbage)"
+            ),
+        ));
+    }
+    let (ps, labels) = read_body(&mut r, &h)?;
+    let digest = r.crc.finalize();
+    let stored = r_u32(&mut r.inner)?;
+    if stored != digest {
+        return Err(corrupt(
+            path,
+            format!("checksum mismatch: stored {stored:#010x}, computed {digest:#010x}"),
+        ));
+    }
+    Ok((h, ps, labels))
+}
+
 /// Save an unlabeled point set.
 pub fn save_points(path: impl AsRef<Path>, ps: &PointSet) -> Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    write_common(&mut w, ps, None)?;
-    w.flush()?;
+    let w = BufWriter::new(File::create(path)?);
+    write_common(w, ps, None)?;
     Ok(())
 }
 
 /// Load an unlabeled point set (labels, if present, are dropped).
+///
+/// Returns [`PandaError::Corrupt`] when the file fails any integrity
+/// check (magic, version, size, checksum) — never a garbage `PointSet`.
 pub fn load_points(path: impl AsRef<Path>) -> Result<PointSet> {
-    let mut r = BufReader::new(File::open(path)?);
-    let h = read_header(&mut r)?;
-    let (ps, _labels) = read_body(&mut r, &h)?;
+    let (_h, ps, _labels) = read_checked(path.as_ref())?;
     Ok(ps)
 }
 
 /// Save a labeled dataset.
 pub fn save_labeled(path: impl AsRef<Path>, lp: &LabeledPoints) -> Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    write_common(&mut w, &lp.points, Some((&lp.labels, lp.n_classes)))?;
-    w.flush()?;
+    let w = BufWriter::new(File::create(path)?);
+    write_common(w, &lp.points, Some((&lp.labels, lp.n_classes)))?;
     Ok(())
 }
 
 /// Load a labeled dataset; errors if the file has no labels.
+///
+/// Integrity failures surface as [`PandaError::Corrupt`], like
+/// [`load_points`].
 pub fn load_labeled(path: impl AsRef<Path>) -> Result<LabeledPoints> {
-    let mut r = BufReader::new(File::open(path)?);
-    let h = read_header(&mut r)?;
+    let path = path.as_ref();
+    let (h, points, labels) = read_checked(path)?;
     if !h.has_labels {
-        return Err(PandaError::Io("file has no labels".into()));
+        return Err(PandaError::Io(format!("{} has no labels", path.display())));
     }
-    let (points, labels) = read_body(&mut r, &h)?;
     Ok(LabeledPoints {
         points,
         labels: labels.expect("has_labels implies labels"),
@@ -163,48 +288,121 @@ mod tests {
     use super::*;
     use crate::dayabay::{self, DayaBayParams};
 
-    fn tmp(name: &str) -> std::path::PathBuf {
-        let mut p = std::env::temp_dir();
-        p.push(format!("panda-io-test-{}-{name}", std::process::id()));
-        p
+    /// Minimal RAII temp-file guard: the file is removed when the guard
+    /// drops, assertion failure or not.
+    struct TmpFile(std::path::PathBuf);
+
+    impl TmpFile {
+        fn new(name: &str) -> Self {
+            let mut p = std::env::temp_dir();
+            p.push(format!("panda-io-test-{}-{name}", std::process::id()));
+            Self(p)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TmpFile {
+        fn drop(&mut self) {
+            std::fs::remove_file(&self.0).ok();
+        }
     }
 
     #[test]
     fn points_roundtrip() {
         let ps = crate::uniform::generate(500, 3, 1.0, 1);
-        let path = tmp("points.pnda");
-        save_points(&path, &ps).unwrap();
-        let back = load_points(&path).unwrap();
+        let tmp = TmpFile::new("points.pnda");
+        save_points(tmp.path(), &ps).unwrap();
+        let back = load_points(tmp.path()).unwrap();
         assert_eq!(ps, back);
-        std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn labeled_roundtrip() {
         let lp = dayabay::generate(300, &DayaBayParams::default(), 2);
-        let path = tmp("labeled.pnda");
-        save_labeled(&path, &lp).unwrap();
-        let back = load_labeled(&path).unwrap();
+        let tmp = TmpFile::new("labeled.pnda");
+        save_labeled(tmp.path(), &lp).unwrap();
+        let back = load_labeled(tmp.path()).unwrap();
         assert_eq!(lp, back);
-        std::fs::remove_file(path).ok();
     }
 
     #[test]
     fn unlabeled_file_rejected_by_labeled_loader() {
         let ps = crate::uniform::generate(10, 2, 1.0, 3);
-        let path = tmp("nolabels.pnda");
-        save_points(&path, &ps).unwrap();
-        assert!(matches!(load_labeled(&path), Err(PandaError::Io(_))));
-        // but the generic loader can read labeled files
-        std::fs::remove_file(path).ok();
+        let tmp = TmpFile::new("nolabels.pnda");
+        save_points(tmp.path(), &ps).unwrap();
+        assert!(matches!(load_labeled(tmp.path()), Err(PandaError::Io(_))));
     }
 
     #[test]
     fn corrupt_magic_rejected() {
-        let path = tmp("garbage.pnda");
-        std::fs::write(&path, b"not a panda file at all").unwrap();
-        assert!(matches!(load_points(&path), Err(PandaError::Io(_))));
-        std::fs::remove_file(path).ok();
+        let tmp = TmpFile::new("garbage.pnda");
+        // long enough to clear the minimum-size gate: must fail on magic
+        std::fs::write(tmp.path(), b"not a panda file at all, but a long one").unwrap();
+        match load_points(tmp.path()) {
+            Err(PandaError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("magic"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // too short for any header: typed error as well
+        std::fs::write(tmp.path(), b"short").unwrap();
+        assert!(matches!(
+            load_points(tmp.path()),
+            Err(PandaError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected_with_typed_error() {
+        let ps = crate::uniform::generate(200, 3, 1.0, 5);
+        let tmp = TmpFile::new("truncated.pnda");
+        save_points(tmp.path(), &ps).unwrap();
+        let full = std::fs::read(tmp.path()).unwrap();
+        // chop the file at several depths, including mid-header
+        for keep in [full.len() - 1, full.len() / 2, 10] {
+            std::fs::write(tmp.path(), &full[..keep]).unwrap();
+            match load_points(tmp.path()) {
+                Err(PandaError::Corrupt { .. }) => {}
+                other => panic!("truncation at {keep} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_rejected_by_checksum() {
+        let lp = dayabay::generate(100, &DayaBayParams::default(), 9);
+        let tmp = TmpFile::new("bitflip.pnda");
+        save_labeled(tmp.path(), &lp).unwrap();
+        let mut bytes = std::fs::read(tmp.path()).unwrap();
+        // flip one coordinate bit in the middle of the body
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(tmp.path(), &bytes).unwrap();
+        match load_labeled(tmp.path()) {
+            Err(PandaError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_header_count_is_rejected_before_allocation() {
+        let ps = crate::uniform::generate(10, 2, 1.0, 7);
+        let tmp = TmpFile::new("hugecount.pnda");
+        save_points(tmp.path(), &ps).unwrap();
+        let mut bytes = std::fs::read(tmp.path()).unwrap();
+        // overwrite the n u64 (offset 12) with an absurd count: the size
+        // gate must reject it without trying to allocate n*dims floats
+        bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(tmp.path(), &bytes).unwrap();
+        assert!(matches!(
+            load_points(tmp.path()),
+            Err(PandaError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -623,6 +623,11 @@ impl QueryService {
     pub fn new(backend: Arc<dyn NnBackend + Send + Sync>, cfg: ServiceConfig) -> Result<Self> {
         cfg.validate()?;
         let dims = backend.dims();
+        // Per-shard capacity knob → effective capacity: a sharded
+        // backend fields proportionally more distinct hot keys.
+        let cache_slots = cfg
+            .cache_capacity
+            .saturating_mul(backend.shard_count().max(1));
         let inner = Arc::new(ServiceInner {
             backend,
             cfg,
@@ -640,8 +645,8 @@ impl QueryService {
             idle: Condvar::new(),
             wake: WakeHub::new(),
             metrics: Metrics::default(),
-            cache: (cfg.cache_capacity > 0)
-                .then(|| Mutex::new(ResultCache::new(cfg.cache_capacity))),
+            cache: (cache_slots > 0)
+                .then(|| Mutex::new(ResultCache::new(cache_slots, cfg.cache_ttl))),
         });
         let scheduler = {
             let inner = Arc::clone(&inner);

@@ -1,6 +1,29 @@
-//! Compaction policy knobs for [`crate::MutableIndex`].
+//! Compaction and durability policy knobs for [`crate::MutableIndex`].
 
 use panda_core::TreeConfig;
+
+/// When the write-ahead log is fsynced, for stores opened with
+/// [`crate::MutableIndex::open`] (in-memory stores ignore it).
+///
+/// The policy sets the **acknowledged-durable window**: how many
+/// acknowledged writes a crash may lose. It never affects ordering or
+/// integrity — after any crash, recovery yields exactly a *prefix* of
+/// the acknowledged write sequence (pinned by `tests/recovery.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Fsync after every record, before the write is acknowledged. An
+    /// acknowledged write is durable, full stop — the crash-point sweep
+    /// runs under this policy. The default.
+    #[default]
+    PerWrite,
+    /// Fsync once every `n` records. Up to `n − 1` acknowledged writes
+    /// may be lost to a crash; the surviving prefix is still exact.
+    EveryN(u32),
+    /// Fsync only when the log rotates at a compaction freeze (and at
+    /// [`crate::MutableIndex::sync`]). The whole fresh log since the
+    /// last freeze is at risk; cheapest per write.
+    OnCompaction,
+}
 
 /// When and how a [`crate::MutableIndex`] compacts its write log into a
 /// fresh tree generation.
@@ -32,6 +55,10 @@ pub struct StoreConfig {
     /// of on the background pool (default `false`). Useful for
     /// deterministic tests; production keeps writes non-blocking.
     pub synchronous_compaction: bool,
+    /// WAL fsync policy for durable stores (see [`FsyncPolicy`]).
+    /// Ignored by in-memory stores ([`crate::MutableIndex::new`] /
+    /// `from_points`).
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for StoreConfig {
@@ -42,6 +69,7 @@ impl Default for StoreConfig {
             max_deleted: 1024,
             tree: TreeConfig::default(),
             synchronous_compaction: false,
+            fsync: FsyncPolicy::PerWrite,
         }
     }
 }
@@ -86,6 +114,13 @@ impl StoreConfig {
         self.synchronous_compaction = sync;
         self
     }
+
+    /// Set the WAL fsync policy for durable stores.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -99,11 +134,14 @@ mod tests {
             .with_compact_bytes(512)
             .with_max_deleted(3)
             .with_tree(TreeConfig::default().with_bucket_size(9))
-            .with_synchronous_compaction(true);
+            .with_synchronous_compaction(true)
+            .with_fsync(FsyncPolicy::EveryN(16));
         assert_eq!(cfg.compact_points, 7);
         assert_eq!(cfg.compact_bytes, 512);
         assert_eq!(cfg.max_deleted, 3);
         assert_eq!(cfg.tree.bucket_size, 9);
         assert!(cfg.synchronous_compaction);
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryN(16));
+        assert_eq!(StoreConfig::default().fsync, FsyncPolicy::PerWrite);
     }
 }

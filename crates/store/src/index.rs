@@ -3,8 +3,9 @@
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use arc_swap::ArcSwap;
@@ -16,6 +17,7 @@ use panda_core::{KnnHeap, Neighbor, PandaError, PointSet, QueryCounters, Result,
 
 use crate::config::StoreConfig;
 use crate::stats::{StoreMetrics, StoreStats};
+use crate::wal::{Wal, WalRecord};
 
 /// One immutable tree generation: the index plus the exact point set it
 /// was built from (retained so the next compaction can rebuild without
@@ -87,6 +89,9 @@ struct CompactTask {
     frozen: FrozenSeg,
     deleted_tree_at_freeze: Arc<HashSet<u64>>,
     old_gen: Arc<TreeGen>,
+    /// WAL segment the freeze closed (durable stores only): the
+    /// snapshot this compaction publishes absorbs segments `≤` this.
+    closed_seq: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -98,6 +103,11 @@ struct StoreInner {
     /// never pairs a new tree with an old log or vice versa.
     tree: ArcSwap<TreeGen>,
     state: RwLock<WriteState>,
+    /// The durability layer, present only for stores opened with
+    /// [`MutableIndex::open`]. Lock order: `state` (write) → `wal`,
+    /// never the reverse — the compactor takes `wal` alone (off the
+    /// state lock) to write snapshots, which cannot invert.
+    wal: Option<Mutex<Wal>>,
     metrics: StoreMetrics,
     quiesce_lock: Mutex<()>,
     quiesce_cv: Condvar,
@@ -172,6 +182,61 @@ impl MutableIndex {
     /// A mutable index seeded with `points` (built into the first tree
     /// generation, epoch 0). Ids must be unique.
     pub fn from_points(points: &PointSet, cfg: StoreConfig) -> Result<Self> {
+        Self::build_store(points, cfg, None)
+    }
+
+    /// Open (or create) a **durable** mutable index backed by the store
+    /// directory at `path`.
+    ///
+    /// Every acknowledged `insert`/`remove` is first appended to a
+    /// checksummed write-ahead log in that directory; each compaction
+    /// additionally publishes a snapshot checkpoint that absorbs the
+    /// log it covers. Reopening recovers the newest snapshot, replays
+    /// the WAL (truncating a torn tail — it holds only writes whose
+    /// durability the fsync policy had not yet promised), and resumes.
+    /// An unreadable *snapshot* is acknowledged-durable state and
+    /// surfaces as [`PandaError::Corrupt`].
+    ///
+    /// The crate-level "Durability contract" section spells out exactly
+    /// which acknowledged writes each [`crate::FsyncPolicy`] lets a
+    /// crash take; `tests/recovery.rs` enforces it with a crash-point
+    /// sweep. Dropping the store does **not** fsync — call
+    /// [`sync`](Self::sync) first when running a batched policy.
+    pub fn open(path: impl AsRef<Path>, dims: usize, cfg: StoreConfig) -> Result<Self> {
+        // Validates dims before any file is touched.
+        let probe = PointSet::new(dims)?;
+        let recovered = Wal::open_dir(path.as_ref(), dims, cfg.fsync)?;
+        let base = recovered.snapshot.unwrap_or(probe);
+        let store = Self::build_store(&base, cfg, Some(recovered.wal))?;
+        // Replay post-snapshot records through the in-memory write path
+        // (without re-logging, and without compaction triggers — the
+        // first post-recovery write re-evaluates the thresholds).
+        let mut st = store.inner.write_state();
+        for rec in recovered.records {
+            match rec {
+                WalRecord::Insert { id, coords } => {
+                    if st.members.insert(id) {
+                        st.fresh.push(&coords, id);
+                    }
+                }
+                WalRecord::Remove { id } => {
+                    if st.members.remove(&id) {
+                        if let Some(i) = st.fresh.ids().iter().position(|&x| x == id) {
+                            st.fresh.swap_remove(i);
+                        } else {
+                            let mut set = (*st.deleted_tree).clone();
+                            set.insert(id);
+                            st.deleted_tree = Arc::new(set);
+                        }
+                    }
+                }
+            }
+        }
+        drop(st);
+        Ok(store)
+    }
+
+    fn build_store(points: &PointSet, cfg: StoreConfig, wal: Option<Wal>) -> Result<Self> {
         let mut members = HashSet::with_capacity(points.len());
         for &id in points.ids() {
             if !members.insert(id) {
@@ -201,6 +266,7 @@ impl MutableIndex {
                 compacting: false,
                 last_error: None,
             }),
+            wal: wal.map(Mutex::new),
             metrics: StoreMetrics::new(),
             quiesce_lock: Mutex::new(()),
             quiesce_cv: Condvar::new(),
@@ -230,9 +296,19 @@ impl MutableIndex {
         faultpoint::maybe_fail(points::STORE_LOG_APPEND)?;
         let task = {
             let mut st = inner.write_state();
-            if !st.members.insert(id) {
+            if st.members.contains(&id) {
                 return Err(PandaError::DuplicateId { id });
             }
+            // Durable stores log before applying: an `Ok` from here on
+            // means the record is in the WAL (and, under `PerWrite`, on
+            // disk); an `Err` means nothing changed, in memory or out.
+            if let Some(wal) = &inner.wal {
+                inner.lock_wal(wal).append(&WalRecord::Insert {
+                    id,
+                    coords: point.to_vec(),
+                })?;
+            }
+            st.members.insert(id);
             st.fresh.push(point, id);
             inner.metrics.inserted.fetch_add(1, Ordering::Relaxed);
             inner.maybe_freeze(&mut st)
@@ -250,9 +326,13 @@ impl MutableIndex {
         let inner = &self.inner;
         let task = {
             let mut st = inner.write_state();
-            if !st.members.remove(&id) {
+            if !st.members.contains(&id) {
                 return Ok(false);
             }
+            if let Some(wal) = &inner.wal {
+                inner.lock_wal(wal).append(&WalRecord::Remove { id })?;
+            }
+            st.members.remove(&id);
             if let Some(i) = st.fresh.ids().iter().position(|&x| x == id) {
                 st.fresh.swap_remove(i);
             } else if st.frozen.as_ref().is_some_and(|f| f.id_set.contains(&id)) {
@@ -285,7 +365,7 @@ impl MutableIndex {
             if st.compacting || (st.fresh.is_empty() && st.deleted_tree.is_empty()) {
                 None
             } else {
-                Some(self.inner.freeze(&mut st))
+                Some(self.inner.freeze(&mut st)?)
             }
         };
         match task {
@@ -326,12 +406,31 @@ impl MutableIndex {
         self.inner.write_state().last_error.take()
     }
 
+    /// Fsync the write-ahead log's active segment, making every
+    /// acknowledged write durable regardless of the configured
+    /// [`crate::FsyncPolicy`]. A no-op `Ok(())` on in-memory stores.
+    /// Call before dropping a durable store running a batched policy.
+    pub fn sync(&self) -> Result<()> {
+        match &self.inner.wal {
+            Some(wal) => self.inner.lock_wal(wal).sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// True when this store persists to disk (opened via
+    /// [`open`](Self::open)).
+    pub fn is_durable(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
     /// Snapshot of the store's counters and gauges.
     pub fn stats(&self) -> StoreStats {
         let st = self.inner.read_state();
         let gen = self.inner.tree.load_full();
         let hist = self.inner.metrics.hist_snapshot();
         let (p50, p99) = StoreStats::quantiles(&hist);
+        // Lock order state → wal, same as the write path.
+        let wal = self.inner.wal.as_ref().map(|w| self.inner.lock_wal(w));
         StoreStats {
             live_points: st.members.len(),
             tree_points: gen.base.len(),
@@ -350,6 +449,14 @@ impl MutableIndex {
             epoch: gen.epoch,
             compaction_p50_seconds: p50,
             compaction_p99_seconds: p99,
+            durable: wal.is_some(),
+            wal_segments: wal.as_ref().map_or(0, |w| w.segment_count()),
+            wal_bytes: wal.as_ref().map_or(0, |w| w.active_len()),
+            wal_synced_bytes: wal.as_ref().map_or(0, |w| w.active_synced_len()),
+            wal_appends: wal.as_ref().map_or(0, |w| w.appends()),
+            wal_fsyncs: wal.as_ref().map_or(0, |w| w.fsyncs()),
+            snapshot_seq: wal.as_ref().and_then(|w| w.snapshot_seq()).unwrap_or(0),
+            snapshots_written: wal.as_ref().map_or(0, |w| w.snapshots_written()),
         }
     }
 
@@ -399,9 +506,15 @@ impl StoreInner {
         self.state.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn lock_wal<'a>(&self, wal: &'a Mutex<Wal>) -> MutexGuard<'a, Wal> {
+        wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Freeze the log for compaction if a threshold is crossed and no
     /// compaction is already in flight. Called with the write lock held;
     /// the returned task must be dispatched after the lock is released.
+    /// A WAL-rotation failure cannot fail the (already-acknowledged)
+    /// triggering write, so it lands in `last_error` instead.
     fn maybe_freeze(&self, st: &mut WriteState) -> Option<CompactTask> {
         if st.compacting {
             return None;
@@ -413,17 +526,33 @@ impl StoreInner {
         if !over || (st.fresh.is_empty() && st.deleted_tree.is_empty()) {
             return None;
         }
-        Some(self.freeze(st))
+        match self.freeze(st) {
+            Ok(task) => Some(task),
+            Err(e) => {
+                st.last_error = Some(e);
+                self.metrics
+                    .compaction_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Split the log: fresh becomes the frozen segment (pre-packed for
     /// the kernel), a new empty fresh log takes over, and the tombstone
     /// sets are snapshotted. `deleted_frozen` is empty here by
     /// invariant — the previous frozen segment was fully resolved when
-    /// its compaction finished.
-    fn freeze(&self, st: &mut WriteState) -> CompactTask {
+    /// its compaction finished. Durable stores rotate the WAL *first*
+    /// (closing the segment that holds exactly the records up to this
+    /// freeze); a rotation failure aborts the freeze with no state
+    /// change.
+    fn freeze(&self, st: &mut WriteState) -> Result<CompactTask> {
         debug_assert!(!st.compacting && st.frozen.is_none());
         debug_assert!(st.deleted_frozen.is_empty());
+        let closed_seq = match &self.wal {
+            Some(wal) => Some(self.lock_wal(wal).rotate()?),
+            None => None,
+        };
         let fresh = std::mem::replace(
             &mut st.fresh,
             PointSet::new(self.dims).expect("dims validated at construction"),
@@ -431,11 +560,12 @@ impl StoreInner {
         let frozen = FrozenSeg::pack(fresh);
         st.frozen = Some(frozen.clone());
         st.compacting = true;
-        CompactTask {
+        Ok(CompactTask {
             frozen,
             deleted_tree_at_freeze: Arc::clone(&st.deleted_tree),
             old_gen: self.tree.load_full(),
-        }
+            closed_seq,
+        })
     }
 
     /// Send a freeze task to the background pool (or run it inline,
@@ -462,6 +592,7 @@ impl StoreInner {
             frozen,
             deleted_tree_at_freeze,
             old_gen,
+            closed_seq,
         } = task;
         // Build phase — no shared state is touched, so a failure here
         // cannot corrupt anything; the old tree keeps serving.
@@ -494,6 +625,22 @@ impl StoreInner {
                 "compaction build panicked: {}",
                 panic_message(payload)
             )))
+        });
+
+        // Durable stores checkpoint the new generation before the swap,
+        // still off the state lock. The new base is by construction the
+        // net state of every WAL record in segments ≤ closed_seq, so
+        // once the snapshot's atomic rename lands those segments are
+        // redundant and are deleted. A failure here (or a crash before
+        // the rename) takes the same rollback path as a build failure:
+        // the previous snapshot + intact WAL remain the recovery
+        // source, and the in-memory rollback keeps the *next* freeze's
+        // snapshot equal to its own segment prefix.
+        let built = built.and_then(|gen| {
+            if let (Some(wal), Some(seq)) = (&self.wal, closed_seq) {
+                self.lock_wal(wal).write_snapshot(seq, &gen.base)?;
+            }
+            Ok(gen)
         });
 
         let outcome = {
@@ -894,6 +1041,105 @@ mod tests {
         assert!(store.epoch() > e0);
         assert_eq!(store.stats().deleted, 0);
         assert_eq!(store.stats().tree_points, 7);
+    }
+
+    struct TmpDir(std::path::PathBuf);
+
+    impl TmpDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "panda-store-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            TmpDir(dir)
+        }
+    }
+
+    impl Drop for TmpDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let tmp = TmpDir::new("reopen");
+        let cfg = StoreConfig::default().with_synchronous_compaction(true);
+        {
+            let store = MutableIndex::open(&tmp.0, 1, cfg.clone()).unwrap();
+            assert!(store.is_durable());
+            for i in 0..10 {
+                store.insert(&[i as f32], i as u64).unwrap();
+            }
+            store.remove(3).unwrap();
+            let stats = store.stats();
+            assert!(stats.durable);
+            assert_eq!(stats.wal_appends, 11);
+            assert_eq!(stats.wal_bytes, stats.wal_synced_bytes, "PerWrite");
+            // No clean shutdown: recovery must come from the WAL alone.
+        }
+        let store = MutableIndex::open(&tmp.0, 1, cfg).unwrap();
+        assert_eq!(store.len(), 9);
+        let q = PointSet::from_coords(1, vec![3.2]).unwrap();
+        let res = store.query(&QueryRequest::knn(&q, 2)).unwrap();
+        assert_eq!(ids_of(&res, 0), vec![4, 2], "3 stays removed");
+        assert!(matches!(
+            store.insert(&[0.5], 5),
+            Err(PandaError::DuplicateId { id: 5 })
+        ));
+    }
+
+    #[test]
+    fn durable_store_compaction_checkpoints_and_truncates_wal() {
+        let tmp = TmpDir::new("checkpoint");
+        let cfg = StoreConfig::default()
+            .with_compact_points(8)
+            .with_synchronous_compaction(true);
+        {
+            let store = MutableIndex::open(&tmp.0, 1, cfg.clone()).unwrap();
+            for i in 0..20 {
+                store.insert(&[i as f32], i as u64).unwrap();
+            }
+            store.quiesce();
+            let stats = store.stats();
+            assert!(stats.snapshots_written >= 1, "{stats:?}");
+            assert!(stats.snapshot_seq >= 1);
+            assert_eq!(stats.wal_segments, 1, "absorbed segments are deleted");
+        }
+        let store = MutableIndex::open(&tmp.0, 1, cfg).unwrap();
+        assert_eq!(store.len(), 20);
+        assert!(store.stats().tree_points >= 8, "snapshot seeded the tree");
+        let q = PointSet::from_coords(1, vec![17.4]).unwrap();
+        let res = store.query(&QueryRequest::knn(&q, 3)).unwrap();
+        assert_eq!(ids_of(&res, 0), vec![17, 18, 16]);
+    }
+
+    #[test]
+    fn durable_store_explicit_sync_flushes_batched_policy() {
+        use crate::config::FsyncPolicy;
+        let tmp = TmpDir::new("sync");
+        let cfg = StoreConfig::default().with_fsync(FsyncPolicy::OnCompaction);
+        let store = MutableIndex::open(&tmp.0, 1, cfg).unwrap();
+        for i in 0..5 {
+            store.insert(&[i as f32], i as u64).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.wal_synced_bytes < stats.wal_bytes);
+        store.sync().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.wal_synced_bytes, stats.wal_bytes);
+    }
+
+    #[test]
+    fn in_memory_store_reports_no_durability() {
+        let store = line_store(3, StoreConfig::default());
+        assert!(!store.is_durable());
+        store.sync().unwrap();
+        let stats = store.stats();
+        assert!(!stats.durable);
+        assert_eq!(stats.wal_appends, 0);
     }
 
     #[test]

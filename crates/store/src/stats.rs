@@ -98,6 +98,26 @@ pub struct StoreStats {
     pub compaction_p50_seconds: f64,
     /// 99th-percentile successful-compaction duration.
     pub compaction_p99_seconds: f64,
+    /// True for stores opened with [`crate::MutableIndex::open`] (all
+    /// `wal_*`/`snapshot_*` fields stay zero on in-memory stores).
+    pub durable: bool,
+    /// WAL segment files on disk (closed + active).
+    pub wal_segments: usize,
+    /// Logical bytes in the active WAL segment (header + records).
+    pub wal_bytes: u64,
+    /// Prefix of the active segment guaranteed on disk. Equal to
+    /// `wal_bytes` under [`crate::FsyncPolicy::PerWrite`]; lags it by
+    /// the at-risk window under the batched policies.
+    pub wal_synced_bytes: u64,
+    /// Records appended since this handle opened the store.
+    pub wal_appends: u64,
+    /// Fsyncs issued since this handle opened the store.
+    pub wal_fsyncs: u64,
+    /// Sequence number of the newest published snapshot checkpoint
+    /// (0 before the first compaction of a durable store).
+    pub snapshot_seq: u64,
+    /// Snapshot checkpoints published since this handle opened the store.
+    pub snapshots_written: u64,
 }
 
 impl StoreStats {

@@ -1,0 +1,863 @@
+//! Write-ahead log + snapshot checkpoints behind [`crate::MutableIndex::open`].
+//!
+//! # On-disk layout
+//!
+//! A durable store is a directory holding two kinds of files:
+//!
+//! * `wal-<seq>.log` — append-only segments of length-prefixed,
+//!   CRC-checksummed mutation records. Segment `seq` starts with a
+//!   16-byte header (`"PWAL"` magic, format version, dims, seq); each
+//!   record is `[payload_len: u32][crc32(payload): u32][payload]` where
+//!   the payload is `op: u8` (1 = insert, 2 = remove), `id: u64`, and
+//!   for inserts `dims × f32` coordinates, all little-endian.
+//! * `snapshot-<seq>.pnda` — a checkpoint in the checksummed
+//!   `panda_data::io` framing, written at each compaction. Invariant:
+//!   `snapshot-<s>` holds exactly the net state of all records in
+//!   segments `≤ s`, so recovery is "newest valid snapshot + replay of
+//!   every later segment".
+//!
+//! The **active** segment (highest seq) is the only file ever appended
+//! to. A compaction freeze fsyncs and closes it, opens `seq + 1`, and —
+//! once the rebuilt tree is ready — publishes `snapshot-<seq>` via
+//! write-temp → fsync → atomic rename → directory fsync, then deletes
+//! the segments the snapshot absorbed.
+//!
+//! # Failure discipline
+//!
+//! Appends are **fail-stop**: any append or fsync error poisons the log
+//! (all later writes are rejected) because the file may hold a torn
+//! record past the acknowledged prefix; reopening the store recovers.
+//! An fsync failure under [`FsyncPolicy::PerWrite`] additionally rolls
+//! the unacknowledged record back out (`set_len`), so the durable
+//! prefix always equals the acknowledged prefix exactly. Recovery
+//! truncates a torn or checksum-corrupt record *tail* silently (it can
+//! only hold unacknowledged writes) but surfaces
+//! [`PandaError::Corrupt`] when a snapshot or segment *header* is
+//! unreadable — that would mean acknowledged-durable data is gone.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use panda_core::checksum::crc32;
+use panda_core::faultpoint::{self, points};
+use panda_core::{PandaError, PointSet, Result};
+
+use crate::config::FsyncPolicy;
+
+const WAL_MAGIC: [u8; 4] = *b"PWAL";
+const WAL_VERSION: u32 = 1;
+/// magic + version + dims + seq.
+const WAL_HEADER_BYTES: u64 = 4 + 4 + 4 + 8;
+/// Record prefix: payload length + payload CRC.
+const RECORD_PREFIX: usize = 8;
+
+const OP_INSERT: u8 = 1;
+const OP_REMOVE: u8 = 2;
+
+/// One logged mutation. Also the unit recovery replays.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum WalRecord {
+    /// `insert(id, coords)` — coords length always equals the store dims.
+    Insert { id: u64, coords: Vec<f32> },
+    /// `remove(id)`.
+    Remove { id: u64 },
+}
+
+impl WalRecord {
+    fn encode(&self, dims: usize) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(1 + 8 + 4 * dims);
+        match self {
+            WalRecord::Insert { id, coords } => {
+                debug_assert_eq!(coords.len(), dims);
+                payload.push(OP_INSERT);
+                payload.extend_from_slice(&id.to_le_bytes());
+                for c in coords {
+                    payload.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            WalRecord::Remove { id } => {
+                payload.push(OP_REMOVE);
+                payload.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        let mut rec = Vec::with_capacity(RECORD_PREFIX + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        rec
+    }
+
+    /// Decode one payload whose length and CRC already checked out.
+    /// Returns `None` for an unknown op or a size/op mismatch — the
+    /// scanner treats that the same as a checksum failure (truncate).
+    fn decode(payload: &[u8], dims: usize) -> Option<WalRecord> {
+        let (&op, rest) = payload.split_first()?;
+        match op {
+            OP_INSERT if rest.len() == 8 + 4 * dims => {
+                let id = u64::from_le_bytes(rest[..8].try_into().unwrap());
+                let coords = rest[8..]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Some(WalRecord::Insert { id, coords })
+            }
+            OP_REMOVE if rest.len() == 8 => {
+                let id = u64::from_le_bytes(rest[..8].try_into().unwrap());
+                Some(WalRecord::Remove { id })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.log"))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:010}.pnda"))
+}
+
+fn corrupt(path: &Path, detail: impl Into<String>) -> PandaError {
+    PandaError::Corrupt {
+        path: path.display().to_string(),
+        detail: detail.into(),
+    }
+}
+
+fn io_err(path: &Path, what: &str, e: std::io::Error) -> PandaError {
+    PandaError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+/// Fsync a directory so a just-created/renamed entry survives a crash.
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err(dir, "fsync directory", e))
+}
+
+/// The active (append-target) WAL segment.
+#[derive(Debug)]
+struct ActiveSegment {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+    /// Logical length: end of the last fully written record.
+    len: u64,
+    /// Prefix guaranteed on disk (advanced by every successful fsync).
+    synced_len: u64,
+    appends_since_sync: u32,
+    /// Set after any append/fsync failure: the file may hold torn bytes
+    /// past `len`, so further appends are rejected until reopen.
+    poisoned: bool,
+}
+
+impl ActiveSegment {
+    fn create(dir: &Path, seq: u64, dims: usize) -> Result<Self> {
+        let path = segment_path(dir, seq);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, "create wal segment", e))?;
+        let mut header = Vec::with_capacity(WAL_HEADER_BYTES as usize);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&(dims as u32).to_le_bytes());
+        header.extend_from_slice(&seq.to_le_bytes());
+        file.write_all(&header)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err(&path, "write wal header", e))?;
+        sync_dir(dir)?;
+        Ok(Self {
+            file,
+            path,
+            seq,
+            len: WAL_HEADER_BYTES,
+            synced_len: WAL_HEADER_BYTES,
+            appends_since_sync: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Append one record, honoring the fsync policy. On success the
+    /// record is part of the acknowledged prefix (and of the *durable*
+    /// prefix iff a sync ran). On failure the log is poisoned and — when
+    /// the failure was the acknowledging fsync — the record is truncated
+    /// back out so durable == acknowledged exactly.
+    fn append(&mut self, rec: &WalRecord, dims: usize, policy: FsyncPolicy) -> Result<()> {
+        if self.poisoned {
+            return Err(PandaError::Io(format!(
+                "wal segment {} is poisoned after an earlier write failure; \
+                 reopen the store to recover",
+                self.path.display()
+            )));
+        }
+        let bytes = rec.encode(dims);
+        let start = self.len;
+        // Two-part write with a fault point in the middle: an injected
+        // failure leaves the first half of the record on disk — the torn
+        // state a kill during write(2) produces.
+        let split = bytes.len() / 2;
+        let written = self
+            .file
+            .write_all(&bytes[..split])
+            .map_err(|e| io_err(&self.path, "append wal record", e))
+            .and_then(|()| faultpoint::maybe_fail(points::STORE_WAL_APPEND))
+            .and_then(|()| {
+                self.file
+                    .write_all(&bytes[split..])
+                    .map_err(|e| io_err(&self.path, "append wal record", e))
+            });
+        if let Err(e) = written {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.len = start + bytes.len() as u64;
+        self.appends_since_sync += 1;
+        let sync_now = match policy {
+            FsyncPolicy::PerWrite => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::OnCompaction => false,
+        };
+        if sync_now {
+            if let Err(e) = faultpoint::maybe_fail(points::STORE_WAL_FSYNC).and_then(|()| {
+                self.file
+                    .sync_data()
+                    .map_err(|e| io_err(&self.path, "fsync wal segment", e))
+            }) {
+                // The record was never acknowledged: roll it back out so
+                // the durable prefix stays exactly the acknowledged one,
+                // then fail stop.
+                let _ = self.file.set_len(start);
+                self.len = start;
+                self.poisoned = true;
+                return Err(e);
+            }
+            self.synced_len = self.len;
+            self.appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Full fsync outside the append path (rotation close, explicit
+    /// [`crate::MutableIndex::sync`]). Shares the `store.wal.fsync`
+    /// fault point; failure poisons but has nothing to roll back (every
+    /// byte in `..len` is acknowledged).
+    fn sync(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(PandaError::Io(format!(
+                "wal segment {} is poisoned after an earlier write failure; \
+                 reopen the store to recover",
+                self.path.display()
+            )));
+        }
+        if let Err(e) = faultpoint::maybe_fail(points::STORE_WAL_FSYNC).and_then(|()| {
+            self.file
+                .sync_data()
+                .map_err(|e| io_err(&self.path, "fsync wal segment", e))
+        }) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.synced_len = self.len;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+}
+
+/// Result of scanning one segment file during recovery.
+struct SegmentScan {
+    records: Vec<WalRecord>,
+    /// Byte offset just past the last valid record.
+    valid_end: u64,
+    /// True when torn/corrupt bytes followed `valid_end` (and were
+    /// truncated away).
+    truncated: bool,
+}
+
+/// Read and validate a whole segment, truncating any torn tail in
+/// place. Header problems are [`PandaError::Corrupt`]; record-level
+/// problems only end the scan.
+fn scan_segment(path: &Path, expect_seq: u64, dims: usize) -> Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err(path, "read wal segment", e))?;
+    if bytes.len() < WAL_HEADER_BYTES as usize {
+        return Err(corrupt(path, "wal segment shorter than its header"));
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(corrupt(path, "bad wal magic"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(corrupt(path, format!("unsupported wal version {version}")));
+    }
+    let hdr_dims = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    if hdr_dims != dims {
+        return Err(corrupt(
+            path,
+            format!("wal segment has dims {hdr_dims}, store has {dims}"),
+        ));
+    }
+    let hdr_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if hdr_seq != expect_seq {
+        return Err(corrupt(
+            path,
+            format!("wal segment header seq {hdr_seq} does not match file name {expect_seq}"),
+        ));
+    }
+    let max_payload = 1 + 8 + 4 * dims;
+    let mut records = Vec::new();
+    let mut off = WAL_HEADER_BYTES as usize;
+    // Each `break` abandons the scan at the last intact record: a torn
+    // or corrupt tail is truncated below, never replayed.
+    while let Some(prefix) = bytes.get(off..off + RECORD_PREFIX) {
+        let payload_len = u32::from_le_bytes(prefix[..4].try_into().unwrap()) as usize;
+        if payload_len == 0 || payload_len > max_payload {
+            break; // implausible length: torn or corrupt
+        }
+        let expect_crc = u32::from_le_bytes(prefix[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(off + RECORD_PREFIX..off + RECORD_PREFIX + payload_len)
+        else {
+            break; // torn inside the payload
+        };
+        if crc32(payload) != expect_crc {
+            break; // bit-flip or torn rewrite
+        }
+        let Some(rec) = WalRecord::decode(payload, dims) else {
+            break; // unknown op / size-op mismatch
+        };
+        records.push(rec);
+        off += RECORD_PREFIX + payload_len;
+    }
+    let truncated = off < bytes.len();
+    if truncated {
+        // Drop the torn tail so a segment that later becomes the append
+        // target never carries garbage past its logical end.
+        OpenOptions::new()
+            .write(true)
+            .open(path)
+            .and_then(|f| f.set_len(off as u64))
+            .map_err(|e| io_err(path, "truncate torn wal tail", e))?;
+    }
+    Ok(SegmentScan {
+        records,
+        valid_end: off as u64,
+        truncated,
+    })
+}
+
+/// Everything recovery learned from the store directory.
+#[derive(Debug)]
+pub(crate) struct Recovered {
+    pub wal: Wal,
+    /// Newest valid snapshot, if any.
+    pub snapshot: Option<PointSet>,
+    /// Records from every segment after the snapshot, in append order.
+    pub records: Vec<WalRecord>,
+}
+
+/// The durable log: active segment + bookkeeping for closed segments
+/// and snapshots. One per durable [`crate::MutableIndex`], behind a
+/// mutex (lock order: store write lock → wal mutex, never the reverse).
+#[derive(Debug)]
+pub(crate) struct Wal {
+    dir: PathBuf,
+    dims: usize,
+    policy: FsyncPolicy,
+    active: ActiveSegment,
+    /// Closed segments still on disk (ascending), excluding the active.
+    closed: Vec<u64>,
+    /// Seq of the newest published snapshot (`None` before the first).
+    snapshot_seq: Option<u64>,
+    // Lifetime counters for `StoreStats`.
+    appends: u64,
+    fsyncs: u64,
+    snapshots_written: u64,
+}
+
+impl Wal {
+    /// Open (or create) a store directory: pick the newest valid
+    /// snapshot, delete files it absorbed, replay every later segment —
+    /// truncating at the first torn record and discarding any segments
+    /// after a truncated one — and leave the highest surviving segment
+    /// open for appending.
+    pub(crate) fn open_dir(dir: &Path, dims: usize, policy: FsyncPolicy) -> Result<Recovered> {
+        if let FsyncPolicy::EveryN(0) = policy {
+            return Err(PandaError::BadConfig(
+                "FsyncPolicy::EveryN(0) is meaningless; use EveryN(1) or PerWrite".into(),
+            ));
+        }
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create store directory", e))?;
+        let mut segments = BTreeMap::new();
+        let mut snapshots = BTreeMap::new();
+        let entries = fs::read_dir(dir).map_err(|e| io_err(dir, "list store directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(dir, "list store directory", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                segments.insert(seq, entry.path());
+            } else if let Some(seq) = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".pnda"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                snapshots.insert(seq, entry.path());
+            } else if name.ends_with(".pnda.tmp") {
+                // A snapshot write that never reached its rename; the
+                // WAL still covers everything it held.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+
+        // Newest snapshot wins; an unreadable one is a hard error (it
+        // holds acknowledged-durable state), never silent fallback.
+        let (snapshot_seq, snapshot) = match snapshots.iter().next_back() {
+            Some((&seq, path)) => {
+                let ps = panda_data::io::load_points(path)?;
+                if ps.dims() != dims {
+                    return Err(corrupt(
+                        path,
+                        format!("snapshot has dims {}, store expects {dims}", ps.dims()),
+                    ));
+                }
+                (Some(seq), Some(ps))
+            }
+            None => (None, None),
+        };
+        // Files the snapshot absorbed are dead weight; removal is
+        // best-effort cleanup of a crash between rename and delete.
+        let floor = snapshot_seq.unwrap_or(0);
+        for (&seq, path) in &snapshots {
+            if Some(seq) != snapshot_seq {
+                let _ = fs::remove_file(path);
+            }
+        }
+        for (&seq, path) in &segments {
+            if seq <= floor && snapshot_seq.is_some() {
+                let _ = fs::remove_file(path);
+            }
+        }
+        segments.retain(|&seq, _| seq > floor || snapshot_seq.is_none());
+        if snapshot_seq.is_none() {
+            segments.retain(|&seq, _| seq >= 1);
+        }
+
+        // Replay what survives. Segments must be contiguous from
+        // floor + 1; a gap means an absorbed-but-required segment is
+        // missing, which recovery cannot paper over.
+        let mut records = Vec::new();
+        let mut live = Vec::new();
+        let mut expect = floor + 1;
+        let mut saw_truncated = false;
+        for (&seq, path) in &segments {
+            if saw_truncated {
+                // Anything after a torn segment post-dates the crash
+                // frontier; acknowledged writes cannot live there.
+                let _ = fs::remove_file(path);
+                continue;
+            }
+            if seq != expect {
+                return Err(corrupt(
+                    path,
+                    format!("wal segment {seq} found where {expect} was expected (gap)"),
+                ));
+            }
+            expect += 1;
+            let scan = scan_segment(path, seq, dims)?;
+            records.extend(scan.records);
+            live.push((seq, scan.valid_end));
+            saw_truncated = scan.truncated;
+        }
+
+        // The highest surviving segment becomes the append target; a
+        // fresh directory (or one where everything was absorbed) starts
+        // a new one.
+        let active = match live.last() {
+            Some(&(seq, valid_end)) => {
+                let path = segment_path(dir, seq);
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err(&path, "reopen wal segment", e))?;
+                // scan_segment already truncated any torn tail, so the
+                // file ends exactly at valid_end; fsync makes the
+                // truncation itself durable before new appends land.
+                file.sync_data()
+                    .map_err(|e| io_err(&path, "fsync wal segment", e))?;
+                ActiveSegment {
+                    file,
+                    path,
+                    seq,
+                    len: valid_end,
+                    synced_len: valid_end,
+                    appends_since_sync: 0,
+                    poisoned: false,
+                }
+            }
+            None => ActiveSegment::create(dir, floor + 1, dims)?,
+        };
+        let closed = live
+            .iter()
+            .map(|&(seq, _)| seq)
+            .filter(|&seq| seq != active.seq)
+            .collect();
+        Ok(Recovered {
+            wal: Wal {
+                dir: dir.to_path_buf(),
+                dims,
+                policy,
+                active,
+                closed,
+                snapshot_seq,
+                appends: 0,
+                fsyncs: 0,
+                snapshots_written: 0,
+            },
+            snapshot,
+            records,
+        })
+    }
+
+    /// Append one record under the configured fsync policy. Must be
+    /// called *before* the mutation is applied in memory; an error means
+    /// the write was not acknowledged and must not be applied.
+    pub(crate) fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let synced_before = self.active.synced_len;
+        self.active.append(rec, self.dims, self.policy)?;
+        self.appends += 1;
+        if self.active.synced_len > synced_before {
+            self.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Close the active segment at a compaction freeze: fsync it (all
+    /// its records become durable regardless of policy) and open the
+    /// next one. Returns the closed seq — the snapshot that will absorb
+    /// it. On error nothing rotates and the freeze must be abandoned.
+    pub(crate) fn rotate(&mut self) -> Result<u64> {
+        self.active.sync()?;
+        self.fsyncs += 1;
+        let closed_seq = self.active.seq;
+        let next = ActiveSegment::create(&self.dir, closed_seq + 1, self.dims)?;
+        self.closed.push(closed_seq);
+        self.active = next;
+        Ok(closed_seq)
+    }
+
+    /// Publish `snapshot-<seq>` holding `points` (the net state of all
+    /// segments `≤ seq`), then delete the absorbed segments and any
+    /// older snapshot. Write-temp → fsync → atomic rename → dir fsync;
+    /// a failure at any stage leaves the previous snapshot + full WAL
+    /// as the recovery source.
+    pub(crate) fn write_snapshot(&mut self, seq: u64, points: &PointSet) -> Result<()> {
+        let tmp = self.dir.join(format!("snapshot-{seq:010}.pnda.tmp"));
+        let dst = snapshot_path(&self.dir, seq);
+        let written = faultpoint::maybe_fail(points::STORE_SNAPSHOT_WRITE)
+            .and_then(|()| panda_data::io::save_points(&tmp, points))
+            .and_then(|()| {
+                File::open(&tmp)
+                    .and_then(|f| f.sync_all())
+                    .map_err(|e| io_err(&tmp, "fsync snapshot", e))
+            })
+            .and_then(|()| faultpoint::maybe_fail(points::STORE_SNAPSHOT_RENAME))
+            .and_then(|()| fs::rename(&tmp, &dst).map_err(|e| io_err(&dst, "publish snapshot", e)));
+        if let Err(e) = written {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        sync_dir(&self.dir)?;
+        // The snapshot is durable; everything it absorbed is cleanup.
+        // Best-effort: a crash here just leaves files the next open
+        // deletes again.
+        if let Some(old) = self.snapshot_seq {
+            if old != seq {
+                let _ = fs::remove_file(snapshot_path(&self.dir, old));
+            }
+        }
+        self.closed.retain(|&s| {
+            if s <= seq {
+                let _ = fs::remove_file(segment_path(&self.dir, s));
+                false
+            } else {
+                true
+            }
+        });
+        self.snapshot_seq = Some(seq);
+        self.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Fsync the active segment (explicit durability barrier for the
+    /// `EveryN` / `OnCompaction` policies).
+    pub(crate) fn sync(&mut self) -> Result<()> {
+        self.active.sync()?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    pub(crate) fn segment_count(&self) -> usize {
+        self.closed.len() + 1
+    }
+
+    pub(crate) fn active_len(&self) -> u64 {
+        self.active.len
+    }
+
+    pub(crate) fn active_synced_len(&self) -> u64 {
+        self.active.synced_len
+    }
+
+    pub(crate) fn snapshot_seq(&self) -> Option<u64> {
+        self.snapshot_seq
+    }
+
+    pub(crate) fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    pub(crate) fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    pub(crate) fn snapshots_written(&self) -> u64 {
+        self.snapshots_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TmpDir(PathBuf);
+
+    impl TmpDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!(
+                "panda-wal-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            TmpDir(dir)
+        }
+    }
+
+    impl Drop for TmpDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn rec_insert(id: u64, dims: usize) -> WalRecord {
+        WalRecord::Insert {
+            id,
+            coords: (0..dims).map(|d| id as f32 + d as f32 * 0.25).collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for rec in [rec_insert(7, 3), WalRecord::Remove { id: 9 }] {
+            let bytes = rec.encode(3);
+            let payload = &bytes[RECORD_PREFIX..];
+            assert_eq!(
+                u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize,
+                payload.len()
+            );
+            assert_eq!(
+                u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+                crc32(payload)
+            );
+            assert_eq!(WalRecord::decode(payload, 3), Some(rec));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_op_and_bad_size() {
+        assert_eq!(WalRecord::decode(&[3, 0, 0, 0, 0, 0, 0, 0, 0], 3), None);
+        // An insert payload sized for dims=2 must not decode at dims=3.
+        let bytes = rec_insert(1, 2).encode(2);
+        assert_eq!(WalRecord::decode(&bytes[RECORD_PREFIX..], 3), None);
+        assert_eq!(WalRecord::decode(&[], 3), None);
+    }
+
+    #[test]
+    fn append_then_reopen_replays_in_order() {
+        let tmp = TmpDir::new("roundtrip");
+        let mut recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert!(recovered.records.is_empty());
+        let ops = vec![
+            rec_insert(1, 2),
+            rec_insert(2, 2),
+            WalRecord::Remove { id: 1 },
+            rec_insert(3, 2),
+        ];
+        for op in &ops {
+            recovered.wal.append(op).unwrap();
+        }
+        assert_eq!(recovered.wal.appends(), 4);
+        assert_eq!(recovered.wal.fsyncs(), 4);
+        assert_eq!(
+            recovered.wal.active_len(),
+            recovered.wal.active_synced_len()
+        );
+        drop(recovered);
+        let replayed = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        assert_eq!(replayed.records, ops);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let tmp = TmpDir::new("torn");
+        let mut recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        recovered.wal.append(&rec_insert(1, 2)).unwrap();
+        recovered.wal.append(&rec_insert(2, 2)).unwrap();
+        let path = segment_path(&tmp.0, 1);
+        let full = recovered.wal.active_len();
+        drop(recovered);
+        // Chop into the middle of the second record.
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full - 3)
+            .unwrap();
+        let replayed = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        assert_eq!(replayed.records, vec![rec_insert(1, 2)]);
+        // And the torn bytes are physically gone.
+        let bytes = fs::read(&path).unwrap();
+        let rec_len = rec_insert(1, 2).encode(2).len() as u64;
+        assert_eq!(bytes.len() as u64, WAL_HEADER_BYTES + rec_len);
+    }
+
+    #[test]
+    fn mid_log_bitflip_truncates_from_the_flip() {
+        let tmp = TmpDir::new("bitflip");
+        let mut recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        for id in 1..=5 {
+            recovered.wal.append(&rec_insert(id, 2)).unwrap();
+        }
+        drop(recovered);
+        let path = segment_path(&tmp.0, 1);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload bit inside record #3.
+        let rec_len = rec_insert(1, 2).encode(2).len();
+        let off = WAL_HEADER_BYTES as usize + 2 * rec_len + RECORD_PREFIX + 3;
+        bytes[off] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let replayed = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        assert_eq!(replayed.records, vec![rec_insert(1, 2), rec_insert(2, 2)]);
+    }
+
+    #[test]
+    fn corrupt_header_is_a_typed_error() {
+        let tmp = TmpDir::new("header");
+        let path = segment_path(&tmp.0, 1);
+        fs::write(&path, b"WALP this is not a panda wal segment").unwrap();
+        let err = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap_err();
+        assert!(matches!(err, PandaError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn segment_gap_is_a_typed_error() {
+        let tmp = TmpDir::new("gap");
+        let mut recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        recovered.wal.append(&rec_insert(1, 2)).unwrap();
+        recovered.wal.rotate().unwrap();
+        recovered.wal.append(&rec_insert(2, 2)).unwrap();
+        recovered.wal.rotate().unwrap();
+        drop(recovered);
+        fs::remove_file(segment_path(&tmp.0, 2)).unwrap();
+        let err = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap_err();
+        assert!(matches!(err, PandaError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn rotate_and_snapshot_absorb_segments() {
+        let tmp = TmpDir::new("snapshot");
+        let mut recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        recovered.wal.append(&rec_insert(1, 2)).unwrap();
+        recovered.wal.append(&rec_insert(2, 2)).unwrap();
+        let closed = recovered.wal.rotate().unwrap();
+        assert_eq!(closed, 1);
+        assert_eq!(recovered.wal.segment_count(), 2);
+        recovered.wal.append(&rec_insert(3, 2)).unwrap();
+        // Snapshot of segment 1's net state: points 1 and 2.
+        let mut ps = PointSet::new(2).unwrap();
+        for rec in [rec_insert(1, 2), rec_insert(2, 2)] {
+            let WalRecord::Insert { id, coords } = rec else {
+                unreachable!()
+            };
+            ps.push(&coords, id);
+        }
+        recovered.wal.write_snapshot(closed, &ps).unwrap();
+        assert_eq!(recovered.wal.segment_count(), 1);
+        assert_eq!(recovered.wal.snapshot_seq(), Some(1));
+        assert!(!segment_path(&tmp.0, 1).exists());
+        drop(recovered);
+        let replayed = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        let snap = replayed.snapshot.expect("snapshot should load");
+        assert_eq!(snap.len(), 2);
+        assert_eq!(replayed.records, vec![rec_insert(3, 2)]);
+        assert_eq!(replayed.wal.snapshot_seq(), Some(1));
+    }
+
+    #[test]
+    fn unreadable_snapshot_is_a_typed_error() {
+        let tmp = TmpDir::new("badsnap");
+        fs::write(snapshot_path(&tmp.0, 3), b"not a pnda file at all......").unwrap();
+        let err = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap_err();
+        assert!(matches!(err, PandaError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn every_n_policy_batches_fsyncs() {
+        let tmp = TmpDir::new("everyn");
+        let mut recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::EveryN(3)).unwrap();
+        for id in 1..=7 {
+            recovered.wal.append(&rec_insert(id, 2)).unwrap();
+        }
+        // 7 appends at N=3 → syncs after #3 and #6 only.
+        assert_eq!(recovered.wal.fsyncs(), 2);
+        assert!(recovered.wal.active_synced_len() < recovered.wal.active_len());
+        recovered.wal.sync().unwrap();
+        assert_eq!(
+            recovered.wal.active_synced_len(),
+            recovered.wal.active_len()
+        );
+    }
+
+    #[test]
+    fn every_n_zero_is_rejected() {
+        let tmp = TmpDir::new("everyn0");
+        let err = Wal::open_dir(&tmp.0, 2, FsyncPolicy::EveryN(0)).unwrap_err();
+        assert!(matches!(err, PandaError::BadConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn leftover_tmp_snapshot_is_swept() {
+        let tmp = TmpDir::new("tmpsweep");
+        let stray = tmp.0.join("snapshot-0000000009.pnda.tmp");
+        fs::write(&stray, b"half-written checkpoint").unwrap();
+        let recovered = Wal::open_dir(&tmp.0, 2, FsyncPolicy::PerWrite).unwrap();
+        assert!(!stray.exists());
+        assert!(recovered.snapshot.is_none());
+    }
+}

@@ -233,6 +233,25 @@
 //!   the worker restarts after a bounded exponential backoff
 //!   (`ShardedIndex::shard_restarts` counts them), and the next round
 //!   proceeds normally.
+//! * **Durability and crash recovery.** A mutable store opened with
+//!   [`MutableIndex::open`](prelude::MutableIndex::open) appends every
+//!   mutation to a CRC-checksummed write-ahead log *before*
+//!   acknowledging it, and each compaction publishes an atomic snapshot
+//!   checkpoint (write-temp → fsync → rename) that absorbs the log it
+//!   covers. After a kill at **any** instant, reopening recovers
+//!   exactly a prefix of the acknowledged write sequence — never a torn
+//!   point, a reordering, or a resurrected delete. The
+//!   [`FsyncPolicy`](prelude::FsyncPolicy) (`PerWrite` default,
+//!   `EveryN(n)`, `OnCompaction`) only sets how long that at-risk
+//!   suffix may be; under `PerWrite` it is empty. A torn WAL tail is
+//!   truncated silently on recovery, while an unreadable snapshot —
+//!   acknowledged-durable state — surfaces as `PandaError::Corrupt`.
+//!   The crash-point sweep in `tests/recovery.rs` kills a scripted
+//!   workload at every durability fault point and diffs the reopened
+//!   store against a brute-force oracle. `.pnda` dataset files carry
+//!   the same protection: a versioned header plus a whole-file
+//!   checksum, with truncation and bit-flips rejected as
+//!   `PandaError::Corrupt` at load.
 //! * **Fault injection.** All of the above is provable on demand:
 //!   [`panda_core::faultpoint`] compiles named fault points into the
 //!   comm exchanges, the leaf-kernel dispatch, and the service drain
@@ -302,7 +321,7 @@ pub mod prelude {
         OverflowPolicy, QueryService, ServiceConfig, ServiceHandle, ServiceStats, Ticket,
         TicketReply,
     };
-    pub use panda_store::{MutableIndex, StoreConfig, StoreStats};
+    pub use panda_store::{FsyncPolicy, MutableIndex, StoreConfig, StoreStats};
 }
 
 /// Crate version of the facade (matches the workspace version).

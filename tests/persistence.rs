@@ -1,17 +1,48 @@
-//! Dataset persistence: save → load → identical query behaviour.
+//! Dataset persistence: save → load → identical query behaviour, and
+//! the `.pnda` integrity contract — a versioned header plus a
+//! whole-file checksum, with truncation and bit-flips rejected as
+//! typed [`PandaError::Corrupt`] instead of loading garbage.
+
+use std::fs;
+use std::path::PathBuf;
 
 use panda::data::dayabay::DayaBayParams;
 use panda::data::{dayabay, io, queries_from, uniform};
 use panda::prelude::*;
 
-fn tmp(name: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("panda-persist-{}-{name}", std::process::id()))
+/// RAII scratch directory: removed on drop, **including when the test
+/// panics** — no leaked temp files on a red run (the old manual
+/// `remove_file` tails only ran on the green path).
+struct TmpDir(PathBuf);
+
+impl TmpDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "panda-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TmpDir(dir)
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TmpDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
 }
 
 #[test]
 fn points_roundtrip_preserves_query_results() {
+    let tmp = TmpDir::new("roundtrip");
     let ps = uniform::generate(5000, 3, 1.0, 1);
-    let path = tmp("pts.pnda");
+    let path = tmp.file("pts.pnda");
     io::save_points(&path, &ps).unwrap();
     let loaded = io::load_points(&path).unwrap();
     assert_eq!(ps, loaded);
@@ -27,14 +58,14 @@ fn points_roundtrip_preserves_query_results() {
             rb.iter().map(|n| (n.id, n.dist_sq)).collect::<Vec<_>>(),
         );
     }
-    std::fs::remove_file(path).ok();
 }
 
 #[test]
 fn labeled_roundtrip_preserves_classification() {
     use panda::core::classify::majority_vote;
+    let tmp = TmpDir::new("labeled");
     let lp = dayabay::generate(2000, &DayaBayParams::default(), 3);
-    let path = tmp("labeled.pnda");
+    let path = tmp.file("labeled.pnda");
     io::save_labeled(&path, &lp).unwrap();
     let loaded = io::load_labeled(&path).unwrap();
     assert_eq!(lp, loaded);
@@ -51,19 +82,102 @@ fn labeled_roundtrip_preserves_classification() {
     }
     // loose sanity: far better than the 1/3 chance level
     assert!(correct as f64 / test.len() as f64 > 0.6);
-    std::fs::remove_file(path).ok();
 }
 
 #[test]
 fn large_ids_survive() {
     // ids are u64 globals; make sure the io path doesn't truncate them
+    let tmp = TmpDir::new("bigids");
     let mut ps = PointSet::new(2).unwrap();
     ps.push(&[1.0, 2.0], u64::MAX - 1);
     ps.push(&[3.0, 4.0], 1 << 40);
-    let path = tmp("bigids.pnda");
+    let path = tmp.file("bigids.pnda");
     io::save_points(&path, &ps).unwrap();
     let loaded = io::load_points(&path).unwrap();
     assert_eq!(loaded.id(0), u64::MAX - 1);
     assert_eq!(loaded.id(1), 1 << 40);
-    std::fs::remove_file(path).ok();
+}
+
+// ------------------------------------------------- integrity regression
+
+#[test]
+fn truncated_file_is_rejected_at_every_depth() {
+    let tmp = TmpDir::new("truncate");
+    let ps = uniform::generate(200, 3, 1.0, 7);
+    let path = tmp.file("whole.pnda");
+    io::save_points(&path, &ps).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    // Cut inside the header, inside the body, and inside the trailing
+    // checksum — every one must be a typed Corrupt, never a partial
+    // PointSet or a panic.
+    for keep in [10, bytes.len() / 3, bytes.len() - 2] {
+        let cut = tmp.file("cut.pnda");
+        fs::write(&cut, &bytes[..keep]).unwrap();
+        let err = io::load_points(&cut).unwrap_err();
+        assert!(
+            matches!(err, PandaError::Corrupt { .. }),
+            "keep={keep}: want Corrupt, got {err}"
+        );
+    }
+}
+
+#[test]
+fn single_bitflip_anywhere_is_rejected() {
+    let tmp = TmpDir::new("bitflip");
+    let ps = uniform::generate(64, 2, 1.0, 9);
+    let path = tmp.file("flip.pnda");
+    io::save_points(&path, &ps).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    // A handful of offsets spread across header, body, and trailer.
+    for frac in [0.1, 0.4, 0.7, 0.95] {
+        let off = ((bytes.len() as f64) * frac) as usize;
+        let mut evil = bytes.clone();
+        evil[off] ^= 0x01;
+        let flipped = tmp.file("flipped.pnda");
+        fs::write(&flipped, &evil).unwrap();
+        match io::load_points(&flipped) {
+            Err(PandaError::Corrupt { .. }) => {}
+            Err(e) => panic!("offset {off}: want Corrupt, got {e}"),
+            // One lucky flip target: a coordinate byte flips to another
+            // value whose CRC happens to match — impossible for CRC-32
+            // and a 1-bit flip, so loading must never succeed.
+            Ok(_) => panic!("offset {off}: bit-flip loaded successfully"),
+        }
+    }
+}
+
+#[test]
+fn labeled_file_integrity_is_checked_too() {
+    let tmp = TmpDir::new("labeled-corrupt");
+    let lp = dayabay::generate(300, &DayaBayParams::default(), 5);
+    let path = tmp.file("labeled.pnda");
+    io::save_labeled(&path, &lp).unwrap();
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&path, &bytes).unwrap();
+    let err = io::load_labeled(&path).unwrap_err();
+    assert!(matches!(err, PandaError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn junk_and_empty_files_are_typed_errors() {
+    let tmp = TmpDir::new("junk");
+    let junk = tmp.file("junk.pnda");
+    fs::write(&junk, b"this has never been a panda dataset file, not once").unwrap();
+    assert!(matches!(
+        io::load_points(&junk).unwrap_err(),
+        PandaError::Corrupt { .. }
+    ));
+    let empty = tmp.file("empty.pnda");
+    fs::write(&empty, b"").unwrap();
+    assert!(matches!(
+        io::load_points(&empty).unwrap_err(),
+        PandaError::Corrupt { .. }
+    ));
+    let missing = tmp.file("missing.pnda");
+    assert!(matches!(
+        io::load_points(&missing).unwrap_err(),
+        PandaError::Io(_)
+    ));
 }
