@@ -71,6 +71,29 @@ struct CellResult {
     latencies: Vec<f64>,
     /// `rows[client][request]` for the bit-identical gate.
     rows: Vec<Vec<Row>>,
+    /// Result-cache hits/misses from the service telemetry snapshot.
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Worker restarts observed by this cell (always 0 in a clean run).
+    shard_restarts: u64,
+    /// Bytes moved by the comm layer during this cell (point-to-point
+    /// plus collective traffic, delta over the index's lifetime totals).
+    comm_bytes: u64,
+}
+
+/// Total bytes the index's comm layer has moved so far (cumulative over
+/// the index lifetime; callers take deltas around a timed window).
+fn comm_bytes_total(index: &ShardedIndex) -> u64 {
+    let snap = index.registry().expect("sharded registry").snapshot();
+    [
+        "comm.sent_bytes",
+        "comm.recv_bytes",
+        "comm.collective_bytes_out",
+        "comm.collective_bytes_in",
+    ]
+    .iter()
+    .map(|name| snap.counter(name).unwrap_or(0))
+    .sum()
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -98,6 +121,7 @@ fn run_cell(
             .with_overflow(OverflowPolicy::Block),
     )
     .expect("service");
+    let bytes_before = comm_bytes_total(index);
     let t0 = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
@@ -144,11 +168,16 @@ fn run_cell(
         stats.max_queue_depth
     );
     assert_eq!(index.shard_restarts(), 0, "no worker faults in a bench");
+    let snap = service.telemetry();
     service.shutdown();
     CellResult {
         wall_seconds: wall,
         latencies,
         rows,
+        cache_hits: snap.counter("service.cache.hits").unwrap_or(0),
+        cache_misses: snap.counter("service.cache.misses").unwrap_or(0),
+        shard_restarts: index.shard_restarts(),
+        comm_bytes: comm_bytes_total(index) - bytes_before,
     }
 }
 
@@ -250,7 +279,11 @@ fn main() {
             first_cell = false;
             let _ = write!(
                 json,
-                "    {{ \"clients\": {clients}, \"shards\": {shards}, \"qps\": {qps:.1}, \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1} }}"
+                "    {{ \"clients\": {clients}, \"shards\": {shards}, \"qps\": {qps:.1}, \
+                 \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \
+                 \"shard_restarts\": {}, \"comm_bytes\": {} }}",
+                best.cache_hits, best.cache_misses, best.shard_restarts, best.comm_bytes
             );
         }
     }

@@ -51,6 +51,7 @@ pub mod group;
 pub(crate) mod mailbox;
 pub mod retry;
 pub mod stats;
+pub mod telemetry;
 
 pub use clock::{ClockSummary, VirtualClock};
 pub use cluster::{make_endpoints, makespan, run_cluster, total_stats, ClusterConfig, RankOutcome};
@@ -61,6 +62,7 @@ pub use error::CommError;
 pub use group::Group;
 pub use retry::RetryPolicy;
 pub use stats::CommStats;
+pub use telemetry::CommMeter;
 
 /// Convenience alias: result type used throughout the crate.
 pub type Result<T> = std::result::Result<T, CommError>;

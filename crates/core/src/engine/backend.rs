@@ -75,6 +75,15 @@ pub trait NnBackend {
     fn shard_count(&self) -> usize {
         1
     }
+
+    /// The backend's `panda_obs` metrics registry, when it keeps one.
+    /// Front ends (e.g. `ServiceHandle::telemetry` in `panda_service`)
+    /// merge it into their own snapshot so one exposition call covers
+    /// the whole stack. Backends without internal metrics keep the
+    /// default `None`.
+    fn registry(&self) -> Option<panda_obs::Registry> {
+        None
+    }
 }
 
 impl NnBackend for KnnIndex {

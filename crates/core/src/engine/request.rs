@@ -4,6 +4,8 @@
 
 use std::time::Duration;
 
+use panda_obs::TraceId;
+
 use crate::config::{BoundMode, QueryConfig, QueryOrder};
 use crate::error::{PandaError, Result};
 use crate::point::PointSet;
@@ -41,6 +43,7 @@ pub struct QueryRequest<'a> {
     pipeline: bool,
     bbox_routing: bool,
     deadline: Option<Duration>,
+    trace: TraceId,
 }
 
 impl<'a> QueryRequest<'a> {
@@ -58,6 +61,7 @@ impl<'a> QueryRequest<'a> {
             pipeline: defaults.pipeline,
             bbox_routing: defaults.bbox_routing,
             deadline: None,
+            trace: TraceId::NONE,
         }
     }
 
@@ -127,6 +131,20 @@ impl<'a> QueryRequest<'a> {
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Attach a sampled pipeline [`TraceId`] (see `panda_obs::trace`).
+    /// Backends that honor it record per-stage spans for this batch;
+    /// the default [`TraceId::NONE`] records nothing.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The pipeline trace id carried by this request.
+    pub fn trace(&self) -> TraceId {
+        self.trace
     }
 
     /// The query points.
@@ -374,6 +392,18 @@ mod tests {
         // the request stays Copy with the knob set
         let copy = req;
         assert_eq!(copy.deadline(), req.deadline());
+    }
+
+    #[test]
+    fn trace_id_is_carried_and_defaults_to_none() {
+        let queries = qs();
+        let req = QueryRequest::knn(&queries, 1);
+        assert!(!req.trace().is_sampled());
+        let id = TraceId::from_raw(42);
+        let req = req.with_trace(id);
+        assert_eq!(req.trace(), id);
+        // trace does not leak into the engine config
+        assert_eq!(req.to_query_config(), QueryConfig::with_k(1));
     }
 
     #[test]

@@ -43,13 +43,14 @@
 //! within the round (shards work their slices concurrently).
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use panda_comm::{make_endpoints, ClusterConfig, Comm};
+use panda_comm::{make_endpoints, ClusterConfig, Comm, CommMeter};
+use panda_obs::trace::{self, Stage};
+use panda_obs::{Counter, Registry, TraceId};
 
 use crate::build_distributed::{build_distributed, DistKdTree};
 use crate::config::{DistConfig, QueryConfig};
@@ -80,6 +81,7 @@ enum ShardJob {
         coords: Vec<f32>,
         qids: Vec<u64>,
         cfg: Box<QueryConfig>,
+        trace: TraceId,
     },
     /// Purely local fixed-radius serve (no collectives).
     Radius {
@@ -142,7 +144,12 @@ pub struct ShardedIndex {
     len: usize,
     n_shards: usize,
     dispatch: Mutex<Dispatch>,
-    restarts: Arc<AtomicU64>,
+    /// Shared metrics plane: `shard.*` counters plus the workers'
+    /// `comm.*` traffic totals (see [`NnBackend::registry`]).
+    registry: Registry,
+    restarts: Counter,
+    rounds: Counter,
+    queries_total: Counter,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -210,7 +217,10 @@ impl ShardedIndex {
         let endpoints = make_endpoints(cluster);
         let (reply_tx, reply_rx) = channel::<ShardReply>();
         let (init_tx, init_rx) = channel::<(usize, Result<Option<GlobalKdTree>>)>();
-        let restarts = Arc::new(AtomicU64::new(0));
+        let registry = Registry::new();
+        let restarts = registry.counter("shard.restarts");
+        let rounds = registry.counter("shard.rounds");
+        let queries_total = registry.counter("shard.queries");
         let mut job_tx = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for (shard, comm) in endpoints.into_iter().enumerate() {
@@ -223,12 +233,15 @@ impl ShardedIndex {
             let cfg = *cfg;
             let init_tx = init_tx.clone();
             let reply_tx = reply_tx.clone();
-            let restarts = Arc::clone(&restarts);
+            let restarts = restarts.clone();
+            let meter = CommMeter::new(&registry);
             let handle = std::thread::Builder::new()
                 .name(format!("panda-shard-{shard}"))
                 .stack_size(8 << 20)
                 .spawn(move || {
-                    worker_entry(comm, mine, cfg, shard, rx, reply_tx, init_tx, restarts);
+                    worker_entry(
+                        comm, mine, cfg, shard, rx, reply_tx, init_tx, restarts, meter,
+                    );
                 })
                 .map_err(|e| PandaError::BadConfig(format!("spawn shard worker: {e}")))?;
             workers.push(handle);
@@ -277,7 +290,10 @@ impl ShardedIndex {
                 reply_rx,
                 epoch: 0,
             }),
+            registry,
             restarts,
+            rounds,
+            queries_total,
             workers,
         })
     }
@@ -295,7 +311,7 @@ impl ShardedIndex {
     /// How many times a shard worker recovered from a panic. A healthy
     /// cluster stays at 0; supervision tests assert it advances.
     pub fn shard_restarts(&self) -> u64 {
-        self.restarts.load(Ordering::Relaxed)
+        self.restarts.get()
     }
 
     /// Distributed fixed-radius search: per query, **all** dataset points
@@ -383,6 +399,8 @@ impl ShardedIndex {
         coords: Vec<Vec<f32>>,
         qids: Vec<Vec<u64>>,
         cfg: &QueryConfig,
+        trace_id: TraceId,
+        scatter_start: Instant,
     ) -> Result<Vec<OwnedOutput>> {
         let mut d = lock_dispatch(self);
         for (shard, (c, q)) in coords.into_iter().zip(qids).enumerate() {
@@ -391,9 +409,14 @@ impl ShardedIndex {
                     coords: c,
                     qids: q,
                     cfg: Box::new(*cfg),
+                    trace: trace_id,
                 })
                 .map_err(|_| shard_gone())?;
         }
+        // Scatter = routing + job fan-out; gather starts once the last
+        // job is on its channel.
+        trace::record(trace_id, Stage::Scatter, scatter_start);
+        let gather_start = Instant::now();
         let mut outs = Vec::with_capacity(self.n_shards);
         let mut errs = Vec::new();
         for _ in 0..self.n_shards {
@@ -413,6 +436,7 @@ impl ShardedIndex {
             self.quiesce_locked(&mut d)?;
             return Err(pick_root_cause(errs));
         }
+        trace::record(trace_id, Stage::Gather, gather_start);
         Ok(outs)
     }
 
@@ -511,8 +535,11 @@ impl NnBackend for ShardedIndex {
                 breakdown: Some(QueryBreakdown::default()),
             });
         }
+        self.rounds.inc();
+        self.queries_total.add(n as u64);
         // Front-end routing: the same stage-1 ownership decision as the
         // SPMD engine, but the "exchange" is the scatter over channels.
+        let scatter_start = Instant::now();
         let mut coords: Vec<Vec<f32>> = vec![Vec::new(); self.n_shards];
         let mut qids: Vec<Vec<u64>> = vec![Vec::new(); self.n_shards];
         for i in 0..n {
@@ -521,7 +548,7 @@ impl NnBackend for ShardedIndex {
             coords[owner].extend_from_slice(q);
             qids[owner].push(i as u64);
         }
-        let outs = self.run_knn_round(coords, qids, &cfg)?;
+        let outs = self.run_knn_round(coords, qids, &cfg, req.trace(), scatter_start)?;
 
         // Gather: scatter each shard's CSR slice back to submission order.
         let mut row_counts = vec![0u32; n];
@@ -576,6 +603,10 @@ impl NnBackend for ShardedIndex {
     fn shard_count(&self) -> usize {
         self.n_shards
     }
+
+    fn registry(&self) -> Option<Registry> {
+        Some(self.registry.clone())
+    }
 }
 
 /// Worker thread body: collective build, publish the init result, then
@@ -589,7 +620,8 @@ fn worker_entry(
     job_rx: Receiver<ShardJob>,
     reply_tx: Sender<ShardReply>,
     init_tx: Sender<(usize, Result<Option<GlobalKdTree>>)>,
-    restarts: Arc<AtomicU64>,
+    restarts: Counter,
+    meter: CommMeter,
 ) {
     // The collective build either works everywhere or panics/errs
     // everywhere (a dead peer surfaces as a timeout panic here).
@@ -620,20 +652,24 @@ fn worker_entry(
         }
     };
     drop(init_tx);
-    worker_loop(&mut comm, &tree, shard, &job_rx, &reply_tx, &restarts);
+    worker_loop(
+        &mut comm, &tree, shard, &job_rx, &reply_tx, &restarts, meter,
+    );
 }
 
 /// Serve jobs forever. A panic inside a job is the supervised failure
 /// mode: the round resolves with a typed error, the restart counter
 /// advances, and after a bounded back-off the worker keeps serving — the
 /// loop iteration *is* the restart.
+#[allow(clippy::too_many_arguments)] // spawn-time wiring, called once
 fn worker_loop(
     comm: &mut Comm,
     tree: &DistKdTree,
     shard: usize,
     job_rx: &Receiver<ShardJob>,
     reply_tx: &Sender<ShardReply>,
-    restarts: &AtomicU64,
+    restarts: &Counter,
+    mut meter: CommMeter,
 ) {
     let mut ws = QueryWorkspace::new();
     let mut consecutive_panics = 0u32;
@@ -646,13 +682,22 @@ fn worker_loop(
             ShardJob::Shutdown => return,
             ShardJob::Quiesce { epoch } => {
                 comm.quiesce(epoch);
+                meter.publish(&comm.stats());
                 ShardReply::Quiesced
             }
-            ShardJob::Knn { coords, qids, cfg } => {
+            ShardJob::Knn {
+                coords,
+                qids,
+                cfg,
+                trace: trace_id,
+            } => {
+                let t0 = Instant::now();
                 let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
                     faultpoint::maybe_fail_ctx(points::SHARD_WORKER_QUERY, shard as u64)?;
                     owned_pipeline(comm, tree, Owned { coords, qids }, &cfg)
                 }));
+                trace::record(trace_id, Stage::ShardWorker, t0);
+                meter.publish(&comm.stats());
                 match res {
                     Ok(res) => {
                         if res.is_ok() {
@@ -699,10 +744,10 @@ fn worker_loop(
 fn supervise_panic(
     shard: usize,
     panic: &(dyn std::any::Any + Send),
-    restarts: &AtomicU64,
+    restarts: &Counter,
     consecutive: &mut u32,
 ) -> PandaError {
-    restarts.fetch_add(1, Ordering::Relaxed);
+    restarts.inc();
     let backoff = RESTART_BACKOFF_BASE
         .saturating_mul(1u32 << (*consecutive).min(16))
         .min(RESTART_BACKOFF_MAX);
@@ -788,6 +833,23 @@ mod tests {
         assert_eq!(res.neighbors, expect, "bit-identical to single-shard");
         assert_eq!(res.remote.unwrap().owned_queries, 48);
         assert_eq!(idx.shard_restarts(), 0);
+    }
+
+    #[test]
+    fn registry_carries_shard_and_comm_metrics() {
+        let all = random_ps(600, 3, 70);
+        let queries = random_ps(24, 3, 71);
+        let idx = ShardedIndex::build(&all, 2, &DistConfig::default()).unwrap();
+        idx.query(&QueryRequest::knn(&queries, 3)).unwrap();
+        idx.query(&QueryRequest::knn(&queries, 3)).unwrap();
+        let snap = (&idx as &dyn NnBackend).registry().unwrap().snapshot();
+        assert_eq!(snap.counter("shard.rounds"), Some(2));
+        assert_eq!(snap.counter("shard.queries"), Some(48));
+        assert_eq!(snap.counter("shard.restarts"), Some(0));
+        assert!(
+            snap.counter("comm.collectives").unwrap_or(0) > 0,
+            "workers published collective traffic: {snap:?}"
+        );
     }
 
     #[test]

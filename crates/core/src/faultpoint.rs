@@ -235,6 +235,39 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
 /// Chaos-test exclusivity: held by the [`FaultGuard`] for the lifetime
 /// of an armed plan so concurrent tests cannot cross-arm.
 static EXCLUSIVE: Mutex<()> = Mutex::new(());
+/// Process-lifetime count of faults that actually *fired* (took an
+/// action) per point name. Unlike the per-plan `hit_log` this survives
+/// disarming, so a telemetry snapshot taken after the run still shows
+/// which faults tripped — chaos tests assert on it instead of inferring
+/// firing from the error path.
+static FIRED: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+fn note_fired(point: &str) {
+    let mut fired = FIRED.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(entry) = fired.iter_mut().find(|(p, _)| p == point) {
+        entry.1 += 1;
+    } else {
+        fired.push((point.to_string(), 1));
+    }
+}
+
+/// Times each fault point has fired (taken an action) since process
+/// start, sorted by point name. Never reset by disarming.
+pub fn fired_counts() -> Vec<(String, u64)> {
+    let mut out = FIRED.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Times `point` has fired since process start.
+pub fn fired(point: &str) -> u64 {
+    FIRED
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .find(|(p, _)| p == point)
+        .map_or(0, |(_, n)| *n)
+}
 
 fn lock_registry() -> MutexGuard<'static, Registry> {
     // An injected panic can unwind through a hit with the lock released
@@ -334,6 +367,9 @@ fn fire(point: &str, ctx: Option<u64>) -> Result<()> {
         }
         action
     };
+    if action.is_some() {
+        note_fired(point);
+    }
     match action {
         None => Ok(()),
         Some(FaultAction::Fail) => Err(PandaError::FaultInjected {
@@ -416,6 +452,21 @@ mod tests {
         assert!(res.is_err(), "panic action panicked");
         // guard dropped during unwind: the world is disarmed again
         assert!(maybe_fail("p").is_ok());
+    }
+
+    #[test]
+    fn fired_counts_survive_disarm() {
+        let before = fired("fp.fired.test");
+        {
+            let _g = arm(FaultPlan::new().fail("fp.fired.test", 1));
+            assert!(maybe_fail("fp.fired.test").is_err());
+            assert!(maybe_fail("fp.fired.test").is_ok(), "hit but no fire");
+        }
+        // Guard dropped (disarmed): the fired count persists.
+        assert_eq!(fired("fp.fired.test"), before + 1);
+        assert!(fired_counts()
+            .iter()
+            .any(|(p, n)| p == "fp.fired.test" && *n >= 1));
     }
 
     #[test]

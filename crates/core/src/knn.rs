@@ -100,6 +100,7 @@ impl KnnIndex {
             req.bound_mode(),
             req.parallel().unwrap_or(self.parallel),
         )?;
+        panda_obs::trace::record(req.trace(), panda_obs::Stage::LeafKernel, t0);
         Ok(QueryResponse::local(
             neighbors,
             counters,

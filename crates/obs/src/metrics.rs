@@ -1,0 +1,324 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! Every handle is a cheaply clonable `Arc` around relaxed atomics, so
+//! hot paths pay one `fetch_add` (or, for histograms, one `leading_zeros`
+//! plus two `fetch_add`s) and nothing else — no locks, no allocation,
+//! no syscalls. Reads (`snapshot`) are torn-tolerant: each cell is read
+//! atomically, but the set of cells is not read at one instant. That is
+//! the standard metrics trade and is fine for monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Index of the power-of-two bucket that `v` falls into, clamped to
+/// `buckets`. Bucket `i` covers values in `[2^i, 2^(i+1))` (bucket 0
+/// additionally absorbs 0), so its inclusive upper edge is
+/// `2^(i+1) - 1`.
+#[inline]
+#[must_use]
+pub fn pow2_bucket(v: u64, buckets: usize) -> usize {
+    ((64 - v.max(1).leading_zeros() as usize) - 1).min(buckets - 1)
+}
+
+/// Inclusive upper edge of pow2 bucket `i`: `2^(i+1) - 1`.
+#[inline]
+#[must_use]
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// Monotonically increasing event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (queue depth, live points, …).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Raise the value to at least `v` (high-water mark).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Add `n` (for gauges tracked as running sums).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Subtract `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update loops only under contention; gauges are cold.
+        let _ = self
+            .0
+            .fetch_update(Relaxed, Relaxed, |cur| Some(cur.saturating_sub(n)));
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+struct HistInner {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+/// Power-of-two histogram: bucket `i` counts values in `[2^i, 2^(i+1))`
+/// (bucket 0 absorbs 0; the last bucket absorbs everything above the
+/// range). Durations are recorded in nanoseconds.
+///
+/// One shared implementation replaces the private copies that used to
+/// live in `panda_service::metrics` and `panda_store::stats`; quantiles
+/// report the inclusive bucket upper edge `2^(i+1) - 1`.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("buckets", &self.0.buckets.len())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Histogram with `buckets` pow2 buckets (`buckets >= 1`).
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 1, "histogram needs at least one bucket");
+        let cells: Vec<AtomicU64> = (0..buckets).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistInner {
+            buckets: cells.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.0.buckets.len()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = pow2_bucket(v, self.0.buckets.len());
+        self.0.buckets[b].fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Record a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Torn-tolerant point-in-time copy of the bucket counts and sum.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.0.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            sum: self.0.sum.load(Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state with quantile extraction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`counts[i]` = values in
+    /// `[2^i, 2^(i+1))`).
+    pub counts: Vec<u64>,
+    /// Sum of all recorded values (ns for duration histograms).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean recorded value, 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.total();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Quantile as the inclusive upper edge of the bucket containing the
+    /// `q`-th observation (`2^(i+1) - 1`), 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_edge(i);
+            }
+        }
+        bucket_upper_edge(self.counts.len() - 1)
+    }
+
+    /// [`Self::quantile`] scaled from nanoseconds to seconds.
+    #[must_use]
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 * 1e-9
+    }
+
+    /// Merge another snapshot into this one (bucket-wise; shorter side
+    /// is zero-extended).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(pow2_bucket(0, 8), 0);
+        assert_eq!(pow2_bucket(1, 8), 0);
+        assert_eq!(pow2_bucket(2, 8), 1);
+        assert_eq!(pow2_bucket(3, 8), 1);
+        assert_eq!(pow2_bucket(4, 8), 2);
+        assert_eq!(pow2_bucket(u64::MAX, 8), 7);
+        assert_eq!(bucket_upper_edge(0), 1);
+        assert_eq!(bucket_upper_edge(9), 1023);
+        assert_eq!(bucket_upper_edge(63), u64::MAX);
+    }
+
+    #[test]
+    fn counter_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_service_convention() {
+        let h = Histogram::new(41);
+        // 600ns lands in bucket 9 ([512, 1024)) whose upper edge is 1023.
+        h.record(600);
+        let s = h.snapshot();
+        assert_eq!(s.total(), 1);
+        assert!((s.quantile_seconds(0.5) - 1023e-9).abs() < 1e-12);
+        assert!((s.quantile_seconds(0.99) - 1023e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantile_spread() {
+        let h = Histogram::new(16);
+        for _ in 0..99 {
+            h.record(2); // bucket 1, edge 3
+        }
+        h.record(1 << 10); // bucket 10, edge 2047
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 3);
+        assert_eq!(s.quantile(0.99), 3);
+        assert_eq!(s.quantile(1.0), 2047);
+        assert_eq!(s.quantile(0.0), 3); // target clamps to 1st obs
+        assert!((s.mean() - (99.0 * 2.0 + 1024.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let s = Histogram::new(4).snapshot();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_merge() {
+        let mut a = HistogramSnapshot {
+            counts: vec![1, 2],
+            sum: 5,
+        };
+        let b = HistogramSnapshot {
+            counts: vec![0, 1, 7],
+            sum: 100,
+        };
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1, 3, 7]);
+        assert_eq!(a.sum, 105);
+    }
+}

@@ -4,9 +4,16 @@
 //! quantile readout — overall and split per batch-size bucket — all
 //! surfaced as a [`ServiceStats`] snapshot the way distributed
 //! responses surface `QueryBreakdown`.
+//!
+//! Since the `panda_obs` unification the live cells are shared
+//! [`panda_obs`] handles registered under `service.*` names in the
+//! service's own [`Registry`] — [`ServiceStats`] is a cheap view over
+//! the same cells that `ServiceHandle::telemetry` exposes, so there is
+//! exactly one source of truth.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
+
+use panda_obs::{pow2_bucket, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
 /// Power-of-two batch-size buckets: bucket `i` counts batches of
 /// `2^i ..= 2^(i+1) - 1` query points (bucket 0 is size 1).
@@ -16,60 +23,65 @@ pub const BATCH_BUCKETS: usize = 21;
 /// resolved in `2^i ..= 2^(i+1) - 1` nanoseconds (~36 minutes tops).
 pub const LATENCY_BUCKETS: usize = 41;
 
-#[inline]
-fn pow2_bucket(v: u64, buckets: usize) -> usize {
-    ((64 - v.max(1).leading_zeros() as usize) - 1).min(buckets - 1)
-}
-
-/// Live atomic counters updated by submitters and the scheduler.
+/// Live metric handles updated by submitters and the scheduler, all
+/// registered in the service's `panda_obs` [`Registry`].
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    pub submitted: AtomicU64,
-    pub queries: AtomicU64,
-    pub rejected: AtomicU64,
-    pub batches: AtomicU64,
-    pub deadline_exceeded: AtomicU64,
-    pub cancelled: AtomicU64,
-    pub scheduler_restarts: AtomicU64,
-    pub abandoned: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub queue_depth: AtomicUsize,
-    pub max_queue_depth: AtomicUsize,
-    pub batch_hist: [AtomicU64; BATCH_BUCKETS],
-    pub latency_hist: [AtomicU64; LATENCY_BUCKETS],
-    pub latency_by_batch: [[AtomicU64; LATENCY_BUCKETS]; BATCH_BUCKETS],
-    pub latency_sum_ns: AtomicU64,
+    pub registry: Registry,
+    pub submitted: Counter,
+    pub queries: Counter,
+    pub rejected: Counter,
+    pub batches: Counter,
+    pub deadline_exceeded: Counter,
+    pub cancelled: Counter,
+    pub scheduler_restarts: Counter,
+    pub abandoned: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub queue_depth: Gauge,
+    pub max_queue_depth: Gauge,
+    batch_hist: Histogram,
+    latency_hist: Histogram,
+    /// Latency split by batch-size bucket. Deliberately *not* registered
+    /// (21 × 41 buckets would drown an exposition page); served through
+    /// [`ServiceStats`] only.
+    latency_by_batch: Vec<Histogram>,
 }
 
 impl Default for Metrics {
-    // arrays beyond 32 entries have no derived `Default`
     fn default() -> Self {
-        Self {
-            submitted: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            scheduler_restarts: AtomicU64::new(0),
-            abandoned: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            queue_depth: AtomicUsize::new(0),
-            max_queue_depth: AtomicUsize::new(0),
-            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
-            latency_by_batch: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
-            latency_sum_ns: AtomicU64::new(0),
-        }
+        Self::new()
     }
 }
 
 impl Metrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            submitted: registry.counter("service.submitted"),
+            queries: registry.counter("service.queries"),
+            rejected: registry.counter("service.rejected"),
+            batches: registry.counter("service.batches"),
+            deadline_exceeded: registry.counter("service.deadline_exceeded"),
+            cancelled: registry.counter("service.cancelled"),
+            scheduler_restarts: registry.counter("service.scheduler_restarts"),
+            abandoned: registry.counter("service.abandoned"),
+            cache_hits: registry.counter("service.cache.hits"),
+            cache_misses: registry.counter("service.cache.misses"),
+            queue_depth: registry.gauge("service.queue_depth"),
+            max_queue_depth: registry.gauge("service.queue_depth_max"),
+            batch_hist: registry.histogram("service.batch_size", BATCH_BUCKETS),
+            latency_hist: registry.histogram("service.latency_ns", LATENCY_BUCKETS),
+            latency_by_batch: (0..BATCH_BUCKETS)
+                .map(|_| Histogram::new(LATENCY_BUCKETS))
+                .collect(),
+            registry,
+        }
+    }
+
     pub(crate) fn record_batch(&self, queries: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batch_hist[pow2_bucket(queries as u64, BATCH_BUCKETS)].fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.batch_hist.record(queries as u64);
     }
 
     /// Record a submit→resolve latency. `batch_queries` is the size of
@@ -79,42 +91,42 @@ impl Metrics {
     /// histogram but not the per-batch-size ones.
     pub(crate) fn record_latency(&self, waited: Duration, batch_queries: Option<usize>) {
         let ns = waited.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let lb = pow2_bucket(ns, LATENCY_BUCKETS);
-        self.latency_hist[lb].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.latency_hist.record(ns);
         if let Some(q) = batch_queries {
-            self.latency_by_batch[pow2_bucket(q as u64, BATCH_BUCKETS)][lb]
-                .fetch_add(1, Ordering::Relaxed);
+            self.latency_by_batch[pow2_bucket(q as u64, BATCH_BUCKETS)].record(ns);
         }
     }
 
     /// Track the current queued query-point count; remembers the high
     /// water mark.
     pub(crate) fn set_queue_depth(&self, depth: usize) {
-        self.queue_depth.store(depth, Ordering::Relaxed);
-        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.queue_depth.set(depth as u64);
+        self.max_queue_depth.set_max(depth as u64);
     }
 
     pub(crate) fn snapshot(&self) -> ServiceStats {
+        let batch = self.batch_hist.snapshot();
+        let latency = self.latency_hist.snapshot();
         ServiceStats {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            scheduler_restarts: self.scheduler_restarts.load(Ordering::Relaxed),
-            abandoned: self.abandoned.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
-            latency_hist: std::array::from_fn(|i| self.latency_hist[i].load(Ordering::Relaxed)),
+            submitted: self.submitted.get(),
+            queries: self.queries.get(),
+            rejected: self.rejected.get(),
+            batches: self.batches.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            cancelled: self.cancelled.get(),
+            scheduler_restarts: self.scheduler_restarts.get(),
+            abandoned: self.abandoned.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            queue_depth: self.queue_depth.get() as usize,
+            max_queue_depth: self.max_queue_depth.get() as usize,
+            batch_hist: std::array::from_fn(|i| batch.counts[i]),
+            latency_hist: std::array::from_fn(|i| latency.counts[i]),
             latency_by_batch: std::array::from_fn(|b| {
-                std::array::from_fn(|i| self.latency_by_batch[b][i].load(Ordering::Relaxed))
+                let s = self.latency_by_batch[b].snapshot();
+                std::array::from_fn(|i| s.counts[i])
             }),
-            latency_sum_seconds: self.latency_sum_ns.load(Ordering::Relaxed) as f64 * 1e-9,
+            latency_sum_seconds: latency.sum as f64 * 1e-9,
         }
     }
 }
@@ -235,21 +247,14 @@ impl ServiceStats {
 }
 
 /// Walk a power-of-two latency histogram to the bucket containing
-/// quantile `q` and report that bucket's upper edge in seconds.
+/// quantile `q` and report that bucket's upper edge in seconds (the
+/// shared `panda_obs` quantile math).
 fn hist_quantile_seconds(hist: &[u64], q: f64) -> f64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0.0;
+    HistogramSnapshot {
+        counts: hist.to_vec(),
+        sum: 0,
     }
-    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-    let mut cum = 0u64;
-    for (i, &count) in hist.iter().enumerate() {
-        cum += count;
-        if cum >= target {
-            return ((1u64 << (i + 1)) - 1) as f64 * 1e-9;
-        }
-    }
-    f64::INFINITY
+    .quantile_seconds(q.clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -268,7 +273,7 @@ mod tests {
 
     #[test]
     fn batch_and_latency_metrics_accumulate() {
-        let m = Metrics::default();
+        let m = Metrics::new();
         m.record_batch(1);
         m.record_batch(64);
         m.record_batch(65);
@@ -295,7 +300,7 @@ mod tests {
 
     #[test]
     fn per_batch_quantiles_are_isolated_by_bucket() {
-        let m = Metrics::default();
+        let m = Metrics::new();
         // singleton batches resolve fast, big batches slowly
         for _ in 0..10 {
             m.record_latency(Duration::from_nanos(1000), Some(1));
@@ -314,7 +319,7 @@ mod tests {
 
     #[test]
     fn p999_separates_the_extreme_tail() {
-        let m = Metrics::default();
+        let m = Metrics::new();
         // 1 straggler in 501: beyond the 99.9th percentile, inside 99th
         for _ in 0..500 {
             m.record_latency(Duration::from_nanos(1000), None);
@@ -327,11 +332,11 @@ mod tests {
 
     #[test]
     fn robustness_counters_round_trip_through_snapshots() {
-        let m = Metrics::default();
-        m.deadline_exceeded.fetch_add(2, Ordering::Relaxed);
-        m.cancelled.fetch_add(3, Ordering::Relaxed);
-        m.scheduler_restarts.fetch_add(1, Ordering::Relaxed);
-        m.abandoned.fetch_add(4, Ordering::Relaxed);
+        let m = Metrics::new();
+        m.deadline_exceeded.add(2);
+        m.cancelled.add(3);
+        m.scheduler_restarts.inc();
+        m.abandoned.add(4);
         let s = m.snapshot();
         assert_eq!(s.deadline_exceeded, 2);
         assert_eq!(s.cancelled, 3);
@@ -341,7 +346,7 @@ mod tests {
 
     #[test]
     fn quantiles_are_conservative_bucket_edges() {
-        let m = Metrics::default();
+        let m = Metrics::new();
         for _ in 0..99 {
             m.record_latency(Duration::from_nanos(1000), None); // bucket 9 (512..1023)
         }
@@ -360,6 +365,27 @@ mod tests {
             "max sees the slow one"
         );
         // empty histogram
-        assert_eq!(Metrics::default().snapshot().p99_latency_seconds(), 0.0);
+        assert_eq!(Metrics::new().snapshot().p99_latency_seconds(), 0.0);
+    }
+
+    #[test]
+    fn registry_view_matches_stats_view() {
+        let m = Metrics::new();
+        m.submitted.add(5);
+        m.cache_hits.add(2);
+        m.record_batch(16);
+        m.record_latency(Duration::from_micros(3), Some(16));
+        let snap = m.registry.snapshot();
+        let stats = m.snapshot();
+        assert_eq!(snap.counter("service.submitted"), Some(stats.submitted));
+        assert_eq!(snap.counter("service.cache.hits"), Some(stats.cache_hits));
+        assert_eq!(
+            snap.histogram("service.batch_size").unwrap().total(),
+            stats.batches
+        );
+        assert_eq!(
+            snap.histogram("service.latency_ns").unwrap().total(),
+            stats.resolved()
+        );
     }
 }

@@ -3,7 +3,6 @@
 //! and zero-copy scatter-back.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -11,6 +10,8 @@ use panda_core::engine::{NnBackend, QueryRequest, QueryResponse};
 use panda_core::{
     faultpoint, BoundMode, NeighborTable, PandaError, PointSet, QueryCounters, Result,
 };
+use panda_obs::trace::{self, Stage};
+use panda_obs::{Snapshot, TraceId};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::config::{OverflowPolicy, ServiceConfig};
@@ -52,6 +53,9 @@ struct Pending {
     /// time; `Some` only when the cache is enabled and this submission
     /// missed it (a successful execution memoizes the reply here).
     cache_key: Option<(Arc<CacheKey>, u64)>,
+    /// Sampled pipeline trace id minted at submit ([`TraceId::NONE`] for
+    /// the unsampled majority).
+    trace: TraceId,
 }
 
 /// Queue state guarded by the service mutex.
@@ -113,7 +117,7 @@ impl ServiceInner {
         if n == 0 {
             // Nothing to schedule: resolve immediately with an empty
             // slice of an empty response.
-            self.metrics.submitted.fetch_add(1, Relaxed);
+            self.metrics.submitted.inc();
             let empty = Arc::new(QueryResponse::local(
                 NeighborTable::new(),
                 QueryCounters::default(),
@@ -138,6 +142,14 @@ impl ServiceInner {
             radius_bits: req.radius().map(f32::to_bits),
             bound_mode: req.bound_mode(),
         };
+        // Pipeline trace id: NONE unless this submission wins the 1-in-N
+        // sampling lottery (a single relaxed load when disarmed). A
+        // request-carried id (e.g. from an upstream tier) takes priority.
+        let trace_id = if req.trace().is_sampled() {
+            req.trace()
+        } else {
+            trace::maybe_sample()
+        };
         // Hot-query cache probe: a repeated submission resolves right
         // here with a zero-copy clone of the memoized reply — no queue,
         // no scheduler, no backend. The backend data epoch is sampled
@@ -155,14 +167,16 @@ impl ServiceInner {
                     .unwrap_or_else(PoisonError::into_inner)
                     .lookup(&ck, now_epoch);
                 if let Some(reply) = hit {
-                    self.metrics.submitted.fetch_add(1, Relaxed);
-                    self.metrics.cache_hits.fetch_add(1, Relaxed);
+                    self.metrics.submitted.inc();
+                    self.metrics.cache_hits.inc();
                     self.metrics.record_latency(probe_start.elapsed(), None);
+                    // A cache hit is the whole pipeline: one Resolve span.
+                    trace::record(trace_id, Stage::Resolve, probe_start);
                     return Ok(Ticket {
                         shared: TicketShared::resolved(Arc::clone(&self.wake), Ok(reply)),
                     });
                 }
-                self.metrics.cache_misses.fetch_add(1, Relaxed);
+                self.metrics.cache_misses.inc();
                 Some((ck, now_epoch))
             }
             None => None,
@@ -188,7 +202,7 @@ impl ServiceInner {
                 }
                 match self.cfg.overflow {
                     OverflowPolicy::Reject => {
-                        self.metrics.rejected.fetch_add(1, Relaxed);
+                        self.metrics.rejected.inc();
                         return Err(PandaError::Overloaded {
                             depth: st.queued_queries,
                             capacity: self.cfg.queue_capacity,
@@ -207,10 +221,11 @@ impl ServiceInner {
                 enqueued_at,
                 deadline: req.deadline(),
                 cache_key,
+                trace: trace_id,
             });
             st.queued_queries += n;
-            self.metrics.submitted.fetch_add(1, Relaxed);
-            self.metrics.queries.fetch_add(n as u64, Relaxed);
+            self.metrics.submitted.inc();
+            self.metrics.queries.add(n as u64);
             self.metrics.set_queue_depth(st.queued_queries);
             // Wake the scheduler only when this submission changes what
             // it is waiting for: the queue just became non-empty (a new
@@ -258,7 +273,7 @@ impl ServiceInner {
             .record_latency(pending.enqueued_at.elapsed(), batch_queries);
         pending.ticket.resolve(result);
         if pending.ticket.is_abandoned() {
-            self.metrics.abandoned.fetch_add(1, Relaxed);
+            self.metrics.abandoned.inc();
         }
     }
 
@@ -267,10 +282,10 @@ impl ServiceInner {
     fn resolve_shed(&self, pending: Pending, err: PandaError) {
         match &err {
             PandaError::Cancelled => {
-                self.metrics.cancelled.fetch_add(1, Relaxed);
+                self.metrics.cancelled.inc();
             }
             PandaError::DeadlineExceeded { .. } => {
-                self.metrics.deadline_exceeded.fetch_add(1, Relaxed);
+                self.metrics.deadline_exceeded.inc();
             }
             _ => {}
         }
@@ -309,6 +324,18 @@ impl ServiceInner {
 
     fn execute_group(&self, key: BatchKey, members: Vec<Pending>) {
         let total: usize = members.iter().map(|m| m.n_queries).sum();
+        // Queue span closes for every sampled member the moment its
+        // group starts assembling; the whole coalesced batch then rides
+        // the first sampled member's id through the backend.
+        let flush_start = Instant::now();
+        let batch_trace = members
+            .iter()
+            .map(|m| m.trace)
+            .find(|t| t.is_sampled())
+            .unwrap_or(TraceId::NONE);
+        for m in &members {
+            trace::record_between(m.trace, Stage::Queue, m.enqueued_at, flush_start);
+        }
         let mut coords = Vec::with_capacity(total * self.dims);
         for m in &members {
             coords.extend_from_slice(&m.coords);
@@ -331,7 +358,10 @@ impl ServiceInner {
         if let Some(parallel) = self.cfg.parallel {
             req = req.with_parallel(parallel);
         }
+        req = req.with_trace(batch_trace);
         self.metrics.record_batch(total);
+        // Flush span: coords assembly + request construction.
+        trace::record(batch_trace, Stage::Flush, flush_start);
         // A panicking backend must not strand tickets in Pending —
         // clients blocked in `wait` would hang forever. Catch, resolve
         // everyone with an error, and let the scheduler keep serving.
@@ -339,6 +369,7 @@ impl ServiceInner {
         match outcome {
             Ok(Ok(response)) => {
                 let shared = Arc::new(response);
+                let resolve_start = Instant::now();
                 let mut row = 0u32;
                 let mut memos: Vec<(Arc<CacheKey>, TicketReply, u64)> = Vec::new();
                 for mut m in members {
@@ -348,7 +379,9 @@ impl ServiceInner {
                     if let Some((ck, epoch)) = m.cache_key.take() {
                         memos.push((ck, reply.clone(), epoch));
                     }
+                    let member_trace = m.trace;
                     self.resolve(m, Ok(reply), Some(total));
+                    trace::record(member_trace, Stage::Resolve, resolve_start);
                 }
                 if !memos.is_empty() {
                     if let Some(cache) = &self.cache {
@@ -404,7 +437,7 @@ impl ServiceInner {
                     "scheduler panicked mid-batch: {msg}"
                 ))));
                 if ticket.is_abandoned() {
-                    self.metrics.abandoned.fetch_add(1, Relaxed);
+                    self.metrics.abandoned.inc();
                 }
                 resolved_any = true;
             }
@@ -412,6 +445,21 @@ impl ServiceInner {
         if resolved_any {
             self.wake.wake_all();
         }
+    }
+
+    /// One coherent telemetry snapshot for the whole stack: the
+    /// service's own registry, the backend's registry when it keeps one
+    /// (shard/comm/store metrics), and the process-lifetime fault-point
+    /// trip counts as `fault.<point>.fired` counters.
+    fn telemetry(&self) -> Snapshot {
+        let mut snap = self.metrics.registry.snapshot();
+        if let Some(reg) = self.backend.registry() {
+            snap.merge(&reg.snapshot());
+        }
+        for (point, n) in faultpoint::fired_counts() {
+            snap.push_counter(&format!("fault.{point}.fired"), n);
+        }
+        snap
     }
 }
 
@@ -549,7 +597,7 @@ fn supervisor_loop(inner: &ServiceInner) {
             Ok(()) => return,
             Err(panic) => {
                 let msg = panic_message(panic);
-                inner.metrics.scheduler_restarts.fetch_add(1, Relaxed);
+                inner.metrics.scheduler_restarts.inc();
                 inner.repair_after_panic(&msg);
                 if started.elapsed() >= RESTART_HEALTHY_RESET {
                     consecutive = 0;
@@ -593,6 +641,14 @@ impl ServiceHandle {
     /// Snapshot the service counters.
     pub fn stats(&self) -> ServiceStats {
         self.inner.metrics.snapshot()
+    }
+
+    /// One coherent [`Snapshot`] across the whole stack — service
+    /// counters, the backend's shard/comm/store metrics (when it keeps a
+    /// registry), and fault-point trip counts. Feed it to
+    /// [`panda_obs::render_prometheus`] or [`panda_obs::render_json`].
+    pub fn telemetry(&self) -> Snapshot {
+        self.inner.telemetry()
     }
 }
 
@@ -683,6 +739,12 @@ impl QueryService {
     /// Snapshot the service counters.
     pub fn stats(&self) -> ServiceStats {
         self.inner.metrics.snapshot()
+    }
+
+    /// One coherent [`Snapshot`] across the whole stack (see
+    /// [`ServiceHandle::telemetry`]).
+    pub fn telemetry(&self) -> Snapshot {
+        self.inner.telemetry()
     }
 
     /// The backend's stable name (e.g. `"panda-local"`).

@@ -4,7 +4,6 @@
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -14,6 +13,8 @@ use panda_core::faultpoint::{self, points};
 use panda_core::knn::KnnIndex;
 use panda_core::local_tree::{PackedLeaves, LANE};
 use panda_core::{KnnHeap, Neighbor, PandaError, PointSet, QueryCounters, Result, TreeConfig};
+use panda_obs::trace::{self, Stage};
+use panda_obs::{Registry, Snapshot};
 
 use crate::config::StoreConfig;
 use crate::stats::{StoreMetrics, StoreStats};
@@ -249,6 +250,11 @@ impl MutableIndex {
             Some(KnnIndex::build(points, &cfg.tree)?)
         };
         let dims = points.dims();
+        let metrics = StoreMetrics::new();
+        if let Some(w) = &wal {
+            w.register_metrics(&metrics.registry);
+        }
+        metrics.live_points.set(members.len() as u64);
         let inner = StoreInner {
             dims,
             cfg,
@@ -267,7 +273,7 @@ impl MutableIndex {
                 last_error: None,
             }),
             wal: wal.map(Mutex::new),
-            metrics: StoreMetrics::new(),
+            metrics,
             quiesce_lock: Mutex::new(()),
             quiesce_cv: Condvar::new(),
         };
@@ -310,7 +316,9 @@ impl MutableIndex {
             }
             st.members.insert(id);
             st.fresh.push(point, id);
-            inner.metrics.inserted.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.inserted.inc();
+            inner.metrics.live_points.set(st.members.len() as u64);
+            inner.metrics.log_points.set(st.fresh.len() as u64);
             inner.maybe_freeze(&mut st)
         };
         inner.dispatch(task);
@@ -347,7 +355,9 @@ impl MutableIndex {
                 set.insert(id);
                 st.deleted_tree = Arc::new(set);
             }
-            inner.metrics.removed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.removed.inc();
+            inner.metrics.live_points.set(st.members.len() as u64);
+            inner.metrics.log_points.set(st.fresh.len() as u64);
             inner.maybe_freeze(&mut st)
         };
         inner.dispatch(task);
@@ -437,14 +447,10 @@ impl MutableIndex {
             log_points: st.fresh.len(),
             frozen_points: st.frozen.as_ref().map_or(0, |f| f.points.len()),
             deleted: st.deleted_tree.len() + st.deleted_frozen.len(),
-            inserted: self.inner.metrics.inserted.load(Ordering::Relaxed),
-            removed: self.inner.metrics.removed.load(Ordering::Relaxed),
-            compactions: self.inner.metrics.compactions.load(Ordering::Relaxed),
-            compaction_failures: self
-                .inner
-                .metrics
-                .compaction_failures
-                .load(Ordering::Relaxed),
+            inserted: self.inner.metrics.inserted.get(),
+            removed: self.inner.metrics.removed.get(),
+            compactions: self.inner.metrics.compactions.get(),
+            compaction_failures: self.inner.metrics.compaction_failures.get(),
             compacting: st.compacting,
             epoch: gen.epoch,
             compaction_p50_seconds: p50,
@@ -463,6 +469,18 @@ impl MutableIndex {
     /// Generation number of the serving tree (bumped by each swap).
     pub fn epoch(&self) -> u64 {
         self.inner.tree.load_full().epoch
+    }
+
+    /// Point-in-time [`Snapshot`] of the store's metric registry
+    /// (`store.*` counters/gauges/histograms, plus `store.wal.*` on
+    /// durable stores). Gauges are refreshed from live state first.
+    pub fn telemetry(&self) -> Snapshot {
+        {
+            let st = self.inner.read_state();
+            self.inner.metrics.live_points.set(st.members.len() as u64);
+            self.inner.metrics.log_points.set(st.fresh.len() as u64);
+        }
+        self.inner.metrics.registry.snapshot()
     }
 }
 
@@ -492,8 +510,11 @@ impl NnBackend for MutableIndex {
     /// can — and both counters are monotone, so their sum moves on every
     /// mutation and result caches invalidate exactly when they must.
     fn data_epoch(&self) -> u64 {
-        self.inner.metrics.inserted.load(Ordering::Relaxed)
-            + self.inner.metrics.removed.load(Ordering::Relaxed)
+        self.inner.metrics.inserted.get() + self.inner.metrics.removed.get()
+    }
+
+    fn registry(&self) -> Option<Registry> {
+        Some(self.inner.metrics.registry.clone())
     }
 }
 
@@ -530,9 +551,7 @@ impl StoreInner {
             Ok(task) => Some(task),
             Err(e) => {
                 st.last_error = Some(e);
-                self.metrics
-                    .compaction_failures
-                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.compaction_failures.inc();
                 None
             }
         }
@@ -549,6 +568,8 @@ impl StoreInner {
     fn freeze(&self, st: &mut WriteState) -> Result<CompactTask> {
         debug_assert!(!st.compacting && st.frozen.is_none());
         debug_assert!(st.deleted_frozen.is_empty());
+        let t = trace::maybe_sample();
+        let t0 = Instant::now();
         let closed_seq = match &self.wal {
             Some(wal) => Some(self.lock_wal(wal).rotate()?),
             None => None,
@@ -560,6 +581,7 @@ impl StoreInner {
         let frozen = FrozenSeg::pack(fresh);
         st.frozen = Some(frozen.clone());
         st.compacting = true;
+        trace::record(t, Stage::Freeze, t0);
         Ok(CompactTask {
             frozen,
             deleted_tree_at_freeze: Arc::clone(&st.deleted_tree),
@@ -587,6 +609,7 @@ impl StoreInner {
     /// The supervised compaction body: build off-lock, then either swap
     /// atomically or roll the frozen segment back into the fresh log.
     fn run_compaction(self: &Arc<Self>, task: CompactTask) -> Result<()> {
+        let trace_id = trace::maybe_sample();
         let t0 = Instant::now();
         let CompactTask {
             frozen,
@@ -642,8 +665,10 @@ impl StoreInner {
             }
             Ok(gen)
         });
+        trace::record(trace_id, Stage::CompactBuild, t0);
 
         let outcome = {
+            let swap_start = Instant::now();
             let mut st = self.write_state();
             match built.and_then(|gen| {
                 faultpoint::maybe_fail(points::STORE_COMPACT_SWAP)?;
@@ -671,6 +696,9 @@ impl StoreInner {
                     st.deleted_frozen = Arc::new(HashSet::new());
                     st.compacting = false;
                     self.metrics.record_compaction(t0.elapsed());
+                    self.metrics.live_points.set(st.members.len() as u64);
+                    self.metrics.log_points.set(st.fresh.len() as u64);
+                    trace::record(trace_id, Stage::CompactSwap, swap_start);
                     let _ = epoch;
                     Ok(())
                 }
@@ -693,9 +721,8 @@ impl StoreInner {
                     st.deleted_frozen = Arc::new(HashSet::new());
                     st.compacting = false;
                     st.last_error = Some(e.clone());
-                    self.metrics
-                        .compaction_failures
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.compaction_failures.inc();
+                    self.metrics.log_points.set(st.fresh.len() as u64);
                     Err(e)
                 }
             }

@@ -1,66 +1,54 @@
-//! Store observability: relaxed atomic counters + a pow2 duration
-//! histogram, snapshotted into a plain [`StoreStats`] — the same
-//! reporting pattern as `panda_service`'s `ServiceStats`.
+//! Store observability: typed `panda_obs` counters/gauges plus the
+//! shared pow2 duration histogram, registered under `store.*` names and
+//! snapshotted into a plain [`StoreStats`] — the same reporting pattern
+//! as `panda_service`'s `ServiceStats`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use panda_obs::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
 
 /// Pow2 nanosecond buckets covering ~1 ns .. ~18 min.
 const DUR_BUCKETS: usize = 41;
 
-#[inline]
-fn pow2_bucket(v: u64) -> usize {
-    ((64 - v.max(1).leading_zeros()) as usize - 1).min(DUR_BUCKETS - 1)
-}
-
-/// Walk the histogram to quantile `q`, reporting the bucket's upper
-/// edge in seconds (0.0 when no samples were recorded).
-fn hist_quantile_seconds(hist: &[u64], q: f64) -> f64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0.0;
-    }
-    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for (b, &count) in hist.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return (1u64 << (b + 1)) as f64 / 1e9;
-        }
-    }
-    (1u64 << DUR_BUCKETS) as f64 / 1e9
-}
-
-/// Live counters, updated with relaxed atomics on the write and
-/// compaction paths.
+/// Live metric handles, shared with the store's [`Registry`] so one
+/// telemetry snapshot carries them alongside every other crate's.
 #[derive(Debug)]
 pub(crate) struct StoreMetrics {
-    pub inserted: AtomicU64,
-    pub removed: AtomicU64,
-    pub compactions: AtomicU64,
-    pub compaction_failures: AtomicU64,
-    compact_hist: [AtomicU64; DUR_BUCKETS],
+    pub registry: Registry,
+    pub inserted: Counter,
+    pub removed: Counter,
+    pub compactions: Counter,
+    pub compaction_failures: Counter,
+    /// Live (queryable) points, refreshed on every write and swap.
+    pub live_points: Gauge,
+    /// Fresh-log points, refreshed on every write and swap.
+    pub log_points: Gauge,
+    compact_hist: Histogram,
 }
 
 impl StoreMetrics {
     pub fn new() -> Self {
+        let registry = Registry::new();
         Self {
-            inserted: AtomicU64::new(0),
-            removed: AtomicU64::new(0),
-            compactions: AtomicU64::new(0),
-            compaction_failures: AtomicU64::new(0),
-            compact_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            inserted: registry.counter("store.inserted"),
+            removed: registry.counter("store.removed"),
+            compactions: registry.counter("store.compactions"),
+            compaction_failures: registry.counter("store.compaction_failures"),
+            live_points: registry.gauge("store.live_points"),
+            log_points: registry.gauge("store.log_points"),
+            compact_hist: registry.histogram("store.compaction_ns", DUR_BUCKETS),
+            registry,
         }
     }
 
     /// Record one successful compaction's wall duration.
     pub fn record_compaction(&self, dur: Duration) {
-        self.compactions.fetch_add(1, Ordering::Relaxed);
-        self.compact_hist[pow2_bucket(dur.as_nanos() as u64)].fetch_add(1, Ordering::Relaxed);
+        self.compactions.inc();
+        self.compact_hist.record_duration(dur);
     }
 
-    pub fn hist_snapshot(&self) -> [u64; DUR_BUCKETS] {
-        std::array::from_fn(|i| self.compact_hist[i].load(Ordering::Relaxed))
+    pub fn hist_snapshot(&self) -> HistogramSnapshot {
+        self.compact_hist.snapshot()
     }
 }
 
@@ -121,11 +109,8 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    pub(crate) fn quantiles(hist: &[u64]) -> (f64, f64) {
-        (
-            hist_quantile_seconds(hist, 0.50),
-            hist_quantile_seconds(hist, 0.99),
-        )
+    pub(crate) fn quantiles(hist: &HistogramSnapshot) -> (f64, f64) {
+        (hist.quantile_seconds(0.50), hist.quantile_seconds(0.99))
     }
 }
 
@@ -150,15 +135,21 @@ mod tests {
         let (p50, p99) = StoreStats::quantiles(&m.hist_snapshot());
         assert!(p50 <= 3e-6, "p50 near the fast cluster, got {p50}");
         assert!(p99 <= 3e-6, "99/100 samples are fast, got {p99}");
-        let p999 = hist_quantile_seconds(&m.hist_snapshot(), 0.999);
+        let p999 = m.hist_snapshot().quantile_seconds(0.999);
         assert!(p999 >= 8e-3, "tail sees the slow sample, got {p999}");
-        assert_eq!(m.compactions.load(Ordering::Relaxed), 100);
+        assert_eq!(m.compactions.get(), 100);
     }
 
     #[test]
-    fn bucket_indexing_is_clamped() {
-        assert_eq!(pow2_bucket(0), 0);
-        assert_eq!(pow2_bucket(1), 0);
-        assert_eq!(pow2_bucket(u64::MAX), DUR_BUCKETS - 1);
+    fn registry_carries_store_metrics() {
+        let m = StoreMetrics::new();
+        m.inserted.add(5);
+        m.live_points.set(5);
+        m.record_compaction(Duration::from_micros(3));
+        let snap = m.registry.snapshot();
+        assert_eq!(snap.counter("store.inserted"), Some(5));
+        assert_eq!(snap.gauge("store.live_points"), Some(5));
+        let hist = snap.histogram("store.compaction_ns").unwrap();
+        assert_eq!(hist.total(), 1);
     }
 }

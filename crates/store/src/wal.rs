@@ -39,10 +39,13 @@ use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use panda_core::checksum::crc32;
 use panda_core::faultpoint::{self, points};
 use panda_core::{PandaError, PointSet, Result};
+use panda_obs::trace::{self, Stage};
+use panda_obs::{Counter, Registry};
 
 use crate::config::FsyncPolicy;
 
@@ -188,7 +191,13 @@ impl ActiveSegment {
     /// prefix iff a sync ran). On failure the log is poisoned and — when
     /// the failure was the acknowledging fsync — the record is truncated
     /// back out so durable == acknowledged exactly.
-    fn append(&mut self, rec: &WalRecord, dims: usize, policy: FsyncPolicy) -> Result<()> {
+    fn append(
+        &mut self,
+        rec: &WalRecord,
+        dims: usize,
+        policy: FsyncPolicy,
+        t: trace::TraceId,
+    ) -> Result<()> {
         if self.poisoned {
             return Err(PandaError::Io(format!(
                 "wal segment {} is poisoned after an earlier write failure; \
@@ -224,6 +233,7 @@ impl ActiveSegment {
             FsyncPolicy::OnCompaction => false,
         };
         if sync_now {
+            let tf = Instant::now();
             if let Err(e) = faultpoint::maybe_fail(points::STORE_WAL_FSYNC).and_then(|()| {
                 self.file
                     .sync_data()
@@ -239,6 +249,7 @@ impl ActiveSegment {
             }
             self.synced_len = self.len;
             self.appends_since_sync = 0;
+            trace::record(t, Stage::WalFsync, tf);
         }
         Ok(())
     }
@@ -375,10 +386,11 @@ pub(crate) struct Wal {
     closed: Vec<u64>,
     /// Seq of the newest published snapshot (`None` before the first).
     snapshot_seq: Option<u64>,
-    // Lifetime counters for `StoreStats`.
-    appends: u64,
-    fsyncs: u64,
-    snapshots_written: u64,
+    // Lifetime counters for `StoreStats`, shared with the store's
+    // metrics registry (as `store.wal.*`) once it exists.
+    appends: Counter,
+    fsyncs: Counter,
+    snapshots_written: Counter,
 }
 
 impl Wal {
@@ -521,25 +533,38 @@ impl Wal {
                 active,
                 closed,
                 snapshot_seq,
-                appends: 0,
-                fsyncs: 0,
-                snapshots_written: 0,
+                appends: Counter::new(),
+                fsyncs: Counter::new(),
+                snapshots_written: Counter::new(),
             },
             snapshot,
             records,
         })
     }
 
+    /// Share the lifetime counters with `reg` under `store.wal.*` names,
+    /// so the store's telemetry snapshot carries them live.
+    pub(crate) fn register_metrics(&self, reg: &Registry) {
+        reg.register_counter("store.wal.appends", &self.appends);
+        reg.register_counter("store.wal.fsyncs", &self.fsyncs);
+        reg.register_counter("store.wal.snapshots_written", &self.snapshots_written);
+    }
+
     /// Append one record under the configured fsync policy. Must be
     /// called *before* the mutation is applied in memory; an error means
     /// the write was not acknowledged and must not be applied.
     pub(crate) fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        // Store-side stages sample independently of the query pipeline
+        // (writes have no query trace id); disarmed this is one load.
+        let t = trace::maybe_sample();
+        let t0 = Instant::now();
         let synced_before = self.active.synced_len;
-        self.active.append(rec, self.dims, self.policy)?;
-        self.appends += 1;
+        self.active.append(rec, self.dims, self.policy, t)?;
+        self.appends.inc();
         if self.active.synced_len > synced_before {
-            self.fsyncs += 1;
+            self.fsyncs.inc();
         }
+        trace::record(t, Stage::WalAppend, t0);
         Ok(())
     }
 
@@ -548,8 +573,11 @@ impl Wal {
     /// next one. Returns the closed seq — the snapshot that will absorb
     /// it. On error nothing rotates and the freeze must be abandoned.
     pub(crate) fn rotate(&mut self) -> Result<u64> {
+        let t = trace::maybe_sample();
+        let t0 = Instant::now();
         self.active.sync()?;
-        self.fsyncs += 1;
+        self.fsyncs.inc();
+        trace::record(t, Stage::WalFsync, t0);
         let closed_seq = self.active.seq;
         let next = ActiveSegment::create(&self.dir, closed_seq + 1, self.dims)?;
         self.closed.push(closed_seq);
@@ -596,15 +624,18 @@ impl Wal {
             }
         });
         self.snapshot_seq = Some(seq);
-        self.snapshots_written += 1;
+        self.snapshots_written.inc();
         Ok(())
     }
 
     /// Fsync the active segment (explicit durability barrier for the
     /// `EveryN` / `OnCompaction` policies).
     pub(crate) fn sync(&mut self) -> Result<()> {
+        let t = trace::maybe_sample();
+        let t0 = Instant::now();
         self.active.sync()?;
-        self.fsyncs += 1;
+        self.fsyncs.inc();
+        trace::record(t, Stage::WalFsync, t0);
         Ok(())
     }
 
@@ -625,15 +656,15 @@ impl Wal {
     }
 
     pub(crate) fn appends(&self) -> u64 {
-        self.appends
+        self.appends.get()
     }
 
     pub(crate) fn fsyncs(&self) -> u64 {
-        self.fsyncs
+        self.fsyncs.get()
     }
 
     pub(crate) fn snapshots_written(&self) -> u64 {
-        self.snapshots_written
+        self.snapshots_written.get()
     }
 }
 

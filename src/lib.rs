@@ -12,7 +12,9 @@
 //!   micro-batching of many small client requests over a persistent
 //!   worker pool;
 //! * [`store`] — the mutable index: insert/delete log over the
-//!   immutable tree with background compaction and atomic tree swap.
+//!   immutable tree with background compaction and atomic tree swap;
+//! * [`obs`] — unified telemetry: the metrics registry, per-query
+//!   pipeline tracing, and the Prometheus/JSON exposition surface.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and experiment index.
@@ -276,6 +278,59 @@
 //! `Vec<Vec<Neighbor>>` intermediate (see `BENCH_PR3.json`, written by
 //! `cargo run --release --bin bench_pr3`).
 //!
+//! ## Observability
+//!
+//! Every runtime crate publishes typed, lock-free metrics into a
+//! [`obs::Registry`] under dotted names (`service.*`, `shard.*`,
+//! `comm.*`, `store.*`, `fault.*`). One call —
+//! [`ServiceHandle::telemetry`](prelude::ServiceHandle::telemetry) (or
+//! `QueryService::telemetry`) — merges the service's registry with the
+//! backend's (shard workers' comm meters, the store's WAL counters, …)
+//! and the process-lifetime fault-point trip counts into a single
+//! coherent [`obs::Snapshot`], ready for [`obs::render_prometheus`]
+//! (text format 0.0.4) or [`obs::render_json`]. The existing
+//! [`ServiceStats`](prelude::ServiceStats) / `StoreStats` structs remain
+//! as cheap typed views fed from the same cells.
+//!
+//! Per-query **pipeline tracing** rides on top: `submit` mints a
+//! 1-in-N-sampled [`obs::TraceId`] (the disarmed check is a single
+//! relaxed load), the micro-batch carries it into the backend, and each
+//! stage — queue wait, flush, shard scatter/gather, leaf kernel,
+//! resolve, plus the store's WAL/compaction stages — drops a timestamped
+//! event into a fixed-size lock-free ring. [`obs::TraceReport::gather`]
+//! turns the ring into a per-stage latency table:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use panda::prelude::*;
+//!
+//! let points = PointSet::from_coords(1, (0..32).map(|i| i as f32).collect())?;
+//! let service = QueryService::new(
+//!     Arc::new(KnnIndex::build(&points, &TreeConfig::default())?),
+//!     ServiceConfig::default(),
+//! )?;
+//! panda::obs::trace::set_sampling(1); // trace every query (0 = off, the default)
+//! let q = PointSet::from_coords(1, vec![7.3])?;
+//! let reply = service.submit(&QueryRequest::knn(&q, 2))?.wait()?;
+//! assert_eq!(reply.row(0)[0].id, 7);
+//! service.drain();
+//!
+//! let snap = service.telemetry(); // one snapshot, whole stack
+//! assert_eq!(snap.counter("service.queries"), Some(1));
+//! let page = panda::obs::render_prometheus(&snap);
+//! assert!(page.contains("panda_service_queries 1"));
+//! assert!(page.contains("panda_service_latency_ns_bucket"));
+//!
+//! let report = panda::obs::TraceReport::gather(); // per-stage table
+//! assert!(report.stage(panda::obs::Stage::Queue).is_some());
+//! panda::obs::trace::set_sampling(0);
+//! service.shutdown();
+//! # Ok::<(), PandaError>(())
+//! ```
+//!
+//! `examples/telemetry.rs` runs live traffic through a sharded service
+//! and dumps the full Prometheus page plus the trace report.
+//!
 //! ## Migrating from the pre-session (tuple) API
 //!
 //! The 0.1 tuple methods (`query_batch`, `query_batch_ordered`, the
@@ -299,6 +354,7 @@ pub use panda_baselines as baselines;
 pub use panda_comm as comm;
 pub use panda_core as core;
 pub use panda_data as data;
+pub use panda_obs as obs;
 pub use panda_service as service;
 pub use panda_store as store;
 
@@ -317,6 +373,7 @@ pub mod prelude {
         BoundMode, DistConfig, Neighbor, PandaError, PointSet, QueryCounters, QueryOrder, Result,
         TreeConfig,
     };
+    pub use panda_obs::{render_json, render_prometheus, Registry, Snapshot, TraceReport};
     pub use panda_service::{
         OverflowPolicy, QueryService, ServiceConfig, ServiceHandle, ServiceStats, Ticket,
         TicketReply,
